@@ -1,0 +1,81 @@
+//===- bench/bench_ablations.cpp - E9: figure 6 ablations ------*- C++ -*-===//
+///
+/// \file
+/// The optimization ablations of figure 6: mark microbenchmarks, the
+/// contract benchmark, and the application workloads on
+///
+///   no 1cc  : no opportunistic one-shot continuations (always copy)
+///   no opt  : no compiler recognition of attachment operations
+///   no prim : no recognition of attachment-invisible primitives
+///
+/// Expected shape: "no opt" hurts set-heavy micros ~x2-3.5 and contracts
+/// ~x2; "no 1cc" hurts set-around-call patterns and contracts ~x1.4;
+/// "no prim" hurts mainly set-around-prim patterns; the applications move
+/// by a few percent.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/apps.h"
+#include "programs/micro_marks.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+
+namespace {
+
+const char *ContractSetup = R"(
+(define plain-id (lambda (x) x))
+(define checked-id
+  (contract-wrap (-> integer/c integer/c) plain-id 'bench))
+(define (call-loop f n)
+  (let loop ([i n] [acc 0])
+    (if (zero? i) acc (loop (- i 1) (+ 0 (f acc))))))
+)";
+
+void ablationRow(const std::string &Name, const std::string &Setup,
+                 const std::string &Run) {
+  Timing Base = timeOnVariant(EngineVariant::Builtin, Setup, Run);
+  Timing No1cc = timeOnVariant(EngineVariant::No1cc, Setup, Run);
+  Timing NoOpt = timeOnVariant(EngineVariant::NoOpt, Setup, Run);
+  Timing NoPrim = timeOnVariant(EngineVariant::NoPrim, Setup, Run);
+  printRelRow(Name, Base,
+              {{"no-1cc", No1cc}, {"no-opt", NoOpt}, {"no-prim", NoPrim}});
+}
+
+} // namespace
+
+int main() {
+  printTitle("E9: optimization ablations (figure 6)");
+  std::printf("  %-26s %12s\n", "benchmark", "Racket CS");
+
+  // Mark microbenchmarks (the set-* subset that the ablations target).
+  int Count = 0;
+  const MarkMicro *Micros = markMicros(Count);
+  for (int I = 0; I < Count; ++I) {
+    const MarkMicro &B = Micros[I];
+    std::string Name = B.Name;
+    if (Name.find("set-") != 0 && Name.find("immed-") != 0 &&
+        Name != "base-deep" && Name.find("first-") != 0)
+      continue;
+    long N = scaled(B.DefaultN);
+    ablationRow(B.Name, B.Source, "(bench-entry " + std::to_string(N) + ")");
+  }
+
+  // Contract benchmark.
+  long N = scaled(200000);
+  ablationRow("contract-checked", ContractSetup,
+              "(call-loop checked-id " + std::to_string(N) + ")");
+
+  // Applications.
+  int AppCount = 0;
+  const AppBenchmark *Apps = appBenchmarks(AppCount);
+  for (int I = 0; I < AppCount; ++I) {
+    const AppBenchmark &B = Apps[I];
+    long AppN = scaled(B.DefaultN / 2);
+    ablationRow(B.Name, B.Source, "(app-main " + std::to_string(AppN) + ")");
+  }
+  return 0;
+}

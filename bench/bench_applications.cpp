@@ -1,0 +1,53 @@
+//===- bench/bench_applications.cpp - E8: section 8.4 apps -----*- C++ -*-===//
+///
+/// \file
+/// End-to-end application analogues (section 8.4's application table):
+/// programs that depend significantly on contract checking and dynamic
+/// binding, run with built-in attachments versus the figure 3 imitation.
+/// Expected shape: builtin wins by ~5-25% end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/apps.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+using cmk::SchemeEngine;
+
+int main() {
+  printTitle("E8: application workloads, builtin vs imitate (paper 8.4)");
+
+  int Count = 0;
+  const AppBenchmark *Apps = appBenchmarks(Count);
+  bool AllOk = true;
+
+  for (int I = 0; I < Count; ++I) {
+    const AppBenchmark &B = Apps[I];
+    long N = scaled(B.DefaultN);
+    std::string Run = "(app-main " + std::to_string(N) + ")";
+
+    SchemeEngine Builtin(EngineVariant::Builtin);
+    Builtin.evalOrDie(B.Source);
+    SchemeEngine Imitate(EngineVariant::Imitate);
+    Imitate.evalOrDie(B.Source);
+
+    if (N == B.DefaultN) {
+      std::string G1 = Builtin.evalToString(Run);
+      std::string G2 = Imitate.evalToString(Run);
+      if (G1 != B.Expected || G2 != B.Expected) {
+        std::fprintf(stderr, "%s: expected %s, builtin=%s imitate=%s\n",
+                     B.Name, B.Expected, G1.c_str(), G2.c_str());
+        AllOk = false;
+        continue;
+      }
+    }
+
+    Timing TB = timeExpr(Builtin, Run);
+    Timing TI = timeExpr(Imitate, Run);
+    printRelRow(B.Name, TB, {{"imitate", TI}});
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+//===- bench/bench_attachments.cpp - E5: figure 4 micros -------*- C++ -*-===//
+///
+/// \file
+/// The attachment microbenchmarks of figure 4: built-in compiler/runtime
+/// support versus the figure 3 call/cc imitation. Expected shape: base-*
+/// rows equal; set/get/consume loops several times faster built-in; the
+/// "set-nontail-notail" row (pure marks push/pop vs full capture) shows
+/// the largest gap; loop-arg-prim large because the compiler knows the
+/// primitive cannot observe attachments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "lib/prelude.h"
+#include "programs/micro_attachments.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::SchemeEngine;
+
+int main() {
+  printTitle("E5: attachment micros, builtin vs figure 3 imitation (fig 4)");
+  std::printf("  %-22s %12s   %-7s %s\n", "benchmark", "builtin", "imitate",
+              "(speedup range)");
+
+  int Count = 0;
+  const AttachmentMicro *Micros = attachmentMicros(Count);
+  bool AllOk = true;
+
+  for (int I = 0; I < Count; ++I) {
+    const AttachmentMicro &B = Micros[I];
+    long N = scaled(B.DefaultN);
+    std::string Run = "(bench-entry " + std::to_string(N) + ")";
+
+    SchemeEngine Builtin;
+    Builtin.evalOrDie(substituteAttachmentOps(B.Source, true));
+    SchemeEngine Imitate;
+    Imitate.evalOrDie(cmk::imitationSource());
+    Imitate.evalOrDie(substituteAttachmentOps(B.Source, false));
+
+    if (N == B.DefaultN) {
+      std::string G1 = Builtin.evalToString(Run);
+      std::string G2 = Imitate.evalToString(Run);
+      if (G1 != B.Expected || G2 != B.Expected) {
+        std::fprintf(stderr, "%s: expected %s, builtin=%s imitate=%s\n",
+                     B.Name, B.Expected, G1.c_str(), G2.c_str());
+        AllOk = false;
+        continue;
+      }
+    }
+
+    Timing TB = timeExpr(Builtin, Run);
+    Timing TI = timeExpr(Imitate, Run);
+    printSpeedupRow(B.Name, TB, TI);
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+//===- bench/bench_contracts.cpp - E7: section 8.4 contracts ---*- C++ -*-===//
+///
+/// \file
+/// The contract-checking benchmark of section 8.4: call an imported,
+/// non-inlined identity function in a loop, unchecked versus wrapped in a
+/// (-> integer? integer?) contract, on built-in attachments versus the
+/// figure 3 imitation. Expected shape: unchecked identical; checked pays
+/// a few x over unchecked; imitation makes checked several times worse.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+
+namespace {
+
+const char *ContractSetup = R"(
+(define plain-id (lambda (x) x))
+(define checked-id
+  (contract-wrap (-> integer/c integer/c) plain-id 'bench))
+(define (call-loop f n)
+  (let loop ([i n] [acc 0])
+    (if (zero? i) acc (loop (- i 1) (+ 0 (f acc))))))
+)";
+
+} // namespace
+
+int main() {
+  long N = scaled(400000);
+  printTitle("E7: contract checking (paper 8.4 contract table)");
+  std::string RunUnchecked = "(call-loop plain-id " + std::to_string(N) + ")";
+  std::string RunChecked = "(call-loop checked-id " + std::to_string(N) + ")";
+
+  Timing UB = timeOnVariant(EngineVariant::Builtin, ContractSetup,
+                            RunUnchecked);
+  Timing UI = timeOnVariant(EngineVariant::Imitate, ContractSetup,
+                            RunUnchecked);
+  printRelRow("unchecked", UB, {{"imitate", UI}});
+
+  Timing CB = timeOnVariant(EngineVariant::Builtin, ContractSetup,
+                            RunChecked);
+  Timing CI = timeOnVariant(EngineVariant::Imitate, ContractSetup,
+                            RunChecked);
+  printRelRow("checked", CB, {{"imitate", CI}});
+
+  printNote("checked/unchecked builtin overhead: x" +
+            std::to_string(UB.AvgMs > 0 ? CB.AvgMs / UB.AvgMs : 0));
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/bench_ctak.cpp - E1: section 8.1 ctak table -------*- C++ -*-===//
+///
+/// \file
+/// Reproduces the continuation-performance comparison of section 8.1. The
+/// paper compares Scheme implementations with different continuation
+/// strategies; we compare the same strategies as configurations of one
+/// system (see DESIGN.md substitutions):
+///
+///   raw capture        ~ Chez Scheme   (stack segments, copy-on-apply)
+///   wrapped call/cc    ~ Racket CS     (winder-aware wrapper indirection)
+///   heap frames        ~ Pycket        (frame-per-segment)
+///   copy-on-capture    ~ Gambit/CHICKEN (eager copying call/cc)
+///
+/// Expected shape: heap frames fastest for this capture-dominated
+/// benchmark, raw capture close behind, wrapper slower by a constant
+/// factor, copy-on-capture slowest.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/control.h"
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+using cmk::SchemeEngine;
+
+int main() {
+  printTitle("E1: ctak (paper 8.1) -- continuation strategy comparison");
+  long X = 18, Y = 12, Z = 6;
+  if (workScale() < 0.5) {
+    X = 15;
+    Y = 9;
+    Z = 3;
+  }
+  char Run[64], RunRaw[64];
+  std::snprintf(Run, sizeof(Run), "(ctak %ld %ld %ld)", X, Y, Z);
+  std::snprintf(RunRaw, sizeof(RunRaw), "(ctak-raw %ld %ld %ld)", X, Y, Z);
+  printNote("ctak" + std::string(Run + 5, Run + std::strlen(Run) - 1) +
+            "; shapes matter, not absolute times");
+
+  struct RowSpec {
+    const char *Name;
+    EngineVariant V;
+    bool Raw;
+  };
+  const RowSpec Rows[] = {
+      {"heap-frames (Pycket-like)", EngineVariant::HeapFrames, false},
+      {"raw capture (Chez-like)", EngineVariant::Builtin, true},
+      {"wrapped call/cc (Racket CS)", EngineVariant::Builtin, false},
+      {"copy-on-capture (Gambit-ish)", EngineVariant::CopyOnCapture, false},
+  };
+
+  for (const RowSpec &R : Rows) {
+    SchemeEngine E(R.V);
+    E.evalOrDie(ctakSource());
+    E.evalOrDie(ctakRawSource());
+    // Verify both entry points compute tak.
+    if (E.evalToString("(ctak 7 4 2)") != "4" ||
+        E.evalToString("(ctak-raw 7 4 2)") != "4") {
+      std::fprintf(stderr, "ctak self-check failed\n");
+      return 1;
+    }
+    Timing T = timeExpr(E, R.Raw ? RunRaw : Run);
+    printAbsRow(R.Name, T);
+  }
+  return 0;
+}

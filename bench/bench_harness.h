@@ -1,0 +1,120 @@
+//===- bench/bench_harness.h - Paper-style benchmark driver ----*- C++ -*-===//
+///
+/// \file
+/// Shared driver for the experiment binaries (DESIGN.md E1-E9). Reports
+/// results the way the paper does: average wall-clock time over N runs
+/// with standard deviation, and relative columns ("x1.03") for variant
+/// comparisons, including the figure 4 "speedup range" derived from the
+/// standard deviations.
+///
+/// Environment knobs:
+///   CMARKS_BENCH_RUNS   runs per measurement (default 3; the paper used 5)
+///   CMARKS_BENCH_SCALE  workload multiplier (default 1.0)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_BENCH_HARNESS_H
+#define CMARKS_BENCH_BENCH_HARNESS_H
+
+#include "api/scheme.h"
+#include "support/timing.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace cmkbench {
+
+inline int runCount() {
+  if (const char *S = std::getenv("CMARKS_BENCH_RUNS"))
+    return std::max(1, std::atoi(S));
+  return 3;
+}
+
+inline double workScale() {
+  if (const char *S = std::getenv("CMARKS_BENCH_SCALE"))
+    return std::max(0.001, std::atof(S));
+  return 1.0;
+}
+
+/// Scales an iteration count by CMARKS_BENCH_SCALE.
+inline long scaled(long N) {
+  return std::max(1L, static_cast<long>(static_cast<double>(N) * workScale()));
+}
+
+struct Timing {
+  double AvgMs = 0;
+  double StdevMs = 0;
+};
+
+/// Times `RunExpr` (usually a call to a pre-defined benchmark entry) over
+/// runCount() runs in an already-set-up engine.
+inline Timing timeExpr(cmk::SchemeEngine &E, const std::string &RunExpr) {
+  cmk::RunStats Stats;
+  for (int I = 0; I < runCount(); ++I) {
+    uint64_t T0 = cmk::nowNanos();
+    E.evalOrDie(RunExpr);
+    uint64_t T1 = cmk::nowNanos();
+    Stats.addSampleNanos(T1 - T0);
+  }
+  return {Stats.averageMillis(), Stats.stddevMillis()};
+}
+
+/// One-shot: fresh engine of the given variant, setup + timed run.
+inline Timing timeOnVariant(cmk::EngineVariant V, const std::string &Setup,
+                            const std::string &RunExpr) {
+  cmk::SchemeEngine E(V);
+  if (!Setup.empty())
+    E.evalOrDie(Setup);
+  return timeExpr(E, RunExpr);
+}
+
+inline void printTitle(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+inline void printNote(const std::string &Note) {
+  std::printf("  %s\n", Note.c_str());
+}
+
+/// "name            123.4 ms  +/-1.2"
+inline void printAbsRow(const std::string &Name, Timing T) {
+  std::printf("  %-26s %9.1f ms  +/-%.1f\n", Name.c_str(), T.AvgMs,
+              T.StdevMs);
+}
+
+/// Figure 4-style row: base time, relative variant time, and a speedup
+/// range from the standard deviations (low = (base+sd)/(other-sd), high =
+/// (base-sd)/(other+sd) inverted appropriately).
+inline void printRelRow(const std::string &Name, Timing Base,
+                        const std::vector<std::pair<std::string, Timing>>
+                            &Others) {
+  std::printf("  %-26s %9.1f ms", Name.c_str(), Base.AvgMs);
+  for (const auto &[Label, T] : Others) {
+    double Ratio = Base.AvgMs > 0 ? T.AvgMs / Base.AvgMs : 0;
+    std::printf("  %s x%-5.2f", Label.c_str(), Ratio);
+  }
+  std::printf("\n");
+}
+
+/// Figure 4's dedicated format: speedup of Base (builtin) vs Other
+/// (imitate), with range.
+inline void printSpeedupRow(const std::string &Name, Timing Builtin,
+                            Timing Other) {
+  double Speedup = Builtin.AvgMs > 0 ? Other.AvgMs / Builtin.AvgMs : 0;
+  double Low = (Builtin.AvgMs + Builtin.StdevMs) > 0
+                   ? (Other.AvgMs - Other.StdevMs) /
+                         (Builtin.AvgMs + Builtin.StdevMs)
+                   : 0;
+  double High = (Builtin.AvgMs - Builtin.StdevMs) > 0
+                    ? (Other.AvgMs + Other.StdevMs) /
+                          (Builtin.AvgMs - Builtin.StdevMs)
+                    : 0;
+  std::printf("  %-22s %9.1f ms   x%-6.2f  (x%.2f - x%.2f)\n", Name.c_str(),
+              Builtin.AvgMs, Speedup, Low, High);
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_BENCH_HARNESS_H

@@ -1,0 +1,58 @@
+//===- bench/bench_marks.cpp - E6: figure 5 micros -------------*- C++ -*-===//
+///
+/// \file
+/// The continuation-mark microbenchmarks of figure 5: marks over
+/// attachments ("Racket CS") versus the old-Racket-style eager mark stack
+/// ("Racket"). Expected shape: the mark stack wins slightly on pure set
+/// loops and shallow first lookups (contiguous vector vs heap list), while
+/// attachments win on set-around-call patterns and anything that captures
+/// continuations; base rows are equal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/micro_marks.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+using cmk::SchemeEngine;
+
+int main() {
+  printTitle("E6: mark micros, attachments (Racket CS) vs mark stack "
+             "(old Racket) (fig 5)");
+  std::printf("  %-22s %12s   %-7s %s\n", "benchmark", "Racket CS",
+              "Racket", "(ratio range)");
+
+  int Count = 0;
+  const MarkMicro *Micros = markMicros(Count);
+  bool AllOk = true;
+
+  for (int I = 0; I < Count; ++I) {
+    const MarkMicro &B = Micros[I];
+    long N = scaled(B.DefaultN);
+    std::string Run = "(bench-entry " + std::to_string(N) + ")";
+
+    SchemeEngine CS(EngineVariant::Builtin);
+    CS.evalOrDie(B.Source);
+    SchemeEngine Old(EngineVariant::MarkStack);
+    Old.evalOrDie(B.Source);
+
+    if (N == B.DefaultN) {
+      std::string G1 = CS.evalToString(Run);
+      std::string G2 = Old.evalToString(Run);
+      if (G1 != B.Expected || G2 != B.Expected) {
+        std::fprintf(stderr, "%s: expected %s, CS=%s mark-stack=%s\n", B.Name,
+                     B.Expected, G1.c_str(), G2.c_str());
+        AllOk = false;
+        continue;
+      }
+    }
+
+    Timing TCS = timeExpr(CS, Run);
+    Timing TOld = timeExpr(Old, Run);
+    printSpeedupRow(B.Name, TCS, TOld);
+  }
+  return AllOk ? 0 : 1;
+}

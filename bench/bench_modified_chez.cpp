@@ -1,0 +1,46 @@
+//===- bench/bench_modified_chez.cpp - E3: section 8.2 table ---*- C++ -*-===//
+///
+/// \file
+/// The "cost of modifying Chez Scheme" experiment (section 8.2): run the
+/// triple benchmark (call/cc encodings) on the unmodified compiler variant
+/// versus the attachment-enabled compiler. The paper found the difference
+/// within noise — the extra marks field and the cp0 constraint should not
+/// tax programs that do not use attachments.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/control.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+
+int main() {
+  long N = scaled(150);
+  printTitle("E3: triple on unmod vs attach variants (paper 8.2)");
+  printNote("triple(" + std::to_string(N) + ") via call/cc encodings; "
+            "expected: within noise");
+
+  struct RowSpec {
+    const char *Name;
+    const char *Setup;
+    const char *Entry;
+  };
+  const RowSpec Rows[] = {
+      {"[K]", tripleKSource(), "triple-k"},
+      {"[DPJS]", tripleDpjsSource(), "triple-dpjs"},
+  };
+
+  for (const RowSpec &R : Rows) {
+    std::string Run =
+        "(" + std::string(R.Entry) + " " + std::to_string(N) + ")";
+    Timing Unmod = timeOnVariant(EngineVariant::Unmod, R.Setup, Run);
+    Timing Attach = timeOnVariant(EngineVariant::Builtin, R.Setup, Run);
+    Timing No1cc = timeOnVariant(EngineVariant::No1cc, R.Setup, Run);
+    printRelRow(std::string("unmodified ") + R.Name, Unmod,
+                {{"attach", Attach}, {"no-1cc", No1cc}});
+  }
+  return 0;
+}

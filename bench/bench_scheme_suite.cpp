@@ -1,0 +1,53 @@
+//===- bench/bench_scheme_suite.cpp - E4: figure 2 suite -------*- C++ -*-===//
+///
+/// \file
+/// The traditional-benchmark experiment of figure 2: the attachment-
+/// enabled compiler ("attach") must not slow down classic Scheme programs
+/// relative to the unmodified compiler ("unmod"). Every benchmark result
+/// is self-checked against a known value.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/classics.h"
+
+#include <cstring>
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+using cmk::SchemeEngine;
+
+int main() {
+  printTitle("E4: traditional Scheme benchmarks, unmod vs attach (figure 2)");
+  printNote("expected: attach within noise of unmod on every row");
+
+  int Count = 0;
+  const ClassicBenchmark *Benchmarks = classicBenchmarks(Count);
+  bool AllOk = true;
+
+  for (int I = 0; I < Count; ++I) {
+    const ClassicBenchmark &B = Benchmarks[I];
+    long N = scaled(B.DefaultIters);
+    char Run[128];
+    std::snprintf(Run, sizeof(Run), B.RunTemplate, N);
+
+    // Self-check on the default size with the builtin engine.
+    if (N == B.DefaultIters) {
+      SchemeEngine Check;
+      Check.evalOrDie(B.Source);
+      std::string Got = Check.evalToString(Run);
+      if (Got != B.Expected) {
+        std::fprintf(stderr, "%s: expected %s, got %s\n", B.Name, B.Expected,
+                     Got.c_str());
+        AllOk = false;
+        continue;
+      }
+    }
+
+    Timing Unmod = timeOnVariant(EngineVariant::Unmod, B.Source, Run);
+    Timing Attach = timeOnVariant(EngineVariant::Builtin, B.Source, Run);
+    printRelRow(B.Name, Unmod, {{"attach", Attach}});
+  }
+  return AllOk ? 0 : 1;
+}

@@ -1,0 +1,81 @@
+//===- bench/bench_triple.cpp - E2: figure 1 triple benchmark --*- C++ -*-===//
+///
+/// \file
+/// The triple delimited-continuation benchmark of figure 1: count the
+/// non-decreasing triples summing to n by nondeterministic search, using
+/// two kinds of prompts for the two kinds of choices. Three
+/// delimited-control implementations run on the same engine:
+///
+///   native  : built-in tagged prompts + composable continuations
+///   [DPJS]  : shift/reset from call/cc + a metacontinuation stack
+///   [K]     : amb from raw continuation re-invocation
+///
+/// Expected shape: native fastest; the call/cc encodings pay capture and
+/// copy costs per choice point, [K] worst because every failure replays a
+/// full continuation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/control.h"
+
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+using cmk::SchemeEngine;
+
+int main() {
+  long N = scaled(200);
+  printTitle("E2: triple (paper figure 1) -- delimited-control encodings");
+  printNote("triple(" + std::to_string(N) +
+            "): all encodings must agree on the count");
+
+  SchemeEngine Check;
+  Check.evalOrDie(tripleNativeSource());
+  Check.evalOrDie(tripleDpjsSource());
+  Check.evalOrDie(tripleKSource());
+  std::string Expected =
+      Check.evalToString("(triple-native " + std::to_string(N) + ")");
+  std::string GotDpjs =
+      Check.evalToString("(triple-dpjs " + std::to_string(N) + ")");
+  std::string GotK = Check.evalToString("(triple-k " + std::to_string(N) + ")");
+  if (Expected != GotDpjs || Expected != GotK || Expected.empty()) {
+    std::fprintf(stderr,
+                 "triple implementations disagree: native=%s dpjs=%s k=%s\n",
+                 Expected.c_str(), GotDpjs.c_str(), GotK.c_str());
+    return 1;
+  }
+  printNote("solutions: " + Expected);
+
+  struct RowSpec {
+    const char *Name;
+    const char *Setup;
+    const char *Entry;
+  };
+  const RowSpec Rows[] = {
+      {"native prompts", tripleNativeSource(), "triple-native"},
+      {"[DPJS] shift/reset via call/cc", tripleDpjsSource(), "triple-dpjs"},
+      {"[K] amb via call/cc", tripleKSource(), "triple-k"},
+  };
+  for (const RowSpec &R : Rows) {
+    SchemeEngine E;
+    E.evalOrDie(R.Setup);
+    Timing T = timeExpr(E, "(" + std::string(R.Entry) + " " +
+                               std::to_string(N) + ")");
+    printAbsRow(R.Name, T);
+  }
+
+  // Cross-strategy rows (the figure's cross-system flavour).
+  for (EngineVariant V :
+       {EngineVariant::HeapFrames, EngineVariant::CopyOnCapture}) {
+    SchemeEngine E(V);
+    E.evalOrDie(tripleNativeSource());
+    Timing T = timeExpr(E, "(triple-native " + std::to_string(N) + ")");
+    printAbsRow(V == EngineVariant::HeapFrames
+                    ? "native on heap-frames"
+                    : "native on copy-on-capture",
+                T);
+  }
+  return 0;
+}

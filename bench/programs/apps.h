@@ -1,0 +1,462 @@
+//===- bench/programs/apps.h - Application workloads (8.4) -----*- C++ -*-===//
+///
+/// \file
+/// Five application analogues for the paper's end-to-end table (section
+/// 8.4). Each mirrors the *dependence profile* of the original Racket
+/// application — heavy contract checking and/or dynamic binding for
+/// configuration — on synthetic but realistic inputs:
+///
+///   activity-log : CSV import + aggregation  (ActivityLog import)
+///   xsmith-lite  : random program generation (Xsmith cish)
+///   json-parsack : parser combinators over JSON (Megaparsack JSON)
+///   markdown     : markdown-to-HTML rendering (Markdown Reference)
+///   solver       : DPLL SAT solving           (OL1V3R gauss.smt2)
+///
+/// Each defines (app-main n) whose result is self-checked.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_APPS_H
+#define CMARKS_BENCH_PROGRAMS_APPS_H
+
+namespace cmkbench {
+
+struct AppBenchmark {
+  const char *Name;
+  const char *Source;
+  long DefaultN;
+  const char *Expected;
+};
+
+inline const AppBenchmark *appBenchmarks(int &CountOut) {
+  static const AppBenchmark Apps[] = {
+
+      // ----------------------------------------------------------------------
+      {"activity-log", R"APP(
+;; Import a synthetic workout log (CSV), with contracted field accessors
+;; and a parameterized unit configuration consulted per record.
+
+(define distance-unit (make-parameter 'km))
+(define strict-mode (make-parameter #f))
+
+(define record/c (flat-contract 'record? (lambda (r) (and (vector? r) (= (vector-length r) 4)))))
+
+(define parse-field
+  (contract-wrap (-> string/c any/c)
+    (lambda (s)
+      (let ([n (string->number s)])
+        (if n n s)))
+    'activity-log))
+
+(define (parse-line line)
+  (let ([parts (string-split line ",")])
+    (vector (parse-field (car parts))
+            (parse-field (cadr parts))
+            (parse-field (caddr parts))
+            (parse-field (cadddr parts)))))
+
+(define record-distance
+  (contract-wrap (-> record/c number/c)
+    (lambda (r)
+      (let ([d (vector-ref r 2)])
+        (if (eq? (distance-unit) 'mi) (* d 0.621371) d)))
+    'activity-log))
+
+(define record-minutes
+  (contract-wrap (-> record/c number/c)
+    (lambda (r) (vector-ref r 3))
+    'activity-log))
+
+(define (make-line i)
+  (string-append "2020-06-" (number->string (+ 1 (modulo i 28)))
+                 ",run," (number->string (+ 3 (modulo i 7)))
+                 "," (number->string (+ 20 (modulo i 40)))))
+
+(define (import-log n)
+  (let loop ([i 0] [acc '()])
+    (if (= i n)
+        (reverse acc)
+        (loop (+ i 1) (cons (parse-line (make-line i)) acc)))))
+
+(define (summarize records)
+  (let loop ([rs records] [dist 0] [mins 0])
+    (if (null? rs)
+        (cons dist mins)
+        (parameterize ([distance-unit (if (even? mins) 'km 'km)])
+          (loop (cdr rs)
+                (+ dist (record-distance (car rs)))
+                (+ mins (record-minutes (car rs))))))))
+
+(define (app-main n)
+  (let ([summary (summarize (import-log n))])
+    (cons (inexact->exact (round (exact->inexact (car summary))))
+          (cdr summary))))
+)APP",
+       6000, "(35997 . 237000)"},
+
+      // ----------------------------------------------------------------------
+      {"xsmith-lite", R"APP(
+;; A grammar-driven random program generator in the style of Xsmith: the
+;; generator state (rng, depth limit, type context) is dynamically bound,
+;; and node constructors are contracted.
+
+(define rng-state (make-parameter 42))
+(define max-depth (make-parameter 8))
+(define hole-type (make-parameter 'int))
+
+(define node/c (flat-contract 'node? pair?))
+
+(define seed (box 42))
+(define (next-rand!)
+  (let ([s (modulo (+ (* (unbox seed) 25173) 13849) 65536)])
+    (set-box! seed s)
+    s))
+(define (rand-below n) (modulo (next-rand!) n))
+
+(define make-lit
+  (contract-wrap (-> integer/c node/c)
+    (lambda (v) (list 'lit v))
+    'xsmith))
+
+(define make-binop
+  (contract-wrap (-> any/c any/c)
+    (lambda (op) (lambda (a b) (list op a b)))
+    'xsmith))
+
+(define gen-expr
+  (contract-wrap (-> integer/c node/c)
+    (lambda (depth)
+      (if (or (zero? depth) (zero? (rand-below 4)))
+          (make-lit (rand-below 100))
+          (parameterize ([max-depth depth])
+            (let ([choice (rand-below 3)])
+              (cond
+                [(= choice 0) ((make-binop '+) (gen-expr (- depth 1))
+                                               (gen-expr (- depth 1)))]
+                [(= choice 1) ((make-binop '*) (gen-expr (- depth 1))
+                                               (gen-expr (- depth 1)))]
+                [else (list 'if (gen-expr (- depth 1))
+                            (gen-expr (- depth 1))
+                            (gen-expr (- depth 1)))])))))
+    'xsmith))
+
+(define (eval-node e)
+  (case (car e)
+    [(lit) (cadr e)]
+    [(+) (+ (eval-node (cadr e)) (eval-node (caddr e)))]
+    [(*) (modulo (* (eval-node (cadr e)) (eval-node (caddr e))) 65536)]
+    [(if) (if (> (eval-node (cadr e)) 50)
+              (eval-node (caddr e))
+              (eval-node (cadddr e)))]))
+
+(define (app-main n)
+  (set-box! seed 42)
+  (let loop ([i 0] [acc 0])
+    (if (= i n)
+        acc
+        (loop (+ i 1)
+              (modulo (+ acc (eval-node (gen-expr 6))) 1000003)))))
+)APP",
+       2500, "121409"},
+
+      // ----------------------------------------------------------------------
+      {"json-parsack", R"APP(
+;; Megaparsack-style parser combinators over JSON text. Every combinator
+;; is contracted, and the input position is threaded while source-location
+;; labelling is dynamically bound for error messages.
+
+(define parse-label (make-parameter "json"))
+
+(define parser/c (flat-contract 'parser? procedure?))
+
+;; A parser is (lambda (str pos) (cons value newpos)) or #f on failure.
+
+(define (p-char c)
+  (lambda (s pos)
+    (if (and (< pos (string-length s)) (char=? (string-ref s pos) c))
+        (cons c (+ pos 1))
+        #f)))
+
+(define p-or
+  (contract-wrap (-> parser/c any/c)
+    (lambda (a) (lambda (b)
+      (lambda (s pos)
+        (let ([r (a s pos)])
+          (if r r (b s pos))))))
+    'parsack))
+
+(define (p-many p)
+  (lambda (s pos)
+    (let loop ([pos pos] [acc '()])
+      (let ([r (p s pos)])
+        (if r
+            (loop (cdr r) (cons (car r) acc))
+            (cons (reverse acc) pos))))))
+
+(define (p-seq2 a b f)
+  (lambda (s pos)
+    (let ([ra (a s pos)])
+      (and ra
+           (let ([rb (b s (cdr ra))])
+             (and rb (cons (f (car ra) (car rb)) (cdr rb))))))))
+
+(define (skip-ws s pos)
+  (let loop ([pos pos])
+    (if (and (< pos (string-length s))
+             (char-whitespace? (string-ref s pos)))
+        (loop (+ pos 1))
+        pos)))
+
+(define (p-token p) (lambda (s pos) (p s (skip-ws s pos))))
+
+(define p-digit
+  (lambda (s pos)
+    (if (and (< pos (string-length s))
+             (char-numeric? (string-ref s pos)))
+        (cons (string-ref s pos) (+ pos 1))
+        #f)))
+
+(define p-number
+  (contract-wrap (-> any/c any/c)
+    (lambda (_)
+      (p-token
+       (lambda (s pos)
+         (let ([r ((p-many p-digit) s pos)])
+           (if (null? (car r))
+               #f
+               (cons (string->number (list->string (car r))) (cdr r)))))))
+    'parsack))
+
+(define p-string-lit
+  (p-token
+   (p-seq2 (p-char #\")
+           (p-seq2 (p-many (lambda (s pos)
+                             (if (and (< pos (string-length s))
+                                      (not (char=? (string-ref s pos) #\")))
+                                 (cons (string-ref s pos) (+ pos 1))
+                                 #f)))
+                   (p-char #\")
+                   (lambda (chars _) (list->string chars)))
+           (lambda (_ str) str))))
+
+(define (p-value s pos)
+  (parameterize ([parse-label "value"])
+    (let ([r (((p-or p-string-lit)
+               ((p-or (p-number #f))
+                ((p-or p-array) p-object)))
+              s pos)])
+      (if r r (error "parse error" (parse-label) pos)))))
+
+(define (p-comma-sep p)
+  (lambda (s pos)
+    (let ([first (p s pos)])
+      (if (not first)
+          (cons '() pos)
+          (let loop ([pos (cdr first)] [acc (list (car first))])
+            (let ([c ((p-token (p-char #\,)) s pos)])
+              (if c
+                  (let ([nxt (p s (cdr c))])
+                    (if nxt
+                        (loop (cdr nxt) (cons (car nxt) acc))
+                        (error "trailing comma" pos)))
+                  (cons (reverse acc) pos))))))))
+
+(define (p-array s pos)
+  (let ([open ((p-token (p-char #\[)) s pos)])
+    (and open
+         (let ([items ((p-comma-sep p-value) s (cdr open))])
+           (let ([close ((p-token (p-char #\])) s (cdr items))])
+             (and close (cons (list->vector (car items)) (cdr close))))))))
+
+(define (p-pair s pos)
+  (let ([k (p-string-lit s pos)])
+    (and k
+         (let ([colon ((p-token (p-char #\:)) s (cdr k))])
+           (and colon
+                (let ([v (p-value s (cdr colon))])
+                  (and v (cons (cons (car k) (car v)) (cdr v)))))))))
+
+(define (p-object s pos)
+  (let ([open ((p-token (p-char #\{)) s pos)])
+    (and open
+         (let ([items ((p-comma-sep p-pair) s (cdr open))])
+           (let ([close ((p-token (p-char #\})) s (cdr items))])
+             (and close (cons (cons 'object (car items)) (cdr close))))))))
+
+(define sample-json
+  "{\"name\": \"benchmark\", \"runs\": [1, 2, 3, 42], \"meta\": {\"deep\": [[1], [2, 3]], \"label\": \"x\"}}")
+
+(define (json-weight v)
+  (cond [(number? v) v]
+        [(string? v) (string-length v)]
+        [(vector? v)
+         (let loop ([i 0] [acc 0])
+           (if (= i (vector-length v))
+               acc
+               (loop (+ i 1) (+ acc (json-weight (vector-ref v i))))))]
+        [(and (pair? v) (eq? (car v) 'object))
+         (foldl (lambda (kv acc) (+ acc (json-weight (cdr kv)))) 0 (cdr v))]
+        [else 0]))
+
+(define (app-main n)
+  (let loop ([i 0] [acc 0])
+    (if (= i n)
+        acc
+        (loop (+ i 1)
+              (+ acc (json-weight (car (p-value sample-json 0))))))))
+)APP",
+       1500, "96000"},
+
+      // ----------------------------------------------------------------------
+      {"markdown", R"APP(
+;; A markdown-subset renderer: escaping and heading styles flow through
+;; parameters consulted per character/block; renderers are contracted.
+
+(define html-escape? (make-parameter #t))
+(define heading-style (make-parameter 'atx))
+
+(define render-inline
+  (contract-wrap (-> string/c string/c)
+    (lambda (text)
+      (let loop ([i 0] [out '()] [in-em #f])
+        (if (= i (string-length text))
+            (apply string-append (reverse out))
+            (let ([c (string-ref text i)])
+              (cond
+                [(char=? c #\*)
+                 (loop (+ i 1) (cons (if in-em "</em>" "<em>") out)
+                       (not in-em))]
+                [(and (char=? c #\<) (html-escape?))
+                 (loop (+ i 1) (cons "&lt;" out) in-em)]
+                [(and (char=? c #\>) (html-escape?))
+                 (loop (+ i 1) (cons "&gt;" out) in-em)]
+                [else (loop (+ i 1) (cons (string c) out) in-em)])))))
+    'markdown))
+
+(define render-block
+  (contract-wrap (-> string/c string/c)
+    (lambda (line)
+      (cond
+        [(= 0 (string-length line)) ""]
+        [(char=? (string-ref line 0) #\#)
+         (let count ([lvl 0])
+           (if (and (< lvl (string-length line))
+                    (char=? (string-ref line lvl) #\#))
+               (count (+ lvl 1))
+               (parameterize ([heading-style (if (> lvl 1) 'sub 'top)])
+                 (string-append "<h" (number->string lvl) ">"
+                                (render-inline (substring line lvl))
+                                "</h" (number->string lvl) ">"))))]
+        [(char=? (string-ref line 0) #\-)
+         (string-append "<li>" (render-inline (substring line 1)) "</li>")]
+        [else (string-append "<p>" (render-inline line) "</p>")]))
+    'markdown))
+
+(define doc
+  (list "# cmarks reference"
+        "A *library* for continuation marks."
+        "## usage"
+        "- set a mark with *with-continuation-mark*"
+        "- read marks with <continuation-mark-set->list>"
+        "## notes"
+        "Marks are *cheap* and *scoped*."))
+
+(define (render-doc)
+  (foldl (lambda (line acc)
+           (+ acc (string-length (parameterize ([html-escape? #t])
+                                   (render-block line)))))
+         0 doc))
+
+(define (app-main n)
+  (let loop ([i 0] [acc 0])
+    (if (= i n) acc (loop (+ i 1) (+ (modulo acc 7) (render-doc))))))
+)APP",
+       1200, "281"},
+
+      // ----------------------------------------------------------------------
+      {"solver", R"APP(
+;; A DPLL SAT solver: assignments are threaded, the branching heuristic is
+;; dynamically bound, conflicts escape through exceptions, and the core
+;; operations are contracted.
+
+(define branch-order (make-parameter 'ascending))
+
+(define clause/c (flat-contract 'clause? list?))
+
+(define eval-clause
+  (contract-wrap (-> clause/c any/c)
+    (lambda (clause) (lambda (assignment)
+      ;; 'true, 'false, or 'unknown under the partial assignment.
+      (let loop ([lits clause] [unknown #f])
+        (if (null? lits)
+            (if unknown 'unknown 'false)
+            (let* ([lit (car lits)]
+                   [var (abs lit)]
+                   [val (assv var assignment)])
+              (cond
+                [(not val) (loop (cdr lits) #t)]
+                [(eq? (cdr val) (> lit 0)) 'true]
+                [else (loop (cdr lits) unknown)]))))))
+    'solver))
+
+(define (all-assigned? clauses assignment)
+  (let loop ([cs clauses])
+    (cond [(null? cs) 'sat]
+          [else
+           (case ((eval-clause (car cs)) assignment)
+             [(false) 'conflict]
+             [(unknown) 'unknown]
+             [else (loop (cdr cs))])])))
+
+(define (pick-var nvars assignment)
+  (let loop ([v (if (eq? (branch-order) 'ascending) 1 nvars)])
+    (cond [(or (< v 1) (> v nvars)) #f]
+          [(assv v assignment)
+           (loop (if (eq? (branch-order) 'ascending) (+ v 1) (- v 1)))]
+          [else v])))
+
+(define (solve clauses nvars)
+  (define (try assignment)
+    (case (all-assigned? clauses assignment)
+      [(sat) (throw (cons 'sat assignment))]
+      [(conflict) #f]
+      [else
+       (let ([v (pick-var nvars assignment)])
+         (if (not v)
+             #f
+             (begin
+               (try (cons (cons v #t) assignment))
+               (try (cons (cons v #f) assignment)))))]))
+  (catch (lambda (result)
+           (if (and (pair? result) (eq? (car result) 'sat))
+               (length (cdr result))
+               'unsat))
+    (begin (try '()) 'unsat)))
+
+;; A chain of xor-ish constraints (Gauss-style structure): x_i != x_{i+1}.
+(define (make-instance nvars)
+  (let loop ([i 1] [acc '()])
+    (if (= i nvars)
+        (cons (list i) acc)                ; Force the last variable true.
+        (loop (+ i 1)
+              (cons (list (- i) (- (+ i 1)))
+                    (cons (list i (+ i 1)) acc))))))
+
+(define (app-main n)
+  (let loop ([i 0] [acc 0])
+    (if (= i n)
+        acc
+        (let ([r (parameterize ([branch-order (if (even? i) 'ascending
+                                                  'descending)])
+                   (solve (make-instance 10) 10))])
+          (loop (+ i 1) (+ acc (if (eq? r 'unsat) 0 r)))))))
+)APP",
+       400, "4000"},
+  };
+  CountOut = static_cast<int>(sizeof(Apps) / sizeof(Apps[0]));
+  return Apps;
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_APPS_H

@@ -1,0 +1,319 @@
+//===- bench/programs/classics.h - Traditional Scheme benchmarks -*- C++ -*-=//
+///
+/// \file
+/// A suite of traditional (Gabriel-style) Scheme benchmarks used for the
+/// figure 2 experiment: checking that attachment support does not slow
+/// down programs that never use continuation marks. Each entry defines a
+/// `(<name>-bench iters)` entry point whose result is checked against a
+/// known value so miscompilation cannot masquerade as speed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_CLASSICS_H
+#define CMARKS_BENCH_PROGRAMS_CLASSICS_H
+
+namespace cmkbench {
+
+struct ClassicBenchmark {
+  const char *Name;
+  const char *Source;  ///< Defines <name>-bench taking an iteration count.
+  const char *RunTemplate; ///< printf-style with one %ld for the count.
+  long DefaultIters;
+  const char *Expected; ///< Written result for the default count.
+};
+
+inline const ClassicBenchmark *classicBenchmarks(int &CountOut) {
+  static const ClassicBenchmark Benchmarks[] = {
+      {"tak",
+       "(define (tak x y z)"
+       "  (if (not (< y x)) z"
+       "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))))"
+       "(define (tak-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (tak 14 10 3)))))",
+       "(tak-bench %ld)", 20, "4"},
+
+      {"cpstak",
+       "(define (cpstak x y z)"
+       "  (define (tak x y z k)"
+       "    (if (not (< y x))"
+       "        (k z)"
+       "        (tak (- x 1) y z"
+       "             (lambda (v1)"
+       "               (tak (- y 1) z x"
+       "                    (lambda (v2)"
+       "                      (tak (- z 1) x y"
+       "                           (lambda (v3) (tak v1 v2 v3 k)))))))))"
+       "  (tak x y z (lambda (a) a)))"
+       "(define (cpstak-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (cpstak 14 10 3)))))",
+       "(cpstak-bench %ld)", 12, "4"},
+
+      {"fib",
+       "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+       "(define (fib-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (fib 21)))))",
+       "(fib-bench %ld)", 12, "10946"},
+
+      {"deriv",
+       "(define (deriv a)"
+       "  (cond"
+       "    [(not (pair? a)) (if (eq? a 'x) 1 0)]"
+       "    [(eq? (car a) '+) (cons '+ (map deriv (cdr a)))]"
+       "    [(eq? (car a) '-) (cons '- (map deriv (cdr a)))]"
+       "    [(eq? (car a) '*)"
+       "     (list '* a (cons '+ (map (lambda (t) (list '/ (deriv t) t)) (cdr a))))]"
+       "    [(eq? (car a) '/)"
+       "     (list '- (list '/ (deriv (cadr a)) (caddr a))"
+       "           (list '/ (cadr a) (list '* (caddr a) (caddr a) (deriv (caddr a)))))]"
+       "    [else 'error]))"
+       "(define (deriv-bench n)"
+       "  (let loop ([i 0] [r '()])"
+       "    (if (= i n) (length r)"
+       "        (loop (+ i 1) (deriv '(+ (* 3 x x) (* a x x) (* b x) 5))))))",
+       "(deriv-bench %ld)", 60000, "5"},
+
+      {"destruct",
+       "(define (destruct-once)"
+       "  (let ([l (map (lambda (i) (list i (+ i 1) (+ i 2))) (iota 10))])"
+       "    (let loop ([p l] [n 0])"
+       "      (if (null? p)"
+       "          n"
+       "          (begin"
+       "            (set-car! (cdar p) (* 2 (caar p)))"
+       "            (loop (cdr p) (+ n (cadr (car p)))))))))"
+       "(define (destruct-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (destruct-once)))))",
+       "(destruct-bench %ld)", 50000, "90"},
+
+      {"div-rec",
+       "(define (create-n n)"
+       "  (let loop ([n n] [a '()]) (if (zero? n) a (loop (- n 1) (cons '() a)))))"
+       "(define (recursive-div2 l)"
+       "  (if (null? l) '() (cons (car l) (recursive-div2 (cddr l)))))"
+       "(define (div-rec-bench n)"
+       "  (let ([l (create-n 200)])"
+       "    (let loop ([i 0] [r 0])"
+       "      (if (= i n) r (loop (+ i 1) (length (recursive-div2 l)))))))",
+       "(div-rec-bench %ld)", 30000, "100"},
+
+      {"nqueens",
+       "(define (nqueens n)"
+       "  (define (ok? row dist placed)"
+       "    (if (null? placed)"
+       "        #t"
+       "        (and (not (= (car placed) (+ row dist)))"
+       "             (not (= (car placed) (- row dist)))"
+       "             (ok? row (+ dist 1) (cdr placed)))))"
+       "  (define (try x y z)"
+       "    (if (null? x)"
+       "        (if (null? y) 1 0)"
+       "        (+ (if (ok? (car x) 1 z)"
+       "               (try (append (cdr x) y) '() (cons (car x) z))"
+       "               0)"
+       "           (try (cdr x) (cons (car x) y) z))))"
+       "  (try (map (lambda (i) (+ i 1)) (iota n)) '() '()))"
+       "(define (nqueens-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (nqueens 7)))))",
+       "(nqueens-bench %ld)", 40, "40"},
+
+      {"sort1",
+       "(define (sort1-make n)"
+       "  (let loop ([i n] [seed 74755] [acc '()])"
+       "    (if (zero? i)"
+       "        acc"
+       "        (let ([next (modulo (+ (* seed 1309) 13849) 65536)])"
+       "          (loop (- i 1) next (cons next acc))))))"
+       "(define (sort1-bench n)"
+       "  (let loop ([i 0] [r 0])"
+       "    (if (= i n)"
+       "        r"
+       "        (loop (+ i 1) (car (sort < (sort1-make 300)))))))",
+       "(sort1-bench %ld)", 300, "0"},
+
+      {"primes",
+       "(define (interval lo hi)"
+       "  (if (> lo hi) '() (cons lo (interval (+ lo 1) hi))))"
+       "(define (sieve l)"
+       "  (if (null? l)"
+       "      '()"
+       "      (cons (car l)"
+       "            (sieve (filter (lambda (x) (not (zero? (modulo x (car l)))))"
+       "                           (cdr l))))))"
+       "(define (primes-bench n)"
+       "  (let loop ([i 0] [r 0])"
+       "    (if (= i n) r (loop (+ i 1) (length (sieve (interval 2 300)))))))",
+       "(primes-bench %ld)", 1200, "62"},
+
+      {"ack",
+       "(define (ack m n)"
+       "  (cond [(zero? m) (+ n 1)]"
+       "        [(zero? n) (ack (- m 1) 1)]"
+       "        [else (ack (- m 1) (ack m (- n 1)))]))"
+       "(define (ack-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (ack 2 6)))))",
+       "(ack-bench %ld)", 3000, "15"},
+
+      {"array1",
+       "(define (array1-once size)"
+       "  (let ([v (make-vector size 0)])"
+       "    (let fill ([i 0])"
+       "      (if (< i size) (begin (vector-set! v i i) (fill (+ i 1))) #f))"
+       "    (let sum ([i 0] [acc 0])"
+       "      (if (= i size) acc (sum (+ i 1) (+ acc (vector-ref v i)))))))"
+       "(define (array1-bench n)"
+       "  (let loop ([i 0] [r 0]) (if (= i n) r (loop (+ i 1) (array1-once 1000)))))",
+       "(array1-bench %ld)", 3000, "499500"},
+
+      {"string-hash",
+       "(define (shash s)"
+       "  (let loop ([i 0] [h 17])"
+       "    (if (= i (string-length s))"
+       "        h"
+       "        (loop (+ i 1)"
+       "              (modulo (+ (* h 31) (char->integer (string-ref s i)))"
+       "                      1000003)))))"
+       "(define (string-hash-bench n)"
+       "  (let loop ([i 0] [r 0])"
+       "    (if (= i n)"
+       "        r"
+       "        (loop (+ i 1)"
+       "              (shash \"the quick brown fox jumps over the lazy dog\")))))",
+       "(string-hash-bench %ld)", 30000, "816864"},
+
+      {"collatz-q",
+       "(define (collatz-len n)"
+       "  (let loop ([n n] [steps 0])"
+       "    (cond [(= n 1) steps]"
+       "          [(even? n) (loop (quotient n 2) (+ steps 1))]"
+       "          [else (loop (+ (* 3 n) 1) (+ steps 1))])))"
+       "(define (collatz-q-bench n)"
+       "  (let loop ([i 1] [best 0])"
+       "    (if (> i n) best (loop (+ i 1) (max best (collatz-len i))))))",
+       "(collatz-q-bench %ld)", 30000, "307"},
+
+      {"fft",
+       "(define pi 3.141592653589793)"
+       "(define (fft! areal aimag)"
+       "  (let ([n (vector-length areal)])"
+       "    (let loop ([i 0] [j 0])"
+       "      (when (< i n)"
+       "        (when (< i j)"
+       "          (let ([tr (vector-ref areal i)] [ti (vector-ref aimag i)])"
+       "            (vector-set! areal i (vector-ref areal j))"
+       "            (vector-set! aimag i (vector-ref aimag j))"
+       "            (vector-set! areal j tr)"
+       "            (vector-set! aimag j ti)))"
+       "        (let adjust ([m (quotient n 2)] [j j])"
+       "          (if (and (>= m 2) (>= j m))"
+       "              (adjust (quotient m 2) (- j m))"
+       "              (loop (+ i 1) (+ j m))))))"
+       "    (let stages ([mmax 1])"
+       "      (when (< mmax n)"
+       "        (let ([theta (/ pi (exact->inexact mmax))])"
+       "          (let submax ([m 0])"
+       "            (when (< m mmax)"
+       "              (let ([wr (cos (* theta (exact->inexact m)))]"
+       "                    [wi (sin (* theta (exact->inexact m)))])"
+       "                (let pairs ([i m])"
+       "                  (when (< i n)"
+       "                    (let* ([j (+ i mmax)]"
+       "                           [tr (- (* wr (vector-ref areal j))"
+       "                                  (* wi (vector-ref aimag j)))]"
+       "                           [ti (+ (* wr (vector-ref aimag j))"
+       "                                  (* wi (vector-ref areal j)))])"
+       "                      (vector-set! areal j (- (vector-ref areal i) tr))"
+       "                      (vector-set! aimag j (- (vector-ref aimag i) ti))"
+       "                      (vector-set! areal i (+ (vector-ref areal i) tr))"
+       "                      (vector-set! aimag i (+ (vector-ref aimag i) ti)))"
+       "                    (pairs (+ i (* 2 mmax))))))"
+       "              (submax (+ m 1)))))"
+       "        (stages (* 2 mmax))))"
+       "    (vector-ref areal 0)))"
+       "(define (fft-bench n)"
+       "  (let loop ([i 0] [r 0.0])"
+       "    (if (= i n)"
+       "        (inexact->exact (round r))"
+       "        (let ([re (make-vector 256 1.0)] [im (make-vector 256 0.0)])"
+       "          (loop (+ i 1) (fft! re im))))))",
+       "(fft-bench %ld)", 300, "256"},
+
+      {"nboyer-lite",
+       "(define rules (make-hash))"
+       "(define (add-rule! name lhs rhs) (hash-set! rules name (cons lhs rhs)))"
+       "(add-rule! 'and '(and x y) '(if x (if y t f) f))"
+       "(add-rule! 'or '(or x y) '(if x t (if y t f)))"
+       "(add-rule! 'implies '(implies x y) '(if x (if y t f) t))"
+       "(define (match pat term env)"
+       "  (cond [(symbol? pat)"
+       "         (if (memq pat '(t f)) (and (eq? pat term) env)"
+       "             (let ([b (assq pat env)])"
+       "               (if b (and (equal? (cdr b) term) env)"
+       "                   (cons (cons pat term) env))))]"
+       "        [(and (pair? pat) (pair? term))"
+       "         (let ([e (match (car pat) (car term) env)])"
+       "           (and e (match (cdr pat) (cdr term) e)))]"
+       "        [else (and (equal? pat term) env)]))"
+       "(define (subst env term)"
+       "  (cond [(symbol? term) (let ([b (assq term env)]) (if b (cdr b) term))]"
+       "        [(pair? term) (cons (subst env (car term)) (subst env (cdr term)))]"
+       "        [else term]))"
+       "(define (rewrite term)"
+       "  (if (pair? term)"
+       "      (let ([term2 (map rewrite term)])"
+       "        (let ([rule (hash-ref rules (car term2) #f)])"
+       "          (if rule"
+       "              (let ([e (match (car rule) term2 '())])"
+       "                (if e (rewrite (subst e (cdr rule))) term2))"
+       "              term2)))"
+       "      term))"
+       "(define (tautology? term depth)"
+       "  (cond [(eq? term 't) #t]"
+       "        [(eq? term 'f) #f]"
+       "        [(zero? depth) #f]"
+       "        [(and (pair? term) (eq? (car term) 'if))"
+       "         (and (tautology? (subst-true (cadr term) (caddr term)) (- depth 1))"
+       "              (tautology? (subst-false (cadr term) (cadddr term)) (- depth 1)))]"
+       "        [else #f]))"
+       "(define (subst-true cond term) (rewrite (subst (list (cons 'x cond)) term)))"
+       "(define (subst-false cond term) term)"
+       "(define (nboyer-lite-bench n)"
+       "  (let loop ([i 0] [r 0])"
+       "    (if (= i n)"
+       "        r"
+       "        (loop (+ i 1)"
+       "              (+ (if (tautology?"
+       "                      (rewrite '(implies (and p q) (or p (or q f)))) 5)"
+       "                     1 0)"
+       "                 r)))))",
+       "(nboyer-lite-bench %ld)", 8000, "0"},
+
+      {"peval-lite",
+       "(define (constant-fold e)"
+       "  (if (pair? e)"
+       "      (let ([e2 (map constant-fold e)])"
+       "        (cond [(and (eq? (car e2) '+) (number? (cadr e2)) (number? (caddr e2)))"
+       "               (+ (cadr e2) (caddr e2))]"
+       "              [(and (eq? (car e2) '*) (number? (cadr e2)) (number? (caddr e2)))"
+       "               (* (cadr e2) (caddr e2))]"
+       "              [(and (eq? (car e2) 'if) (number? (cadr e2)))"
+       "               (if (zero? (cadr e2)) (cadddr e2) (caddr e2))]"
+       "              [else e2]))"
+       "      e))"
+       "(define (peval-lite-bench n)"
+       "  (let loop ([i 0] [r 0])"
+       "    (if (= i n)"
+       "        r"
+       "        (loop (+ i 1)"
+       "              (+ r (length (constant-fold"
+       "                            '(if (+ 1 (* 0 5))"
+       "                                 (+ (* 2 3) (+ x (* 4 5)))"
+       "                                 other))))))))",
+       "(peval-lite-bench %ld)", 40000, "120000"},
+  };
+  CountOut = static_cast<int>(sizeof(Benchmarks) / sizeof(Benchmarks[0]));
+  return Benchmarks;
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_CLASSICS_H

@@ -1,0 +1,181 @@
+//===- bench/programs/control.h - ctak and triple sources ------*- C++ -*-===//
+///
+/// \file
+/// Scheme sources for the continuation benchmarks of paper section 8.1:
+/// the classic ctak benchmark and the triple delimited-continuation search
+/// with three delimited-control implementations — native tagged prompts,
+/// a [DPJS]-style shift/reset built from call/cc plus a metacontinuation,
+/// and a [K]-style amb built from raw continuation re-invocation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_CONTROL_H
+#define CMARKS_BENCH_PROGRAMS_CONTROL_H
+
+namespace cmkbench {
+
+inline const char *ctakSource() {
+  return R"(
+(define (ctak x y z)
+  (call/cc (lambda (k) (ctak-aux k x y z))))
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (call/cc
+       (lambda (k2)
+         (ctak-aux k2
+                   (call/cc (lambda (k3) (ctak-aux k3 (- x 1) y z)))
+                   (call/cc (lambda (k4) (ctak-aux k4 (- y 1) z x)))
+                   (call/cc (lambda (k5) (ctak-aux k5 (- z 1) x y))))))))
+)";
+}
+
+/// Same benchmark against the raw (unwrapped) capture primitive: the
+/// "Chez Scheme" row, without the winder-aware wrapper that models Racket
+/// CS's indirection.
+inline const char *ctakRawSource() {
+  return R"(
+(define (ctak-raw x y z)
+  (#%call/cc (lambda (k) (ctak-raw-aux k x y z))))
+(define (ctak-raw-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (#%call/cc
+       (lambda (k2)
+         (ctak-raw-aux k2
+                       (#%call/cc (lambda (k3) (ctak-raw-aux k3 (- x 1) y z)))
+                       (#%call/cc (lambda (k4) (ctak-raw-aux k4 (- y 1) z x)))
+                       (#%call/cc (lambda (k5) (ctak-raw-aux k5 (- z 1) x y))))))))
+)";
+}
+
+/// triple(n): counts non-decreasing triples (i, j, k) with i+j+k = n by
+/// nondeterministic search over two kinds of choices, each delimited by
+/// its own prompt tag (paper 8.1: "two kinds of prompts for two different
+/// kinds of choices"). All implementations explore the same deterministic
+/// order and must agree on the count.
+inline const char *tripleNativeSource() {
+  return R"(
+;; shift/reset over the native tagged prompts.
+(define triple-tag-a (make-continuation-prompt-tag 'triple-a))
+(define triple-tag-b (make-continuation-prompt-tag 'triple-b))
+
+(define (reset-with tag thunk)
+  (call-with-continuation-prompt thunk tag (lambda (t) (t))))
+
+(define (shift-with tag f)
+  (call-with-composable-continuation
+   (lambda (k)
+     (abort-current-continuation tag
+       (lambda ()
+         (f (lambda (v)
+              (call-with-continuation-prompt (lambda () (k v)) tag
+                                             (lambda (t) (t))))))))
+   tag))
+
+(define (sum-range-with tag lo hi)
+  (shift-with tag
+    (lambda (k)
+      (let loop ([i lo] [acc 0])
+        (if (> i hi) acc (loop (+ i 1) (+ acc (k i))))))))
+
+(define (triple-native n)
+  (reset-with triple-tag-a
+    (lambda ()
+      (let ([i (sum-range-with triple-tag-a 0 n)])
+        (reset-with triple-tag-b
+          (lambda ()
+            (let ([j (sum-range-with triple-tag-b 0 n)])
+              (let ([k (- n (+ i j))])
+                (if (and (>= k 0) (<= i j) (<= j k)) 1 0)))))))))
+)";
+}
+
+inline const char *tripleDpjsSource() {
+  return R"(
+;; [DPJS]-style shift/reset: call/cc plus an explicit metacontinuation
+;; stack, following Dybvig, Peyton Jones and Sabry's construction.
+(define #%dpjs-mk '())
+
+(define (dpjs-reset thunk)
+  (call/cc
+   (lambda (k)
+     (set! #%dpjs-mk (cons k #%dpjs-mk))
+     (dpjs-pop (thunk)))))
+
+(define (dpjs-pop v)
+  (let ([k (car #%dpjs-mk)])
+    (set! #%dpjs-mk (cdr #%dpjs-mk))
+    (k v)))
+
+(define (dpjs-shift f)
+  (call/cc
+   (lambda (k)
+     (dpjs-pop
+      (f (lambda (v)
+           (call/cc
+            (lambda (k2)
+              (set! #%dpjs-mk (cons k2 #%dpjs-mk))
+              (k v)))))))))
+
+(define (dpjs-sum-range lo hi)
+  (dpjs-shift
+   (lambda (k)
+     (let loop ([i lo] [acc 0])
+       (if (> i hi) acc (loop (+ i 1) (+ acc (k i))))))))
+
+(define (triple-dpjs n)
+  (dpjs-reset
+   (lambda ()
+     (let ([i (dpjs-sum-range 0 n)])
+       (dpjs-reset
+        (lambda ()
+          (let ([j (dpjs-sum-range 0 n)])
+            (let ([k (- n (+ i j))])
+              (if (and (>= k 0) (<= i j) (<= j k)) 1 0)))))))))
+)";
+}
+
+inline const char *tripleKSource() {
+  return R"(
+;; [K]-style: an amb operator from raw continuation re-invocation with an
+;; explicit failure stack (Kiselyov's continuation recipes).
+(define #%amb-fail #f)
+(define #%amb-count 0)
+
+(define (amb-fail!)
+  (if #%amb-fail (#%amb-fail) 'exhausted))
+
+(define (amb-range lo hi)
+  (call/cc
+   (lambda (sk)
+     (let loop ([i lo])
+       (if (> i hi)
+           (amb-fail!)
+           (begin
+             (call/cc
+              (lambda (fk)
+                (let ([prev #%amb-fail])
+                  (set! #%amb-fail
+                        (lambda () (set! #%amb-fail prev) (fk #f)))
+                  (sk i))))
+             (loop (+ i 1))))))))
+
+(define (triple-k n)
+  (set! #%amb-count 0)
+  (call/cc
+   (lambda (done)
+     (set! #%amb-fail (lambda () (done 'exhausted)))
+     (let ([i (amb-range 0 n)])
+       (let ([j (amb-range 0 n)])
+         (let ([k (- n (+ i j))])
+           (when (and (>= k 0) (<= i j) (<= j k))
+             (set! #%amb-count (+ 1 #%amb-count)))
+           (amb-fail!))))))
+  #%amb-count)
+)";
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_CONTROL_H

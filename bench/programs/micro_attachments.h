@@ -1,0 +1,169 @@
+//===- bench/programs/micro_attachments.h - Figure 4 micros ----*- C++ -*-===//
+///
+/// \file
+/// The attachment microbenchmarks of figure 4. Each program is written
+/// with @SET/@GET/@CONSUME/@CUR placeholders so the same source runs
+/// against the built-in primitives and against the figure 3 imitation.
+/// Loop benchmarks take an iteration count; "deep" benchmarks take a depth
+/// and run it 10 times (as in the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_MICRO_ATTACHMENTS_H
+#define CMARKS_BENCH_PROGRAMS_MICRO_ATTACHMENTS_H
+
+#include <string>
+
+namespace cmkbench {
+
+struct AttachmentMicro {
+  const char *Name;
+  const char *Source;      ///< Defines (bench-entry n); uses placeholders.
+  long DefaultN;
+  const char *Expected;    ///< Result for DefaultN (after substitution).
+};
+
+inline const AttachmentMicro *attachmentMicros(int &CountOut) {
+  // All sources define (bench-entry n).
+  static const AttachmentMicro Micros[] = {
+      {"base-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n]) (if (zero? i) 'done (loop (- i 1)))))",
+       4000000, "done"},
+
+      {"base-callcc-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (begin (#%call/cc (lambda (k) k)) (loop (- i 1))))))",
+       400000, "done"},
+
+      {"base-deep",
+       "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       100000, "100000"},
+
+      {"base-callcc-deep",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      (#%call/cc (lambda (k) 0))"
+       "      (+ 1 (deep (- n 1)))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       100000, "100000"},
+
+      {"set-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i) 'done (@SET i (lambda () (loop (- i 1)))))))",
+       1000000, "done"},
+
+      {"get-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (@GET 0 (lambda (a) (loop (- i 1)))))))",
+       1000000, "done"},
+
+      {"get-has-loop",
+       "(define (bench-entry n)"
+       "  (@SET 'present"
+       "   (lambda ()"
+       "     (let loop ([i n])"
+       "       (if (zero? i)"
+       "           'done"
+       "           (@GET 0 (lambda (a) (loop (- i 1)))))))))",
+       1000000, "done"},
+
+      {"get-set-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (@GET 0 (lambda (a) (@SET i (lambda () (loop (- i 1)))))))))",
+       800000, "done"},
+
+      {"consume-set-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (@CONSUME 0"
+       "          (lambda (a) (@SET i (lambda () (loop (- i 1)))))))))",
+       800000, "done"},
+
+      {"set-nontail-notail",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      0"
+       "      (+ 1 (@SET n (lambda () (+ 0 (deep (- n 1))))))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       60000, "60000"},
+
+      {"set-tail-notail",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      0"
+       "      (@SET n (lambda () (+ 1 (deep (- n 1)))))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       60000, "60000"},
+
+      {"set-nontail-tail",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      0"
+       "      (+ 1 (@SET n (lambda () (deep (- n 1)))))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       60000, "60000"},
+
+      {"loop-arg-call",
+       "(define (ident x) (if (pair? x) x x))" // Non-inlined function call in the body.
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (loop (@SET i (lambda () (ident (- i 1))))))))",
+       800000, "done"},
+
+      {"loop-arg-prim",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (loop (@SET i (lambda () (- i 1)))))))",
+       1000000, "done"},
+  };
+  CountOut = static_cast<int>(sizeof(Micros) / sizeof(Micros[0]));
+  return Micros;
+}
+
+/// Substitutes the placeholders for the built-in primitives or the
+/// imitation library functions.
+inline std::string substituteAttachmentOps(std::string Body, bool Builtin) {
+  auto ReplaceAll = [&](const std::string &From, const std::string &To) {
+    size_t Pos = 0;
+    while ((Pos = Body.find(From, Pos)) != std::string::npos) {
+      Body.replace(Pos, From.size(), To);
+      Pos += To.size();
+    }
+  };
+  ReplaceAll("@SET", Builtin ? "call-setting-continuation-attachment"
+                             : "imitate-setting");
+  ReplaceAll("@GET", Builtin ? "call-getting-continuation-attachment"
+                             : "imitate-getting");
+  ReplaceAll("@CONSUME", Builtin ? "call-consuming-continuation-attachment"
+                                 : "imitate-consuming");
+  ReplaceAll("@CUR", Builtin ? "current-continuation-attachments"
+                             : "imitate-current");
+  return Body;
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_MICRO_ATTACHMENTS_H

@@ -1,0 +1,152 @@
+//===- bench/programs/micro_marks.h - Figure 5 micros ----------*- C++ -*-===//
+///
+/// \file
+/// The continuation-mark microbenchmarks of figure 5, comparing the
+/// marks-over-attachments implementation ("Racket CS") with the eager
+/// mark-stack comparator ("Racket"). The same sources run on both engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_MICRO_MARKS_H
+#define CMARKS_BENCH_PROGRAMS_MICRO_MARKS_H
+
+namespace cmkbench {
+
+struct MarkMicro {
+  const char *Name;
+  const char *Source; ///< Defines (bench-entry n).
+  long DefaultN;
+  const char *Expected;
+};
+
+inline const MarkMicro *markMicros(int &CountOut) {
+  static const MarkMicro Micros[] = {
+      {"base-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n]) (if (zero? i) 'done (loop (- i 1)))))",
+       4000000, "done"},
+
+      {"base-deep",
+       "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       100000, "100000"},
+
+      {"base-arg-call-loop",
+       "(define (ident x) (if (pair? x) x x))"
+       "(define (bench-entry n)"
+       "  (let loop ([i n]) (if (zero? i) 'done (loop (ident (- i 1))))))",
+       2000000, "done"},
+
+      {"set-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (with-continuation-mark 'key i (loop (- i 1))))))",
+       800000, "done"},
+
+      {"set-nontail-prim",
+       "(define (bench-entry n)"
+       "  (let loop ([i n] [acc 0])"
+       "    (if (zero? i)"
+       "        acc"
+       "        (loop (- i 1)"
+       "              (with-continuation-mark 'key i (+ acc 1))))))",
+       800000, "800000"},
+
+      {"set-tail-notail",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      0"
+       "      (with-continuation-mark 'key n (+ 1 (deep (- n 1))))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       60000, "60000"},
+
+      {"set-nontail-tail",
+       "(define (deep n)"
+       "  (if (zero? n)"
+       "      0"
+       "      (+ 1 (with-continuation-mark 'key n (deep (- n 1))))))"
+       "(define (bench-entry n)"
+       "  (let loop ([r 10] [v 0]) (if (zero? r) v (loop (- r 1) (deep n)))))",
+       60000, "60000"},
+
+      {"set-arg-call-loop",
+       "(define (ident x) (if (pair? x) x x))"
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (loop (with-continuation-mark 'key i (ident (- i 1)))))))",
+       600000, "done"},
+
+      {"set-arg-prim-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n])"
+       "    (if (zero? i)"
+       "        'done"
+       "        (loop (with-continuation-mark 'key i (- i 1))))))",
+       800000, "done"},
+
+      {"first-none-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n] [acc 0])"
+       "    (if (zero? i)"
+       "        acc"
+       "        (loop (- i 1)"
+       "              (+ acc (continuation-mark-set-first #f 'absent 1))))))",
+       800000, "800000"},
+
+      {"first-some-loop",
+       "(define (bench-entry n)"
+       "  (with-continuation-mark 'key 1"
+       "    (let loop ([i n] [acc 0])"
+       "      (if (zero? i)"
+       "          acc"
+       "          (loop (- i 1)"
+       "                (+ acc (continuation-mark-set-first #f 'key 0)))))))",
+       800000, "800000"},
+
+      {"first-deep-loop",
+       "(define (deep n k)"
+       "  (if (zero? n) (k) (+ 0 (deep (- n 1) k))))"
+       "(define (bench-entry n)"
+       "  (with-continuation-mark 'key 1"
+       "    (deep 4000"
+       "      (lambda ()"
+       "        (let loop ([i n] [acc 0])"
+       "          (if (zero? i)"
+       "              acc"
+       "              (loop (- i 1)"
+       "                    (+ acc (continuation-mark-set-first #f 'key 0)))))))))",
+       400000, "400000"},
+
+      {"immed-none-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n] [acc 0])"
+       "    (if (zero? i)"
+       "        acc"
+       "        (loop (- i 1)"
+       "              (call-with-immediate-continuation-mark 'key"
+       "                (lambda (v) (+ acc (if v 1 0))) #f)))))",
+       400000, "0"},
+
+      {"immed-some-loop",
+       "(define (bench-entry n)"
+       "  (let loop ([i n] [acc 0])"
+       "    (if (zero? i)"
+       "        acc"
+       "        (with-continuation-mark 'key i"
+       "          (call-with-immediate-continuation-mark 'key"
+       "            (lambda (v) (loop (- i 1) (+ acc (if v 1 0)))) #f)))))",
+       400000, "400000"},
+  };
+  CountOut = static_cast<int>(sizeof(Micros) / sizeof(Micros[0]));
+  return Micros;
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_MICRO_MARKS_H

@@ -1,0 +1,134 @@
+//===- api/scheme.cpp - Embedding API implementation -----------*- C++ -*-===//
+
+#include "api/scheme.h"
+
+#include "lib/prelude.h"
+#include "reader/reader.h"
+#include "runtime/printer.h"
+
+#include <cstdio>
+
+using namespace cmk;
+
+EngineOptions EngineOptions::forVariant(EngineVariant V) {
+  EngineOptions Opts;
+  switch (V) {
+  case EngineVariant::Builtin:
+    break;
+  case EngineVariant::NoOpt:
+    Opts.CompilerOpts.EnableAttachments = false;
+    break;
+  case EngineVariant::NoPrim:
+    Opts.CompilerOpts.EnablePrimRecognition = false;
+    break;
+  case EngineVariant::No1cc:
+    Opts.VmCfg.EnableOneShots = false;
+    break;
+  case EngineVariant::Unmod:
+    Opts.CompilerOpts.EnableAttachments = false;
+    Opts.CompilerOpts.AttachmentConstraint = false;
+    break;
+  case EngineVariant::Imitate:
+    Opts.CompilerOpts.UseImitationAttachments = true;
+    break;
+  case EngineVariant::MarkStack:
+    Opts.VmCfg.MarkStackMode = true;
+    Opts.CompilerOpts.MarkStackWcm = true;
+    Opts.VmCfg.EnableOneShots = false;
+    break;
+  case EngineVariant::HeapFrames:
+    Opts.VmCfg.HeapFrameMode = true;
+    break;
+  case EngineVariant::CopyOnCapture:
+    Opts.VmCfg.CopyOnCapture = true;
+    break;
+  }
+  return Opts;
+}
+
+SchemeEngine::SchemeEngine(const EngineOptions &Opts)
+    : Machine(Opts.VmCfg),
+      Comp(Machine.heap(), Machine.wellKnown(), Machine, Opts.CompilerOpts) {
+  if (Opts.CompilerOpts.UseImitationAttachments) {
+    // The imitation library must exist before the prelude compiles, since
+    // the prelude's with-continuation-mark forms expand into its calls.
+    eval(imitationSource());
+    CMK_CHECK(ok(), "imitation library failed to load");
+    Machine.ImitationAtts =
+        Machine.globalCell(Machine.heap().intern("#%imitate-atts"));
+  }
+  if (Opts.LoadPrelude) {
+    eval(preludeSource());
+    CMK_CHECK(ok(), "prelude failed to load");
+  }
+}
+
+SchemeEngine::~SchemeEngine() = default;
+
+Value SchemeEngine::eval(const std::string &Source) {
+  LastError.clear();
+  Heap &H = Machine.heap();
+
+  // Read all forms up front (rooted), then compile+run one at a time.
+  std::string ReadError;
+  RootedValues Forms(H);
+  {
+    std::vector<Value> Raw = readAllFromString(H, Source, &ReadError);
+    if (!ReadError.empty()) {
+      LastError = "read error: " + ReadError;
+      return Value::undefined();
+    }
+    for (Value V : Raw)
+      Forms.push(V);
+  }
+
+  GCRoot Result(H, Value::voidValue());
+  for (size_t I = 0; I < Forms.size(); ++I) {
+    std::string CompileError;
+    Value Code = Comp.compileToplevel(Forms[I], &CompileError);
+    if (!CompileError.empty()) {
+      LastError = "compile error: " + CompileError;
+      return Value::undefined();
+    }
+    GCRoot CodeRoot(H, Code);
+    Value Closure = H.makeClosure(CodeRoot.get(), 0);
+    bool Ok = false;
+    Value V = Machine.applyProcedure(Closure, nullptr, 0, Ok);
+    if (!Ok) {
+      LastError = Machine.errorMessage();
+      Machine.clearError();
+      return Value::undefined();
+    }
+    Result.set(V);
+  }
+  return Result.get();
+}
+
+std::string SchemeEngine::evalToString(const std::string &Source) {
+  Value V = eval(Source);
+  if (!ok())
+    return "";
+  return writeToString(V);
+}
+
+Value SchemeEngine::evalOrDie(const std::string &Source) {
+  Value V = eval(Source);
+  if (!ok()) {
+    std::fprintf(stderr, "cmarks eval failed: %s\n", LastError.c_str());
+    std::abort();
+  }
+  return V;
+}
+
+Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {
+  LastError.clear();
+  bool Ok = false;
+  Value V = Machine.applyProcedure(Fn, Args.data(),
+                                   static_cast<uint32_t>(Args.size()), Ok);
+  if (!Ok) {
+    LastError = Machine.errorMessage();
+    Machine.clearError();
+    return Value::undefined();
+  }
+  return V;
+}

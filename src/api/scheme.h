@@ -1,0 +1,93 @@
+//===- api/scheme.h - Embedding API ----------------------------*- C++ -*-===//
+///
+/// \file
+/// SchemeEngine is the public entry point of cmarks: it owns a VM and a
+/// Compiler, loads the prelude, and evaluates source text. The engine's
+/// configuration selects the paper's system variants (see DESIGN.md):
+/// builtin attachments (default), the figure 6 ablations, the old-Racket
+/// mark-stack comparator, and the continuation strategy modes used by the
+/// ctak comparison.
+///
+/// Typical use:
+/// \code
+///   cmk::SchemeEngine Engine;
+///   cmk::Value V = Engine.eval("(with-continuation-mark 'k 1"
+///                              "  (continuation-mark-set-first #f 'k))");
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_API_SCHEME_H
+#define CMARKS_API_SCHEME_H
+
+#include "compiler/compiler.h"
+#include "vm/vm.h"
+
+#include <memory>
+#include <string>
+
+namespace cmk {
+
+/// Pre-baked configurations for the evaluation's system variants.
+enum class EngineVariant {
+  Builtin,      ///< Full compiler + runtime support (the paper's system).
+  NoOpt,        ///< Figure 6 "no opt": no attachment recognition.
+  NoPrim,       ///< Figure 6 "no prim": no primitive recognition.
+  No1cc,        ///< Figure 6 "no 1cc": no opportunistic one-shots.
+  Unmod,        ///< Section 8.2 "unmod": no attachment support at all and
+                ///< unconstrained cp0 (the pre-modification compiler).
+  Imitate,      ///< Figure 3/4: attachments via the call/cc imitation.
+  MarkStack,    ///< Old-Racket comparator: eager mark stack.
+  HeapFrames,   ///< Frame-per-segment (Pycket-like) strategy.
+  CopyOnCapture ///< Gambit/CHICKEN-like call/cc strategy.
+};
+
+struct EngineOptions {
+  VMConfig VmCfg;
+  CompilerOptions CompilerOpts;
+  bool LoadPrelude = true;
+
+  static EngineOptions forVariant(EngineVariant V);
+};
+
+class SchemeEngine {
+public:
+  explicit SchemeEngine(const EngineOptions &Opts = EngineOptions());
+  explicit SchemeEngine(EngineVariant V)
+      : SchemeEngine(EngineOptions::forVariant(V)) {}
+  ~SchemeEngine();
+  SchemeEngine(const SchemeEngine &) = delete;
+  SchemeEngine &operator=(const SchemeEngine &) = delete;
+
+  /// Reads, compiles, and runs every form in \p Source; returns the last
+  /// form's value. On failure returns undefined and sets lastError().
+  Value eval(const std::string &Source);
+
+  /// eval + write: the result's external representation ("" on error).
+  std::string evalToString(const std::string &Source);
+
+  /// eval that aborts the process on failure; for benchmarks.
+  Value evalOrDie(const std::string &Source);
+
+  /// Applies a procedure value to arguments on a fresh VM stack.
+  Value apply(Value Fn, const std::vector<Value> &Args);
+
+  bool ok() const { return LastError.empty(); }
+  const std::string &lastError() const { return LastError; }
+
+  VM &vm() { return Machine; }
+  Heap &heap() { return Machine.heap(); }
+  Compiler &compiler() { return Comp; }
+
+  /// Protects a value from collection for the engine's lifetime.
+  void protect(Value V) { Machine.addPermanentRoot(V); }
+
+private:
+  VM Machine;
+  Compiler Comp;
+  std::string LastError;
+};
+
+} // namespace cmk
+
+#endif // CMARKS_API_SCHEME_H

@@ -1,0 +1,154 @@
+//===- compiler/bytecode.cpp ----------------------------------*- C++ -*-===//
+
+#include "compiler/bytecode.h"
+
+#include "support/debug.h"
+
+using namespace cmk;
+
+const char *cmk::opName(Op O) {
+  switch (O) {
+  case Op::PushConst:
+    return "push-const";
+  case Op::PushLocal:
+    return "push-local";
+  case Op::SetLocal:
+    return "set-local";
+  case Op::PushLocalBox:
+    return "push-local-box";
+  case Op::SetLocalBox:
+    return "set-local-box";
+  case Op::PushFree:
+    return "push-free";
+  case Op::PushFreeBox:
+    return "push-free-box";
+  case Op::SetFreeBox:
+    return "set-free-box";
+  case Op::BoxLocal:
+    return "box-local";
+  case Op::PushGlobal:
+    return "push-global";
+  case Op::SetGlobal:
+    return "set-global";
+  case Op::DefineGlobal:
+    return "define-global";
+  case Op::Pop:
+    return "pop";
+  case Op::Dup:
+    return "dup";
+  case Op::MakeClosure:
+    return "make-closure";
+  case Op::Jump:
+    return "jump";
+  case Op::JumpIfFalse:
+    return "jump-if-false";
+  case Op::Frame:
+    return "frame";
+  case Op::Call:
+    return "call";
+  case Op::TailCall:
+    return "tail-call";
+  case Op::CallAttach:
+    return "call-attach";
+  case Op::Return:
+    return "return";
+  case Op::Reify:
+    return "reify";
+  case Op::AttachSet:
+    return "attach-set";
+  case Op::AttachGet:
+    return "attach-get";
+  case Op::AttachConsume:
+    return "attach-consume";
+  case Op::MarksPush:
+    return "marks-push";
+  case Op::MarksPop:
+    return "marks-pop";
+  case Op::MarksSetTop:
+    return "marks-set-top";
+  case Op::MarksTop:
+    return "marks-top";
+  case Op::PushMarks:
+    return "push-marks";
+  case Op::MstkSet:
+    return "mstk-set";
+  case Op::MstkPush:
+    return "mstk-push";
+  case Op::MstkPop:
+    return "mstk-pop";
+  case Op::Add:
+    return "add";
+  case Op::Sub:
+    return "sub";
+  case Op::Mul:
+    return "mul";
+  case Op::NumLt:
+    return "lt";
+  case Op::NumLe:
+    return "le";
+  case Op::NumGt:
+    return "gt";
+  case Op::NumGe:
+    return "ge";
+  case Op::NumEq:
+    return "num-eq";
+  case Op::Cons:
+    return "cons";
+  case Op::Car:
+    return "car";
+  case Op::Cdr:
+    return "cdr";
+  case Op::SetCarBang:
+    return "set-car!";
+  case Op::SetCdrBang:
+    return "set-cdr!";
+  case Op::NullP:
+    return "null?";
+  case Op::PairP:
+    return "pair?";
+  case Op::Not:
+    return "not";
+  case Op::EqP:
+    return "eq?";
+  case Op::ZeroP:
+    return "zero?";
+  case Op::Add1:
+    return "add1";
+  case Op::Sub1:
+    return "sub1";
+  case Op::VectorRef:
+    return "vector-ref";
+  case Op::VectorSet:
+    return "vector-set!";
+  case Op::Halt:
+    return "halt";
+  }
+  CMK_UNREACHABLE("unknown opcode");
+}
+
+int cmk::opOperandBytes(Op O) {
+  switch (O) {
+  case Op::PushConst:
+  case Op::PushLocal:
+  case Op::SetLocal:
+  case Op::PushLocalBox:
+  case Op::SetLocalBox:
+  case Op::PushFree:
+  case Op::PushFreeBox:
+  case Op::SetFreeBox:
+  case Op::BoxLocal:
+  case Op::PushGlobal:
+  case Op::SetGlobal:
+  case Op::DefineGlobal:
+  case Op::Call:
+  case Op::TailCall:
+  case Op::CallAttach:
+    return 2;
+  case Op::Jump:
+  case Op::JumpIfFalse:
+  case Op::MakeClosure:
+    return 4;
+  default:
+    return 0;
+  }
+}

@@ -1,0 +1,92 @@
+//===- compiler/compiler.cpp - Pipeline driver -----------------*- C++ -*-===//
+
+#include "compiler/compiler.h"
+
+#include "compiler/expand.h"
+#include "runtime/heap.h"
+#include "runtime/printer.h"
+#include "runtime/symbols.h"
+
+using namespace cmk;
+
+/// Keeps macro patterns/templates alive across collections.
+class Compiler::MacroRoots : public GCRootSource {
+public:
+  explicit MacroRoots(Compiler &C, Heap &H) : C(C), H(H) {
+    H.addRootSource(this);
+  }
+  ~MacroRoots() override { H.removeRootSource(this); }
+
+  void traceRoots(Heap &Heap) override {
+    for (const MacroDef &M : C.Macros) {
+      Heap.traceValue(M.Pattern);
+      Heap.traceValue(M.Template);
+    }
+  }
+
+private:
+  Compiler &C;
+  Heap &H;
+};
+
+Compiler::Compiler(Heap &H, WellKnown &WK, GlobalEnv &Globals,
+                   CompilerOptions Opts)
+    : H(H), WK(WK), Globals(Globals), Opts(Opts) {
+  MacroRootSource = std::make_unique<MacroRoots>(*this, H);
+}
+
+Compiler::~Compiler() = default;
+
+const Compiler::MacroDef *Compiler::findMacro(Value NameSym) const {
+  for (const MacroDef &M : Macros)
+    if (car(M.Pattern) == NameSym)
+      return &M;
+  return nullptr;
+}
+
+bool Compiler::defineSyntaxRule(Value Spec, std::string *ErrOut) {
+  // (define-syntax-rule (name . pattern) template)
+  Value Rest = cdr(Spec);
+  if (listLength(Rest) != 2 || !car(Rest).isPair() ||
+      !car(car(Rest)).isSymbol()) {
+    if (ErrOut)
+      *ErrOut = "malformed define-syntax-rule";
+    return false;
+  }
+  Macros.push_back({car(Rest), car(cdr(Rest))});
+  return true;
+}
+
+Value Compiler::compileToplevel(Value Form, std::string *ErrOut) {
+  // Compilation allocates freely (expansion builds sexps, codegen builds
+  // code objects); pausing the collector makes rooting trivial and bounds
+  // retained garbage by the program size.
+  GCPauseScope Pause(H);
+
+  AstContext Ctx;
+  Expander Exp(H, WK, Ctx, *this);
+  LambdaNode *Toplevel = Exp.expandToplevel(Form);
+  if (!Toplevel) {
+    if (ErrOut)
+      *ErrOut = Exp.error().empty() ? "expansion failed" : Exp.error();
+    return Value::undefined();
+  }
+
+  Node *Simplified = runCp0(Ctx, Toplevel, Opts, WK);
+  CMK_CHECK(Simplified->K == NodeKind::Lambda,
+            "cp0 must preserve the toplevel lambda");
+  Toplevel = static_cast<LambdaNode *>(Simplified);
+
+  LastStats = AttachPassStats();
+  runAttachmentPass(WK, Toplevel, Opts, LastStats);
+  runFreeVarsPass(Toplevel);
+
+  std::string CgErr;
+  Value Code = runCodegen(H, Globals, WK, Toplevel, Opts, &CgErr);
+  if (!CgErr.empty()) {
+    if (ErrOut)
+      *ErrOut = CgErr;
+    return Value::undefined();
+  }
+  return Code;
+}

@@ -1,0 +1,63 @@
+//===- compiler/disasm.cpp - Bytecode disassembler -------------*- C++ -*-===//
+
+#include "compiler/bytecode.h"
+#include "compiler/compiler.h"
+#include "runtime/printer.h"
+
+#include <cstdio>
+
+using namespace cmk;
+
+static void disasmCode(std::string &Out, Value CodeVal, int Indent) {
+  CodeObj *C = asCode(CodeVal);
+  char Buf[128];
+  std::string Pad(Indent, ' ');
+
+  std::snprintf(Buf, sizeof(Buf), "%scode %s args=%u locals=%u frame=%u\n",
+                Pad.c_str(), displayToString(C->Name).c_str(), C->NumArgs,
+                C->NumLocals, C->FrameSize);
+  Out += Buf;
+
+  const uint8_t *Instrs = C->instrs();
+  uint32_t Pc = 0;
+  while (Pc < C->NumInstrs) {
+    Op O = static_cast<Op>(Instrs[Pc]);
+    std::snprintf(Buf, sizeof(Buf), "%s%5u  %-14s", Pad.c_str(), Pc,
+                  opName(O));
+    Out += Buf;
+    int Operands = opOperandBytes(O);
+    if (O == Op::MakeClosure) {
+      uint16_t Idx = readU16(Instrs + Pc + 1);
+      uint16_t NFree = readU16(Instrs + Pc + 3);
+      std::snprintf(Buf, sizeof(Buf), " code@%u nfree=%u", Idx, NFree);
+      Out += Buf;
+    } else if (Operands == 2) {
+      uint16_t V = readU16(Instrs + Pc + 1);
+      std::snprintf(Buf, sizeof(Buf), " %u", V);
+      Out += Buf;
+      if (O == Op::PushConst && V < C->NumConsts) {
+        Out += "  ; ";
+        std::string Lit = writeToString(C->consts()[V]);
+        if (Lit.size() > 40)
+          Lit = Lit.substr(0, 40) + "...";
+        Out += Lit;
+      }
+    } else if (Operands == 4) {
+      std::snprintf(Buf, sizeof(Buf), " %u", readU32(Instrs + Pc + 1));
+      Out += Buf;
+    }
+    Out += '\n';
+    Pc += 1 + Operands;
+  }
+
+  // Recurse into nested code objects in the constant pool.
+  for (uint32_t I = 0; I < C->NumConsts; ++I)
+    if (C->consts()[I].isCode())
+      disasmCode(Out, C->consts()[I], Indent + 2);
+}
+
+std::string Compiler::disassemble(Value CodeVal) {
+  std::string Out;
+  disasmCode(Out, CodeVal, 0);
+  return Out;
+}

@@ -1,0 +1,955 @@
+//===- compiler/expand.cpp ------------------------------------*- C++ -*-===//
+
+#include "compiler/expand.h"
+
+#include "runtime/heap.h"
+#include "runtime/printer.h"
+#include "runtime/symbols.h"
+
+using namespace cmk;
+
+Expander::Expander(Heap &H, const WellKnown &WK, AstContext &Ctx, Compiler &C)
+    : H(H), WK(WK), Ctx(Ctx), C(C) {}
+
+Var *Expander::lookup(Scope *S, Value Sym) const {
+  for (; S; S = S->Parent) {
+    auto It = S->Bindings.find(Sym.raw());
+    if (It != S->Bindings.end())
+      return It->second;
+  }
+  return nullptr;
+}
+
+Node *Expander::fail(const std::string &Msg) {
+  if (Err.empty())
+    Err = Msg;
+  return nullptr;
+}
+
+Value Expander::freshName(const char *Prefix) { return H.gensym(Prefix); }
+
+Value Expander::list1(Value A) { return H.makePair(A, Value::nil()); }
+Value Expander::list2(Value A, Value B) { return H.makePair(A, list1(B)); }
+Value Expander::list3(Value A, Value B, Value C2) {
+  return H.makePair(A, list2(B, C2));
+}
+
+// --- Macro matching ----------------------------------------------------------
+//
+// define-syntax-rule supports one level of ellipsis: a pattern element
+// followed by ... matches any number of forms and binds each variable in
+// the sub-pattern to the sequence of its matches; a template element
+// followed by ... replays the template once per match.
+
+namespace {
+struct MacroBindings {
+  std::vector<std::pair<uint64_t, Value>> Single;
+  std::vector<std::pair<uint64_t, std::vector<Value>>> Sequences;
+
+  const Value *findSingle(uint64_t Raw) const {
+    for (const auto &B : Single)
+      if (B.first == Raw)
+        return &B.second;
+    return nullptr;
+  }
+  const std::vector<Value> *findSequence(uint64_t Raw) const {
+    for (const auto &B : Sequences)
+      if (B.first == Raw)
+        return &B.second;
+    return nullptr;
+  }
+};
+} // namespace
+
+static bool isEllipsisSym(Heap &H, Value V) {
+  return V.isSymbol() && V == H.intern("...");
+}
+
+static void collectPatternVars(Heap &H, Value Pattern,
+                               std::vector<uint64_t> &Vars) {
+  if (Pattern.isSymbol()) {
+    if (!isEllipsisSym(H, Pattern))
+      Vars.push_back(Pattern.raw());
+    return;
+  }
+  if (Pattern.isPair()) {
+    collectPatternVars(H, car(Pattern), Vars);
+    collectPatternVars(H, cdr(Pattern), Vars);
+  }
+}
+
+static bool macroMatch(Heap &H, Value Pattern, Value Form, MacroBindings &B) {
+  if (Pattern.isSymbol()) {
+    B.Single.push_back({Pattern.raw(), Form});
+    return true;
+  }
+  if (Pattern.isPair()) {
+    // (sub ... . rest): greedy match of sub against a prefix of Form.
+    if (cdr(Pattern).isPair() && isEllipsisSym(H, car(cdr(Pattern)))) {
+      Value Sub = car(Pattern);
+      Value RestPat = cdr(cdr(Pattern));
+      int64_t MinRest = 0;
+      for (Value P = RestPat; P.isPair(); P = cdr(P))
+        ++MinRest;
+
+      std::vector<uint64_t> SubVars;
+      collectPatternVars(H, Sub, SubVars);
+      std::vector<std::pair<uint64_t, std::vector<Value>>> Seqs;
+      for (uint64_t V : SubVars)
+        Seqs.push_back({V, {}});
+
+      Value P = Form;
+      int64_t Avail = listLength(P);
+      if (Avail < 0) {
+        // Improper tail: count the pair prefix only.
+        Avail = 0;
+        for (Value Q = P; Q.isPair(); Q = cdr(Q))
+          ++Avail;
+      }
+      while (P.isPair() && Avail > MinRest) {
+        MacroBindings SubB;
+        if (!macroMatch(H, Sub, car(P), SubB))
+          return false;
+        for (auto &Seq : Seqs)
+          if (const Value *V = SubB.findSingle(Seq.first))
+            Seq.second.push_back(*V);
+        P = cdr(P);
+        --Avail;
+      }
+      for (auto &Seq : Seqs)
+        B.Sequences.push_back(std::move(Seq));
+      return macroMatch(H, RestPat, P, B);
+    }
+    if (!Form.isPair())
+      return false;
+    return macroMatch(H, car(Pattern), car(Form), B) &&
+           macroMatch(H, cdr(Pattern), cdr(Form), B);
+  }
+  if (Pattern.isNil())
+    return Form.isNil();
+  return Pattern == Form; // Self-evaluating literals must match exactly.
+}
+
+static Value macroSubst(Heap &H, Value Template, const MacroBindings &B);
+
+/// Expands `Sub ...`: one copy of Sub per element of its sequence vars.
+static void macroSubstEllipsis(Heap &H, Value Sub, const MacroBindings &B,
+                               std::vector<Value> &Out) {
+  std::vector<uint64_t> Vars;
+  collectPatternVars(H, Sub, Vars);
+  size_t Len = 0;
+  bool Any = false;
+  for (uint64_t V : Vars)
+    if (const std::vector<Value> *Seq = B.findSequence(V)) {
+      Len = std::max(Len, Seq->size());
+      Any = true;
+    }
+  if (!Any)
+    return; // No sequence variables: expands to nothing.
+  for (size_t I = 0; I < Len; ++I) {
+    MacroBindings Iter;
+    Iter.Single = B.Single;
+    for (uint64_t V : Vars)
+      if (const std::vector<Value> *Seq = B.findSequence(V))
+        Iter.Single.push_back(
+            {V, I < Seq->size() ? (*Seq)[I] : Value::undefined()});
+    Out.push_back(macroSubst(H, Sub, Iter));
+  }
+}
+
+static Value macroSubst(Heap &H, Value Template, const MacroBindings &B) {
+  if (Template.isSymbol()) {
+    if (const Value *V = B.findSingle(Template.raw()))
+      return *V;
+    return Template;
+  }
+  if (Template.isPair()) {
+    if (cdr(Template).isPair() && isEllipsisSym(H, car(cdr(Template)))) {
+      std::vector<Value> Expanded;
+      macroSubstEllipsis(H, car(Template), B, Expanded);
+      RootedValues Roots(H);
+      for (Value V : Expanded)
+        Roots.push(V);
+      Value Rest = macroSubst(H, cdr(cdr(Template)), B);
+      GCRoot Acc(H, Rest);
+      for (size_t I = Expanded.size(); I > 0; --I)
+        Acc.set(H.makePair(Roots[I - 1], Acc.get()));
+      return Acc.get();
+    }
+    Value Car = macroSubst(H, car(Template), B);
+    GCRoot CarRoot(H, Car);
+    Value Cdr = macroSubst(H, cdr(Template), B);
+    return H.makePair(CarRoot.get(), Cdr);
+  }
+  return Template;
+}
+
+// --- Toplevel ---------------------------------------------------------------
+
+LambdaNode *Expander::expandToplevel(Value Form) {
+  Node *Body = expandToplevelForm(Form);
+  if (!Body)
+    return nullptr;
+  return Ctx.make<LambdaNode>(std::vector<Var *>{}, false, Body,
+                              H.intern("toplevel"));
+}
+
+Node *Expander::expandToplevelForm(Value Form) {
+  if (Form.isPair() && car(Form).isSymbol()) {
+    Value Head = car(Form);
+    if (Head == WK.Define) {
+      Value Rest = cdr(Form);
+      if (!Rest.isPair())
+        return fail("malformed define");
+      Value Target = car(Rest);
+      if (Target.isSymbol()) {
+        // (define x e)
+        Node *Rhs = cdr(Rest).isPair() ? expand(car(cdr(Rest)), nullptr)
+                                       : Ctx.make<ConstNode>(Value::voidValue());
+        if (!Rhs)
+          return nullptr;
+        if (Rhs->K == NodeKind::Lambda && asLambda(Rhs)->Name.isFalse())
+          asLambda(Rhs)->Name = Target;
+        return Ctx.make<GlobalSetNode>(Target, Rhs, /*IsDefine=*/true);
+      }
+      if (Target.isPair() && car(Target).isSymbol()) {
+        // (define (f . args) body...)
+        Value Name = car(Target);
+        Node *Fn = expandLambda(cdr(Target), cdr(Rest), nullptr, Name);
+        if (!Fn)
+          return nullptr;
+        return Ctx.make<GlobalSetNode>(Name, Fn, /*IsDefine=*/true);
+      }
+      return fail("malformed define");
+    }
+    if (Head == WK.DefineSyntaxRule) {
+      std::string MacroErr;
+      if (!C.defineSyntaxRule(Form, &MacroErr))
+        return fail(MacroErr);
+      return Ctx.make<ConstNode>(Value::voidValue());
+    }
+    if (Head == WK.Begin) {
+      // Splice toplevel begins so nested defines stay toplevel.
+      std::vector<Node *> Body;
+      for (Value P = cdr(Form); P.isPair(); P = cdr(P)) {
+        Node *N = expandToplevelForm(car(P));
+        if (!N)
+          return nullptr;
+        Body.push_back(N);
+      }
+      if (Body.empty())
+        return Ctx.make<ConstNode>(Value::voidValue());
+      if (Body.size() == 1)
+        return Body[0];
+      return Ctx.make<BeginNode>(std::move(Body));
+    }
+  }
+  return expand(Form, nullptr);
+}
+
+// --- Expression expansion -----------------------------------------------------
+
+Node *Expander::expand(Value Form, Scope *S) {
+  if (!Err.empty())
+    return nullptr;
+
+  if (Form.isSymbol()) {
+    if (Var *V = lookup(S, Form))
+      return Ctx.make<LocalRefNode>(V);
+    return Ctx.make<GlobalRefNode>(Form);
+  }
+  if (!Form.isPair())
+    return Ctx.make<ConstNode>(Form); // Self-evaluating atom.
+
+  Value Head = car(Form);
+  if (Head.isSymbol() && !lookup(S, Head)) {
+    if (Head == WK.Quote) {
+      if (!cdr(Form).isPair())
+        return fail("malformed quote");
+      return Ctx.make<ConstNode>(car(cdr(Form)));
+    }
+    if (Head == WK.Lambda) {
+      Value Rest = cdr(Form);
+      if (!Rest.isPair())
+        return fail("malformed lambda");
+      return expandLambda(car(Rest), cdr(Rest), S, Value::False());
+    }
+    if (Head == WK.If) {
+      Value Rest = cdr(Form);
+      int64_t Len = listLength(Rest);
+      if (Len != 2 && Len != 3)
+        return fail("malformed if");
+      Node *Test = expand(car(Rest), S);
+      Node *Then = Test ? expand(car(cdr(Rest)), S) : nullptr;
+      Node *Else = nullptr;
+      if (Then) {
+        Else = Len == 3 ? expand(car(cdr(cdr(Rest))), S)
+                        : Ctx.make<ConstNode>(Value::voidValue());
+      }
+      if (!Else)
+        return nullptr;
+      return Ctx.make<IfNode>(Test, Then, Else);
+    }
+    if (Head == WK.Set) {
+      Value Rest = cdr(Form);
+      if (listLength(Rest) != 2 || !car(Rest).isSymbol())
+        return fail("malformed set!");
+      Node *Rhs = expand(car(cdr(Rest)), S);
+      if (!Rhs)
+        return nullptr;
+      if (Var *V = lookup(S, car(Rest))) {
+        V->Mutated = true;
+        return Ctx.make<LocalSetNode>(V, Rhs);
+      }
+      return Ctx.make<GlobalSetNode>(car(Rest), Rhs, /*IsDefine=*/false);
+    }
+    if (Head == WK.Begin)
+      return expandSequence(cdr(Form), S);
+    if (Head == WK.Let)
+      return expandLet(Form, S);
+    if (Head == WK.LetStar)
+      return expandLetStar(Form, S);
+    if (Head == WK.Letrec || Head == H.intern("letrec*"))
+      return expandLetrec(Form, S);
+    if (Head == WK.Cond)
+      return expandCond(cdr(Form), S);
+    if (Head == WK.Case)
+      return expandCase(Form, S);
+    if (Head == WK.And)
+      return expandAnd(cdr(Form), S);
+    if (Head == WK.Or)
+      return expandOr(cdr(Form), S);
+    if (Head == WK.When || Head == WK.Unless) {
+      Value Rest = cdr(Form);
+      if (!Rest.isPair() || !cdr(Rest).isPair())
+        return fail("malformed when/unless");
+      Node *Test = expand(car(Rest), S);
+      Node *Body = Test ? expandSequence(cdr(Rest), S) : nullptr;
+      if (!Body)
+        return nullptr;
+      Node *VoidN = Ctx.make<ConstNode>(Value::voidValue());
+      if (Head == WK.When)
+        return Ctx.make<IfNode>(Test, Body, VoidN);
+      return Ctx.make<IfNode>(Test, VoidN, Body);
+    }
+    if (Head == WK.Do)
+      return expandDo(Form, S);
+    if (Head == WK.Quasiquote) {
+      if (!cdr(Form).isPair())
+        return fail("malformed quasiquote");
+      Value Expanded = expandQuasiquote(car(cdr(Form)), 1);
+      return expand(Expanded, S);
+    }
+    if (Head == WK.WithContinuationMark)
+      return expandWcm(Form, S);
+    if (Head == H.intern("parameterize"))
+      return expandParameterize(Form, S);
+    if (Head == WK.Define)
+      return fail("define is not allowed in an expression position");
+    if (Head == WK.CallSettingAttachment)
+      return expandAttachPrim(AttachOp::Set, Form, S);
+    if (Head == WK.CallGettingAttachment)
+      return expandAttachPrim(AttachOp::Get, Form, S);
+    if (Head == WK.CallConsumingAttachment)
+      return expandAttachPrim(AttachOp::Consume, Form, S);
+
+    // Pattern macros.
+    if (const auto *M = C.findMacro(Head)) {
+      MacroBindings Binds;
+      if (!macroMatch(H, cdr(M->Pattern), cdr(Form), Binds))
+        return fail("no matching macro pattern for " + writeToString(Head));
+      Value Expanded = macroSubst(H, M->Template, Binds);
+      return expand(Expanded, S);
+    }
+  }
+
+  return expandCall(Form, S);
+}
+
+Node *Expander::expandCall(Value Form, Scope *S) {
+  Node *Fn = expand(car(Form), S);
+  if (!Fn)
+    return nullptr;
+  std::vector<Node *> Args;
+  Value P = cdr(Form);
+  for (; P.isPair(); P = cdr(P)) {
+    Node *A = expand(car(P), S);
+    if (!A)
+      return nullptr;
+    Args.push_back(A);
+  }
+  if (!P.isNil())
+    return fail("dotted argument list in call");
+  return Ctx.make<CallNode>(Fn, std::move(Args));
+}
+
+Node *Expander::expandSequence(Value Forms, Scope *S) {
+  std::vector<Node *> Body;
+  for (Value P = Forms; P.isPair(); P = cdr(P)) {
+    Node *N = expand(car(P), S);
+    if (!N)
+      return nullptr;
+    Body.push_back(N);
+  }
+  if (Body.empty())
+    return Ctx.make<ConstNode>(Value::voidValue());
+  if (Body.size() == 1)
+    return Body[0];
+  return Ctx.make<BeginNode>(std::move(Body));
+}
+
+/// Body of a lambda/let: leading (define ...) forms become letrec*-style
+/// bindings (lowered to let + set!).
+Node *Expander::expandBody(Value Forms, Scope *S) {
+  std::vector<std::pair<Value, Value>> Defs; // name -> init form
+  Value P = Forms;
+  for (; P.isPair(); P = cdr(P)) {
+    Value F = car(P);
+    if (!(F.isPair() && car(F).isSymbol() && car(F) == WK.Define))
+      break;
+    Value Rest = cdr(F);
+    if (!Rest.isPair())
+      return fail("malformed internal define");
+    Value Target = car(Rest);
+    if (Target.isSymbol()) {
+      Value Init = cdr(Rest).isPair() ? car(cdr(Rest)) : Value::voidValue();
+      Defs.push_back({Target, Init});
+    } else if (Target.isPair() && car(Target).isSymbol()) {
+      // (define (f . a) body...) -> f = (lambda a body...)
+      Value LambdaForm =
+          H.makePair(WK.Lambda, H.makePair(cdr(Target), cdr(Rest)));
+      Defs.push_back({car(Target), LambdaForm});
+    } else {
+      return fail("malformed internal define");
+    }
+  }
+  if (Defs.empty())
+    return expandSequence(Forms, S);
+
+  // letrec* lowering: bind all names to undefined, then set! each in order.
+  Scope Inner;
+  Inner.Parent = S;
+  std::vector<Var *> Vars;
+  for (auto &D : Defs) {
+    Var *V = Ctx.makeVar(D.first);
+    V->Mutated = true;
+    Inner.Bindings[D.first.raw()] = V;
+    Vars.push_back(V);
+  }
+  std::vector<Node *> Seq;
+  for (size_t I = 0; I < Defs.size(); ++I) {
+    Node *Init = expand(Defs[I].second, &Inner);
+    if (!Init)
+      return nullptr;
+    if (Init->K == NodeKind::Lambda && asLambda(Init)->Name.isFalse())
+      asLambda(Init)->Name = Defs[I].first;
+    Seq.push_back(Ctx.make<LocalSetNode>(Vars[I], Init));
+  }
+  Node *Rest = expandSequence(P, &Inner);
+  if (!Rest)
+    return nullptr;
+  Seq.push_back(Rest);
+
+  std::vector<Node *> Inits(Vars.size(),
+                            Ctx.make<ConstNode>(Value::undefined()));
+  return Ctx.make<LetNode>(std::move(Vars), std::move(Inits),
+                           Ctx.make<BeginNode>(std::move(Seq)));
+}
+
+Node *Expander::expandLambda(Value Params, Value Body, Scope *S, Value Name) {
+  Scope Inner;
+  Inner.Parent = S;
+  std::vector<Var *> Vars;
+  bool HasRest = false;
+
+  Value P = Params;
+  while (P.isPair()) {
+    if (!car(P).isSymbol())
+      return fail("lambda parameter must be a symbol");
+    Var *V = Ctx.makeVar(car(P));
+    Inner.Bindings[car(P).raw()] = V;
+    Vars.push_back(V);
+    P = cdr(P);
+  }
+  if (P.isSymbol()) { // Rest parameter: (lambda (a . r) ...) or (lambda r ...)
+    Var *V = Ctx.makeVar(P);
+    Inner.Bindings[P.raw()] = V;
+    Vars.push_back(V);
+    HasRest = true;
+  } else if (!P.isNil()) {
+    return fail("malformed lambda parameter list");
+  }
+
+  Node *BodyN = expandBody(Body, &Inner);
+  if (!BodyN)
+    return nullptr;
+  return Ctx.make<LambdaNode>(std::move(Vars), HasRest, BodyN, Name);
+}
+
+Node *Expander::expandLet(Value Form, Scope *S) {
+  Value Rest = cdr(Form);
+  if (!Rest.isPair())
+    return fail("malformed let");
+  if (car(Rest).isSymbol())
+    return expandNamedLet(car(Rest), car(cdr(Rest)), cdr(cdr(Rest)), S);
+
+  Value Bindings = car(Rest);
+  Scope Inner;
+  Inner.Parent = S;
+  std::vector<Var *> Vars;
+  std::vector<Node *> Inits;
+  for (Value B = Bindings; B.isPair(); B = cdr(B)) {
+    Value Bind = car(B);
+    if (!(Bind.isPair() && car(Bind).isSymbol() && cdr(Bind).isPair()))
+      return fail("malformed let binding");
+    Node *Init = expand(car(cdr(Bind)), S); // Inits see the outer scope.
+    if (!Init)
+      return nullptr;
+    Var *V = Ctx.makeVar(car(Bind));
+    if (Init->K == NodeKind::Lambda && asLambda(Init)->Name.isFalse())
+      asLambda(Init)->Name = car(Bind);
+    Vars.push_back(V);
+    Inits.push_back(Init);
+  }
+  for (Var *V : Vars)
+    Inner.Bindings[V->Name.raw()] = V;
+  Node *Body = expandBody(cdr(Rest), &Inner);
+  if (!Body)
+    return nullptr;
+  return Ctx.make<LetNode>(std::move(Vars), std::move(Inits), Body);
+}
+
+Node *Expander::expandLetStar(Value Form, Scope *S) {
+  Value Rest = cdr(Form);
+  if (!Rest.isPair())
+    return fail("malformed let*");
+  Value Bindings = car(Rest);
+  if (Bindings.isNil())
+    return expandBody(cdr(Rest), S);
+  // (let* (b . bs) body) -> (let (b) (let* bs body))
+  Value InnerForm =
+      H.makePair(WK.LetStar, H.makePair(cdr(Bindings), cdr(Rest)));
+  Value OuterForm = H.makePair(
+      WK.Let, H.makePair(list1(car(Bindings)), list1(InnerForm)));
+  return expand(OuterForm, S);
+}
+
+Node *Expander::expandLetrec(Value Form, Scope *S) {
+  Value Rest = cdr(Form);
+  if (!Rest.isPair())
+    return fail("malformed letrec");
+  Value Bindings = car(Rest);
+
+  Scope Inner;
+  Inner.Parent = S;
+  std::vector<Var *> Vars;
+  std::vector<Value> InitForms;
+  for (Value B = Bindings; B.isPair(); B = cdr(B)) {
+    Value Bind = car(B);
+    if (!(Bind.isPair() && car(Bind).isSymbol() && cdr(Bind).isPair()))
+      return fail("malformed letrec binding");
+    Var *V = Ctx.makeVar(car(Bind));
+    V->Mutated = true; // letrec lowering assigns after binding.
+    Inner.Bindings[car(Bind).raw()] = V;
+    Vars.push_back(V);
+    InitForms.push_back(car(cdr(Bind)));
+  }
+
+  std::vector<Node *> Seq;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    Node *Init = expand(InitForms[I], &Inner);
+    if (!Init)
+      return nullptr;
+    if (Init->K == NodeKind::Lambda && asLambda(Init)->Name.isFalse())
+      asLambda(Init)->Name = Vars[I]->Name;
+    Seq.push_back(Ctx.make<LocalSetNode>(Vars[I], Init));
+  }
+  Node *Body = expandBody(cdr(Rest), &Inner);
+  if (!Body)
+    return nullptr;
+  Seq.push_back(Body);
+
+  std::vector<Node *> Inits(Vars.size(),
+                            Ctx.make<ConstNode>(Value::undefined()));
+  return Ctx.make<LetNode>(std::move(Vars), std::move(Inits),
+                           Ctx.make<BeginNode>(std::move(Seq)));
+}
+
+Node *Expander::expandNamedLet(Value Name, Value Bindings, Value Body,
+                               Scope *S) {
+  // (let loop ([v init] ...) body)
+  // -> ((letrec ([loop (lambda (v ...) body)]) loop) init ...)
+  Value Params = Value::nil();
+  Value Inits = Value::nil();
+  std::vector<Value> Ps, Is;
+  for (Value B = Bindings; B.isPair(); B = cdr(B)) {
+    Value Bind = car(B);
+    if (!(Bind.isPair() && car(Bind).isSymbol() && cdr(Bind).isPair()))
+      return fail("malformed named-let binding");
+    Ps.push_back(car(Bind));
+    Is.push_back(car(cdr(Bind)));
+  }
+  for (size_t I = Ps.size(); I > 0; --I) {
+    Params = H.makePair(Ps[I - 1], Params);
+    Inits = H.makePair(Is[I - 1], Inits);
+  }
+  Value LambdaForm = H.makePair(WK.Lambda, H.makePair(Params, Body));
+  Value LetrecForm = H.makePair(
+      WK.Letrec, list2(list1(list2(Name, LambdaForm)), Name));
+  return expand(H.makePair(LetrecForm, Inits), S);
+}
+
+Node *Expander::expandCond(Value Clauses, Scope *S) {
+  if (Clauses.isNil())
+    return Ctx.make<ConstNode>(Value::voidValue());
+  if (!Clauses.isPair())
+    return fail("malformed cond");
+  Value Clause = car(Clauses);
+  if (!Clause.isPair())
+    return fail("malformed cond clause");
+
+  if (car(Clause).isSymbol() && car(Clause) == WK.Else)
+    return expandSequence(cdr(Clause), S);
+
+  if (cdr(Clause).isNil()) {
+    // (cond (test) rest...) -> (let ([t test]) (if t t (cond rest...)))
+    Value T = freshName("cond-t");
+    Node *Test = expand(car(Clause), S);
+    if (!Test)
+      return nullptr;
+    Scope Inner;
+    Inner.Parent = S;
+    Var *V = Ctx.makeVar(T);
+    Inner.Bindings[T.raw()] = V;
+    Node *Rest = expandCond(cdr(Clauses), &Inner);
+    if (!Rest)
+      return nullptr;
+    Node *Ref1 = Ctx.make<LocalRefNode>(V);
+    Node *Ref2 = Ctx.make<LocalRefNode>(V);
+    Node *IfN = Ctx.make<IfNode>(Ref1, Ref2, Rest);
+    return Ctx.make<LetNode>(std::vector<Var *>{V},
+                             std::vector<Node *>{Test}, IfN);
+  }
+
+  if (cdr(Clause).isPair() && car(cdr(Clause)).isSymbol() &&
+      car(cdr(Clause)) == WK.Arrow) {
+    // (cond (test => f) rest...)
+    if (!cdr(cdr(Clause)).isPair())
+      return fail("malformed => clause");
+    Value T = freshName("cond-t");
+    Node *Test = expand(car(Clause), S);
+    if (!Test)
+      return nullptr;
+    Scope Inner;
+    Inner.Parent = S;
+    Var *V = Ctx.makeVar(T);
+    Inner.Bindings[T.raw()] = V;
+    Node *Fn = expand(car(cdr(cdr(Clause))), &Inner);
+    if (!Fn)
+      return nullptr;
+    Node *Rest = expandCond(cdr(Clauses), &Inner);
+    if (!Rest)
+      return nullptr;
+    Node *Ref1 = Ctx.make<LocalRefNode>(V);
+    Node *Ref2 = Ctx.make<LocalRefNode>(V);
+    Node *CallN =
+        Ctx.make<CallNode>(Fn, std::vector<Node *>{Ref2});
+    Node *IfN = Ctx.make<IfNode>(Ref1, CallN, Rest);
+    return Ctx.make<LetNode>(std::vector<Var *>{V},
+                             std::vector<Node *>{Test}, IfN);
+  }
+
+  Node *Test = expand(car(Clause), S);
+  Node *Then = Test ? expandSequence(cdr(Clause), S) : nullptr;
+  Node *Rest = Then ? expandCond(cdr(Clauses), S) : nullptr;
+  if (!Rest)
+    return nullptr;
+  return Ctx.make<IfNode>(Test, Then, Rest);
+}
+
+Node *Expander::expandCase(Value Form, Scope *S) {
+  Value Rest = cdr(Form);
+  if (!Rest.isPair())
+    return fail("malformed case");
+  // (case k clauses...) -> (let ([t k]) (cond ((memv t '(d...)) ...) ...))
+  Value T = freshName("case-t");
+  Value CondClauses = Value::nil();
+  std::vector<Value> Clauses;
+  for (Value P = cdr(Rest); P.isPair(); P = cdr(P))
+    Clauses.push_back(car(P));
+  Value MemvSym = H.intern("memv");
+  for (size_t I = Clauses.size(); I > 0; --I) {
+    Value Clause = Clauses[I - 1];
+    if (!Clause.isPair())
+      return fail("malformed case clause");
+    Value NewClause;
+    if (car(Clause).isSymbol() && car(Clause) == WK.Else) {
+      NewClause = Clause;
+    } else {
+      Value Test =
+          list3(MemvSym, T, list2(WK.Quote, car(Clause)));
+      NewClause = H.makePair(Test, cdr(Clause));
+    }
+    CondClauses = H.makePair(NewClause, CondClauses);
+  }
+  Value CondForm = H.makePair(WK.Cond, CondClauses);
+  Value LetForm = H.makePair(
+      WK.Let, H.makePair(list1(list2(T, car(Rest))), list1(CondForm)));
+  return expand(LetForm, S);
+}
+
+Node *Expander::expandAnd(Value Forms, Scope *S) {
+  if (Forms.isNil())
+    return Ctx.make<ConstNode>(Value::True());
+  if (cdr(Forms).isNil())
+    return expand(car(Forms), S);
+  Node *Test = expand(car(Forms), S);
+  Node *Rest = Test ? expandAnd(cdr(Forms), S) : nullptr;
+  if (!Rest)
+    return nullptr;
+  return Ctx.make<IfNode>(Test, Rest, Ctx.make<ConstNode>(Value::False()));
+}
+
+Node *Expander::expandOr(Value Forms, Scope *S) {
+  if (Forms.isNil())
+    return Ctx.make<ConstNode>(Value::False());
+  if (cdr(Forms).isNil())
+    return expand(car(Forms), S);
+  // (or a b...) -> (let ([t a]) (if t t (or b...)))
+  Value T = freshName("or-t");
+  Node *Test = expand(car(Forms), S);
+  if (!Test)
+    return nullptr;
+  Scope Inner;
+  Inner.Parent = S;
+  Var *V = Ctx.makeVar(T);
+  Inner.Bindings[T.raw()] = V;
+  Node *Rest = expandOr(cdr(Forms), &Inner);
+  if (!Rest)
+    return nullptr;
+  Node *Ref1 = Ctx.make<LocalRefNode>(V);
+  Node *Ref2 = Ctx.make<LocalRefNode>(V);
+  Node *IfN = Ctx.make<IfNode>(Ref1, Ref2, Rest);
+  return Ctx.make<LetNode>(std::vector<Var *>{V}, std::vector<Node *>{Test},
+                           IfN);
+}
+
+Node *Expander::expandDo(Value Form, Scope *S) {
+  // (do ([v init step?] ...) (test result ...) cmd ...)
+  Value Rest = cdr(Form);
+  if (!Rest.isPair() || !cdr(Rest).isPair())
+    return fail("malformed do");
+  Value Specs = car(Rest);
+  Value TestClause = car(cdr(Rest));
+  Value Cmds = cdr(cdr(Rest));
+  if (!TestClause.isPair())
+    return fail("malformed do test clause");
+
+  Value LoopName = freshName("do-loop");
+  std::vector<Value> Names, Inits, Steps;
+  for (Value P = Specs; P.isPair(); P = cdr(P)) {
+    Value Spec = car(P);
+    if (!(Spec.isPair() && car(Spec).isSymbol() && cdr(Spec).isPair()))
+      return fail("malformed do binding");
+    Names.push_back(car(Spec));
+    Inits.push_back(car(cdr(Spec)));
+    Steps.push_back(cdr(cdr(Spec)).isPair() ? car(cdr(cdr(Spec)))
+                                            : car(Spec));
+  }
+
+  Value StepCall = Value::nil();
+  for (size_t I = Steps.size(); I > 0; --I)
+    StepCall = H.makePair(Steps[I - 1], StepCall);
+  StepCall = H.makePair(LoopName, StepCall);
+
+  Value Recur = Cmds.isNil()
+                    ? StepCall
+                    : H.makePair(WK.Begin,
+                                 [&] {
+                                   // Append StepCall after commands.
+                                   std::vector<Value> Items;
+                                   for (Value P = Cmds; P.isPair(); P = cdr(P))
+                                     Items.push_back(car(P));
+                                   Value L = list1(StepCall);
+                                   for (size_t I = Items.size(); I > 0; --I)
+                                     L = H.makePair(Items[I - 1], L);
+                                   return L;
+                                 }());
+
+  Value ResultForms = cdr(TestClause);
+  Value Result = ResultForms.isNil()
+                     ? list1(H.intern("void"))
+                     : H.makePair(WK.Begin, ResultForms);
+  Value IfForm = H.makePair(
+      WK.If, list3(car(TestClause), Result, Recur));
+
+  Value Bindings = Value::nil();
+  for (size_t I = Names.size(); I > 0; --I)
+    Bindings = H.makePair(list2(Names[I - 1], Inits[I - 1]), Bindings);
+
+  Value NamedLet = H.makePair(
+      WK.Let, H.makePair(LoopName, H.makePair(Bindings, list1(IfForm))));
+  return expand(NamedLet, S);
+}
+
+Value Expander::expandQuasiquote(Value Form, int Depth) {
+  if (Form.isPair()) {
+    Value Head = car(Form);
+    if (Head.isSymbol() && Head == WK.Unquote && cdr(Form).isPair()) {
+      if (Depth == 1)
+        return car(cdr(Form));
+      Value Inner = expandQuasiquote(car(cdr(Form)), Depth - 1);
+      return list3(H.intern("list"), list2(WK.Quote, WK.Unquote), Inner);
+    }
+    if (Head.isSymbol() && Head == WK.Quasiquote && cdr(Form).isPair()) {
+      Value Inner = expandQuasiquote(car(cdr(Form)), Depth + 1);
+      return list3(H.intern("list"), list2(WK.Quote, WK.Quasiquote), Inner);
+    }
+    if (Head.isPair() && car(Head).isSymbol() &&
+        car(Head) == WK.UnquoteSplicing && cdr(Head).isPair() && Depth == 1) {
+      Value RestExp = expandQuasiquote(cdr(Form), Depth);
+      return list3(H.intern("append"), car(cdr(Head)), RestExp);
+    }
+    Value CarExp = expandQuasiquote(Head, Depth);
+    Value CdrExp = expandQuasiquote(cdr(Form), Depth);
+    return list3(H.intern("cons"), CarExp, CdrExp);
+  }
+  if (Form.isVector()) {
+    VectorObj *V = asVector(Form);
+    Value AsList = Value::nil();
+    for (uint32_t I = V->Len; I > 0; --I)
+      AsList = H.makePair(V->Elems[I - 1], AsList);
+    return list2(H.intern("list->vector"), expandQuasiquote(AsList, Depth));
+  }
+  return list2(WK.Quote, Form);
+}
+
+Node *Expander::expandWcm(Value Form, Scope *S) {
+  // Paper section 7.1: with-continuation-mark expands into a consume of the
+  // current frame's attachment followed by a set of the updated mark frame.
+  Value Rest = cdr(Form);
+  if (listLength(Rest) != 3)
+    return fail("malformed with-continuation-mark");
+  Value Key = car(Rest);
+  Value Val = car(cdr(Rest));
+  Value Body = car(cdr(cdr(Rest)));
+
+  if (C.options().MarkStackWcm) {
+    // Figure 5 comparator: compile straight onto the eager mark stack.
+    Node *KeyN = expand(Key, S);
+    Node *ValN = KeyN ? expand(Val, S) : nullptr;
+    Node *BodyN = ValN ? expand(Body, S) : nullptr;
+    if (!BodyN)
+      return nullptr;
+    AttachNode *N =
+        Ctx.make<AttachNode>(AttachOp::MStkWcm, ValN, nullptr, BodyN);
+    N->Key = KeyN;
+    return N;
+  }
+
+  Value A = freshName("wcm-a");
+  Value Update = H.makePair(
+      H.intern("#%mark-frame-update"),
+      list3(A, Key, Val));
+
+  if (C.options().UseImitationAttachments) {
+    // Figure 3 / section 8.3 "imitate": same shape, but through the
+    // call/cc-based library. A get+set pair is equivalent to consume+set
+    // here because the set already replaces a present attachment.
+    Value SetForm = list3(
+        H.intern("imitate-setting"), Update,
+        H.makePair(WK.Lambda, list2(Value::nil(), Body)));
+    Value GetForm = list3(
+        H.intern("imitate-getting"), Value::False(),
+        H.makePair(WK.Lambda, list2(list1(A), SetForm)));
+    return expand(GetForm, S);
+  }
+
+  Value SetForm = list3(
+      WK.CallSettingAttachment, Update,
+      H.makePair(WK.Lambda, list2(Value::nil(), Body)));
+  Value ConsumeForm = list3(
+      WK.CallConsumingAttachment, Value::False(),
+      H.makePair(WK.Lambda, list2(list1(A), SetForm)));
+  return expand(ConsumeForm, S);
+}
+
+Node *Expander::expandParameterize(Value Form, Scope *S) {
+  Value Rest = cdr(Form);
+  if (!Rest.isPair())
+    return fail("malformed parameterize");
+  Value Bindings = car(Rest);
+  Value Body = H.makePair(WK.Begin, cdr(Rest));
+
+  // Evaluate parameter expressions and values left-to-right, then nest
+  // with-continuation-mark forms (all marks land on the same frame).
+  std::vector<Value> Temps, Params, Vals;
+  for (Value B = Bindings; B.isPair(); B = cdr(B)) {
+    Value Bind = car(B);
+    if (!(Bind.isPair() && cdr(Bind).isPair()))
+      return fail("malformed parameterize binding");
+    Params.push_back(car(Bind));
+    Vals.push_back(car(cdr(Bind)));
+    Temps.push_back(freshName("param"));
+  }
+
+  Value Inner = Body;
+  for (size_t I = Params.size(); I > 0; --I) {
+    Value T = Temps[I - 1];
+    Value KeyForm = list2(H.intern("#%parameter-key"), T);
+    Value ValForm = list3(H.intern("#%parameter-convert"), T, Vals[I - 1]);
+    Inner = H.makePair(WK.WithContinuationMark,
+                       list3(KeyForm, ValForm, Inner));
+  }
+  Value LetBindings = Value::nil();
+  for (size_t I = Params.size(); I > 0; --I)
+    LetBindings = H.makePair(list2(Temps[I - 1], Params[I - 1]), LetBindings);
+  Value LetForm = H.makePair(WK.Let, list2(LetBindings, Inner));
+  return expand(LetForm, S);
+}
+
+Node *Expander::expandAttachPrim(AttachOp Op, Value Form, Scope *S) {
+  if (C.options().UseImitationAttachments) {
+    // Reroute to the figure 3 library functions.
+    const char *Name = Op == AttachOp::Set       ? "imitate-setting"
+                       : Op == AttachOp::Get     ? "imitate-getting"
+                                                 : "imitate-consuming";
+    Value Rewritten = H.makePair(H.intern(Name), cdr(Form));
+    return expandCall(Rewritten, S);
+  }
+
+  Value Rest = cdr(Form);
+  if (listLength(Rest) != 2)
+    return expandCall(Form, S); // Wrong arity: let the generic native fail.
+  Value ValForm = car(Rest);
+  Value Proc = car(cdr(Rest));
+
+  // Footnote 5: the compiler recognizes only uses with an immediate lambda.
+  bool Immediate = Proc.isPair() && car(Proc).isSymbol() &&
+                   car(Proc) == WK.Lambda && !lookup(S, WK.Lambda);
+  if (!Immediate || !C.options().EnableAttachments)
+    return expandCall(Form, S);
+
+  Value Params = cdr(Proc).isPair() ? car(cdr(Proc)) : Value::nil();
+  Value Body = cdr(Proc).isPair() ? cdr(cdr(Proc)) : Value::nil();
+  int64_t NParams = listLength(Params);
+  int64_t Wanted = Op == AttachOp::Set ? 0 : 1;
+  if (NParams != Wanted)
+    return expandCall(Form, S);
+
+  Node *ValN = expand(ValForm, S);
+  if (!ValN)
+    return nullptr;
+
+  Scope Inner;
+  Inner.Parent = S;
+  Var *BodyVar = nullptr;
+  if (Op != AttachOp::Set) {
+    BodyVar = Ctx.makeVar(car(Params));
+    Inner.Bindings[car(Params).raw()] = BodyVar;
+  }
+  Node *BodyN = expandBody(Body, &Inner);
+  if (!BodyN)
+    return nullptr;
+  return Ctx.make<AttachNode>(Op, ValN, BodyVar, BodyN);
+}

@@ -1,0 +1,77 @@
+//===- compiler/expand.h - Source-to-core expander ------------*- C++ -*-===//
+///
+/// \file
+/// Expands the surface language (derived forms, pattern macros,
+/// with-continuation-mark, parameterize) into the core AST. Recognition of
+/// the continuation-attachment primitives applied to immediate lambdas
+/// (paper footnote 5) happens here, gated by CompilerOptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_COMPILER_EXPAND_H
+#define CMARKS_COMPILER_EXPAND_H
+
+#include "compiler/ast.h"
+#include "compiler/compiler.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace cmk {
+
+class Expander {
+public:
+  Expander(Heap &H, const WellKnown &WK, AstContext &Ctx, Compiler &C);
+
+  /// Expands a toplevel form into the body of a zero-argument lambda.
+  /// Returns null and sets the error message on failure.
+  LambdaNode *expandToplevel(Value Form);
+
+  const std::string &error() const { return Err; }
+
+private:
+  struct Scope {
+    std::unordered_map<uint64_t, Var *> Bindings;
+    Scope *Parent = nullptr;
+  };
+
+  Var *lookup(Scope *S, Value Sym) const;
+
+  Node *expand(Value Form, Scope *S);
+  Node *expandToplevelForm(Value Form);
+  Node *expandCall(Value Form, Scope *S);
+  Node *expandBody(Value Forms, Scope *S); ///< Handles internal defines.
+  Node *expandSequence(Value Forms, Scope *S);
+  Node *expandLambda(Value Params, Value Body, Scope *S, Value Name);
+  Node *expandLet(Value Form, Scope *S);
+  Node *expandLetStar(Value Form, Scope *S);
+  Node *expandLetrec(Value Form, Scope *S);
+  Node *expandNamedLet(Value Name, Value Bindings, Value Body, Scope *S);
+  Node *expandCond(Value Clauses, Scope *S);
+  Node *expandCase(Value Form, Scope *S);
+  Node *expandAnd(Value Forms, Scope *S);
+  Node *expandOr(Value Forms, Scope *S);
+  Node *expandDo(Value Form, Scope *S);
+  Node *expandWcm(Value Form, Scope *S);
+  Node *expandParameterize(Value Form, Scope *S);
+  Node *expandAttachPrim(AttachOp Op, Value Form, Scope *S);
+  Value expandQuasiquote(Value Form, int Depth);
+
+  Node *fail(const std::string &Msg);
+  Value freshName(const char *Prefix);
+
+  // Sexp helpers.
+  Value list1(Value A);
+  Value list2(Value A, Value B);
+  Value list3(Value A, Value B, Value C);
+
+  Heap &H;
+  const WellKnown &WK;
+  AstContext &Ctx;
+  Compiler &C;
+  std::string Err;
+};
+
+} // namespace cmk
+
+#endif // CMARKS_COMPILER_EXPAND_H

@@ -1,0 +1,119 @@
+//===- compiler/free_vars.cpp - Closure analysis ---------------*- C++ -*-===//
+///
+/// \file
+/// Computes, for every lambda, the list of enclosing variables it closes
+/// over (LambdaNode::FreeVars) and marks captured variables. Runs after
+/// cp0, before codegen.
+///
+//===----------------------------------------------------------------------===//
+
+#include "compiler/compiler.h"
+
+#include <unordered_set>
+
+using namespace cmk;
+
+namespace {
+
+class FreeVarsPass {
+public:
+  /// Walks \p N collecting references to variables not in \p Bound into
+  /// \p Free (deduplicated, in first-reference order for determinism).
+  void walk(Node *N, std::unordered_set<Var *> &Bound,
+            std::vector<Var *> &Free) {
+    switch (N->K) {
+    case NodeKind::Const:
+    case NodeKind::GlobalRef:
+      return;
+    case NodeKind::LocalRef:
+      addIfFree(static_cast<LocalRefNode *>(N)->V, Bound, Free);
+      return;
+    case NodeKind::LocalSet: {
+      auto *S = static_cast<LocalSetNode *>(N);
+      addIfFree(S->V, Bound, Free);
+      walk(S->Rhs, Bound, Free);
+      return;
+    }
+    case NodeKind::GlobalSet:
+      walk(static_cast<GlobalSetNode *>(N)->Rhs, Bound, Free);
+      return;
+    case NodeKind::If: {
+      auto *I = static_cast<IfNode *>(N);
+      walk(I->Test, Bound, Free);
+      walk(I->Then, Bound, Free);
+      walk(I->Else, Bound, Free);
+      return;
+    }
+    case NodeKind::Begin: {
+      for (Node *B : static_cast<BeginNode *>(N)->Body)
+        walk(B, Bound, Free);
+      return;
+    }
+    case NodeKind::Let: {
+      auto *L = static_cast<LetNode *>(N);
+      for (Node *I : L->Inits)
+        walk(I, Bound, Free);
+      for (Var *V : L->Vars)
+        Bound.insert(V);
+      walk(L->Body, Bound, Free);
+      return;
+    }
+    case NodeKind::Lambda: {
+      auto *L = static_cast<LambdaNode *>(N);
+      analyzeLambda(L);
+      // The lambda's own free variables are free here too unless bound.
+      for (Var *V : L->FreeVars) {
+        V->Captured = true;
+        addIfFree(V, Bound, Free);
+      }
+      return;
+    }
+    case NodeKind::Call: {
+      auto *C = static_cast<CallNode *>(N);
+      walk(C->Fn, Bound, Free);
+      for (Node *A : C->Args)
+        walk(A, Bound, Free);
+      return;
+    }
+    case NodeKind::Attach: {
+      auto *A = static_cast<AttachNode *>(N);
+      if (A->Key)
+        walk(A->Key, Bound, Free);
+      walk(A->ValOrDflt, Bound, Free);
+      if (A->BodyVar)
+        Bound.insert(A->BodyVar);
+      walk(A->Body, Bound, Free);
+      return;
+    }
+    }
+    CMK_UNREACHABLE("unhandled node kind");
+  }
+
+  void analyzeLambda(LambdaNode *L) {
+    std::unordered_set<Var *> Bound;
+    for (Var *P : L->Params)
+      Bound.insert(P);
+    L->FreeVars.clear();
+    walk(L->Body, Bound, L->FreeVars);
+  }
+
+private:
+  static void addIfFree(Var *V, const std::unordered_set<Var *> &Bound,
+                        std::vector<Var *> &Free) {
+    if (Bound.count(V))
+      return;
+    for (Var *F : Free)
+      if (F == V)
+        return;
+    Free.push_back(V);
+  }
+};
+
+} // namespace
+
+void cmk::runFreeVarsPass(LambdaNode *Toplevel) {
+  FreeVarsPass Pass;
+  Pass.analyzeLambda(Toplevel);
+  CMK_CHECK(Toplevel->FreeVars.empty(),
+            "toplevel form must not have free lexical variables");
+}

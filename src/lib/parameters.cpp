@@ -1,0 +1,97 @@
+//===- lib/parameters.cpp - Parameter objects ------------------*- C++ -*-===//
+///
+/// \file
+/// make-parameter and the natives behind the parameterize expansion
+/// (expand.cpp): #%parameter-key extracts the private mark key and
+/// #%parameter-convert applies the guard. Reading a parameter (applying it
+/// to zero arguments) is dispatched by the VM to parameterLookup, which
+/// uses the marks layer's amortized-constant first-mark lookup — the
+/// paper's flagship use of continuation marks (section 1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "lib/parameters.h"
+
+#include "marks/marks.h"
+#include "runtime/printer.h"
+#include "vm/vm.h"
+
+#include <cstdio>
+
+using namespace cmk;
+
+Value cmk::currentOutputPort(VM &M) {
+  Value Param = M.getGlobal("current-output-port");
+  if (Param.isParameter())
+    return parameterLookup(M, Param);
+  if (Param.isPort())
+    return Param;
+  return M.getGlobal("#%stdout-port");
+}
+
+void cmk::portWrite(VM &M, Value Port, const std::string &Text) {
+  PortObj *P = asPort(Port);
+  if (P->H.Aux == 1) {
+    static_cast<std::string *>(P->Stream)->append(Text);
+    return;
+  }
+  std::fwrite(Text.data(), 1, Text.size(), static_cast<FILE *>(P->Stream));
+}
+
+namespace {
+
+Value nativeMakeParameter(VM &M, Value *Args, uint32_t NArgs) {
+  GCRoot Dflt(M.heap(), Args[0]);
+  GCRoot Guard(M.heap(), NArgs > 1 ? Args[1] : Value::False());
+  GCRoot Name(M.heap(), NArgs > 2 ? Args[2] : Value::False());
+  Value Key = M.heap().gensym("param");
+  GCRoot KeyRoot(M.heap(), Key);
+  Value NameV = Name.get().isSymbol() ? Name.get() : M.heap().intern("param");
+  // Apply the guard to the initial value eagerly? Racket does; we keep the
+  // default as-is and apply guards on parameterize only, which the paper's
+  // workloads match.
+  return M.heap().makeParameter(KeyRoot.get(), Dflt.get(), Guard.get(),
+                                NameV);
+}
+
+Value nativeParameterP(VM &, Value *Args, uint32_t) {
+  return Value::boolean(Args[0].isParameter());
+}
+
+Value nativeParameterKey(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isParameter())
+    return typeError(M, "#%parameter-key", "parameter", Args[0]);
+  return asParameter(Args[0])->Key;
+}
+
+Value nativeParameterConvert(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isParameter())
+    return typeError(M, "#%parameter-convert", "parameter", Args[0]);
+  Value Guard = asParameter(Args[0])->Guard;
+  if (Guard.isFalse())
+    return Args[1];
+  Value CallArgs[1] = {Args[1]};
+  M.scheduleTailCall(Guard, CallArgs, 1);
+  return Value::voidValue();
+}
+
+Value nativeParameterDefault(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isParameter())
+    return typeError(M, "#%parameter-default", "parameter", Args[0]);
+  return asParameter(Args[0])->Default;
+}
+
+} // namespace
+
+void cmk::installParameterPrimitives(VM &M) {
+  M.defineNative("make-parameter", nativeMakeParameter, 1, 3);
+  M.defineNative("parameter?", nativeParameterP, 1, 1);
+  M.defineNative("#%parameter-key", nativeParameterKey, 1, 1);
+  M.defineNative("#%parameter-convert", nativeParameterConvert, 2, 2);
+  M.defineNative("#%parameter-default", nativeParameterDefault, 1, 1);
+
+  // The default output port; current-output-port is made a parameter by
+  // the prelude so `parameterize` can redirect it (paper section 1).
+  Value Stdout = M.heap().makeStdioPort(stdout, M.heap().intern("stdout"));
+  M.setGlobal("#%stdout-port", Stdout);
+}

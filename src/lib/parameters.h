@@ -1,0 +1,31 @@
+//===- lib/parameters.h - Parameter objects (dynamic binding) --*- C++ -*-===//
+///
+/// \file
+/// Parameter objects implement dynamic binding over continuation marks:
+/// parameterize expands to with-continuation-mark on the parameter's
+/// private key, and applying a parameter reads the innermost mark
+/// (amortized constant time via the marks layer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_LIB_PARAMETERS_H
+#define CMARKS_LIB_PARAMETERS_H
+
+#include "runtime/value.h"
+
+#include <string>
+
+namespace cmk {
+
+class VM;
+
+/// Returns the current output port: the dynamic binding of
+/// current-output-port, or the stdout port if unbound.
+Value currentOutputPort(VM &M);
+
+/// Writes \p Text to \p Port (stdio stream or string buffer).
+void portWrite(VM &M, Value Port, const std::string &Text);
+
+} // namespace cmk
+
+#endif // CMARKS_LIB_PARAMETERS_H

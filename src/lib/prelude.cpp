@@ -1,0 +1,401 @@
+//===- lib/prelude.cpp - Embedded Scheme prelude ---------------*- C++ -*-===//
+///
+/// \file
+/// The library layer the paper advertises: dynamic-wind, a winder-aware
+/// call/cc, aborts that unwind, exceptions in the style of section 2.3,
+/// contracts, and generators — all implemented as Scheme libraries over
+/// continuation marks and the control primitives, with no further compiler
+/// support.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lib/prelude.h"
+
+namespace cmk {
+
+const char *preludeSource() {
+  return R"PRELUDE(
+
+;; ---------------------------------------------------------------- lists ----
+
+(define (map f l . more)
+  (if (null? more)
+      (let loop ([l l])
+        (if (null? l) '() (cons (f (car l)) (loop (cdr l)))))
+      (let loop ([ls (cons l more)])
+        (if (null? (car ls))
+            '()
+            (cons (apply f (map car ls)) (loop (map cdr ls)))))))
+
+(define (for-each f l . more)
+  (if (null? more)
+      (let loop ([l l])
+        (if (null? l) (void) (begin (f (car l)) (loop (cdr l)))))
+      (let loop ([ls (cons l more)])
+        (if (null? (car ls))
+            (void)
+            (begin (apply f (map car ls)) (loop (map cdr ls)))))))
+
+(define (filter pred l)
+  (cond [(null? l) '()]
+        [(pred (car l)) (cons (car l) (filter pred (cdr l)))]
+        [else (filter pred (cdr l))]))
+
+(define (foldl f init l)
+  (if (null? l) init (foldl f (f (car l) init) (cdr l))))
+
+(define (foldr f init l)
+  (if (null? l) init (f (car l) (foldr f init (cdr l)))))
+
+(define (iota n)
+  (let loop ([i (- n 1)] [acc '()])
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+
+(define (build-list n f)
+  (let loop ([i (- n 1)] [acc '()])
+    (if (< i 0) acc (loop (- i 1) (cons (f i) acc)))))
+
+(define (list-sort less? l)
+  (define (merge a b)
+    (cond [(null? a) b]
+          [(null? b) a]
+          [(less? (car b) (car a)) (cons (car b) (merge a (cdr b)))]
+          [else (cons (car a) (merge (cdr a) b))]))
+  (define (split l)
+    (if (or (null? l) (null? (cdr l)))
+        (cons l '())
+        (let ([rest (split (cddr l))])
+          (cons (cons (car l) (car rest))
+                (cons (cadr l) (cdr rest))))))
+  (if (or (null? l) (null? (cdr l)))
+      l
+      (let ([halves (split l)])
+        (merge (list-sort less? (car halves))
+               (list-sort less? (cdr halves))))))
+
+(define sort list-sort)
+
+(define (andmap f l)
+  (if (null? l) #t (and (f (car l)) (andmap f (cdr l)))))
+
+(define (ormap f l)
+  (if (null? l) #f (or (f (car l)) (ormap f (cdr l)))))
+
+(define (list-index pred l)
+  (let loop ([l l] [i 0])
+    (cond [(null? l) #f]
+          [(pred (car l)) i]
+          [else (loop (cdr l) (+ i 1))])))
+
+(define (vector-map f v)
+  (let ([out (make-vector (vector-length v) 0)])
+    (let loop ([i 0])
+      (if (= i (vector-length v))
+          out
+          (begin (vector-set! out i (f (vector-ref v i)))
+                 (loop (+ i 1)))))))
+
+(define (vector-for-each f v)
+  (let loop ([i 0])
+    (if (= i (vector-length v))
+        (void)
+        (begin (f (vector-ref v i)) (loop (+ i 1))))))
+
+;; --------------------------------------------------------- dynamic-wind ----
+
+(define (dynamic-wind before thunk after)
+  (before)
+  (#%push-winder before after)
+  (let ([r (thunk)])
+    (#%pop-winder)
+    (after)
+    r))
+
+(define (#%winders-length ws)
+  (let loop ([ws ws] [n 0])
+    (if (null? ws) n (loop (#%winder-next ws) (+ n 1)))))
+
+(define (#%drop-winders ws n)
+  (if (zero? n) ws (#%drop-winders (#%winder-next ws) (- n 1))))
+
+(define (#%common-tail ws1 ws2)
+  (let ([n1 (#%winders-length ws1)]
+        [n2 (#%winders-length ws2)])
+    (let loop ([a (#%drop-winders ws1 (max 0 (- n1 n2)))]
+               [b (#%drop-winders ws2 (max 0 (- n2 n1)))])
+      (if (eq? a b) a (loop (#%winder-next a) (#%winder-next b))))))
+
+;; Run after-thunks from ws (innermost) down to tail, with each thunk seeing
+;; the winder state and marks of its own dynamic-wind call (footnote 4).
+(define (#%unwind-to ws tail)
+  (unless (eq? ws tail)
+    (#%set-winders! (#%winder-next ws))
+    (#%call-with-marks (#%winder-marks ws) (#%winder-after ws))
+    (#%unwind-to (#%winder-next ws) tail)))
+
+;; Run before-thunks from tail up to ws.
+(define (#%rewind-to ws tail)
+  (unless (eq? ws tail)
+    (#%rewind-to (#%winder-next ws) tail)
+    (#%call-with-marks (#%winder-marks ws) (#%winder-before ws))
+    (#%set-winders! ws)))
+
+;; The user-facing call/cc: wraps the raw capture so that applying the
+;; continuation runs the winders between here and there. The extra wrapper
+;; closure matches the indirection Racket CS adds over Chez's call/cc.
+(define (#%throw-to k v)
+  (let* ([cur (#%winders)]
+         [target (#%continuation-winders k)]
+         [tail (#%common-tail cur target)])
+    (#%unwind-to cur tail)
+    (#%rewind-to target tail)
+    (k v)))
+
+(define (call-with-current-continuation f)
+  (#%call/cc (lambda (k) (f (lambda (v) (#%throw-to k v))))))
+
+(define call/cc call-with-current-continuation)
+
+;; One-shot continuations (paper section 6; Bruggeman et al.): cheaper to
+;; return through, and using one twice is an error unless a later call/cc
+;; promotes it.
+(define (call/1cc f)
+  (#%call/1cc (lambda (k) (f (lambda (v) (#%throw-to k v))))))
+
+;; (time expr): returns (cons result elapsed-milliseconds).
+(define-syntax-rule (time expr)
+  (let ([%start (current-inexact-milliseconds)])
+    (let ([%result expr])
+      (cons %result (- (current-inexact-milliseconds) %start)))))
+
+;; A one-shot escape without winder bookkeeping, used by catch below when
+;; the escape cannot cross a dynamic-wind (kept for benchmarks that need a
+;; raw escape).
+(define (call-with-escape-continuation f)
+  (#%call/cc (lambda (k) (f k))))
+
+;; ---------------------------------------------------------------- aborts ----
+
+(define (abort-current-continuation tag val)
+  (let* ([cur (#%winders)]
+         [target (#%prompt-winders tag)]
+         [tail (#%common-tail cur target)])
+    (#%unwind-to cur tail)
+    (#%abort-to-prompt tag val)))
+
+;; ------------------------------------------------------------ exceptions ----
+;; The catch/throw of paper section 2.3: the handler stack lives in
+;; continuation marks under a private key; catch keeps its body in tail
+;; position by chaining the frame's existing handler list.
+
+(define #%handler-key (gensym "handler"))
+
+(define (#%make-exn msg irritants)
+  (vector '#%exn msg irritants))
+
+(define (exn? v)
+  (if (vector? v)
+      (if (> (vector-length v) 0) (eq? (vector-ref v 0) '#%exn) #f)
+      #f))
+
+(define (exn-message e) (vector-ref e 1))
+(define (exn-irritants e) (vector-ref e 2))
+
+(define (#%flatten-handler-lists lss)
+  (if (null? lss)
+      '()
+      (append (car lss) (#%flatten-handler-lists (cdr lss)))))
+
+(define (#%throw-with-handler-stack exn handlers)
+  (if (null? handlers)
+      (#%fatal-error "uncaught exception:"
+                     (if (exn? exn) (exn-message exn) exn))
+      ((car handlers) exn (cdr handlers))))
+
+(define (throw exn)
+  (#%throw-with-handler-stack
+   exn
+   (#%flatten-handler-lists
+    (continuation-mark-set->list (current-continuation-marks)
+                                 #%handler-key))))
+
+(define-syntax-rule (catch handler-proc body)
+  ((call/cc
+    (lambda (%catch-k)
+      (lambda ()
+        (call-with-immediate-continuation-mark
+         #%handler-key
+         (lambda (%existing)
+           (with-continuation-mark
+             #%handler-key
+             (cons (lambda (%exn %rest)
+                     (%catch-k (lambda () (handler-proc %exn))))
+                   (if %existing %existing '()))
+             body))
+         #f))))))
+
+;; Racket-style with-handlers, built from catch and ellipsis macros:
+;; (with-handlers ([pred handler] ...) body ...) runs body; a thrown value
+;; is given to the handler of the first matching predicate, or rethrown.
+(define (#%dispatch-handlers clauses exn)
+  (cond [(null? clauses) (throw exn)]
+        [((caar clauses) exn) ((cdar clauses) exn)]
+        [else (#%dispatch-handlers (cdr clauses) exn)]))
+
+(define-syntax-rule (with-handlers ([pred handler] ...) body ...)
+  (catch (lambda (%exn)
+           (#%dispatch-handlers (list (cons pred handler) ...) %exn))
+    (begin body ...)))
+
+;; error now raises a catchable exception; an uncaught throw becomes a
+;; fatal VM error via #%throw-with-handler-stack.
+(set! error
+  (lambda args
+    (throw (#%make-exn (if (pair? args) (car args) "error")
+                       (if (pair? args) (cdr args) '())))))
+
+;; ------------------------------------------------------------ parameters ----
+
+(define current-output-port (make-parameter #%stdout-port))
+
+(define (with-output-to-string thunk)
+  (let ([p (open-output-string)])
+    (parameterize ([current-output-port p]) (thunk))
+    (get-output-string p)))
+
+;; -------------------------------------------------------------- contracts ----
+;; A miniature of Racket's contract system, exercising the pattern the
+;; paper's section 8.4 measures: every wrapped call installs a
+;; continuation mark recording the blame context.
+
+(define #%blame-key (gensym "blame"))
+
+(define (flat-contract name pred) (vector '#%contract 'flat name pred))
+(define (-> dom rng) (vector '#%contract 'arrow dom rng))
+
+(define integer/c (flat-contract 'integer? integer?))
+(define string/c (flat-contract 'string? string?))
+(define number/c (flat-contract 'number? number?))
+(define procedure/c (flat-contract 'procedure? procedure?))
+(define any/c (flat-contract 'any (lambda (v) #t)))
+
+(define (contract? v)
+  (if (vector? v)
+      (if (> (vector-length v) 0) (eq? (vector-ref v 0) '#%contract) #f)
+      #f))
+
+(define (#%flat-check ctc v blame)
+  (if ((vector-ref ctc 3) v)
+      v
+      (error "contract violation" (vector-ref ctc 2) v blame)))
+
+(define (contract-wrap ctc fn blame)
+  (if (eq? (vector-ref ctc 1) 'arrow)
+      (let ([dom (vector-ref ctc 2)]
+            [rng (vector-ref ctc 3)])
+        (lambda (x)
+          (with-continuation-mark #%blame-key blame
+            (#%flat-check rng (fn (#%flat-check dom x blame)) blame))))
+      (#%flat-check ctc fn blame)))
+
+(define (current-blame)
+  (continuation-mark-set-first #f #%blame-key #f))
+
+(define (blame-trail)
+  (continuation-mark-set->list (current-continuation-marks) #%blame-key))
+
+;; ------------------------------------------------------------- generators ----
+
+(define #%generator-tag (make-continuation-prompt-tag 'generator))
+
+(define (make-generator body-proc)
+  (let ([state (box #f)]
+        [final (box #f)])
+    (define (yield v)
+      (call-with-composable-continuation
+       (lambda (k)
+         (abort-current-continuation #%generator-tag
+                                     (cons 'yielded (cons v k))))
+       #%generator-tag))
+    (lambda ()
+      (let ([st (unbox state)])
+        (if (eq? st 'done)
+            (unbox final)
+            (let ([r (call-with-continuation-prompt
+                      (lambda ()
+                        (if st
+                            (st (void))
+                            (cons 'done (body-proc yield))))
+                      #%generator-tag
+                      (lambda (msg) msg))])
+              (if (eq? (car r) 'yielded)
+                  (begin
+                    (set-box! state (cdr (cdr r)))
+                    (car (cdr r)))
+                  (begin
+                    (set-box! state 'done)
+                    (set-box! final (cdr r))
+                    (cdr r)))))))))
+
+;; -------------------------------------------------------------- stack info ----
+;; A debugger-style helper: programs annotate frames with 'trace marks and
+;; current-stack-trace reads them back (used by the stack_tracer example).
+
+(define #%trace-key (gensym "trace"))
+
+(define-syntax-rule (with-stack-frame name body)
+  (with-continuation-mark #%trace-key name body))
+
+(define (current-stack-trace)
+  (continuation-mark-set->list (current-continuation-marks) #%trace-key))
+
+)PRELUDE";
+}
+
+const char *imitationSource() {
+  return R"IMITATE(
+
+;; Figure 3 of the paper: imitation of built-in attachment support using
+;; raw call/cc and eq? on continuations, plus the attachment-stack pop on
+;; the return path. #%imitate-ks parallels the paper's ks, #%imitate-atts
+;; parallels atts; the marks layer is pointed at #%imitate-atts by the
+;; Imitate engine variant.
+
+(define #%imitate-ks '(#f))
+(define #%imitate-atts '())
+
+(define (imitate-setting v thunk)
+  (#%call/cc
+   (lambda (k)
+     (cond [(eq? k (car #%imitate-ks))
+            (set! #%imitate-atts (cons v (cdr #%imitate-atts)))
+            (thunk)]
+           [else
+            (let ([r (#%call/cc
+                      (lambda (nested-k)
+                        (set! #%imitate-ks (cons nested-k #%imitate-ks))
+                        (set! #%imitate-atts (cons v #%imitate-atts))
+                        (thunk)))])
+              (set! #%imitate-ks (cdr #%imitate-ks))
+              (set! #%imitate-atts (cdr #%imitate-atts))
+              r)]))))
+
+(define (imitate-getting dflt proc)
+  (#%call/cc
+   (lambda (k)
+     (if (eq? k (car #%imitate-ks))
+         (proc (car #%imitate-atts))
+         (proc dflt)))))
+
+;; A true consume cannot pop the stacks without desynchronizing the pop in
+;; imitate-setting's return path, so consuming reads without removing; the
+;; with-continuation-mark expansion uses get+set under imitation, which is
+;; equivalent (set replaces a present attachment).
+(define imitate-consuming imitate-getting)
+
+(define (imitate-current) #%imitate-atts)
+
+)IMITATE";
+}
+
+} // namespace cmk

@@ -1,0 +1,20 @@
+//===- lib/prelude.h - Embedded Scheme prelude -----------------*- C++ -*-===//
+
+#ifndef CMARKS_LIB_PRELUDE_H
+#define CMARKS_LIB_PRELUDE_H
+
+namespace cmk {
+
+/// Scheme source of the base prelude: list utilities, dynamic-wind, the
+/// winder-aware call/cc wrapper, aborts, exceptions, parameters glue,
+/// contracts, and generators. Evaluated by SchemeEngine at startup.
+const char *preludeSource();
+
+/// Scheme source of the figure 3 imitation of continuation attachments:
+/// a call/cc-based attachment stack keyed on eq? continuations. Loaded by
+/// the Imitate engine variant, and usable directly by benchmarks.
+const char *imitationSource();
+
+} // namespace cmk
+
+#endif // CMARKS_LIB_PRELUDE_H

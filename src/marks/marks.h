@@ -1,0 +1,49 @@
+//===- marks/marks.h - The continuation-marks layer ------------*- C++ -*-===//
+///
+/// \file
+/// Racket-style continuation marks implemented over continuation
+/// attachments (paper section 7.5). A frame's attachment is a MarkFrame: a
+/// small immutable key/value dictionary plus a cache used for the N/2
+/// path-compression that makes continuation-mark-set-first amortized
+/// constant time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_MARKS_MARKS_H
+#define CMARKS_MARKS_MARKS_H
+
+#include "runtime/value.h"
+
+namespace cmk {
+
+class VM;
+class Heap;
+
+/// Returns a MarkFrame derived from \p FrameOrFalse (a MarkFrame or #f)
+/// with \p Key bound to \p Val (replacing any existing binding).
+Value markFrameUpdate(Heap &H, Value FrameOrFalse, Value Key, Value Val);
+
+/// Looks up \p Key in the mark frame; returns undefined when absent.
+Value markFrameLookup(Value Frame, Value Key);
+
+/// Finds the newest value for \p Key in the attachment list \p Marks.
+/// Implements the N/2 path-compression caching of paper 7.5: when a result
+/// is found at depth N, it is cached on the mark frame at depth N/2
+/// (validated against the list tail so sharing frames between chains is
+/// sound). Returns \p Dflt when no frame maps the key. \p UntilTail (a
+/// shared list tail, or undefined) delimits the search at a prompt.
+Value markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
+                    Value UntilTail = Value::undefined());
+
+/// Collects every value for \p Key in \p Marks, newest first. \p UntilTail
+/// (a list tail or nil) delimits the walk for prompt-local marks.
+Value markListAll(Heap &H, Value Marks, Value Key, Value UntilTail);
+
+/// Reads the current binding of a parameter object (lib/parameters).
+Value parameterLookup(VM &M, Value Param);
+
+void installMarkPrimitives(VM &M);
+
+} // namespace cmk
+
+#endif // CMARKS_MARKS_MARKS_H

@@ -1,0 +1,335 @@
+//===- reader/reader.cpp --------------------------------------*- C++ -*-===//
+
+#include "reader/reader.h"
+
+#include "runtime/heap.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+using namespace cmk;
+
+static bool isDelimiter(char C) {
+  return std::isspace(static_cast<unsigned char>(C)) || C == '(' || C == ')' ||
+         C == '[' || C == ']' || C == '"' || C == ';';
+}
+
+Reader::Reader(Heap &H, std::string Source) : H(H), Src(std::move(Source)) {}
+
+char Reader::advance() {
+  char C = Src[Pos++];
+  if (C == '\n')
+    ++Line;
+  return C;
+}
+
+void Reader::skipAtmosphere() {
+  while (!atEof()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == ';') {
+      while (!atEof() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '#' && Pos + 1 < Src.size() && Src[Pos + 1] == '|') {
+      advance();
+      advance();
+      int Depth = 1;
+      while (!atEof() && Depth > 0) {
+        char D = advance();
+        if (D == '#' && !atEof() && peek() == '|') {
+          advance();
+          ++Depth;
+        } else if (D == '|' && !atEof() && peek() == '#') {
+          advance();
+          --Depth;
+        }
+      }
+      continue;
+    }
+    if (C == '#' && Pos + 1 < Src.size() && Src[Pos + 1] == ';') {
+      advance();
+      advance();
+      // Datum comment: read and discard the next datum.
+      ReadResult Ignored = readDatum();
+      (void)Ignored;
+      continue;
+    }
+    break;
+  }
+}
+
+ReadResult Reader::errorResult(const std::string &Msg) {
+  return {ReadResult::Status::Error, Value::undefined(), Msg, Line};
+}
+
+ReadResult Reader::read() {
+  skipAtmosphere();
+  if (atEof())
+    return {ReadResult::Status::Eof, Value::undefined(), "", Line};
+  return readDatum();
+}
+
+ReadResult Reader::readDatum() {
+  skipAtmosphere();
+  if (atEof())
+    return errorResult("unexpected end of input");
+
+  char C = peek();
+  if (C == '(' || C == '[') {
+    advance();
+    return readListTail(C == '(' ? ')' : ']');
+  }
+  if (C == ')' || C == ']')
+    return errorResult("unexpected close parenthesis");
+  if (C == '"') {
+    advance();
+    return readString();
+  }
+  if (C == '#') {
+    advance();
+    return readHash();
+  }
+  if (C == '\'' || C == '`' || C == ',') {
+    advance();
+    const char *Sym = "quote";
+    if (C == '`') {
+      Sym = "quasiquote";
+    } else if (C == ',') {
+      if (!atEof() && peek() == '@') {
+        advance();
+        Sym = "unquote-splicing";
+      } else {
+        Sym = "unquote";
+      }
+    }
+    ReadResult Inner = readDatum();
+    if (!Inner.isDatum())
+      return Inner.isEof() ? errorResult("unexpected end after quote") : Inner;
+    GCRoot InnerRoot(H, Inner.Datum);
+    Value Tail = H.makePair(InnerRoot.get(), Value::nil());
+    GCRoot TailRoot(H, Tail);
+    Value SymV = H.intern(Sym);
+    Value Datum = H.makePair(SymV, TailRoot.get());
+    return {ReadResult::Status::Datum, Datum, "", Line};
+  }
+
+  // Token: number or symbol.
+  std::string Tok;
+  while (!atEof() && !isDelimiter(peek()))
+    Tok += advance();
+  if (Tok.empty())
+    return errorResult("empty token");
+  return atomFromToken(Tok);
+}
+
+ReadResult Reader::atomFromToken(const std::string &Tok) {
+  // Try fixnum.
+  if (Tok.find_first_not_of("0123456789+-") == std::string::npos &&
+      Tok != "+" && Tok != "-" && Tok.find_first_of("0123456789") !=
+                                      std::string::npos &&
+      Tok.find('+', 1) == std::string::npos &&
+      Tok.find('-', 1) == std::string::npos) {
+    errno = 0;
+    char *End = nullptr;
+    long long N = std::strtoll(Tok.c_str(), &End, 10);
+    if (errno == 0 && End == Tok.c_str() + Tok.size() && fitsFixnum(N))
+      return {ReadResult::Status::Datum, Value::fixnum(N), "", Line};
+  }
+  // Try flonum: must contain '.', 'e', or be inf/nan spelled +inf.0 style.
+  bool LooksNumeric = std::isdigit(static_cast<unsigned char>(Tok[0])) ||
+                      ((Tok[0] == '+' || Tok[0] == '-') && Tok.size() > 1 &&
+                       (std::isdigit(static_cast<unsigned char>(Tok[1])) ||
+                        Tok[1] == '.' || Tok[1] == 'i' || Tok[1] == 'n')) ||
+                      (Tok[0] == '.' && Tok.size() > 1 &&
+                       std::isdigit(static_cast<unsigned char>(Tok[1])));
+  if (LooksNumeric) {
+    if (Tok == "+inf.0")
+      return {ReadResult::Status::Datum, H.makeFlonum(HUGE_VAL), "", Line};
+    if (Tok == "-inf.0")
+      return {ReadResult::Status::Datum, H.makeFlonum(-HUGE_VAL), "", Line};
+    if (Tok == "+nan.0" || Tok == "-nan.0")
+      return {ReadResult::Status::Datum, H.makeFlonum(NAN), "", Line};
+    errno = 0;
+    char *End = nullptr;
+    double D = std::strtod(Tok.c_str(), &End);
+    if (errno == 0 && End == Tok.c_str() + Tok.size())
+      return {ReadResult::Status::Datum, H.makeFlonum(D), "", Line};
+    return errorResult("malformed number: " + Tok);
+  }
+  return {ReadResult::Status::Datum, H.intern(Tok), "", Line};
+}
+
+ReadResult Reader::readListTail(char Closer) {
+  // Accumulate elements, then build the list back-to-front so only the
+  // result list needs rooting.
+  RootedValues Elems(H);
+  Value TailDatum = Value::nil();
+  bool Dotted = false;
+
+  for (;;) {
+    skipAtmosphere();
+    if (atEof())
+      return errorResult("unterminated list");
+    char C = peek();
+    if (C == ')' || C == ']') {
+      advance();
+      if ((C == ')') != (Closer == ')'))
+        return errorResult("mismatched bracket");
+      break;
+    }
+    if (C == '.' && Pos + 1 < Src.size() && isDelimiter(Src[Pos + 1]) &&
+        !Elems.size()) {
+      return errorResult("dot at start of list");
+    }
+    if (C == '.' && Pos + 1 < Src.size() && isDelimiter(Src[Pos + 1])) {
+      advance();
+      ReadResult Tail = readDatum();
+      if (!Tail.isDatum())
+        return Tail.isEof() ? errorResult("unterminated dotted list") : Tail;
+      TailDatum = Tail.Datum;
+      Dotted = true;
+      skipAtmosphere();
+      if (atEof() || (peek() != ')' && peek() != ']'))
+        return errorResult("expected close after dotted tail");
+      advance();
+      break;
+    }
+    ReadResult Elem = readDatum();
+    if (!Elem.isDatum())
+      return Elem.isEof() ? errorResult("unterminated list") : Elem;
+    Elems.push(Elem.Datum);
+  }
+
+  GCRoot Acc(H, TailDatum);
+  (void)Dotted;
+  for (size_t I = Elems.size(); I > 0; --I)
+    Acc.set(H.makePair(Elems[I - 1], Acc.get()));
+  return {ReadResult::Status::Datum, Acc.get(), "", Line};
+}
+
+ReadResult Reader::readString() {
+  std::string Out;
+  for (;;) {
+    if (atEof())
+      return errorResult("unterminated string");
+    char C = advance();
+    if (C == '"')
+      break;
+    if (C == '\\') {
+      if (atEof())
+        return errorResult("unterminated escape");
+      char E = advance();
+      switch (E) {
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '"':
+        Out += '"';
+        break;
+      default:
+        Out += E;
+        break;
+      }
+      continue;
+    }
+    Out += C;
+  }
+  return {ReadResult::Status::Datum, H.makeString(Out), "", Line};
+}
+
+ReadResult Reader::readHash() {
+  if (atEof())
+    return errorResult("unexpected end after #");
+  char C = advance();
+  if (C == 't')
+    return {ReadResult::Status::Datum, Value::True(), "", Line};
+  if (C == 'f')
+    return {ReadResult::Status::Datum, Value::False(), "", Line};
+  if (C == '(') {
+    ReadResult ListR = readListTail(')');
+    if (!ListR.isDatum())
+      return ListR;
+    GCRoot ListRoot(H, ListR.Datum);
+    int64_t N = listLength(ListRoot.get());
+    if (N < 0)
+      return errorResult("dotted list in vector literal");
+    Value Vec = H.makeVector(static_cast<uint32_t>(N), Value::undefined());
+    Value P = ListRoot.get();
+    for (int64_t I = 0; I < N; ++I) {
+      asVector(Vec)->Elems[I] = car(P);
+      P = cdr(P);
+    }
+    return {ReadResult::Status::Datum, Vec, "", Line};
+  }
+  if (C == '%') {
+    // #%-prefixed symbols name low-level primitives.
+    std::string Name = "#%";
+    while (!atEof() && !isDelimiter(peek()))
+      Name += advance();
+    return {ReadResult::Status::Datum, H.intern(Name), "", Line};
+  }
+  if (C == '\\') {
+    // Character literal.
+    std::string Name;
+    if (atEof())
+      return errorResult("unexpected end after #\\");
+    Name += advance();
+    while (!atEof() && !isDelimiter(peek()))
+      Name += advance();
+    if (Name.size() == 1)
+      return {ReadResult::Status::Datum,
+              Value::character(static_cast<unsigned char>(Name[0])), "", Line};
+    if (Name == "space")
+      return {ReadResult::Status::Datum, Value::character(' '), "", Line};
+    if (Name == "newline" || Name == "linefeed")
+      return {ReadResult::Status::Datum, Value::character('\n'), "", Line};
+    if (Name == "tab")
+      return {ReadResult::Status::Datum, Value::character('\t'), "", Line};
+    if (Name == "return")
+      return {ReadResult::Status::Datum, Value::character('\r'), "", Line};
+    if (Name == "nul" || Name == "null")
+      return {ReadResult::Status::Datum, Value::character(0), "", Line};
+    return errorResult("unknown character literal: #\\" + Name);
+  }
+  return errorResult(std::string("unsupported # syntax: #") + C);
+}
+
+std::vector<Value> Reader::readAll(std::string *ErrorOut) {
+  // Keep GC off so earlier data stay live while later ones are read; the
+  // caller must root the results before the next allocation-heavy step.
+  GCPauseScope Pause(H);
+  std::vector<Value> Out;
+  for (;;) {
+    ReadResult R = read();
+    if (R.isEof())
+      return Out;
+    if (R.isError()) {
+      if (ErrorOut)
+        *ErrorOut = R.Error + " (line " + std::to_string(R.Line) + ")";
+      return Out;
+    }
+    Out.push_back(R.Datum);
+  }
+}
+
+std::vector<Value> cmk::readAllFromString(Heap &H, const std::string &Source,
+                                          std::string *ErrorOut) {
+  Reader R(H, Source);
+  return R.readAll(ErrorOut);
+}

@@ -1,0 +1,72 @@
+//===- reader/reader.h - S-expression reader ------------------*- C++ -*-===//
+///
+/// \file
+/// Reads the textual Scheme subset accepted by cmarks into runtime values.
+/// Supports fixnums, flonums, strings, characters, booleans, symbols,
+/// proper/dotted lists, vectors, quote/quasiquote sugar, line comments,
+/// block comments (#| |#), and datum comments (#;).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_READER_READER_H
+#define CMARKS_READER_READER_H
+
+#include "runtime/value.h"
+
+#include <string>
+#include <vector>
+
+namespace cmk {
+
+class Heap;
+
+/// Outcome of a read: either a datum, end-of-input, or a syntax error with
+/// a human-readable message and position.
+struct ReadResult {
+  enum class Status { Datum, Eof, Error } St;
+  Value Datum;
+  std::string Error;
+  int Line = 0;
+
+  bool isDatum() const { return St == Status::Datum; }
+  bool isEof() const { return St == Status::Eof; }
+  bool isError() const { return St == Status::Error; }
+};
+
+/// Incremental reader over an in-memory buffer.
+class Reader {
+public:
+  Reader(Heap &H, std::string Source);
+
+  /// Reads the next datum.
+  ReadResult read();
+
+  /// Reads every remaining datum; stops at the first error.
+  std::vector<Value> readAll(std::string *ErrorOut = nullptr);
+
+private:
+  ReadResult readDatum();
+  ReadResult readListTail(char Closer);
+  ReadResult readHash();
+  ReadResult readString();
+  ReadResult atomFromToken(const std::string &Tok);
+  ReadResult errorResult(const std::string &Msg);
+
+  void skipAtmosphere();
+  bool atEof() const { return Pos >= Src.size(); }
+  char peek() const { return Src[Pos]; }
+  char advance();
+
+  Heap &H;
+  std::string Src;
+  size_t Pos = 0;
+  int Line = 1;
+};
+
+/// One-shot convenience: parses all data in \p Source.
+std::vector<Value> readAllFromString(Heap &H, const std::string &Source,
+                                     std::string *ErrorOut = nullptr);
+
+} // namespace cmk
+
+#endif // CMARKS_READER_READER_H

@@ -1,0 +1,89 @@
+//===- runtime/equal.cpp --------------------------------------*- C++ -*-===//
+
+#include "runtime/equal.h"
+
+#include "runtime/numbers.h"
+
+#include <cstring>
+
+using namespace cmk;
+
+bool cmk::isEqv(Value A, Value B) {
+  if (A == B)
+    return true;
+  if (A.isNumber() && B.isNumber())
+    return numEqv(A, B);
+  return false;
+}
+
+static bool equalRec(Value A, Value B, int Depth) {
+  if (isEqv(A, B))
+    return true;
+  if (Depth <= 0)
+    return false;
+  if (A.isPair() && B.isPair())
+    return equalRec(car(A), car(B), Depth - 1) &&
+           equalRec(cdr(A), cdr(B), Depth - 1);
+  if (A.isString() && B.isString()) {
+    StringObj *SA = asString(A), *SB = asString(B);
+    return SA->Len == SB->Len && std::memcmp(SA->Data, SB->Data, SA->Len) == 0;
+  }
+  if (A.isVector() && B.isVector()) {
+    VectorObj *VA = asVector(A), *VB = asVector(B);
+    if (VA->Len != VB->Len)
+      return false;
+    for (uint32_t I = 0; I < VA->Len; ++I)
+      if (!equalRec(VA->Elems[I], VB->Elems[I], Depth - 1))
+        return false;
+    return true;
+  }
+  return false;
+}
+
+bool cmk::isEqual(Value A, Value B) { return equalRec(A, B, 100000); }
+
+uint64_t cmk::eqHash(Value V) {
+  // Identity hash; mix the bits so consecutive pointers spread.
+  uint64_t X = V.raw();
+  X ^= X >> 33;
+  X *= 0xff51afd7ed558ccdULL;
+  X ^= X >> 33;
+  return X;
+}
+
+static uint64_t equalHashRec(Value V, int Depth) {
+  if (V.isFixnum() || V.isImm())
+    return eqHash(V);
+  if (V.isSymbol())
+    return asSymbol(V)->Hash;
+  if (V.isString()) {
+    StringObj *S = asString(V);
+    uint64_t Hash = 1469598103934665603ull;
+    for (uint32_t I = 0; I < S->Len; ++I) {
+      Hash ^= static_cast<unsigned char>(S->Data[I]);
+      Hash *= 1099511628211ull;
+    }
+    return Hash;
+  }
+  if (V.isFlonum()) {
+    double D = asFlonum(V)->Val;
+    uint64_t Bits;
+    std::memcpy(&Bits, &D, sizeof(Bits));
+    return eqHash(Value::fixnum(static_cast<int64_t>(Bits >> 3)));
+  }
+  if (Depth <= 0)
+    return 0x9e3779b97f4a7c15ULL;
+  if (V.isPair())
+    return equalHashRec(car(V), Depth - 1) * 31 +
+           equalHashRec(cdr(V), Depth - 1);
+  if (V.isVector()) {
+    VectorObj *Vec = asVector(V);
+    uint64_t Hash = Vec->Len * 0x9e3779b97f4a7c15ULL;
+    for (uint32_t I = 0; I < Vec->Len; ++I)
+      Hash = Hash * 33 + equalHashRec(Vec->Elems[I], Depth - 1);
+    return Hash;
+  }
+  return eqHash(V);
+}
+
+uint64_t cmk::equalHash(Value V) { return equalHashRec(V, 48); }

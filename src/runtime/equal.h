@@ -1,0 +1,27 @@
+//===- runtime/equal.h - eqv? / equal? and hashing ------------*- C++ -*-===//
+
+#ifndef CMARKS_RUNTIME_EQUAL_H
+#define CMARKS_RUNTIME_EQUAL_H
+
+#include "runtime/value.h"
+
+namespace cmk {
+
+/// Scheme eqv?: eq? plus numeric and character equivalence.
+bool isEqv(Value A, Value B);
+
+/// Scheme equal?: structural equality over pairs, strings, and vectors.
+/// Recursion depth is bounded; deeply nested or cyclic structure falls back
+/// to identity to guarantee termination.
+bool isEqual(Value A, Value B);
+
+/// Hash consistent with eq? (identity for heap objects, payload for
+/// immediates and fixnums).
+uint64_t eqHash(Value V);
+
+/// Hash consistent with equal?.
+uint64_t equalHash(Value V);
+
+} // namespace cmk
+
+#endif // CMARKS_RUNTIME_EQUAL_H

@@ -1,0 +1,123 @@
+//===- runtime/hashtable.cpp ----------------------------------*- C++ -*-===//
+
+#include "runtime/hashtable.h"
+
+#include "runtime/equal.h"
+#include "runtime/heap.h"
+
+using namespace cmk;
+
+// Slot encoding in the key vector: undefined = never used, eof = tombstone.
+
+static bool keyMatches(Value A, Value B, bool EqualBased) {
+  return EqualBased ? isEqual(A, B) : A == B;
+}
+
+static uint64_t keyHash(Value K, bool EqualBased) {
+  return EqualBased ? equalHash(K) : eqHash(K);
+}
+
+/// Finds the slot holding \p Key, or the first insertable slot when absent.
+/// Returns true if the key was found.
+static bool findSlot(HashTableObj *T, Value Key, uint32_t &SlotOut) {
+  bool EqualBased = T->H.Aux == 1;
+  VectorObj *Keys = asVector(T->Keys);
+  uint32_t Mask = T->CapMask;
+  uint32_t I = static_cast<uint32_t>(keyHash(Key, EqualBased)) & Mask;
+  uint32_t FirstTombstone = UINT32_MAX;
+  for (uint32_t Probe = 0; Probe <= Mask; ++Probe) {
+    Value K = Keys->Elems[I];
+    if (K.isUndefined()) {
+      SlotOut = FirstTombstone != UINT32_MAX ? FirstTombstone : I;
+      return false;
+    }
+    if (K.isEof()) {
+      if (FirstTombstone == UINT32_MAX)
+        FirstTombstone = I;
+    } else if (keyMatches(K, Key, EqualBased)) {
+      SlotOut = I;
+      return true;
+    }
+    I = (I + 1) & Mask;
+  }
+  CMK_CHECK(FirstTombstone != UINT32_MAX, "hash table has no free slot");
+  SlotOut = FirstTombstone;
+  return false;
+}
+
+static void grow(Heap &H, Value Table) {
+  HashTableObj *T = asHashTable(Table);
+  uint32_t OldCap = T->Keys.isNil() ? 0 : asVector(T->Keys)->Len;
+  uint32_t NewCap = OldCap == 0 ? 8 : OldCap * 2;
+
+  GCRoot OldKeys(H, T->Keys), OldVals(H, T->Vals), TableRoot(H, Table);
+  Value NewKeys = H.makeVector(NewCap, Value::undefined());
+  GCRoot NewKeysRoot(H, NewKeys);
+  Value NewVals = H.makeVector(NewCap, Value::undefined());
+
+  T = asHashTable(Table); // Re-fetch: allocation cannot move, but be tidy.
+  T->Keys = NewKeys;
+  T->Vals = NewVals;
+  T->CapMask = NewCap - 1;
+  T->Count = 0;
+
+  if (OldCap == 0)
+    return;
+  VectorObj *OK = asVector(OldKeys.get());
+  VectorObj *OV = asVector(OldVals.get());
+  for (uint32_t I = 0; I < OldCap; ++I) {
+    Value K = OK->Elems[I];
+    if (K.isUndefined() || K.isEof())
+      continue;
+    uint32_t Slot;
+    bool Found = findSlot(T, K, Slot);
+    assert(!Found && "duplicate key during rehash");
+    (void)Found;
+    asVector(T->Keys)->Elems[Slot] = K;
+    asVector(T->Vals)->Elems[Slot] = OV->Elems[I];
+    ++T->Count;
+  }
+}
+
+Value cmk::htGet(Value Table, Value Key, Value Default) {
+  HashTableObj *T = asHashTable(Table);
+  if (T->Keys.isNil())
+    return Default;
+  uint32_t Slot;
+  if (!findSlot(T, Key, Slot))
+    return Default;
+  return asVector(T->Vals)->Elems[Slot];
+}
+
+void cmk::htSet(Heap &H, Value Table, Value Key, Value Val) {
+  HashTableObj *T = asHashTable(Table);
+  uint32_t Cap = T->Keys.isNil() ? 0 : asVector(T->Keys)->Len;
+  if (Cap == 0 || (T->Count + 1) * 4 > Cap * 3) {
+    GCRoot K(H, Key), V(H, Val);
+    grow(H, Table);
+    T = asHashTable(Table);
+  }
+  uint32_t Slot;
+  if (findSlot(T, Key, Slot)) {
+    asVector(T->Vals)->Elems[Slot] = Val;
+    return;
+  }
+  asVector(T->Keys)->Elems[Slot] = Key;
+  asVector(T->Vals)->Elems[Slot] = Val;
+  ++T->Count;
+}
+
+bool cmk::htDelete(Value Table, Value Key) {
+  HashTableObj *T = asHashTable(Table);
+  if (T->Keys.isNil())
+    return false;
+  uint32_t Slot;
+  if (!findSlot(T, Key, Slot))
+    return false;
+  asVector(T->Keys)->Elems[Slot] = Value::eof(); // Tombstone.
+  asVector(T->Vals)->Elems[Slot] = Value::undefined();
+  --T->Count;
+  return true;
+}
+
+uint32_t cmk::htCount(Value Table) { return asHashTable(Table)->Count; }

@@ -1,0 +1,45 @@
+//===- runtime/hashtable.h - Mutable Scheme hash tables -------*- C++ -*-===//
+///
+/// \file
+/// Open-addressing hash tables keyed by eq? or equal?. The key and value
+/// arrays are ordinary Scheme vectors so the collector traces them without
+/// special cases; an undefined key marks an empty slot.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_RUNTIME_HASHTABLE_H
+#define CMARKS_RUNTIME_HASHTABLE_H
+
+#include "runtime/value.h"
+
+namespace cmk {
+
+class Heap;
+
+/// Returns the value for \p Key, or \p Default when absent.
+Value htGet(Value Table, Value Key, Value Default);
+
+/// Inserts or updates Key -> Val, growing the table as needed.
+void htSet(Heap &H, Value Table, Value Key, Value Val);
+
+/// Removes \p Key if present; returns true when a binding was removed.
+bool htDelete(Value Table, Value Key);
+
+/// Number of live bindings.
+uint32_t htCount(Value Table);
+
+/// Calls \p Fn for each binding. \p Fn must not mutate the table.
+template <typename F> void htForEach(Value Table, F Fn) {
+  HashTableObj *T = asHashTable(Table);
+  if (T->Keys.isNil())
+    return;
+  VectorObj *Keys = asVector(T->Keys);
+  VectorObj *Vals = asVector(T->Vals);
+  for (uint32_t I = 0; I < Keys->Len; ++I)
+    if (!Keys->Elems[I].isUndefined() && !Keys->Elems[I].isEof())
+      Fn(Keys->Elems[I], Vals->Elems[I]);
+}
+
+} // namespace cmk
+
+#endif // CMARKS_RUNTIME_HASHTABLE_H

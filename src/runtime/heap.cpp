@@ -1,0 +1,576 @@
+//===- runtime/heap.cpp - Mark-sweep collector implementation -*- C++ -*-===//
+
+#include "runtime/heap.h"
+
+#include <cstdlib>
+#include <cstring>
+
+using namespace cmk;
+
+namespace {
+/// Internal pseudo-kind marking a swept (free) chunk inside a block.
+constexpr uint8_t FreeChunkKind = 0xFF;
+
+constexpr size_t BlockSize = 1u << 20;      // 1 MiB bump blocks.
+constexpr size_t MaxSmallBytes = 1024;      // Larger allocations use malloc.
+constexpr uint64_t InitialGCThreshold = 16ull << 20;
+constexpr size_t NumSymBuckets = 4096;
+
+struct FreeChunk {
+  ObjHeader H;
+  void *Next;
+};
+
+uint64_t fnv1a(const char *Data, uint32_t Len) {
+  uint64_t Hash = 1469598103934665603ull;
+  for (uint32_t I = 0; I < Len; ++I) {
+    Hash ^= static_cast<unsigned char>(Data[I]);
+    Hash *= 1099511628211ull;
+  }
+  return Hash;
+}
+
+size_t sizeClassOf(size_t RoundedBytes) { return RoundedBytes / 16 - 1; }
+} // namespace
+
+GCRoot::GCRoot(Heap &H, Value V) : H(H), V(V) { H.TempRoots.push_back(this); }
+
+GCRoot::~GCRoot() {
+  assert(!H.TempRoots.empty() && H.TempRoots.back() == this &&
+         "GCRoots must nest like a stack");
+  H.TempRoots.pop_back();
+}
+
+RootedValues::RootedValues(Heap &H) : H(H) { H.TempVectors.push_back(this); }
+
+RootedValues::~RootedValues() {
+  assert(!H.TempVectors.empty() && H.TempVectors.back() == this &&
+         "RootedValues must nest like a stack");
+  H.TempVectors.pop_back();
+}
+
+Heap::Heap() : GCThreshold(InitialGCThreshold) {
+  SymBuckets.resize(NumSymBuckets);
+}
+
+Heap::~Heap() {
+  // Run finalizers for string ports, then release all memory.
+  auto FinalizeObj = [](ObjHeader *O) {
+    if (O->Kind == ObjKind::Port && O->Aux == 1)
+      delete static_cast<std::string *>(reinterpret_cast<PortObj *>(O)->Stream);
+  };
+  for (Block &B : Blocks) {
+    char *P = B.Mem;
+    while (P < B.Mem + B.Used) {
+      ObjHeader *O = reinterpret_cast<ObjHeader *>(P);
+      if (static_cast<uint8_t>(O->Kind) != FreeChunkKind)
+        FinalizeObj(O);
+      P += O->SizeBytes;
+    }
+    std::free(B.Mem);
+  }
+  for (ObjHeader *O : LargeObjs) {
+    FinalizeObj(O);
+    std::free(O);
+  }
+}
+
+void Heap::addRootSource(GCRootSource *Src) { RootSources.push_back(Src); }
+
+void Heap::removeRootSource(GCRootSource *Src) {
+  for (size_t I = 0; I < RootSources.size(); ++I) {
+    if (RootSources[I] == Src) {
+      RootSources.erase(RootSources.begin() + I);
+      return;
+    }
+  }
+}
+
+void *Heap::allocRaw(size_t Bytes, ObjKind Kind) {
+  size_t Rounded = (Bytes + 15) & ~size_t(15);
+  maybeCollect();
+
+  void *Mem = nullptr;
+  if (Rounded > MaxSmallBytes) {
+    Mem = std::malloc(Rounded);
+    CMK_CHECK(Mem, "out of memory (large allocation)");
+    LargeObjs.push_back(static_cast<ObjHeader *>(Mem));
+  } else {
+    size_t Class = sizeClassOf(Rounded);
+    if (FreeLists[Class]) {
+      Mem = FreeLists[Class];
+      FreeLists[Class] = static_cast<FreeChunk *>(Mem)->Next;
+    } else {
+      if (Blocks.empty() || Blocks.back().Used + Rounded > Blocks.back().Size) {
+        char *BlockMem = static_cast<char *>(std::malloc(BlockSize));
+        CMK_CHECK(BlockMem, "out of memory (block allocation)");
+        Blocks.push_back({BlockMem, 0, BlockSize});
+      }
+      Block &B = Blocks.back();
+      Mem = B.Mem + B.Used;
+      B.Used += Rounded;
+    }
+  }
+
+  std::memset(Mem, 0, Rounded);
+  ObjHeader *O = static_cast<ObjHeader *>(Mem);
+  O->Kind = Kind;
+  O->SizeBytes = static_cast<uint32_t>(Rounded);
+  BytesSinceGC += Rounded;
+  Stats.BytesAllocated += Rounded;
+  return Mem;
+}
+
+void Heap::maybeCollect() {
+  if (BytesSinceGC >= GCThreshold && !GCPaused && !InGC)
+    collect();
+}
+
+void Heap::traceValue(Value V) {
+  if (!V.isObj())
+    return;
+  ObjHeader *O = V.obj();
+  if (O->Flags & objflags::GCMark)
+    return;
+  O->Flags |= objflags::GCMark;
+  MarkWorklist.push_back(O);
+}
+
+void Heap::traceObject(ObjHeader *O) {
+  switch (O->Kind) {
+  case ObjKind::Pair: {
+    auto *P = reinterpret_cast<Pair *>(O);
+    traceValue(P->Car);
+    traceValue(P->Cdr);
+    break;
+  }
+  case ObjKind::String:
+  case ObjKind::Symbol:
+  case ObjKind::Flonum:
+    break;
+  case ObjKind::Vector: {
+    auto *V = reinterpret_cast<VectorObj *>(O);
+    for (uint32_t I = 0; I < V->Len; ++I)
+      traceValue(V->Elems[I]);
+    break;
+  }
+  case ObjKind::Closure: {
+    auto *C = reinterpret_cast<ClosureObj *>(O);
+    traceValue(C->Code);
+    for (uint32_t I = 0; I < C->NumFree; ++I)
+      traceValue(C->Free[I]);
+    break;
+  }
+  case ObjKind::Native:
+    traceValue(reinterpret_cast<NativeObj *>(O)->Name);
+    break;
+  case ObjKind::Code: {
+    auto *C = reinterpret_cast<CodeObj *>(O);
+    traceValue(C->Name);
+    Value *Consts = C->consts();
+    for (uint32_t I = 0; I < C->NumConsts; ++I)
+      traceValue(Consts[I]);
+    break;
+  }
+  case ObjKind::StackSeg: {
+    // All slots are zero-initialized at allocation, so slots above the live
+    // area hold valid (possibly stale) values; tracing them conservatively
+    // retains at most one dead frame's worth of garbage per segment.
+    auto *S = reinterpret_cast<StackSegObj *>(O);
+    for (uint32_t I = 0; I < S->Capacity; ++I)
+      traceValue(S->Slots[I]);
+    break;
+  }
+  case ObjKind::Cont: {
+    auto *K = reinterpret_cast<ContObj *>(O);
+    // Paper section 6: the collector promotes opportunistic one-shot
+    // continuations to full continuations, so the underflow handler will
+    // not attempt to fuse stacks afterwards.
+    if (K->shot() == ContShot::Opportunistic) {
+      K->setShot(ContShot::Full);
+      ++Stats.OneShotPromotions;
+    }
+    traceValue(K->Seg);
+    traceValue(K->RetCode);
+    traceValue(K->Marks);
+    traceValue(K->Winders);
+    traceValue(K->Next);
+    traceValue(K->PromptTag);
+    traceValue(K->MarkStackCopy);
+    break;
+  }
+  case ObjKind::Box:
+    traceValue(reinterpret_cast<BoxObj *>(O)->Val);
+    break;
+  case ObjKind::HashTable: {
+    auto *T = reinterpret_cast<HashTableObj *>(O);
+    traceValue(T->Keys);
+    traceValue(T->Vals);
+    break;
+  }
+  case ObjKind::Record: {
+    auto *R = reinterpret_cast<RecordObj *>(O);
+    traceValue(R->TypeTag);
+    for (uint32_t I = 0; I < R->NumFields; ++I)
+      traceValue(R->Fields[I]);
+    break;
+  }
+  case ObjKind::MarkFrame: {
+    auto *M = reinterpret_cast<MarkFrameObj *>(O);
+    traceValue(M->CacheKey);
+    traceValue(M->CacheVal);
+    traceValue(M->CacheTail);
+    for (uint32_t I = 0; I < 2 * M->NumEntries; ++I)
+      traceValue(M->Entries[I]);
+    break;
+  }
+  case ObjKind::Winder: {
+    auto *W = reinterpret_cast<WinderObj *>(O);
+    traceValue(W->Before);
+    traceValue(W->After);
+    traceValue(W->Marks);
+    traceValue(W->Next);
+    break;
+  }
+  case ObjKind::Port:
+    traceValue(reinterpret_cast<PortObj *>(O)->Name);
+    break;
+  case ObjKind::CompositeCont: {
+    auto *C = reinterpret_cast<CompositeContObj *>(O);
+    traceValue(C->BoundaryMarks);
+    for (uint32_t I = 0; I < C->NumRecords; ++I)
+      traceValue(C->Records[I]);
+    break;
+  }
+  case ObjKind::Parameter: {
+    auto *P = reinterpret_cast<ParameterObj *>(O);
+    traceValue(P->Key);
+    traceValue(P->Default);
+    traceValue(P->Guard);
+    traceValue(P->Name);
+    break;
+  }
+  }
+}
+
+void Heap::markFromWorklist() {
+  while (!MarkWorklist.empty()) {
+    ObjHeader *O = MarkWorklist.back();
+    MarkWorklist.pop_back();
+    traceObject(O);
+  }
+}
+
+void Heap::sweep() {
+  uint64_t LiveBytes = 0;
+  for (size_t I = 0; I < NumSizeClasses; ++I)
+    FreeLists[I] = nullptr;
+
+  for (Block &B : Blocks) {
+    char *P = B.Mem;
+    while (P < B.Mem + B.Used) {
+      ObjHeader *O = reinterpret_cast<ObjHeader *>(P);
+      uint32_t Size = O->SizeBytes;
+      if (static_cast<uint8_t>(O->Kind) == FreeChunkKind) {
+        auto *F = reinterpret_cast<FreeChunk *>(O);
+        F->Next = FreeLists[sizeClassOf(Size)];
+        FreeLists[sizeClassOf(Size)] = F;
+      } else if ((O->Flags & objflags::GCMark) ||
+                 (O->Flags & objflags::Immortal)) {
+        O->Flags &= ~objflags::GCMark;
+        LiveBytes += Size;
+      } else {
+        if (O->Kind == ObjKind::Port && O->Aux == 1)
+          delete static_cast<std::string *>(
+              reinterpret_cast<PortObj *>(O)->Stream);
+        O->Kind = static_cast<ObjKind>(FreeChunkKind);
+        auto *F = reinterpret_cast<FreeChunk *>(O);
+        F->Next = FreeLists[sizeClassOf(Size)];
+        FreeLists[sizeClassOf(Size)] = F;
+      }
+      P += Size;
+    }
+  }
+
+  std::vector<ObjHeader *> SurvivingLarge;
+  SurvivingLarge.reserve(LargeObjs.size());
+  for (ObjHeader *O : LargeObjs) {
+    if ((O->Flags & objflags::GCMark) || (O->Flags & objflags::Immortal)) {
+      O->Flags &= ~objflags::GCMark;
+      LiveBytes += O->SizeBytes;
+      SurvivingLarge.push_back(O);
+    } else {
+      if (O->Kind == ObjKind::Port && O->Aux == 1)
+        delete static_cast<std::string *>(
+            reinterpret_cast<PortObj *>(O)->Stream);
+      std::free(O);
+    }
+  }
+  LargeObjs.swap(SurvivingLarge);
+  Stats.LiveBytesAfterLastGC = LiveBytes;
+}
+
+void Heap::collect() {
+  InGC = true;
+  ++Stats.Collections;
+
+  for (GCRootSource *Src : RootSources)
+    Src->traceRoots(*this);
+  for (GCRoot *R : TempRoots)
+    traceValue(R->get());
+  for (RootedValues *RV : TempVectors)
+    for (Value V : RV->Vals)
+      traceValue(V);
+  // Symbols are immortal, but trace the table so bucket entries stay valid
+  // even if immortality rules change.
+  markFromWorklist();
+  sweep();
+
+  BytesSinceGC = 0;
+  GCThreshold = std::max<uint64_t>(InitialGCThreshold,
+                                   Stats.LiveBytesAfterLastGC * 2);
+  InGC = false;
+}
+
+// --- Allocation entry points -------------------------------------------------
+
+// The ParamRoots pattern: each allocator stores its Value arguments into
+// GCRoots before allocRaw may collect. A fixed GCRoot per argument is cheap
+// (one vector push/pop) and keeps the discipline local and auditable.
+
+Value Heap::makePair(Value Car, Value Cdr) {
+  GCRoot R1(*this, Car), R2(*this, Cdr);
+  auto *P = static_cast<Pair *>(allocRaw(sizeof(Pair), ObjKind::Pair));
+  P->Car = R1.get();
+  P->Cdr = R2.get();
+  return Value::fromObj(&P->H);
+}
+
+Value Heap::makeString(const char *Data, uint32_t Len) {
+  auto *S = static_cast<StringObj *>(
+      allocRaw(sizeof(StringObj) + Len, ObjKind::String));
+  S->Len = Len;
+  std::memcpy(S->Data, Data, Len);
+  return Value::fromObj(&S->H);
+}
+
+Value Heap::makeUninitString(uint32_t Len) {
+  auto *S = static_cast<StringObj *>(
+      allocRaw(sizeof(StringObj) + Len, ObjKind::String));
+  S->Len = Len;
+  return Value::fromObj(&S->H);
+}
+
+Value Heap::makeVector(uint32_t Len, Value Fill) {
+  GCRoot R1(*this, Fill);
+  auto *V = static_cast<VectorObj *>(
+      allocRaw(sizeof(VectorObj) + sizeof(Value) * Len, ObjKind::Vector));
+  V->Len = Len;
+  for (uint32_t I = 0; I < Len; ++I)
+    V->Elems[I] = R1.get();
+  return Value::fromObj(&V->H);
+}
+
+Value Heap::makeFlonum(double D) {
+  auto *F =
+      static_cast<FlonumObj *>(allocRaw(sizeof(FlonumObj), ObjKind::Flonum));
+  F->Val = D;
+  return Value::fromObj(&F->H);
+}
+
+Value Heap::makeBox(Value V) {
+  GCRoot R1(*this, V);
+  auto *B = static_cast<BoxObj *>(allocRaw(sizeof(BoxObj), ObjKind::Box));
+  B->Val = R1.get();
+  return Value::fromObj(&B->H);
+}
+
+Value Heap::makeClosure(Value Code, uint32_t NumFree) {
+  GCRoot R1(*this, Code);
+  auto *C = static_cast<ClosureObj *>(allocRaw(
+      sizeof(ClosureObj) + sizeof(Value) * NumFree, ObjKind::Closure));
+  C->NumFree = NumFree;
+  C->Code = R1.get();
+  for (uint32_t I = 0; I < NumFree; ++I)
+    C->Free[I] = Value::undefined();
+  return Value::fromObj(&C->H);
+}
+
+Value Heap::makeNative(NativeFn Fn, Value Name, int32_t MinArgs,
+                       int32_t MaxArgs) {
+  GCRoot R1(*this, Name);
+  auto *N =
+      static_cast<NativeObj *>(allocRaw(sizeof(NativeObj), ObjKind::Native));
+  N->Fn = Fn;
+  N->Name = R1.get();
+  N->MinArgs = MinArgs;
+  N->MaxArgs = MaxArgs;
+  return Value::fromObj(&N->H);
+}
+
+Value Heap::makeCode(uint32_t NumArgs, uint32_t NumLocals, uint32_t FrameSize,
+                     uint32_t Flags, Value Name,
+                     const std::vector<Value> &Consts,
+                     const std::vector<uint8_t> &Instrs) {
+  GCRoot R1(*this, Name);
+  RootedValues RootedConsts(*this);
+  for (Value V : Consts)
+    RootedConsts.push(V);
+  size_t Bytes = sizeof(CodeObj) + sizeof(Value) * Consts.size() +
+                 Instrs.size();
+  auto *C = static_cast<CodeObj *>(allocRaw(Bytes, ObjKind::Code));
+  C->NumArgs = NumArgs;
+  C->NumLocals = NumLocals;
+  C->FrameSize = FrameSize;
+  C->NumConsts = static_cast<uint32_t>(Consts.size());
+  C->NumInstrs = static_cast<uint32_t>(Instrs.size());
+  C->Flags = Flags;
+  C->Name = R1.get();
+  for (size_t I = 0; I < Consts.size(); ++I)
+    C->consts()[I] = RootedConsts[I];
+  std::memcpy(C->instrs(), Instrs.data(), Instrs.size());
+  return Value::fromObj(&C->H);
+}
+
+Value Heap::makeStackSeg(uint32_t CapacitySlots) {
+  auto *S = static_cast<StackSegObj *>(allocRaw(
+      sizeof(StackSegObj) + sizeof(Value) * CapacitySlots, ObjKind::StackSeg));
+  S->Capacity = CapacitySlots;
+  return Value::fromObj(&S->H);
+}
+
+Value Heap::makeCont() {
+  auto *K = static_cast<ContObj *>(allocRaw(sizeof(ContObj), ObjKind::Cont));
+  K->Seg = Value::nil();
+  K->RetCode = Value::underflowSentinel();
+  K->RetPc = Value::fixnum(0);
+  K->Marks = Value::nil();
+  K->Winders = Value::nil();
+  K->Next = Value::nil();
+  K->PromptTag = Value::False();
+  K->MarkStackCopy = Value::False();
+  return Value::fromObj(&K->H);
+}
+
+Value Heap::makeHashTable(bool EqualBased) {
+  auto *T = static_cast<HashTableObj *>(
+      allocRaw(sizeof(HashTableObj), ObjKind::HashTable));
+  T->H.Aux = EqualBased ? 1 : 0;
+  T->Count = 0;
+  T->CapMask = 0;
+  T->Keys = Value::nil();
+  T->Vals = Value::nil();
+  return Value::fromObj(&T->H);
+}
+
+Value Heap::makeRecord(Value TypeTag, uint32_t NumFields, Value Fill) {
+  GCRoot R1(*this, TypeTag), R2(*this, Fill);
+  auto *R = static_cast<RecordObj *>(allocRaw(
+      sizeof(RecordObj) + sizeof(Value) * NumFields, ObjKind::Record));
+  R->NumFields = NumFields;
+  R->TypeTag = R1.get();
+  for (uint32_t I = 0; I < NumFields; ++I)
+    R->Fields[I] = R2.get();
+  return Value::fromObj(&R->H);
+}
+
+Value Heap::makeMarkFrame(uint32_t NumEntries) {
+  auto *M = static_cast<MarkFrameObj *>(allocRaw(
+      sizeof(MarkFrameObj) + sizeof(Value) * 2 * NumEntries,
+      ObjKind::MarkFrame));
+  M->NumEntries = NumEntries;
+  M->CacheKey = Value::undefined();
+  M->CacheVal = Value::undefined();
+  M->CacheTail = Value::undefined();
+  for (uint32_t I = 0; I < 2 * NumEntries; ++I)
+    M->Entries[I] = Value::undefined();
+  return Value::fromObj(&M->H);
+}
+
+Value Heap::makeWinder(Value Before, Value After, Value Marks, Value Next) {
+  GCRoot R1(*this, Before), R2(*this, After), R3(*this, Marks),
+      R4(*this, Next);
+  auto *W =
+      static_cast<WinderObj *>(allocRaw(sizeof(WinderObj), ObjKind::Winder));
+  W->Before = R1.get();
+  W->After = R2.get();
+  W->Marks = R3.get();
+  W->Next = R4.get();
+  return Value::fromObj(&W->H);
+}
+
+Value Heap::makeStdioPort(void *Stream, Value Name) {
+  GCRoot R1(*this, Name);
+  auto *P = static_cast<PortObj *>(allocRaw(sizeof(PortObj), ObjKind::Port));
+  P->H.Aux = 0;
+  P->Stream = Stream;
+  P->Name = R1.get();
+  return Value::fromObj(&P->H);
+}
+
+Value Heap::makeStringPort(Value Name) {
+  GCRoot R1(*this, Name);
+  auto *P = static_cast<PortObj *>(allocRaw(sizeof(PortObj), ObjKind::Port));
+  P->H.Aux = 1;
+  P->Stream = new std::string();
+  P->Name = R1.get();
+  return Value::fromObj(&P->H);
+}
+
+Value Heap::makeCompositeCont(uint32_t NumRecords) {
+  auto *C = static_cast<CompositeContObj *>(
+      allocRaw(sizeof(CompositeContObj) + sizeof(Value) * NumRecords,
+               ObjKind::CompositeCont));
+  C->NumRecords = NumRecords;
+  C->BoundaryMarks = Value::nil();
+  for (uint32_t I = 0; I < NumRecords; ++I)
+    C->Records[I] = Value::undefined();
+  return Value::fromObj(&C->H);
+}
+
+Value Heap::makeParameter(Value Key, Value Default, Value Guard, Value Name) {
+  GCRoot R1(*this, Key), R2(*this, Default), R3(*this, Guard), R4(*this, Name);
+  auto *P = static_cast<ParameterObj *>(
+      allocRaw(sizeof(ParameterObj), ObjKind::Parameter));
+  P->Key = R1.get();
+  P->Default = R2.get();
+  P->Guard = R3.get();
+  P->Name = R4.get();
+  return Value::fromObj(&P->H);
+}
+
+Value Heap::intern(const char *Name, uint32_t Len) {
+  uint64_t Hash = fnv1a(Name, Len);
+  auto &Bucket = SymBuckets[Hash & (NumSymBuckets - 1)];
+  for (const SymTableEntry &E : Bucket) {
+    if (E.Hash != Hash)
+      continue;
+    SymbolObj *S = asSymbol(E.Sym);
+    if (S->Len == Len && std::memcmp(S->Data, Name, Len) == 0)
+      return E.Sym;
+  }
+  auto *S = static_cast<SymbolObj *>(
+      allocRaw(sizeof(SymbolObj) + Len, ObjKind::Symbol));
+  S->H.Flags |= objflags::Immortal;
+  S->Hash = Hash;
+  S->Len = Len;
+  std::memcpy(S->Data, Name, Len);
+  Value Sym = Value::fromObj(&S->H);
+  Bucket.push_back({Hash, Sym});
+  return Sym;
+}
+
+Value Heap::gensym(const char *Prefix) {
+  char Buf[64];
+  int N = std::snprintf(Buf, sizeof(Buf), "%s~%llu", Prefix,
+                        static_cast<unsigned long long>(GensymCounter++));
+  // Uninterned: allocate a symbol object without a table entry, so it is
+  // eq? only to itself.
+  auto *S = static_cast<SymbolObj *>(
+      allocRaw(sizeof(SymbolObj) + N, ObjKind::Symbol));
+  S->H.Flags |= objflags::Immortal;
+  S->Hash = fnv1a(Buf, N);
+  S->Len = N;
+  std::memcpy(S->Data, Buf, N);
+  return Value::fromObj(&S->H);
+}

@@ -1,0 +1,204 @@
+//===- runtime/heap.h - Mark-sweep garbage-collected heap -----*- C++ -*-===//
+///
+/// \file
+/// A non-moving mark-sweep collector with block-based bump allocation and
+/// size-class free lists. Non-moving matters for fidelity to the paper: the
+/// opportunistic one-shot fusion of section 6 depends on whether a captured
+/// stack still abuts the current stack, and the collector promotes
+/// opportunistic one-shot continuations to full continuations (as the paper
+/// describes) during each collection.
+///
+/// Rooting discipline: every allocXxx function roots its Value parameters
+/// across a potential collection, so single allocations initialized from
+/// locals are safe. Code holding an otherwise-unreachable value across a
+/// separate allocation must wrap it in a GCRoot (or RootedValues).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_RUNTIME_HEAP_H
+#define CMARKS_RUNTIME_HEAP_H
+
+#include "runtime/value.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cmk {
+
+class Heap;
+
+/// Interface through which the heap discovers roots held by subsystems
+/// (the VM registers and stacks, the symbol table, compiler temporaries).
+class GCRootSource {
+public:
+  virtual ~GCRootSource() = default;
+  /// Reports every root by calling \p TraceValue. Called during marking.
+  virtual void traceRoots(Heap &H) = 0;
+};
+
+/// RAII root for a single value held in C++ code across allocations.
+class GCRoot {
+public:
+  GCRoot(Heap &H, Value V);
+  ~GCRoot();
+  GCRoot(const GCRoot &) = delete;
+  GCRoot &operator=(const GCRoot &) = delete;
+
+  Value get() const { return V; }
+  void set(Value NewV) { V = NewV; }
+  operator Value() const { return V; }
+
+private:
+  Heap &H;
+  Value V;
+};
+
+/// A growable vector of rooted values (used e.g. by the code generator for
+/// constant pools under construction).
+class RootedValues {
+public:
+  explicit RootedValues(Heap &H);
+  ~RootedValues();
+  RootedValues(const RootedValues &) = delete;
+  RootedValues &operator=(const RootedValues &) = delete;
+
+  void push(Value V) { Vals.push_back(V); }
+  Value operator[](size_t I) const { return Vals[I]; }
+  Value &slot(size_t I) { return Vals[I]; }
+  size_t size() const { return Vals.size(); }
+  const std::vector<Value> &values() const { return Vals; }
+  void clear() { Vals.clear(); }
+
+private:
+  friend class Heap;
+  Heap &H;
+  std::vector<Value> Vals;
+};
+
+/// Statistics exposed for tests and the benchmark harness.
+struct HeapStats {
+  uint64_t Collections = 0;
+  uint64_t BytesAllocated = 0;
+  uint64_t LiveBytesAfterLastGC = 0;
+  uint64_t OneShotPromotions = 0; ///< Paper 6: GC promotes one-shots.
+};
+
+class Heap {
+public:
+  Heap();
+  ~Heap();
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  // --- Allocation ----------------------------------------------------------
+
+  Value makePair(Value Car, Value Cdr);
+  Value makeString(const char *Data, uint32_t Len);
+  Value makeString(const std::string &S) {
+    return makeString(S.data(), static_cast<uint32_t>(S.size()));
+  }
+  Value makeUninitString(uint32_t Len);
+  Value makeVector(uint32_t Len, Value Fill);
+  Value makeFlonum(double D);
+  Value makeBox(Value V);
+  Value makeClosure(Value Code, uint32_t NumFree);
+  Value makeNative(NativeFn Fn, Value Name, int32_t MinArgs, int32_t MaxArgs);
+  Value makeCode(uint32_t NumArgs, uint32_t NumLocals, uint32_t FrameSize,
+                 uint32_t Flags, Value Name, const std::vector<Value> &Consts,
+                 const std::vector<uint8_t> &Instrs);
+  Value makeStackSeg(uint32_t CapacitySlots);
+  Value makeCont();
+  Value makeHashTable(bool EqualBased);
+  Value makeRecord(Value TypeTag, uint32_t NumFields, Value Fill);
+  Value makeMarkFrame(uint32_t NumEntries);
+  Value makeWinder(Value Before, Value After, Value Marks, Value Next);
+  Value makeStdioPort(void *Stream, Value Name);
+  Value makeStringPort(Value Name);
+  Value makeCompositeCont(uint32_t NumRecords);
+  Value makeParameter(Value Key, Value Default, Value Guard, Value Name);
+
+  /// Interns a symbol; symbols are immortal and pointer-comparable.
+  Value intern(const char *Name, uint32_t Len);
+  Value intern(const std::string &Name) {
+    return intern(Name.data(), static_cast<uint32_t>(Name.size()));
+  }
+
+  /// Generates a fresh, uninterned symbol (gensym) for private mark keys.
+  Value gensym(const char *Prefix);
+
+  // --- Collection ----------------------------------------------------------
+
+  void addRootSource(GCRootSource *Src);
+  void removeRootSource(GCRootSource *Src);
+
+  /// Runs a full mark-sweep collection now.
+  void collect();
+
+  /// Marks \p V live during the mark phase. Only legal to call from within
+  /// a GCRootSource::traceRoots callback.
+  void traceValue(Value V);
+
+  const HeapStats &stats() const { return Stats; }
+
+  /// Disables automatic collection while constructing multi-object graphs.
+  void pauseGC() { ++GCPaused; }
+  void resumeGC() { --GCPaused; }
+
+  /// Total bytes allocated since the last collection (test hook).
+  uint64_t bytesSinceGC() const { return BytesSinceGC; }
+
+private:
+  friend class GCRoot;
+  friend class RootedValues;
+
+  struct Block {
+    char *Mem;
+    size_t Used;
+    size_t Size;
+  };
+
+  void *allocRaw(size_t Bytes, ObjKind Kind);
+  void maybeCollect();
+  void markFromWorklist();
+  void traceObject(ObjHeader *O);
+  void sweep();
+
+  std::vector<Block> Blocks;
+  std::vector<ObjHeader *> LargeObjs;
+  static constexpr size_t NumSizeClasses = 64;
+  void *FreeLists[NumSizeClasses] = {};
+
+  std::vector<ObjHeader *> MarkWorklist;
+  std::vector<GCRootSource *> RootSources;
+  std::vector<GCRoot *> TempRoots;
+  std::vector<RootedValues *> TempVectors;
+
+  // Symbol interning table: name -> symbol value (symbols are immortal).
+  struct SymTableEntry {
+    uint64_t Hash;
+    Value Sym;
+  };
+  std::vector<std::vector<SymTableEntry>> SymBuckets;
+  uint64_t GensymCounter = 0;
+
+  uint64_t BytesSinceGC = 0;
+  uint64_t GCThreshold;
+  int GCPaused = 0;
+  bool InGC = false;
+  HeapStats Stats;
+};
+
+/// RAII wrapper for Heap::pauseGC/resumeGC.
+class GCPauseScope {
+public:
+  explicit GCPauseScope(Heap &H) : H(H) { H.pauseGC(); }
+  ~GCPauseScope() { H.resumeGC(); }
+
+private:
+  Heap &H;
+};
+
+} // namespace cmk
+
+#endif // CMARKS_RUNTIME_HEAP_H

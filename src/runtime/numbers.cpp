@@ -1,0 +1,123 @@
+//===- runtime/numbers.cpp ------------------------------------*- C++ -*-===//
+
+#include "runtime/numbers.h"
+
+#include "runtime/heap.h"
+
+#include <cmath>
+
+using namespace cmk;
+
+double cmk::toDouble(Value V) {
+  if (V.isFixnum())
+    return static_cast<double>(V.asFixnum());
+  assert(V.isFlonum() && "toDouble on a non-number");
+  return asFlonum(V)->Val;
+}
+
+static NumResult makeNum(Heap &H, double D) { return {H.makeFlonum(D), true}; }
+
+static NumResult typeError() { return {Value::undefined(), false}; }
+
+NumResult cmk::numAdd(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t R;
+    if (!__builtin_add_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+        fitsFixnum(R))
+      return {Value::fixnum(R), true};
+    return makeNum(H, static_cast<double>(A.asFixnum()) +
+                          static_cast<double>(B.asFixnum()));
+  }
+  if (A.isNumber() && B.isNumber())
+    return makeNum(H, toDouble(A) + toDouble(B));
+  return typeError();
+}
+
+NumResult cmk::numSub(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t R;
+    if (!__builtin_sub_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+        fitsFixnum(R))
+      return {Value::fixnum(R), true};
+    return makeNum(H, static_cast<double>(A.asFixnum()) -
+                          static_cast<double>(B.asFixnum()));
+  }
+  if (A.isNumber() && B.isNumber())
+    return makeNum(H, toDouble(A) - toDouble(B));
+  return typeError();
+}
+
+NumResult cmk::numMul(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t R;
+    if (!__builtin_mul_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+        fitsFixnum(R))
+      return {Value::fixnum(R), true};
+    return makeNum(H, static_cast<double>(A.asFixnum()) *
+                          static_cast<double>(B.asFixnum()));
+  }
+  if (A.isNumber() && B.isNumber())
+    return makeNum(H, toDouble(A) * toDouble(B));
+  return typeError();
+}
+
+NumResult cmk::numDiv(Heap &H, Value A, Value B) {
+  if (!A.isNumber() || !B.isNumber())
+    return typeError();
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t BV = B.asFixnum();
+    if (BV != 0 && A.asFixnum() % BV == 0)
+      return {Value::fixnum(A.asFixnum() / BV), true};
+  }
+  double D = toDouble(B);
+  if (D == 0.0)
+    return typeError();
+  return makeNum(H, toDouble(A) / D);
+}
+
+NumResult cmk::numQuotient(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0)
+    return {Value::fixnum(A.asFixnum() / B.asFixnum()), true};
+  if (A.isNumber() && B.isNumber() && toDouble(B) != 0.0)
+    return makeNum(H, std::trunc(toDouble(A) / toDouble(B)));
+  return typeError();
+}
+
+NumResult cmk::numRemainder(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0)
+    return {Value::fixnum(A.asFixnum() % B.asFixnum()), true};
+  if (A.isNumber() && B.isNumber() && toDouble(B) != 0.0)
+    return makeNum(H, std::fmod(toDouble(A), toDouble(B)));
+  return typeError();
+}
+
+NumResult cmk::numModulo(Heap &H, Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0) {
+    int64_t R = A.asFixnum() % B.asFixnum();
+    if (R != 0 && ((R < 0) != (B.asFixnum() < 0)))
+      R += B.asFixnum();
+    return {Value::fixnum(R), true};
+  }
+  return numRemainder(H, A, B);
+}
+
+bool cmk::numCompare(Value A, Value B, int &CmpOut) {
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t AV = A.asFixnum(), BV = B.asFixnum();
+    CmpOut = AV < BV ? -1 : (AV > BV ? 1 : 0);
+    return true;
+  }
+  if (!A.isNumber() || !B.isNumber())
+    return false;
+  double AD = toDouble(A), BD = toDouble(B);
+  CmpOut = AD < BD ? -1 : (AD > BD ? 1 : 0);
+  return true;
+}
+
+bool cmk::numEqv(Value A, Value B) {
+  if (A.isFixnum() && B.isFixnum())
+    return A == B;
+  if (A.isFlonum() && B.isFlonum())
+    return asFlonum(A)->Val == asFlonum(B)->Val;
+  return false;
+}

@@ -1,0 +1,43 @@
+//===- runtime/numbers.h - Generic numeric operations ---------*- C++ -*-===//
+///
+/// \file
+/// Arithmetic over the fixnum/flonum tower. Fixnum operations that would
+/// overflow the 61-bit payload flow into flonums, which keeps classic
+/// benchmarks (fib, tak, fft) running without a bignum implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_RUNTIME_NUMBERS_H
+#define CMARKS_RUNTIME_NUMBERS_H
+
+#include "runtime/value.h"
+
+namespace cmk {
+
+class Heap;
+
+/// Result of a generic numeric operation; Ok is false on a type error.
+struct NumResult {
+  Value V;
+  bool Ok;
+};
+
+NumResult numAdd(Heap &H, Value A, Value B);
+NumResult numSub(Heap &H, Value A, Value B);
+NumResult numMul(Heap &H, Value A, Value B);
+NumResult numDiv(Heap &H, Value A, Value B);      ///< Scheme `/`.
+NumResult numQuotient(Heap &H, Value A, Value B); ///< Integer quotient.
+NumResult numRemainder(Heap &H, Value A, Value B);
+NumResult numModulo(Heap &H, Value A, Value B);
+
+/// Three-way comparison: -1, 0, 1 in *CmpOut; Ok false on type error.
+bool numCompare(Value A, Value B, int &CmpOut);
+
+double toDouble(Value V);
+
+/// Numeric equality for eqv?: exactness-sensitive like Scheme's eqv?.
+bool numEqv(Value A, Value B);
+
+} // namespace cmk
+
+#endif // CMARKS_RUNTIME_NUMBERS_H

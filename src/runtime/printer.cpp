@@ -1,0 +1,214 @@
+//===- runtime/printer.cpp ------------------------------------*- C++ -*-===//
+
+#include "runtime/printer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace cmk;
+
+static void printRec(std::string &Out, Value V, bool Display, int Depth) {
+  char Buf[64];
+  if (Depth <= 0) {
+    Out += "...";
+    return;
+  }
+  if (V.isFixnum()) {
+    std::snprintf(Buf, sizeof(Buf), "%" PRId64, V.asFixnum());
+    Out += Buf;
+    return;
+  }
+  if (V.isNil()) {
+    Out += "()";
+    return;
+  }
+  if (V.isTrue()) {
+    Out += "#t";
+    return;
+  }
+  if (V.isFalse()) {
+    Out += "#f";
+    return;
+  }
+  if (V.isVoid()) {
+    Out += "#<void>";
+    return;
+  }
+  if (V.isEof()) {
+    Out += "#<eof>";
+    return;
+  }
+  if (V.isUndefined()) {
+    Out += "#<undefined>";
+    return;
+  }
+  if (V.isUnderflowSentinel()) {
+    Out += "#<underflow>";
+    return;
+  }
+  if (V.isChar()) {
+    uint32_t C = V.asChar();
+    if (Display) {
+      Out += static_cast<char>(C);
+    } else if (C == ' ') {
+      Out += "#\\space";
+    } else if (C == '\n') {
+      Out += "#\\newline";
+    } else if (C == '\t') {
+      Out += "#\\tab";
+    } else {
+      Out += "#\\";
+      Out += static_cast<char>(C);
+    }
+    return;
+  }
+
+  switch (V.obj()->Kind) {
+  case ObjKind::Pair: {
+    Out += '(';
+    Value P = V;
+    bool First = true;
+    while (P.isPair()) {
+      if (!First)
+        Out += ' ';
+      First = false;
+      printRec(Out, car(P), Display, Depth - 1);
+      P = cdr(P);
+    }
+    if (!P.isNil()) {
+      Out += " . ";
+      printRec(Out, P, Display, Depth - 1);
+    }
+    Out += ')';
+    return;
+  }
+  case ObjKind::String: {
+    StringObj *S = asString(V);
+    if (Display) {
+      Out.append(S->Data, S->Len);
+      return;
+    }
+    Out += '"';
+    for (uint32_t I = 0; I < S->Len; ++I) {
+      char C = S->Data[I];
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out += C;
+    }
+    Out += '"';
+    return;
+  }
+  case ObjKind::Symbol: {
+    SymbolObj *S = asSymbol(V);
+    Out.append(S->Data, S->Len);
+    return;
+  }
+  case ObjKind::Vector: {
+    VectorObj *Vec = asVector(V);
+    Out += "#(";
+    for (uint32_t I = 0; I < Vec->Len; ++I) {
+      if (I)
+        Out += ' ';
+      printRec(Out, Vec->Elems[I], Display, Depth - 1);
+    }
+    Out += ')';
+    return;
+  }
+  case ObjKind::Flonum: {
+    double D = asFlonum(V)->Val;
+    std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+    Out += Buf;
+    // Ensure flonums read back as flonums (e.g. "3" becomes "3.0").
+    bool HasMarker = false;
+    for (const char *P = Buf; *P; ++P)
+      if (*P == '.' || *P == 'e' || *P == 'E' || *P == 'n' || *P == 'i')
+        HasMarker = true;
+    if (!HasMarker)
+      Out += ".0";
+    return;
+  }
+  case ObjKind::Closure: {
+    Value Name = asCode(asClosure(V)->Code)->Name;
+    Out += "#<procedure";
+    if (Name.isSymbol()) {
+      Out += ':';
+      printRec(Out, Name, true, 2);
+    }
+    Out += '>';
+    return;
+  }
+  case ObjKind::Native: {
+    Out += "#<procedure:";
+    printRec(Out, asNative(V)->Name, true, 2);
+    Out += '>';
+    return;
+  }
+  case ObjKind::Code:
+    Out += "#<code>";
+    return;
+  case ObjKind::StackSeg:
+    Out += "#<stack-segment>";
+    return;
+  case ObjKind::Cont:
+    Out += "#<continuation>";
+    return;
+  case ObjKind::Box: {
+    Out += "#&";
+    printRec(Out, asBox(V)->Val, Display, Depth - 1);
+    return;
+  }
+  case ObjKind::HashTable:
+    Out += "#<hash-table>";
+    return;
+  case ObjKind::Record: {
+    RecordObj *R = asRecord(V);
+    Out += "#<";
+    printRec(Out, R->TypeTag, true, 2);
+    for (uint32_t I = 0; I < R->NumFields; ++I) {
+      Out += ' ';
+      printRec(Out, R->Fields[I], Display, Depth - 1);
+    }
+    Out += '>';
+    return;
+  }
+  case ObjKind::MarkFrame:
+    Out += "#<mark-frame>";
+    return;
+  case ObjKind::Winder:
+    Out += "#<winder>";
+    return;
+  case ObjKind::Port:
+    Out += "#<port>";
+    return;
+  case ObjKind::CompositeCont:
+    Out += "#<composable-continuation>";
+    return;
+  case ObjKind::Parameter: {
+    Out += "#<parameter:";
+    printRec(Out, asParameter(V)->Name, true, 2);
+    Out += '>';
+    return;
+  }
+  }
+  CMK_UNREACHABLE("unhandled object kind in printer");
+}
+
+void cmk::printValue(std::string &Out, Value V, bool Display) {
+  printRec(Out, V, Display, 64);
+}
+
+std::string cmk::writeToString(Value V) {
+  std::string Out;
+  printValue(Out, V, false);
+  return Out;
+}
+
+std::string cmk::displayToString(Value V) {
+  std::string Out;
+  printValue(Out, V, true);
+  return Out;
+}

@@ -1,0 +1,24 @@
+//===- runtime/printer.h - write/display for Scheme values ----*- C++ -*-===//
+
+#ifndef CMARKS_RUNTIME_PRINTER_H
+#define CMARKS_RUNTIME_PRINTER_H
+
+#include "runtime/value.h"
+
+#include <string>
+
+namespace cmk {
+
+/// Appends the external representation of \p V to \p Out. \p Display
+/// selects `display` style (strings unquoted, chars bare) over `write`.
+void printValue(std::string &Out, Value V, bool Display);
+
+/// Convenience: returns the `write` representation as a fresh string.
+std::string writeToString(Value V);
+
+/// Convenience: returns the `display` representation as a fresh string.
+std::string displayToString(Value V);
+
+} // namespace cmk
+
+#endif // CMARKS_RUNTIME_PRINTER_H

@@ -1,0 +1,29 @@
+//===- runtime/value.cpp - Tagged value helpers ----------------*- C++ -*-===//
+
+#include "runtime/value.h"
+
+using namespace cmk;
+
+int64_t cmk::listLength(Value List) {
+  int64_t N = 0;
+  while (List.isPair()) {
+    ++N;
+    List = cdr(List);
+  }
+  return List.isNil() ? N : -1;
+}
+
+const char *cmk::stringData(Value V, uint32_t &LenOut) {
+  if (V.isString()) {
+    StringObj *S = asString(V);
+    LenOut = S->Len;
+    return S->Data;
+  }
+  if (V.isSymbol()) {
+    SymbolObj *S = asSymbol(V);
+    LenOut = S->Len;
+    return S->Data;
+  }
+  LenOut = 0;
+  return "";
+}

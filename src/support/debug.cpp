@@ -1,0 +1,10 @@
+//===- support/debug.cpp --------------------------------------*- C++ -*-===//
+
+#include "support/debug.h"
+
+#include <cstdio>
+
+void cmk::reportFatalError(const char *Msg, const char *File, int Line) {
+  std::fprintf(stderr, "cmarks fatal error: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}

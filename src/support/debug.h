@@ -1,0 +1,41 @@
+//===- support/debug.h - Assertions and fatal errors ----------*- C++ -*-===//
+//
+// Part of the cmarks project: a reproduction of "Compiler and Runtime
+// Support for Continuation Marks" (Flatt & Dybvig, PLDI 2020).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers shared by every cmarks module. The library does not use
+/// C++ exceptions; unrecoverable internal errors abort with a message, and
+/// user-visible Scheme errors travel through the VM's error plumbing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_SUPPORT_DEBUG_H
+#define CMARKS_SUPPORT_DEBUG_H
+
+#include <cassert>
+#include <cstdlib>
+
+namespace cmk {
+
+/// Prints \p Msg with source location to stderr and aborts. Used for
+/// internal invariant violations that indicate a bug in cmarks itself.
+[[noreturn]] void reportFatalError(const char *Msg, const char *File,
+                                   int Line);
+
+} // namespace cmk
+
+/// Marks a point in the code that must be unreachable; aborts if reached.
+#define CMK_UNREACHABLE(MSG) ::cmk::reportFatalError(MSG, __FILE__, __LINE__)
+
+/// Like assert, but also evaluated in release builds for invariants that are
+/// cheap and guard memory safety of the VM.
+#define CMK_CHECK(COND, MSG)                                                   \
+  do {                                                                         \
+    if (!(COND))                                                               \
+      ::cmk::reportFatalError(MSG, __FILE__, __LINE__);                        \
+  } while (false)
+
+#endif // CMARKS_SUPPORT_DEBUG_H

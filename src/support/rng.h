@@ -1,0 +1,60 @@
+//===- support/rng.h - Deterministic pseudo-random numbers ----*- C++ -*-===//
+///
+/// \file
+/// A small, deterministic xorshift-style PRNG. Benchmark workload generators
+/// and the property-test fuzzer use this instead of std::mt19937 so that
+/// runs are reproducible across platforms and standard-library versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_SUPPORT_RNG_H
+#define CMARKS_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace cmk {
+
+/// SplitMix64-seeded xoshiro256** generator; deterministic across builds.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    // SplitMix64 expansion of the seed into the four-lane state.
+    uint64_t X = Seed;
+    for (uint64_t &Lane : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Lane = Z ^ (Z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed value in [0, Bound).
+  uint64_t nextBelow(uint64_t Bound) { return Bound ? next() % Bound : 0; }
+
+  /// Returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return nextBelow(Den) < Num; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cmk
+
+#endif // CMARKS_SUPPORT_RNG_H

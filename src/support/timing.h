@@ -1,0 +1,62 @@
+//===- support/timing.h - Wall-clock timing for benchmarks ----*- C++ -*-===//
+///
+/// \file
+/// Small wall-clock timer used by the benchmark harnesses to report run
+/// times in the same "average over N runs plus standard deviation" format
+/// the paper uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_SUPPORT_TIMING_H
+#define CMARKS_SUPPORT_TIMING_H
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace cmk {
+
+/// Returns a monotonic timestamp in nanoseconds.
+inline uint64_t nowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Aggregates repeated timing samples the way the paper reports them:
+/// average run time and standard deviation over a set of runs.
+class RunStats {
+public:
+  void addSampleNanos(uint64_t Nanos) { Samples.push_back(Nanos); }
+
+  double averageMillis() const {
+    if (Samples.empty())
+      return 0.0;
+    double Sum = 0.0;
+    for (uint64_t S : Samples)
+      Sum += static_cast<double>(S);
+    return Sum / static_cast<double>(Samples.size()) / 1e6;
+  }
+
+  double stddevMillis() const {
+    if (Samples.size() < 2)
+      return 0.0;
+    double Avg = averageMillis();
+    double Sum = 0.0;
+    for (uint64_t S : Samples) {
+      double D = static_cast<double>(S) / 1e6 - Avg;
+      Sum += D * D;
+    }
+    return std::sqrt(Sum / static_cast<double>(Samples.size() - 1));
+  }
+
+  size_t sampleCount() const { return Samples.size(); }
+
+private:
+  std::vector<uint64_t> Samples;
+};
+
+} // namespace cmk
+
+#endif // CMARKS_SUPPORT_TIMING_H

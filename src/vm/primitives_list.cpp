@@ -1,0 +1,233 @@
+//===- vm/primitives_list.cpp - List primitives ----------------*- C++ -*-===//
+
+#include "vm/vm.h"
+
+#include "runtime/equal.h"
+
+using namespace cmk;
+
+namespace {
+
+Value nativeCons(VM &M, Value *Args, uint32_t) {
+  return M.heap().makePair(Args[0], Args[1]);
+}
+
+Value nativeCar(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isPair())
+    return typeError(M, "car", "pair", Args[0]);
+  return car(Args[0]);
+}
+
+Value nativeCdr(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isPair())
+    return typeError(M, "cdr", "pair", Args[0]);
+  return cdr(Args[0]);
+}
+
+Value nativeSetCar(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isPair())
+    return typeError(M, "set-car!", "pair", Args[0]);
+  asPair(Args[0])->Car = Args[1];
+  return Value::voidValue();
+}
+
+Value nativeSetCdr(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isPair())
+    return typeError(M, "set-cdr!", "pair", Args[0]);
+  asPair(Args[0])->Cdr = Args[1];
+  return Value::voidValue();
+}
+
+/// Composed car/cdr accessor; Path is read right-to-left ("ad" = cadr).
+Value access(VM &M, const char *Who, const char *Path, Value V) {
+  for (const char *P = Path; *P; ++P) {
+    // Apply innermost first: path characters are stored innermost-first.
+    if (!V.isPair())
+      return typeError(M, Who, "pair", V);
+    V = *P == 'a' ? car(V) : cdr(V);
+  }
+  return V;
+}
+
+Value nativeCaar(VM &M, Value *A, uint32_t) { return access(M, "caar", "aa", A[0]); }
+Value nativeCadr(VM &M, Value *A, uint32_t) { return access(M, "cadr", "da", A[0]); }
+Value nativeCdar(VM &M, Value *A, uint32_t) { return access(M, "cdar", "ad", A[0]); }
+Value nativeCddr(VM &M, Value *A, uint32_t) { return access(M, "cddr", "dd", A[0]); }
+Value nativeCaddr(VM &M, Value *A, uint32_t) {
+  return access(M, "caddr", "dda", A[0]);
+}
+Value nativeCadddr(VM &M, Value *A, uint32_t) {
+  return access(M, "cadddr", "ddda", A[0]);
+}
+Value nativeCdddr(VM &M, Value *A, uint32_t) {
+  return access(M, "cdddr", "ddd", A[0]);
+}
+
+Value nativeList(VM &M, Value *Args, uint32_t NArgs) {
+  RootedValues Roots(M.heap());
+  for (uint32_t I = 0; I < NArgs; ++I)
+    Roots.push(Args[I]);
+  GCRoot Acc(M.heap(), Value::nil());
+  for (uint32_t I = NArgs; I > 0; --I)
+    Acc.set(M.heap().makePair(Roots[I - 1], Acc.get()));
+  return Acc.get();
+}
+
+Value nativeLength(VM &M, Value *Args, uint32_t) {
+  int64_t N = listLength(Args[0]);
+  if (N < 0)
+    return typeError(M, "length", "proper list", Args[0]);
+  return Value::fixnum(N);
+}
+
+Value nativeListP(VM &, Value *Args, uint32_t) {
+  return Value::boolean(listLength(Args[0]) >= 0);
+}
+
+Value appendTwo(VM &M, Value A, Value B) {
+  if (A.isNil())
+    return B;
+  GCRoot ARoot(M.heap(), A), BRoot(M.heap(), B);
+  // Collect A's elements, then cons onto B back-to-front.
+  RootedValues Elems(M.heap());
+  for (Value P = ARoot.get(); P.isPair(); P = cdr(P))
+    Elems.push(car(P));
+  GCRoot Acc(M.heap(), BRoot.get());
+  for (size_t I = Elems.size(); I > 0; --I)
+    Acc.set(M.heap().makePair(Elems[I - 1], Acc.get()));
+  return Acc.get();
+}
+
+Value nativeAppend(VM &M, Value *Args, uint32_t NArgs) {
+  if (NArgs == 0)
+    return Value::nil();
+  RootedValues Roots(M.heap());
+  for (uint32_t I = 0; I < NArgs; ++I) {
+    if (I + 1 < NArgs && listLength(Args[I]) < 0)
+      return typeError(M, "append", "proper list", Args[I]);
+    Roots.push(Args[I]);
+  }
+  GCRoot Acc(M.heap(), Roots[NArgs - 1]);
+  for (uint32_t I = NArgs - 1; I > 0; --I)
+    Acc.set(appendTwo(M, Roots[I - 1], Acc.get()));
+  return Acc.get();
+}
+
+Value nativeReverse(VM &M, Value *Args, uint32_t) {
+  if (listLength(Args[0]) < 0)
+    return typeError(M, "reverse", "proper list", Args[0]);
+  GCRoot ListRoot(M.heap(), Args[0]);
+  GCRoot Acc(M.heap(), Value::nil());
+  for (Value P = ListRoot.get(); P.isPair(); P = cdr(P))
+    Acc.set(M.heap().makePair(car(P), Acc.get()));
+  return Acc.get();
+}
+
+Value nativeListTail(VM &M, Value *Args, uint32_t) {
+  if (!Args[1].isFixnum())
+    return typeError(M, "list-tail", "fixnum", Args[1]);
+  Value P = Args[0];
+  for (int64_t I = 0; I < Args[1].asFixnum(); ++I) {
+    if (!P.isPair())
+      return typeError(M, "list-tail", "long enough list", Args[0]);
+    P = cdr(P);
+  }
+  return P;
+}
+
+Value nativeListRef(VM &M, Value *Args, uint32_t) {
+  if (!Args[1].isFixnum())
+    return typeError(M, "list-ref", "fixnum", Args[1]);
+  Value P = Args[0];
+  for (int64_t I = 0; I < Args[1].asFixnum(); ++I) {
+    if (!P.isPair())
+      return typeError(M, "list-ref", "long enough list", Args[0]);
+    P = cdr(P);
+  }
+  if (!P.isPair())
+    return typeError(M, "list-ref", "long enough list", Args[0]);
+  return car(P);
+}
+
+template <bool (*Eq)(Value, Value)>
+Value memGeneric(VM &M, const char *Who, Value *Args) {
+  for (Value P = Args[1]; P.isPair(); P = cdr(P))
+    if (Eq(car(P), Args[0]))
+      return P;
+  return Value::False();
+}
+
+bool eqCmp(Value A, Value B) { return A == B; }
+
+Value nativeMemq(VM &M, Value *Args, uint32_t) {
+  return memGeneric<eqCmp>(M, "memq", Args);
+}
+Value nativeMemv(VM &M, Value *Args, uint32_t) {
+  return memGeneric<isEqv>(M, "memv", Args);
+}
+Value nativeMember(VM &M, Value *Args, uint32_t) {
+  return memGeneric<isEqual>(M, "member", Args);
+}
+
+template <bool (*Eq)(Value, Value)>
+Value assGeneric(VM &M, const char *Who, Value *Args) {
+  for (Value P = Args[1]; P.isPair(); P = cdr(P))
+    if (car(P).isPair() && Eq(car(car(P)), Args[0]))
+      return car(P);
+  return Value::False();
+}
+
+Value nativeAssq(VM &M, Value *Args, uint32_t) {
+  return assGeneric<eqCmp>(M, "assq", Args);
+}
+Value nativeAssv(VM &M, Value *Args, uint32_t) {
+  return assGeneric<isEqv>(M, "assv", Args);
+}
+Value nativeAssoc(VM &M, Value *Args, uint32_t) {
+  return assGeneric<isEqual>(M, "assoc", Args);
+}
+
+Value nativeLastPair(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isPair())
+    return typeError(M, "last-pair", "pair", Args[0]);
+  Value P = Args[0];
+  while (cdr(P).isPair())
+    P = cdr(P);
+  return P;
+}
+
+Value nativeListCopy(VM &M, Value *Args, uint32_t) {
+  return appendTwo(M, Args[0], Value::nil());
+}
+
+} // namespace
+
+void cmk::installListPrimitives(VM &M) {
+  M.defineNative("cons", nativeCons, 2, 2);
+  M.defineNative("car", nativeCar, 1, 1);
+  M.defineNative("cdr", nativeCdr, 1, 1);
+  M.defineNative("set-car!", nativeSetCar, 2, 2);
+  M.defineNative("set-cdr!", nativeSetCdr, 2, 2);
+  M.defineNative("caar", nativeCaar, 1, 1);
+  M.defineNative("cadr", nativeCadr, 1, 1);
+  M.defineNative("cdar", nativeCdar, 1, 1);
+  M.defineNative("cddr", nativeCddr, 1, 1);
+  M.defineNative("caddr", nativeCaddr, 1, 1);
+  M.defineNative("cdddr", nativeCdddr, 1, 1);
+  M.defineNative("cadddr", nativeCadddr, 1, 1);
+  M.defineNative("list", nativeList, 0, -1);
+  M.defineNative("length", nativeLength, 1, 1);
+  M.defineNative("list?", nativeListP, 1, 1);
+  M.defineNative("append", nativeAppend, 0, -1);
+  M.defineNative("reverse", nativeReverse, 1, 1);
+  M.defineNative("list-tail", nativeListTail, 2, 2);
+  M.defineNative("list-ref", nativeListRef, 2, 2);
+  M.defineNative("memq", nativeMemq, 2, 2);
+  M.defineNative("memv", nativeMemv, 2, 2);
+  M.defineNative("member", nativeMember, 2, 2);
+  M.defineNative("assq", nativeAssq, 2, 2);
+  M.defineNative("assv", nativeAssv, 2, 2);
+  M.defineNative("assoc", nativeAssoc, 2, 2);
+  M.defineNative("last-pair", nativeLastPair, 1, 1);
+  M.defineNative("list-copy", nativeListCopy, 1, 1);
+}

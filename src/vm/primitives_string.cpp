@@ -1,0 +1,344 @@
+//===- vm/primitives_string.cpp - String and char primitives ---*- C++ -*-===//
+
+#include "vm/vm.h"
+
+#include "runtime/printer.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace cmk;
+
+namespace {
+
+bool getString(VM &M, const char *Who, Value V, std::string &Out) {
+  if (!V.isString()) {
+    typeError(M, Who, "string", V);
+    return false;
+  }
+  StringObj *S = asString(V);
+  Out.assign(S->Data, S->Len);
+  return true;
+}
+
+Value nativeStringLength(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isString())
+    return typeError(M, "string-length", "string", Args[0]);
+  return Value::fixnum(asString(Args[0])->Len);
+}
+
+Value nativeStringRef(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isString() || !Args[1].isFixnum())
+    return typeError(M, "string-ref", "string and index", Args[0]);
+  StringObj *S = asString(Args[0]);
+  int64_t I = Args[1].asFixnum();
+  if (I < 0 || I >= S->Len)
+    return M.raiseError("string-ref: index out of range");
+  return Value::character(static_cast<unsigned char>(S->Data[I]));
+}
+
+Value nativeSubstring(VM &M, Value *Args, uint32_t NArgs) {
+  if (!Args[0].isString() || !Args[1].isFixnum())
+    return typeError(M, "substring", "string and indices", Args[0]);
+  StringObj *S = asString(Args[0]);
+  int64_t From = Args[1].asFixnum();
+  int64_t To = NArgs > 2 && Args[2].isFixnum() ? Args[2].asFixnum() : S->Len;
+  if (From < 0 || To > S->Len || From > To)
+    return M.raiseError("substring: bad range");
+  GCRoot Root(M.heap(), Args[0]);
+  Value Out = M.heap().makeUninitString(static_cast<uint32_t>(To - From));
+  std::memcpy(asString(Out)->Data, asString(Root.get())->Data + From,
+              To - From);
+  return Out;
+}
+
+Value nativeStringAppend(VM &M, Value *Args, uint32_t NArgs) {
+  std::string Out;
+  for (uint32_t I = 0; I < NArgs; ++I) {
+    std::string S;
+    if (!getString(M, "string-append", Args[I], S))
+      return Value::undefined();
+    Out += S;
+  }
+  return M.heap().makeString(Out);
+}
+
+template <int Lo, int Hi>
+Value stringCompare(VM &M, const char *Who, Value *Args, uint32_t NArgs) {
+  for (uint32_t I = 0; I + 1 < NArgs; ++I) {
+    std::string A, B;
+    if (!getString(M, Who, Args[I], A) || !getString(M, Who, Args[I + 1], B))
+      return Value::undefined();
+    int Cmp = A.compare(B);
+    Cmp = Cmp < 0 ? -1 : (Cmp > 0 ? 1 : 0);
+    if (Cmp < Lo || Cmp > Hi)
+      return Value::False();
+  }
+  return Value::True();
+}
+
+Value nativeStringEq(VM &M, Value *A, uint32_t N) {
+  return stringCompare<0, 0>(M, "string=?", A, N);
+}
+Value nativeStringLt(VM &M, Value *A, uint32_t N) {
+  return stringCompare<-1, -1>(M, "string<?", A, N);
+}
+
+Value nativeMakeString(VM &M, Value *Args, uint32_t NArgs) {
+  if (!Args[0].isFixnum() || Args[0].asFixnum() < 0)
+    return typeError(M, "make-string", "nonnegative fixnum", Args[0]);
+  char Fill = NArgs > 1 && Args[1].isChar()
+                  ? static_cast<char>(Args[1].asChar())
+                  : ' ';
+  std::string S(static_cast<size_t>(Args[0].asFixnum()), Fill);
+  return M.heap().makeString(S);
+}
+
+Value nativeStringOfChars(VM &M, Value *Args, uint32_t NArgs) {
+  std::string Out;
+  for (uint32_t I = 0; I < NArgs; ++I) {
+    if (!Args[I].isChar())
+      return typeError(M, "string", "character", Args[I]);
+    Out += static_cast<char>(Args[I].asChar());
+  }
+  return M.heap().makeString(Out);
+}
+
+Value nativeStringToList(VM &M, Value *Args, uint32_t) {
+  std::string S;
+  if (!getString(M, "string->list", Args[0], S))
+    return Value::undefined();
+  GCRoot Acc(M.heap(), Value::nil());
+  for (size_t I = S.size(); I > 0; --I)
+    Acc.set(M.heap().makePair(
+        Value::character(static_cast<unsigned char>(S[I - 1])), Acc.get()));
+  return Acc.get();
+}
+
+Value nativeListToString(VM &M, Value *Args, uint32_t) {
+  std::string Out;
+  for (Value P = Args[0]; P.isPair(); P = cdr(P)) {
+    if (!car(P).isChar())
+      return typeError(M, "list->string", "character", car(P));
+    Out += static_cast<char>(car(P).asChar());
+  }
+  return M.heap().makeString(Out);
+}
+
+Value nativeStringUpcase(VM &M, Value *Args, uint32_t) {
+  std::string S;
+  if (!getString(M, "string-upcase", Args[0], S))
+    return Value::undefined();
+  for (char &C : S)
+    C = static_cast<char>(std::toupper(static_cast<unsigned char>(C)));
+  return M.heap().makeString(S);
+}
+
+Value nativeStringDowncase(VM &M, Value *Args, uint32_t) {
+  std::string S;
+  if (!getString(M, "string-downcase", Args[0], S))
+    return Value::undefined();
+  for (char &C : S)
+    C = static_cast<char>(std::tolower(static_cast<unsigned char>(C)));
+  return M.heap().makeString(S);
+}
+
+Value nativeStringContains(VM &M, Value *Args, uint32_t) {
+  std::string A, B;
+  if (!getString(M, "string-contains?", Args[0], A) ||
+      !getString(M, "string-contains?", Args[1], B))
+    return Value::undefined();
+  return Value::boolean(A.find(B) != std::string::npos);
+}
+
+Value nativeStringIndexOf(VM &M, Value *Args, uint32_t) {
+  std::string A, B;
+  if (!getString(M, "string-index-of", Args[0], A) ||
+      !getString(M, "string-index-of", Args[1], B))
+    return Value::undefined();
+  size_t Pos = A.find(B);
+  return Pos == std::string::npos ? Value::False()
+                                  : Value::fixnum(static_cast<int64_t>(Pos));
+}
+
+Value nativeStringSplit(VM &M, Value *Args, uint32_t) {
+  std::string S, Sep;
+  if (!getString(M, "string-split", Args[0], S) ||
+      !getString(M, "string-split", Args[1], Sep))
+    return Value::undefined();
+  RootedValues Parts(M.heap());
+  if (Sep.empty())
+    return typeError(M, "string-split", "non-empty separator", Args[1]);
+  size_t Pos = 0;
+  while (Pos <= S.size()) {
+    size_t Next = S.find(Sep, Pos);
+    if (Next == std::string::npos) {
+      Parts.push(M.heap().makeString(S.substr(Pos)));
+      break;
+    }
+    Parts.push(M.heap().makeString(S.substr(Pos, Next - Pos)));
+    Pos = Next + Sep.size();
+  }
+  GCRoot Acc(M.heap(), Value::nil());
+  for (size_t I = Parts.size(); I > 0; --I)
+    Acc.set(M.heap().makePair(Parts[I - 1], Acc.get()));
+  return Acc.get();
+}
+
+Value nativeStringJoin(VM &M, Value *Args, uint32_t) {
+  std::string Sep;
+  if (!getString(M, "string-join", Args[1], Sep))
+    return Value::undefined();
+  std::string Out;
+  bool First = true;
+  for (Value P = Args[0]; P.isPair(); P = cdr(P)) {
+    std::string S;
+    if (!getString(M, "string-join", car(P), S))
+      return Value::undefined();
+    if (!First)
+      Out += Sep;
+    First = false;
+    Out += S;
+  }
+  return M.heap().makeString(Out);
+}
+
+Value nativeNumberToString(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isNumber())
+    return typeError(M, "number->string", "number", Args[0]);
+  return M.heap().makeString(writeToString(Args[0]));
+}
+
+Value nativeStringToNumber(VM &M, Value *Args, uint32_t) {
+  std::string S;
+  if (!getString(M, "string->number", Args[0], S))
+    return Value::undefined();
+  if (S.empty())
+    return Value::False();
+  char *End = nullptr;
+  errno = 0;
+  long long N = std::strtoll(S.c_str(), &End, 10);
+  if (errno == 0 && End == S.c_str() + S.size() && fitsFixnum(N))
+    return Value::fixnum(N);
+  End = nullptr;
+  errno = 0;
+  double D = std::strtod(S.c_str(), &End);
+  if (errno == 0 && End == S.c_str() + S.size())
+    return M.heap().makeFlonum(D);
+  return Value::False();
+}
+
+Value nativeCharToInteger(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isChar())
+    return typeError(M, "char->integer", "character", Args[0]);
+  return Value::fixnum(Args[0].asChar());
+}
+
+Value nativeIntegerToChar(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isFixnum() || Args[0].asFixnum() < 0 ||
+      Args[0].asFixnum() > 0x10FFFF)
+    return typeError(M, "integer->char", "character code", Args[0]);
+  return Value::character(static_cast<uint32_t>(Args[0].asFixnum()));
+}
+
+template <int (*Pred)(int)>
+Value charPred(VM &M, const char *Who, Value *Args) {
+  if (!Args[0].isChar())
+    return typeError(M, Who, "character", Args[0]);
+  return Value::boolean(Pred(static_cast<int>(Args[0].asChar())) != 0);
+}
+
+Value nativeCharAlphabetic(VM &M, Value *Args, uint32_t) {
+  return charPred<std::isalpha>(M, "char-alphabetic?", Args);
+}
+Value nativeCharNumeric(VM &M, Value *Args, uint32_t) {
+  return charPred<std::isdigit>(M, "char-numeric?", Args);
+}
+Value nativeCharWhitespace(VM &M, Value *Args, uint32_t) {
+  return charPred<std::isspace>(M, "char-whitespace?", Args);
+}
+
+Value nativeCharEq(VM &M, Value *Args, uint32_t NArgs) {
+  for (uint32_t I = 0; I < NArgs; ++I)
+    if (!Args[I].isChar())
+      return typeError(M, "char=?", "character", Args[I]);
+  for (uint32_t I = 0; I + 1 < NArgs; ++I)
+    if (Args[I].asChar() != Args[I + 1].asChar())
+      return Value::False();
+  return Value::True();
+}
+
+Value nativeCharLt(VM &M, Value *Args, uint32_t NArgs) {
+  for (uint32_t I = 0; I < NArgs; ++I)
+    if (!Args[I].isChar())
+      return typeError(M, "char<?", "character", Args[I]);
+  for (uint32_t I = 0; I + 1 < NArgs; ++I)
+    if (!(Args[I].asChar() < Args[I + 1].asChar()))
+      return Value::False();
+  return Value::True();
+}
+
+Value nativeFormat(VM &M, Value *Args, uint32_t NArgs) {
+  // (format fmt arg ...): ~a display, ~s write, ~% newline, ~~ tilde.
+  std::string Fmt;
+  if (!getString(M, "format", Args[0], Fmt))
+    return Value::undefined();
+  std::string Out;
+  uint32_t Arg = 1;
+  for (size_t I = 0; I < Fmt.size(); ++I) {
+    if (Fmt[I] != '~' || I + 1 == Fmt.size()) {
+      Out += Fmt[I];
+      continue;
+    }
+    char D = Fmt[++I];
+    if (D == 'a' || D == 'A') {
+      if (Arg >= NArgs)
+        return M.raiseError("format: too few arguments");
+      printValue(Out, Args[Arg++], /*Display=*/true);
+    } else if (D == 's' || D == 'S') {
+      if (Arg >= NArgs)
+        return M.raiseError("format: too few arguments");
+      printValue(Out, Args[Arg++], /*Display=*/false);
+    } else if (D == '%' || D == 'n') {
+      Out += '\n';
+    } else {
+      Out += D;
+    }
+  }
+  return M.heap().makeString(Out);
+}
+
+} // namespace
+
+void cmk::installStringPrimitives(VM &M) {
+  M.defineNative("string-length", nativeStringLength, 1, 1);
+  M.defineNative("string-ref", nativeStringRef, 2, 2);
+  M.defineNative("substring", nativeSubstring, 2, 3);
+  M.defineNative("string-append", nativeStringAppend, 0, -1);
+  M.defineNative("string=?", nativeStringEq, 2, -1);
+  M.defineNative("string<?", nativeStringLt, 2, -1);
+  M.defineNative("make-string", nativeMakeString, 1, 2);
+  M.defineNative("string", nativeStringOfChars, 0, -1);
+  M.defineNative("string->list", nativeStringToList, 1, 1);
+  M.defineNative("list->string", nativeListToString, 1, 1);
+  M.defineNative("string-upcase", nativeStringUpcase, 1, 1);
+  M.defineNative("string-downcase", nativeStringDowncase, 1, 1);
+  M.defineNative("string-contains?", nativeStringContains, 2, 2);
+  M.defineNative("string-index-of", nativeStringIndexOf, 2, 2);
+  M.defineNative("string-split", nativeStringSplit, 2, 2);
+  M.defineNative("string-join", nativeStringJoin, 2, 2);
+  M.defineNative("number->string", nativeNumberToString, 1, 1);
+  M.defineNative("string->number", nativeStringToNumber, 1, 1);
+  M.defineNative("char->integer", nativeCharToInteger, 1, 1);
+  M.defineNative("integer->char", nativeIntegerToChar, 1, 1);
+  M.defineNative("char-alphabetic?", nativeCharAlphabetic, 1, 1);
+  M.defineNative("char-numeric?", nativeCharNumeric, 1, 1);
+  M.defineNative("char-whitespace?", nativeCharWhitespace, 1, 1);
+  M.defineNative("char=?", nativeCharEq, 2, -1);
+  M.defineNative("char<?", nativeCharLt, 2, -1);
+  M.defineNative("format", nativeFormat, 1, -1);
+}

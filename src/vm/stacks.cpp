@@ -1,0 +1,268 @@
+//===- vm/stacks.cpp - Stack segments, reification, underflow --*- C++ -*-===//
+///
+/// \file
+/// The heart of the paper's runtime support (sections 5 and 6): splitting
+/// stacks into underflow records when a continuation is reified, fusing
+/// opportunistic one-shot splits back together on underflow, and copying
+/// captured frames on continuation application.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/vm.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace cmk;
+
+void VM::reifyCurrentFrame() {
+  StackSegObj *S = asStackSeg(Regs.Seg);
+  if (S->Slots[Regs.Fp + 1].isUnderflowSentinel())
+    return; // Already reified; NextK is this frame's record.
+
+  ++Stats.Reifications;
+  Value KV = H.makeCont();
+  ContObj *K = asCont(KV);
+  S = asStackSeg(Regs.Seg);
+
+  K->Seg = Regs.Seg;
+  K->Lo = Regs.Base;
+  K->Hi = Regs.Fp;
+  K->RetFp = static_cast<uint32_t>(S->Slots[Regs.Fp + 0].asFixnum());
+  K->RetCode = S->Slots[Regs.Fp + 1];
+  K->RetPc = S->Slots[Regs.Fp + 2];
+  K->Marks = Regs.Marks;
+  K->Winders = Regs.Winders;
+  K->Next = Regs.NextK;
+  K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
+  K->setShot(Cfg.EnableOneShots ? ContShot::Opportunistic : ContShot::Full);
+
+  S->Slots[Regs.Fp + 1] = Value::underflowSentinel();
+  S->Slots[Regs.Fp + 2] = Value::fixnum(0);
+  Regs.Base = Regs.Fp;
+  Regs.NextK = KV;
+}
+
+Value VM::reifyAtSp(ContShot Shot) {
+  if (Regs.Sp == Regs.Base && Regs.NextK.isCont()) {
+    // Nothing above the stack base: the continuation is exactly the
+    // existing record chain (this happens when a native runs in a frame
+    // scheduled at a fresh base). Minting a record here would capture an
+    // empty slice with a stale resume point.
+    return Regs.NextK;
+  }
+  ++Stats.Reifications;
+  Value KV = H.makeCont();
+  ContObj *K = asCont(KV);
+
+  K->Seg = Regs.Seg;
+  K->Lo = Regs.Base;
+  K->Hi = Regs.Sp;
+  K->RetFp = Regs.Fp;
+  K->RetCode = Regs.CurCode;
+  K->RetPc = Value::fixnum(Regs.Pc);
+  K->Marks = Regs.Marks;
+  K->Winders = Regs.Winders;
+  K->Next = Regs.NextK;
+  K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
+  K->setShot(Cfg.EnableOneShots ? Shot : ContShot::Full);
+
+  Regs.Base = Regs.Sp;
+  Regs.NextK = KV;
+  return KV;
+}
+
+/// Copies the captured slice of \p K onto a fresh segment and points the
+/// registers at it. Restores Fp/Sp from the record; the caller sets the
+/// code/pc/marks/winders registers.
+static void restoreByCopy(VM &M, ContObj *K) {
+  uint32_t Len = K->Hi - K->Lo;
+  CMK_CHECK(K->Hi >= K->Lo, "corrupt continuation record (hi < lo)");
+  // Restored segments are sized to the slice plus a little headroom:
+  // underflow copies are on the hot path once the collector has promoted
+  // one-shot records (paper 6), so a return through a promoted record must
+  // not pay for a full segment. Execution that grows past the headroom
+  // overflows into regular segments.
+  uint32_t Cap = Len + 128;
+  Value NewSegV = M.heap().makeStackSeg(Cap); // K stays reachable via Regs.
+  StackSegObj *NewSeg = asStackSeg(NewSegV);
+  StackSegObj *OldSeg = asStackSeg(K->Seg);
+  std::memcpy(NewSeg->Slots, OldSeg->Slots + K->Lo, sizeof(Value) * Len);
+
+  // Rewrite the saved-fp chain to the new segment's indices.
+  if (Len > 0) {
+    uint32_t F = K->RetFp - K->Lo;
+    while (F > 0) {
+      uint32_t OldSaved =
+          static_cast<uint32_t>(NewSeg->Slots[F + 0].asFixnum());
+      CMK_CHECK(OldSaved >= K->Lo && OldSaved < K->Hi,
+                "frame chain escapes the captured slice");
+      NewSeg->Slots[F + 0] = Value::fixnum(OldSaved - K->Lo);
+      F = OldSaved - K->Lo;
+    }
+  }
+
+  M.Regs.Seg = NewSegV;
+  M.Regs.Base = 0;
+  M.Regs.Fp = K->RetFp - K->Lo;
+  M.Regs.Sp = Len;
+}
+
+bool VM::underflow(Value Result) {
+  // Pass-through records (prompt metadata) only restore the marks and
+  // winder registers; the value continues to the next record directly.
+  while (Regs.NextK.isCont() &&
+         asCont(Regs.NextK)->RetCode == ReturnCode) {
+    ContObj *K = asCont(Regs.NextK);
+    Regs.Marks = K->Marks;
+    Regs.Winders = K->Winders;
+    if (Cfg.MarkStackMode && MarkStack.size() > K->MarkHeight)
+      MarkStack.resize(K->MarkHeight);
+    Regs.NextK = K->Next;
+  }
+
+  if (Regs.NextK.isNil()) {
+    // Process bottom: the run is complete.
+    Regs.Marks = Value::nil();
+    setSlot(Regs.Sp, Result); // Keep the result traceable.
+    ++Regs.Sp;
+    return false;
+  }
+
+  GCRoot ResultRoot(H, Result);
+  Value KV = Regs.NextK;
+  ContObj *K = asCont(KV);
+  if (K->isExplicitOneShot())
+    K->setUsed(); // Returning through a one-shot consumes it.
+
+  if (K->shot() == ContShot::Opportunistic && K->Seg == Regs.Seg &&
+      K->Hi == Regs.Base) {
+    // Paper section 6: the split stack is still contiguous with the current
+    // one; fuse them back without copying.
+    ++Stats.UnderflowFusions;
+    Regs.Base = K->Lo;
+    Regs.Fp = K->RetFp;
+    Regs.Sp = K->Hi;
+  } else {
+    ++Stats.UnderflowCopies;
+    restoreByCopy(*this, K);
+  }
+
+  Regs.CurCode = K->RetCode;
+  Regs.Pc = static_cast<uint32_t>(K->RetPc.asFixnum());
+  Regs.Marks = K->Marks;
+  Regs.Winders = K->Winders;
+  Regs.NextK = K->Next;
+  if (Cfg.MarkStackMode && MarkStack.size() > K->MarkHeight)
+    MarkStack.resize(K->MarkHeight);
+
+  setSlot(Regs.Sp, ResultRoot.get());
+  ++Regs.Sp;
+  return true;
+}
+
+void VM::applyContinuation(Value KV, Value Result) {
+  ++Stats.ContinuationApplies;
+  NativeJumped = true; // A native driving this replaced the continuation.
+  GCRoot KRoot(H, KV), ResultRoot(H, Result);
+  ContObj *K = asCont(KV);
+  // A one-shot continuation (call/1cc) may be used only once, unless a
+  // later call/cc promoted it to a full continuation (paper section 6;
+  // promotion clears the one-shot marking).
+  if (K->isExplicitOneShot()) {
+    if (K->isUsed()) {
+      raiseError("one-shot continuation used more than once");
+      return;
+    }
+    K->setUsed();
+  }
+  // Explicit application must never fuse: the record may be applied again.
+  if (K->shot() == ContShot::Opportunistic)
+    K->setShot(ContShot::Full);
+
+  restoreByCopy(*this, K);
+  K = asCont(KRoot.get());
+  Regs.CurCode = K->RetCode;
+  Regs.Pc = static_cast<uint32_t>(K->RetPc.asFixnum());
+  Regs.Marks = K->Marks;
+  Regs.Winders = K->Winders;
+  Regs.NextK = K->Next;
+  if (Cfg.MarkStackMode) {
+    if (K->MarkStackCopy.isVector()) {
+      VectorObj *V = asVector(K->MarkStackCopy);
+      MarkStack.clear();
+      for (uint32_t I = 0; I + 4 <= V->Len; I += 4)
+        MarkStack.push_back({V->Elems[I],
+                             static_cast<uint32_t>(V->Elems[I + 1].asFixnum()),
+                             V->Elems[I + 2], V->Elems[I + 3]});
+    } else if (MarkStack.size() > K->MarkHeight) {
+      MarkStack.resize(K->MarkHeight);
+    }
+  }
+
+  setSlot(Regs.Sp, ResultRoot.get());
+  ++Regs.Sp;
+}
+
+void VM::jumpToContinuation(Value KV) {
+  ++Stats.ContinuationApplies;
+  NativeJumped = true;
+  GCRoot KRoot(H, KV);
+  ContObj *K = asCont(KV);
+  if (K->shot() == ContShot::Opportunistic)
+    K->setShot(ContShot::Full);
+  restoreByCopy(*this, K);
+  K = asCont(KRoot.get());
+  Regs.CurCode = K->RetCode;
+  Regs.Pc = static_cast<uint32_t>(K->RetPc.asFixnum());
+  Regs.Marks = K->Marks;
+  Regs.Winders = K->Winders;
+  Regs.NextK = K->Next;
+  if (Cfg.MarkStackMode && MarkStack.size() > K->MarkHeight)
+    MarkStack.resize(K->MarkHeight);
+}
+
+Value VM::makePassThroughRecord() {
+  // A 4-slot slice holding one frame that returns to the underflow
+  // sentinel; resuming runs a lone Return, which forwards the value to the
+  // record's Next.
+  Value SegV = H.makeStackSeg(8);
+  GCRoot SegRoot(H, SegV);
+  Value KV = H.makeCont();
+  StackSegObj *S = asStackSeg(SegRoot.get());
+  S->Slots[0] = Value::fixnum(0);
+  S->Slots[1] = Value::underflowSentinel();
+  S->Slots[2] = Value::fixnum(0);
+  S->Slots[3] = Value::False();
+  ContObj *K = asCont(KV);
+  K->Seg = SegRoot.get();
+  K->Lo = 0;
+  K->Hi = FrameHeaderSlots;
+  K->RetFp = 0;
+  K->RetCode = ReturnCode;
+  K->RetPc = Value::fixnum(0);
+  K->Marks = Regs.Marks;
+  K->Winders = Regs.Winders;
+  K->Next = Regs.NextK;
+  K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
+  K->setShot(ContShot::Full);
+  return KV;
+}
+
+void VM::ensureStackSpace(uint32_t Needed) {
+  // Overflow at a call boundary splits the stack exactly like a capture:
+  // the frames so far become a captured (opportunistic one-shot)
+  // continuation and execution continues on a fresh segment. Callers must
+  // re-read Regs.Seg/Base/Fp/Sp afterwards.
+  StackSegObj *S = asStackSeg(Regs.Seg);
+  if (Regs.Sp + Needed <= S->Capacity)
+    return;
+  ++Stats.SegmentOverflows;
+  reifyAtSp(ContShot::Opportunistic);
+  uint32_t Cap = std::max(Cfg.SegmentSlots, Needed + 1024);
+  Value NewSegV = H.makeStackSeg(Cap);
+  Regs.Seg = NewSegV;
+  Regs.Base = 0;
+  Regs.Fp = 0;
+  Regs.Sp = 0;
+}

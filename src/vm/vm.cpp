@@ -1,0 +1,1179 @@
+//===- vm/vm.cpp - Bytecode interpreter ------------------------*- C++ -*-===//
+///
+/// \file
+/// The interpreter loop and the call/return/underflow protocol. The
+/// attachment opcodes implement paper section 7's compiled strategies; the
+/// generic strategies live in vm/attachments.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/vm.h"
+
+#include "compiler/bytecode.h"
+#include "runtime/equal.h"
+#include "runtime/hashtable.h"
+#include "runtime/numbers.h"
+#include "runtime/printer.h"
+
+#include <cstring>
+
+using namespace cmk;
+
+// Defined in marks/mark_frame.cpp: reads a parameter's current binding.
+namespace cmk {
+Value parameterLookup(VM &M, Value Param);
+// Defined in control/prompts.cpp: applies a composable continuation.
+void applyCompositeCont(VM &M, Value K, Value Arg, bool TailMode);
+}
+
+VM::VM(const VMConfig &Config) : Cfg(Config) {
+  WK.init(H);
+  H.addRootSource(this);
+  GlobalTable = H.makeHashTable(/*EqualBased=*/false);
+  HaltCode = H.makeCode(0, 0, 16, 0, H.intern("#%halt"), {},
+                        {static_cast<uint8_t>(Op::Halt)});
+  PermanentRoots.push_back(HaltCode);
+  ReturnCode = H.makeCode(0, 0, 16, 0, H.intern("#%return"), {},
+                          {static_cast<uint8_t>(Op::Return)});
+  PermanentRoots.push_back(ReturnCode);
+  installPrimitives(*this);
+  installListPrimitives(*this);
+  installStringPrimitives(*this);
+  installControlPrimitives(*this);
+  installWinderPrimitives(*this);
+  installAttachmentPrimitives(*this);
+  installPromptPrimitives(*this);
+  installMarkPrimitives(*this);
+  installParameterPrimitives(*this);
+}
+
+VM::~VM() { H.removeRootSource(this); }
+
+void VM::traceRoots(Heap &Heap) {
+  Heap.traceValue(Regs.Seg);
+  Heap.traceValue(Regs.CurCode);
+  Heap.traceValue(Regs.Marks);
+  Heap.traceValue(Regs.NextK);
+  Heap.traceValue(Regs.Winders);
+  Heap.traceValue(GlobalTable);
+  for (Value V : PermanentRoots)
+    Heap.traceValue(V);
+  Heap.traceValue(PendingFn);
+  Heap.traceValue(ImitationAtts);
+  for (Value V : PendingArgs)
+    Heap.traceValue(V);
+  for (const MarkStackEntry &E : MarkStack) {
+    Heap.traceValue(E.Seg);
+    Heap.traceValue(E.Key);
+    Heap.traceValue(E.Val);
+  }
+}
+
+Value VM::globalCell(Value Sym) {
+  Value Cell = htGet(GlobalTable, Sym, Value::False());
+  if (Cell.isPair())
+    return Cell;
+  Cell = H.makePair(Value::undefined(), Sym);
+  htSet(H, GlobalTable, Sym, Cell);
+  return Cell;
+}
+
+void VM::setGlobal(const std::string &Name, Value V) {
+  asPair(globalCell(H.intern(Name)))->Car = V;
+}
+
+Value VM::getGlobal(const std::string &Name) {
+  return asPair(globalCell(H.intern(Name)))->Car;
+}
+
+void VM::defineNative(const std::string &Name, NativeFn Fn, int32_t MinArgs,
+                      int32_t MaxArgs) {
+  Value NameSym = H.intern(Name);
+  Value N = H.makeNative(Fn, NameSym, MinArgs, MaxArgs);
+  asPair(globalCell(NameSym))->Car = N;
+}
+
+Value VM::raiseError(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    ErrMsg = Msg;
+  }
+  return Value::undefined();
+}
+
+void VM::scheduleTailCall(Value Fn, const Value *Args, uint32_t NArgs) {
+  CMK_CHECK(!PendingCall, "a native may schedule at most one tail call");
+  PendingCall = true;
+  PendingFn = Fn;
+  PendingArgs.assign(Args, Args + NArgs);
+}
+
+Value cmk::typeError(VM &M, const char *Who, const char *Expected, Value Got) {
+  return M.raiseError(std::string(Who) + ": expected " + Expected + ", got " +
+                      writeToString(Got));
+}
+
+bool cmk::checkArity(VM &M, const char *Who, uint32_t NArgs, int32_t Min,
+                     int32_t Max) {
+  if (static_cast<int32_t>(NArgs) < Min ||
+      (Max >= 0 && static_cast<int32_t>(NArgs) > Max)) {
+    M.raiseError(std::string(Who) + ": wrong number of arguments");
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Moves a frame under construction at [Hdr, Sp) onto a fresh segment when
+/// it does not fit; the frames below Hdr become a captured continuation.
+void overflowMovePending(VM &M, uint32_t &Hdr, uint32_t CalleeNeed,
+                         Value MarksForRecord) {
+  ++M.stats().SegmentOverflows;
+  uint32_t PendingLen = M.Regs.Sp - Hdr;
+  uint32_t OldHdr = Hdr;
+  Value OldSegV = M.Regs.Seg;
+
+  // Split below the pending frame.
+  M.Regs.Sp = Hdr;
+  Value KV = M.reifyAtSp(ContShot::Opportunistic);
+  asCont(KV)->Marks = MarksForRecord;
+
+  // Heap-frame mode emulates frame-per-segment allocation (Pycket-like),
+  // so segments are sized to the frame instead of the regular chunk size.
+  uint32_t Cap = M.config().HeapFrameMode
+                     ? CalleeNeed + PendingLen + 64
+                     : std::max(M.config().SegmentSlots,
+                                CalleeNeed + PendingLen + 1024);
+  Value NewSegV = M.heap().makeStackSeg(Cap);
+  std::memcpy(asStackSeg(NewSegV)->Slots, asStackSeg(OldSegV)->Slots + OldHdr,
+              sizeof(Value) * PendingLen);
+  M.Regs.Seg = NewSegV;
+  M.Regs.Base = 0;
+  M.Regs.Fp = 0;
+  M.Regs.Sp = PendingLen;
+  Hdr = 0;
+}
+
+/// Collects surplus arguments into a rest list. Args live in stack slots
+/// [ArgBase, ArgBase+NArgs); afterwards the formals occupy
+/// [ArgBase, ArgBase+NumParams).
+bool bindArgs(VM &M, CodeObj *Code, uint32_t ArgBase, uint32_t NArgs,
+              const char *Name) {
+  bool HasRest = (Code->Flags & codeflags::HasRestArg) != 0;
+  uint32_t Required = HasRest ? Code->NumArgs - 1 : Code->NumArgs;
+  if (HasRest ? NArgs < Required : NArgs != Required) {
+    M.raiseError(std::string(Name) + ": wrong number of arguments (got " +
+                 std::to_string(NArgs) + ")");
+    return false;
+  }
+  if (!HasRest)
+    return true;
+  // Build the rest list from the extra arguments, newest first.
+  Value Rest = Value::nil();
+  {
+    GCRoot RestRoot(M.heap(), Rest);
+    for (uint32_t I = NArgs; I > Required; --I) {
+      StackSegObj *S = asStackSeg(M.Regs.Seg);
+      RestRoot.set(M.heap().makePair(S->Slots[ArgBase + I - 1],
+                                     RestRoot.get()));
+    }
+    Rest = RestRoot.get();
+  }
+  asStackSeg(M.Regs.Seg)->Slots[ArgBase + Required] = Rest;
+  return true;
+}
+
+const char *procName(Value Fn) {
+  static std::string Buf;
+  Value Name = Value::False();
+  if (Fn.isClosure())
+    Name = asCode(asClosure(Fn)->Code)->Name;
+  else if (Fn.isNative())
+    Name = asNative(Fn)->Name;
+  if (!Name.isSymbol())
+    return "procedure";
+  Buf = displayToString(Name);
+  return Buf.c_str();
+}
+
+} // namespace
+
+void VM::installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs) {
+  GCRoot FnRoot(H, Fn);
+  RootedValues ArgRoots(H);
+  for (uint32_t I = 0; I < NArgs; ++I)
+    ArgRoots.push(Args[I]);
+
+  Value SegV = H.makeStackSeg(Cfg.SegmentSlots);
+  Regs.Seg = SegV;
+  Regs.Base = 0;
+  Regs.Fp = 0;
+  Regs.Marks = Value::nil();
+  Regs.Winders = Value::nil();
+  MarkStack.clear();
+
+  // The bottom of the continuation chain is a record that resumes at a
+  // lone Halt instruction, so applying a continuation captured at the base
+  // behaves uniformly.
+  Value HaltK = H.makeCont();
+  ContObj *K = asCont(HaltK);
+  K->Seg = Regs.Seg;
+  K->Lo = K->Hi = 0;
+  K->RetFp = 0;
+  K->RetCode = HaltCode;
+  K->RetPc = Value::fixnum(0);
+  K->setShot(ContShot::Full);
+  Regs.NextK = HaltK;
+
+  StackSegObj *S = asStackSeg(Regs.Seg);
+  S->Slots[0] = Value::fixnum(0);
+  S->Slots[1] = Value::underflowSentinel();
+  S->Slots[2] = Value::fixnum(0);
+  S->Slots[3] = FnRoot.get();
+  for (uint32_t I = 0; I < NArgs; ++I)
+    S->Slots[FrameHeaderSlots + I] = ArgRoots[I];
+  Regs.Sp = FrameHeaderSlots + NArgs;
+}
+
+Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
+                         bool &Ok) {
+  CMK_CHECK(!Running, "applyProcedure is not re-entrant");
+  clearError();
+
+  GCRoot FnRoot(H, Fn);
+  RootedValues ArgRoots(H);
+  for (uint32_t I = 0; I < NArgs; ++I)
+    ArgRoots.push(Args[I]);
+
+  // Resolve native/pending chains until a closure (or plain result).
+  for (;;) {
+    Value F = FnRoot.get();
+    if (F.isClosure())
+      break;
+    if (F.isNative()) {
+      NativeObj *N = asNative(F);
+      if (!checkArity(*this, procName(F), NArgs, N->MinArgs, N->MaxArgs)) {
+        Ok = false;
+        return Value::undefined();
+      }
+      // Natives invoked outside a run cannot touch continuation state;
+      // give them a scratch frame context.
+      installBaseFrame(F, ArgRoots.values().data(), NArgs);
+      Regs.CurCode = Value::undefined();
+      Running = true;
+      Value Res =
+          N->Fn(*this, asStackSeg(Regs.Seg)->Slots + FrameHeaderSlots, NArgs);
+      Running = false;
+      if (Failed) {
+        Ok = false;
+        return Value::undefined();
+      }
+      if (!PendingCall) {
+        Ok = true;
+        return Res;
+      }
+      PendingCall = false;
+      FnRoot.set(PendingFn);
+      ArgRoots.clear();
+      for (Value V : PendingArgs)
+        ArgRoots.push(V);
+      NArgs = static_cast<uint32_t>(PendingArgs.size());
+      continue;
+    }
+    Ok = false;
+    raiseError("apply: not a procedure: " + writeToString(F));
+    return Value::undefined();
+  }
+
+  Value F = FnRoot.get();
+  CodeObj *Code = asCode(asClosure(F)->Code);
+  installBaseFrame(F, ArgRoots.values().data(), NArgs);
+  if (!bindArgs(*this, Code, FrameHeaderSlots, NArgs, procName(F))) {
+    Ok = false;
+    return Value::undefined();
+  }
+  StackSegObj *S = asStackSeg(Regs.Seg);
+  for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+    S->Slots[FrameHeaderSlots + I] = Value::undefined();
+  Regs.Sp = FrameHeaderSlots + Code->NumLocals;
+  Regs.CurCode = asClosure(F)->Code;
+  Regs.Pc = 0;
+
+  Running = true;
+  Value Result = run();
+  Running = false;
+  Ok = !Failed;
+  return Result;
+}
+
+// -----------------------------------------------------------------------------
+// The interpreter loop.
+// -----------------------------------------------------------------------------
+
+Value VM::run() {
+  // Cached registers. Slots can be cached because the collector never moves
+  // objects; it must be re-fetched whenever Regs.Seg changes.
+  CodeObj *CC = asCode(Regs.CurCode);
+  const uint8_t *Ins = CC->instrs();
+  Value *Consts = CC->consts();
+  Value *Slots = asStackSeg(Regs.Seg)->Slots;
+  uint32_t Pc = Regs.Pc;
+  uint32_t Fp = Regs.Fp;
+  uint32_t Sp = Regs.Sp;
+
+#define SYNC()                                                                 \
+  do {                                                                         \
+    Regs.Pc = Pc;                                                              \
+    Regs.Fp = Fp;                                                              \
+    Regs.Sp = Sp;                                                              \
+  } while (0)
+#define RELOAD()                                                               \
+  do {                                                                         \
+    CC = asCode(Regs.CurCode);                                                 \
+    Ins = CC->instrs();                                                        \
+    Consts = CC->consts();                                                     \
+    Slots = asStackSeg(Regs.Seg)->Slots;                                       \
+    Pc = Regs.Pc;                                                              \
+    Fp = Regs.Fp;                                                              \
+    Sp = Regs.Sp;                                                              \
+  } while (0)
+#define VMERROR(MSG)                                                           \
+  do {                                                                         \
+    SYNC();                                                                    \
+    raiseError(MSG);                                                           \
+    return Value::undefined();                                                 \
+  } while (0)
+
+  for (;;) {
+    Op O = static_cast<Op>(Ins[Pc]);
+    switch (O) {
+    case Op::PushConst:
+      Slots[Sp++] = Consts[readU16(Ins + Pc + 1)];
+      Pc += 3;
+      break;
+    case Op::PushLocal:
+      Slots[Sp++] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+      Pc += 3;
+      break;
+    case Op::SetLocal:
+      Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)] = Slots[--Sp];
+      Pc += 3;
+      break;
+    case Op::PushLocalBox: {
+      Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+      Slots[Sp++] = asBox(B)->Val;
+      Pc += 3;
+      break;
+    }
+    case Op::SetLocalBox: {
+      Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+      asBox(B)->Val = Slots[--Sp];
+      Pc += 3;
+      break;
+    }
+    case Op::PushFree: {
+      ClosureObj *C = asClosure(Slots[Fp + 3]);
+      Slots[Sp++] = C->Free[readU16(Ins + Pc + 1)];
+      Pc += 3;
+      break;
+    }
+    case Op::PushFreeBox: {
+      ClosureObj *C = asClosure(Slots[Fp + 3]);
+      Slots[Sp++] = asBox(C->Free[readU16(Ins + Pc + 1)])->Val;
+      Pc += 3;
+      break;
+    }
+    case Op::SetFreeBox: {
+      ClosureObj *C = asClosure(Slots[Fp + 3]);
+      asBox(C->Free[readU16(Ins + Pc + 1)])->Val = Slots[--Sp];
+      Pc += 3;
+      break;
+    }
+    case Op::BoxLocal: {
+      uint32_t Slot = Fp + FrameHeaderSlots + readU16(Ins + Pc + 1);
+      SYNC();
+      Value B = H.makeBox(Slots[Slot]);
+      Slots[Slot] = B;
+      Pc += 3;
+      break;
+    }
+    case Op::PushGlobal: {
+      Pair *Cell = asPair(Consts[readU16(Ins + Pc + 1)]);
+      if (Cell->Car.isUndefined())
+        VMERROR("unbound variable: " + displayToString(Cell->Cdr));
+      Slots[Sp++] = Cell->Car;
+      Pc += 3;
+      break;
+    }
+    case Op::SetGlobal:
+    case Op::DefineGlobal:
+      asPair(Consts[readU16(Ins + Pc + 1)])->Car = Slots[--Sp];
+      Pc += 3;
+      break;
+    case Op::Pop:
+      --Sp;
+      ++Pc;
+      break;
+    case Op::Dup:
+      Slots[Sp] = Slots[Sp - 1];
+      ++Sp;
+      ++Pc;
+      break;
+    case Op::MakeClosure: {
+      Value Code = Consts[readU16(Ins + Pc + 1)];
+      uint32_t NFree = readU16(Ins + Pc + 3);
+      SYNC();
+      Value Clos = H.makeClosure(Code, NFree);
+      ClosureObj *C = asClosure(Clos);
+      for (uint32_t I = 0; I < NFree; ++I)
+        C->Free[I] = Slots[Sp - NFree + I];
+      Sp -= NFree;
+      Slots[Sp++] = Clos;
+      Pc += 5;
+      break;
+    }
+    case Op::Jump:
+      Pc = readU32(Ins + Pc + 1);
+      break;
+    case Op::JumpIfFalse: {
+      Value V = Slots[--Sp];
+      Pc = V.isFalse() ? readU32(Ins + Pc + 1) : Pc + 5;
+      break;
+    }
+    case Op::Frame:
+      Slots[Sp] = Value::undefined();
+      Slots[Sp + 1] = Value::undefined();
+      Slots[Sp + 2] = Value::undefined();
+      Sp += 3;
+      ++Pc;
+      break;
+
+    case Op::Call:
+    case Op::CallAttach: {
+      uint32_t NArgs = readU16(Ins + Pc + 1);
+      Pc += 3;
+      uint32_t Hdr = Sp - NArgs - FrameHeaderSlots;
+      Value Fn = Slots[Hdr + 3];
+
+      if (O == Op::CallAttach) {
+        SYNC();
+        preReifyForAttachCall(Hdr);
+        Slots = asStackSeg(Regs.Seg)->Slots;
+      }
+
+      // Fast path: a fitting closure call.
+      if (Fn.isClosure()) {
+        CodeObj *Code = asCode(asClosure(Fn)->Code);
+        if (!(Code->Flags & codeflags::HasRestArg) &&
+            NArgs == Code->NumArgs && !Cfg.HeapFrameMode &&
+            Hdr + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity) {
+          if (!Slots[Hdr + 1].isUnderflowSentinel()) {
+            Slots[Hdr + 0] = Value::fixnum(Fp);
+            Slots[Hdr + 1] = Regs.CurCode;
+            Slots[Hdr + 2] = Value::fixnum(Pc);
+          }
+          Fp = Hdr;
+          for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+            Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
+          Sp = Fp + FrameHeaderSlots + Code->NumLocals;
+          Regs.CurCode = asClosure(Fn)->Code;
+          Pc = 0;
+          CC = asCode(Regs.CurCode);
+          Ins = CC->instrs();
+          Consts = CC->consts();
+          break;
+        }
+      }
+
+      SYNC();
+      Dispatch D = dispatchSlowCall(Hdr, NArgs);
+      if (Failed)
+        return Value::undefined();
+      if (D == Dispatch::Halt)
+        return slot(Regs.Sp - 1);
+      RELOAD();
+      break;
+    }
+
+    case Op::TailCall: {
+      uint32_t NArgs = readU16(Ins + Pc + 1);
+      uint32_t FnBase = Sp - NArgs - 1;
+      // Move callee + args into the current frame (footnote 2: tail calls
+      // reuse the caller's frame).
+      for (uint32_t I = 0; I <= NArgs; ++I)
+        Slots[Fp + 3 + I] = Slots[FnBase + I];
+      Sp = Fp + FrameHeaderSlots + NArgs;
+      Value Fn = Slots[Fp + 3];
+
+      if (Fn.isClosure()) {
+        CodeObj *Code = asCode(asClosure(Fn)->Code);
+        if (!(Code->Flags & codeflags::HasRestArg) &&
+            NArgs == Code->NumArgs &&
+            Fp + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity) {
+          for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+            Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
+          Sp = Fp + FrameHeaderSlots + Code->NumLocals;
+          Regs.CurCode = asClosure(Fn)->Code;
+          Pc = 0;
+          CC = asCode(Regs.CurCode);
+          Ins = CC->instrs();
+          Consts = CC->consts();
+          break;
+        }
+      }
+
+      SYNC();
+      Dispatch D = dispatchSlowTail(NArgs);
+      if (Failed)
+        return Value::undefined();
+      if (D == Dispatch::Halt)
+        return slot(Regs.Sp - 1);
+      RELOAD();
+      break;
+    }
+
+    case Op::Return: {
+      Value Result = Slots[Sp - 1];
+      if (Cfg.MarkStackMode) {
+        while (!MarkStack.empty() && MarkStack.back().Seg == Regs.Seg &&
+               MarkStack.back().Fp >= Fp)
+          MarkStack.pop_back();
+      }
+      Value RetCode = Slots[Fp + 1];
+      if (RetCode.isUnderflowSentinel()) {
+        Regs.Sp = Fp; // Discard the dead frame before underflow.
+        Regs.Fp = Fp;
+        Regs.Pc = Pc;
+        if (!underflow(Result)) {
+          Value Final = slot(Regs.Sp - 1);
+          return Final;
+        }
+        RELOAD();
+        break;
+      }
+      uint32_t CallerFp = static_cast<uint32_t>(Slots[Fp + 0].asFixnum());
+      uint32_t NewSp = Fp;
+      Slots[NewSp++] = Result;
+      Sp = NewSp;
+      Pc = static_cast<uint32_t>(Slots[Fp + 2].asFixnum());
+      Fp = CallerFp;
+      Regs.CurCode = RetCode;
+      CC = asCode(RetCode);
+      Ins = CC->instrs();
+      Consts = CC->consts();
+      break;
+    }
+
+    // --- Continuation attachments (paper 7.1/7.2) --------------------------
+    case Op::Reify:
+      SYNC();
+      reifyCurrentFrame();
+      ++Pc;
+      break;
+    case Op::AttachSet: {
+      SYNC();
+      Value V = Slots[Sp - 1];
+      Regs.Marks = H.makePair(V, asCont(Regs.NextK)->Marks);
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::AttachGet:
+    case Op::AttachConsume: {
+      // The frame has an attachment iff it is reified and the marks
+      // register differs from the record's marks (paper 7.2).
+      bool Reified = Slots[Fp + 1].isUnderflowSentinel();
+      if (Reified && !Regs.NextK.isNil() &&
+          Regs.Marks != asCont(Regs.NextK)->Marks) {
+        Slots[Sp - 1] = car(Regs.Marks);
+        if (O == Op::AttachConsume)
+          Regs.Marks = asCont(Regs.NextK)->Marks;
+      } else if (Reified && Regs.NextK.isNil() && !Regs.Marks.isNil()) {
+        // Bottom frame of the whole continuation.
+        Slots[Sp - 1] = car(Regs.Marks);
+        if (O == Op::AttachConsume)
+          Regs.Marks = Value::nil();
+      }
+      ++Pc;
+      break;
+    }
+    case Op::MarksPush: {
+      SYNC();
+      Regs.Marks = H.makePair(Slots[Sp - 1], Regs.Marks);
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::MarksPop:
+      Regs.Marks = cdr(Regs.Marks);
+      ++Pc;
+      break;
+    case Op::MarksSetTop: {
+      SYNC();
+      Regs.Marks = H.makePair(Slots[Sp - 1], cdr(Regs.Marks));
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::MarksTop:
+      Slots[Sp++] = car(Regs.Marks);
+      ++Pc;
+      break;
+    case Op::PushMarks:
+      Slots[Sp++] = Regs.Marks;
+      ++Pc;
+      break;
+
+    // --- Old-Racket-style mark stack ----------------------------------------
+    case Op::MstkSet: {
+      Value Val = Slots[--Sp];
+      Value Key = Slots[--Sp];
+      bool Replaced = false;
+      for (size_t I = MarkStack.size(); I > 0; --I) {
+        MarkStackEntry &E = MarkStack[I - 1];
+        if (!(E.Seg == Regs.Seg) || E.Fp != Fp)
+          break;
+        if (E.Key == Key) {
+          E.Val = Val;
+          Replaced = true;
+          break;
+        }
+      }
+      if (!Replaced)
+        MarkStack.push_back({Regs.Seg, Fp, Key, Val});
+      ++Pc;
+      break;
+    }
+    case Op::MstkPush: {
+      Value Val = Slots[--Sp];
+      Value Key = Slots[--Sp];
+      MarkStack.push_back({Regs.Seg, Fp, Key, Val});
+      ++Pc;
+      break;
+    }
+    case Op::MstkPop:
+      MarkStack.pop_back();
+      ++Pc;
+      break;
+
+    // --- Inlined primitives -------------------------------------------------
+    case Op::Add: {
+      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
+      if (A.isFixnum() && B.isFixnum()) {
+        int64_t R;
+        if (!__builtin_add_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+            fitsFixnum(R)) {
+          Slots[Sp - 2] = Value::fixnum(R);
+          --Sp;
+          ++Pc;
+          break;
+        }
+      }
+      SYNC();
+      NumResult R = numAdd(H, A, B);
+      if (!R.Ok)
+        VMERROR("+: expected numbers");
+      Slots[Sp - 2] = R.V;
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::Sub: {
+      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
+      if (A.isFixnum() && B.isFixnum()) {
+        int64_t R;
+        if (!__builtin_sub_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+            fitsFixnum(R)) {
+          Slots[Sp - 2] = Value::fixnum(R);
+          --Sp;
+          ++Pc;
+          break;
+        }
+      }
+      SYNC();
+      NumResult R = numSub(H, A, B);
+      if (!R.Ok)
+        VMERROR("-: expected numbers");
+      Slots[Sp - 2] = R.V;
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::Mul: {
+      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
+      SYNC();
+      NumResult R = numMul(H, A, B);
+      if (!R.Ok)
+        VMERROR("*: expected numbers");
+      Slots[Sp - 2] = R.V;
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::NumLt:
+    case Op::NumLe:
+    case Op::NumGt:
+    case Op::NumGe:
+    case Op::NumEq: {
+      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
+      int Cmp;
+      if (!numCompare(A, B, Cmp))
+        VMERROR("comparison: expected numbers");
+      bool R = false;
+      switch (O) {
+      case Op::NumLt:
+        R = Cmp < 0;
+        break;
+      case Op::NumLe:
+        R = Cmp <= 0;
+        break;
+      case Op::NumGt:
+        R = Cmp > 0;
+        break;
+      case Op::NumGe:
+        R = Cmp >= 0;
+        break;
+      default:
+        R = Cmp == 0;
+        break;
+      }
+      Slots[Sp - 2] = Value::boolean(R);
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::Cons: {
+      SYNC();
+      Value P = H.makePair(Slots[Sp - 2], Slots[Sp - 1]);
+      Slots[Sp - 2] = P;
+      --Sp;
+      ++Pc;
+      break;
+    }
+    case Op::Car: {
+      Value P = Slots[Sp - 1];
+      if (!P.isPair())
+        VMERROR("car: expected pair, got " + writeToString(P));
+      Slots[Sp - 1] = asPair(P)->Car;
+      ++Pc;
+      break;
+    }
+    case Op::Cdr: {
+      Value P = Slots[Sp - 1];
+      if (!P.isPair())
+        VMERROR("cdr: expected pair, got " + writeToString(P));
+      Slots[Sp - 1] = asPair(P)->Cdr;
+      ++Pc;
+      break;
+    }
+    case Op::SetCarBang: {
+      Value V = Slots[--Sp];
+      Value P = Slots[Sp - 1];
+      if (!P.isPair())
+        VMERROR("set-car!: expected pair");
+      asPair(P)->Car = V;
+      Slots[Sp - 1] = Value::voidValue();
+      ++Pc;
+      break;
+    }
+    case Op::SetCdrBang: {
+      Value V = Slots[--Sp];
+      Value P = Slots[Sp - 1];
+      if (!P.isPair())
+        VMERROR("set-cdr!: expected pair");
+      asPair(P)->Cdr = V;
+      Slots[Sp - 1] = Value::voidValue();
+      ++Pc;
+      break;
+    }
+    case Op::NullP:
+      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isNil());
+      ++Pc;
+      break;
+    case Op::PairP:
+      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isPair());
+      ++Pc;
+      break;
+    case Op::Not:
+      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isFalse());
+      ++Pc;
+      break;
+    case Op::EqP: {
+      Value B = Slots[--Sp];
+      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1] == B);
+      ++Pc;
+      break;
+    }
+    case Op::ZeroP: {
+      Value A = Slots[Sp - 1];
+      if (A.isFixnum())
+        Slots[Sp - 1] = Value::boolean(A.asFixnum() == 0);
+      else if (A.isFlonum())
+        Slots[Sp - 1] = Value::boolean(asFlonum(A)->Val == 0.0);
+      else
+        VMERROR("zero?: expected number");
+      ++Pc;
+      break;
+    }
+    case Op::Add1:
+    case Op::Sub1: {
+      Value A = Slots[Sp - 1];
+      int64_t D = O == Op::Add1 ? 1 : -1;
+      if (A.isFixnum() && fitsFixnum(A.asFixnum() + D)) {
+        Slots[Sp - 1] = Value::fixnum(A.asFixnum() + D);
+      } else if (A.isFlonum()) {
+        SYNC();
+        Slots[Sp - 1] = H.makeFlonum(asFlonum(A)->Val + D);
+      } else {
+        VMERROR("add1/sub1: expected number");
+      }
+      ++Pc;
+      break;
+    }
+    case Op::VectorRef: {
+      Value Idx = Slots[--Sp];
+      Value Vec = Slots[Sp - 1];
+      if (!Vec.isVector() || !Idx.isFixnum())
+        VMERROR("vector-ref: expected vector and index");
+      VectorObj *V = asVector(Vec);
+      int64_t I = Idx.asFixnum();
+      if (I < 0 || I >= V->Len)
+        VMERROR("vector-ref: index out of range");
+      Slots[Sp - 1] = V->Elems[I];
+      ++Pc;
+      break;
+    }
+    case Op::VectorSet: {
+      Value Val = Slots[--Sp];
+      Value Idx = Slots[--Sp];
+      Value Vec = Slots[Sp - 1];
+      if (!Vec.isVector() || !Idx.isFixnum())
+        VMERROR("vector-set!: expected vector and index");
+      VectorObj *V = asVector(Vec);
+      int64_t I = Idx.asFixnum();
+      if (I < 0 || I >= V->Len)
+        VMERROR("vector-set!: index out of range");
+      V->Elems[I] = Val;
+      Slots[Sp - 1] = Value::voidValue();
+      ++Pc;
+      break;
+    }
+    case Op::Halt:
+      SYNC();
+      return Slots[Sp - 1];
+    }
+  }
+
+#undef SYNC
+#undef RELOAD
+#undef VMERROR
+}
+
+// -----------------------------------------------------------------------------
+// Out-of-line call dispatch: natives, continuations, parameters, overflow.
+// -----------------------------------------------------------------------------
+
+void VM::preReifyForAttachCall(uint32_t Hdr) {
+  CMK_CHECK(Regs.Marks.isPair(), "CallAttach requires a pending mark");
+  CMK_CHECK(Hdr > Regs.Base,
+            "CallAttach frames sit above the executing frame");
+  uint32_t SavedSp = Regs.Sp;
+  Value RecMarks = cdr(Regs.Marks);
+  Regs.Sp = Hdr;
+  Value KV = reifyAtSp(ContShot::Opportunistic);
+  // Paper 7.2: installing (rest marks) instead of marks communicates to
+  // the called function that an attachment is present and pops it on
+  // return.
+  asCont(KV)->Marks = RecMarks;
+  Regs.Sp = SavedSp;
+  Value *Slots = asStackSeg(Regs.Seg)->Slots;
+  Slots[Hdr + 0] = Value::fixnum(0);
+  Slots[Hdr + 1] = Value::underflowSentinel();
+  Slots[Hdr + 2] = Value::fixnum(0);
+}
+
+/// Finishes a return of \p Res from the current frame (used when a native
+/// in tail position produced a plain value).
+static VM::Dispatch returnFromFrame(VM &M, Value Res) {
+  if (M.config().MarkStackMode) {
+    while (!M.MarkStack.empty() && M.MarkStack.back().Seg == M.Regs.Seg &&
+           M.MarkStack.back().Fp >= M.Regs.Fp)
+      M.MarkStack.pop_back();
+  }
+  Value *Slots = asStackSeg(M.Regs.Seg)->Slots;
+  uint32_t Fp = M.Regs.Fp;
+  Value RetCode = Slots[Fp + 1];
+  if (RetCode.isUnderflowSentinel()) {
+    M.Regs.Sp = Fp;
+    return M.underflow(Res) ? VM::Dispatch::Done : VM::Dispatch::Halt;
+  }
+  uint32_t CallerFp = static_cast<uint32_t>(Slots[Fp + 0].asFixnum());
+  uint32_t RetPc = static_cast<uint32_t>(Slots[Fp + 2].asFixnum());
+  M.Regs.Sp = Fp;
+  Slots[M.Regs.Sp++] = Res;
+  M.Regs.Fp = CallerFp;
+  M.Regs.CurCode = RetCode;
+  M.Regs.Pc = RetPc;
+  return VM::Dispatch::Done;
+}
+
+/// Pushes a value at the resume point after a native call (or routes it
+/// through the underflow chain when the native reified at the call).
+static VM::Dispatch deliverNativeResult(VM &M, Value Res) {
+  if (M.Regs.Sp == M.Regs.Base)
+    return M.underflow(Res) ? VM::Dispatch::Done : VM::Dispatch::Halt;
+  asStackSeg(M.Regs.Seg)->Slots[M.Regs.Sp++] = Res;
+  return VM::Dispatch::Done;
+}
+
+/// Builds a frame for a pending (scheduled) call at the current stack top.
+/// Returns the header index. Splits to a fresh segment when the header and
+/// arguments would not fit.
+static uint32_t buildPendingFrame(VM &M) {
+  uint32_t NArgs = static_cast<uint32_t>(M.PendingArgs.size());
+  uint32_t Hdr = M.Regs.Sp;
+  StackSegObj *S = asStackSeg(M.Regs.Seg);
+  if (Hdr + FrameHeaderSlots + NArgs + 64 > S->Capacity) {
+    ++M.stats().SegmentOverflows;
+    if (Hdr != M.Regs.Base)
+      M.reifyAtSp(ContShot::Opportunistic);
+    Value NewSegV = M.heap().makeStackSeg(
+        std::max(M.config().SegmentSlots, NArgs + 1024));
+    M.Regs.Seg = NewSegV;
+    M.Regs.Base = 0;
+    M.Regs.Fp = 0;
+    M.Regs.Sp = 0;
+    Hdr = 0;
+  }
+  Value *Slots = asStackSeg(M.Regs.Seg)->Slots;
+  if (Hdr == M.Regs.Base) {
+    Slots[Hdr + 0] = Value::fixnum(0);
+    Slots[Hdr + 1] = Value::underflowSentinel();
+    Slots[Hdr + 2] = Value::fixnum(0);
+  } else {
+    Slots[Hdr + 0] = Value::fixnum(M.Regs.Fp);
+    Slots[Hdr + 1] = M.Regs.CurCode;
+    Slots[Hdr + 2] = Value::fixnum(M.Regs.Pc);
+  }
+  Slots[Hdr + 3] = M.PendingFn;
+  for (uint32_t I = 0; I < NArgs; ++I)
+    Slots[Hdr + FrameHeaderSlots + I] = M.PendingArgs[I];
+  M.Regs.Sp = Hdr + FrameHeaderSlots + NArgs;
+  return Hdr;
+}
+
+VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
+  for (;;) {
+    Value *Slots = asStackSeg(Regs.Seg)->Slots;
+    Value Fn = Slots[Hdr + 3];
+
+    if (Fn.isClosure()) {
+      CodeObj *Code = asCode(asClosure(Fn)->Code);
+      if (!bindArgs(*this, Code, Hdr + FrameHeaderSlots, NArgs, procName(Fn)))
+        return Dispatch::Done;
+      Slots = asStackSeg(Regs.Seg)->Slots;
+      Regs.Sp = Hdr + FrameHeaderSlots + Code->NumArgs;
+      bool Overflow =
+          Cfg.HeapFrameMode ||
+          Hdr + Code->FrameSize > asStackSeg(Regs.Seg)->Capacity;
+      if (Overflow) {
+        if (Slots[Hdr + 1].isUnderflowSentinel() && Hdr == Regs.Base) {
+          // Already at a stack base (pre-reified CallAttach or pending
+          // frame): just move the pending frame to a fresh segment.
+          ++Stats.SegmentOverflows;
+          uint32_t Len = Regs.Sp - Hdr;
+          Value OldSegV = Regs.Seg;
+          Value NewSegV = H.makeStackSeg(
+              std::max(Cfg.SegmentSlots, Code->FrameSize + 1024));
+          std::memcpy(asStackSeg(NewSegV)->Slots,
+                      asStackSeg(OldSegV)->Slots + Hdr, sizeof(Value) * Len);
+          Regs.Seg = NewSegV;
+          Regs.Base = 0;
+          Regs.Sp = Len;
+          Hdr = 0;
+        } else {
+          overflowMovePending(*this, Hdr, Code->FrameSize, Regs.Marks);
+        }
+        Slots = asStackSeg(Regs.Seg)->Slots;
+        Slots[Hdr + 0] = Value::fixnum(0);
+        Slots[Hdr + 1] = Value::underflowSentinel();
+        Slots[Hdr + 2] = Value::fixnum(0);
+      } else if (!Slots[Hdr + 1].isUnderflowSentinel()) {
+        Slots[Hdr + 0] = Value::fixnum(Regs.Fp);
+        Slots[Hdr + 1] = Regs.CurCode;
+        Slots[Hdr + 2] = Value::fixnum(Regs.Pc);
+      }
+      Regs.Fp = Hdr;
+      for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+        Slots[Regs.Fp + FrameHeaderSlots + I] = Value::undefined();
+      Regs.Sp = Regs.Fp + FrameHeaderSlots + Code->NumLocals;
+      Regs.CurCode = asClosure(Fn)->Code;
+      Regs.Pc = 0;
+      return Dispatch::Done;
+    }
+
+    if (Fn.isNative()) {
+      NativeObj *N = asNative(Fn);
+      Regs.Sp = Hdr; // The call frame is logically popped.
+      if (!checkArity(*this, procName(Fn), NArgs, N->MinArgs, N->MaxArgs))
+        return Dispatch::Done;
+      NativeJumped = false;
+      Value Res = N->Fn(*this, Slots + Hdr + FrameHeaderSlots, NArgs);
+      if (Failed)
+        return Dispatch::Done;
+      if (PendingCall) {
+        PendingCall = false;
+        Hdr = buildPendingFrame(*this);
+        NArgs = static_cast<uint32_t>(PendingArgs.size());
+        continue;
+      }
+      if (NativeJumped)
+        return Dispatch::Done; // applyContinuation placed the result.
+      return deliverNativeResult(*this, Res);
+    }
+
+    if (Fn.isCont()) {
+      if (NArgs != 1) {
+        raiseError("continuation expects 1 argument");
+        return Dispatch::Done;
+      }
+      Value Arg = Slots[Hdr + FrameHeaderSlots];
+      Regs.Sp = Hdr;
+      applyContinuation(Fn, Arg);
+      return Dispatch::Done;
+    }
+
+    if (Fn.isCompositeCont()) {
+      if (NArgs != 1) {
+        raiseError("composable continuation expects 1 argument");
+        return Dispatch::Done;
+      }
+      Value Arg = Slots[Hdr + FrameHeaderSlots];
+      Regs.Sp = Hdr;
+      applyCompositeCont(*this, Fn, Arg, /*TailMode=*/false);
+      return Dispatch::Done;
+    }
+
+    if (Fn.isParameter()) {
+      if (NArgs != 0) {
+        raiseError("parameter accepts no arguments");
+        return Dispatch::Done;
+      }
+      Regs.Sp = Hdr;
+      Value Res = parameterLookup(*this, Fn);
+      if (Failed)
+        return Dispatch::Done;
+      return deliverNativeResult(*this, Res);
+    }
+
+    raiseError("application of non-procedure: " + writeToString(Fn));
+    return Dispatch::Done;
+  }
+}
+
+VM::Dispatch VM::dispatchSlowTail(uint32_t NArgs) {
+  for (;;) {
+    Value *Slots = asStackSeg(Regs.Seg)->Slots;
+    uint32_t Fp = Regs.Fp;
+    Value Fn = Slots[Fp + 3];
+
+    if (Fn.isClosure()) {
+      CodeObj *Code = asCode(asClosure(Fn)->Code);
+      if (!bindArgs(*this, Code, Fp + FrameHeaderSlots, NArgs, procName(Fn)))
+        return Dispatch::Done;
+      Slots = asStackSeg(Regs.Seg)->Slots;
+      if (Fp + Code->FrameSize > asStackSeg(Regs.Seg)->Capacity) {
+        // Overflow on a tail call: reify, then move this frame to a fresh
+        // segment (the record keeps the old one alive for the copy-back).
+        ++Stats.SegmentOverflows;
+        Regs.Sp = Fp + FrameHeaderSlots + Code->NumArgs;
+        reifyCurrentFrame();
+        uint32_t Len = Regs.Sp - Fp;
+        Value OldSegV = Regs.Seg;
+        Value NewSegV = H.makeStackSeg(
+            std::max(Cfg.SegmentSlots, Code->FrameSize + 1024));
+        std::memcpy(asStackSeg(NewSegV)->Slots,
+                    asStackSeg(OldSegV)->Slots + Fp, sizeof(Value) * Len);
+        Regs.Seg = NewSegV;
+        Regs.Base = 0;
+        Regs.Fp = Fp = 0;
+        Slots = asStackSeg(Regs.Seg)->Slots;
+      }
+      for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+        Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
+      Regs.Sp = Fp + FrameHeaderSlots + Code->NumLocals;
+      Regs.CurCode = asClosure(Fn)->Code;
+      Regs.Pc = 0;
+      return Dispatch::Done;
+    }
+
+    if (Fn.isNative()) {
+      NativeObj *N = asNative(Fn);
+      Regs.Sp = Fp + FrameHeaderSlots + NArgs;
+      if (!checkArity(*this, procName(Fn), NArgs, N->MinArgs, N->MaxArgs))
+        return Dispatch::Done;
+      NativeTailCall = true;
+      NativeJumped = false;
+      Value Res = N->Fn(*this, Slots + Fp + FrameHeaderSlots, NArgs);
+      NativeTailCall = false;
+      if (Failed)
+        return Dispatch::Done;
+      if (PendingCall) {
+        PendingCall = false;
+        if (NativeJumped) {
+          // The native replaced the continuation; run the scheduled call
+          // in the new context instead of reusing the dead frame.
+          uint32_t Hdr = buildPendingFrame(*this);
+          return dispatchSlowCall(Hdr,
+                                  static_cast<uint32_t>(PendingArgs.size()));
+        }
+        Slots = asStackSeg(Regs.Seg)->Slots;
+        Fp = Regs.Fp;
+        NArgs = static_cast<uint32_t>(PendingArgs.size());
+        Slots[Fp + 3] = PendingFn;
+        for (uint32_t I = 0; I < NArgs; ++I)
+          Slots[Fp + FrameHeaderSlots + I] = PendingArgs[I];
+        Regs.Sp = Fp + FrameHeaderSlots + NArgs;
+        continue;
+      }
+      if (NativeJumped)
+        return Dispatch::Done;
+      return returnFromFrame(*this, Res);
+    }
+
+    if (Fn.isCont()) {
+      if (NArgs != 1) {
+        raiseError("continuation expects 1 argument");
+        return Dispatch::Done;
+      }
+      Value Arg = Slots[Fp + FrameHeaderSlots];
+      applyContinuation(Fn, Arg);
+      return Dispatch::Done;
+    }
+
+    if (Fn.isCompositeCont()) {
+      if (NArgs != 1) {
+        raiseError("composable continuation expects 1 argument");
+        return Dispatch::Done;
+      }
+      Value Arg = Slots[Fp + FrameHeaderSlots];
+      applyCompositeCont(*this, Fn, Arg, /*TailMode=*/true);
+      return Dispatch::Done;
+    }
+
+    if (Fn.isParameter()) {
+      if (NArgs != 0) {
+        raiseError("parameter accepts no arguments");
+        return Dispatch::Done;
+      }
+      Value Res = parameterLookup(*this, Fn);
+      if (Failed)
+        return Dispatch::Done;
+      return returnFromFrame(*this, Res);
+    }
+
+    raiseError("application of non-procedure: " + writeToString(Fn));
+    return Dispatch::Done;
+  }
+}

@@ -1,0 +1,275 @@
+//===- vm/vm.h - The bytecode VM with stack-based continuations -*- C++ -*-===//
+///
+/// \file
+/// The cmarks virtual machine. Continuations use Chez Scheme's strategy
+/// (paper section 5): frames live in heap-allocated stack segments; the
+/// first frame of every stack returns to the underflow handler; capturing a
+/// continuation splits the stack by installing an underflow record; applying
+/// a continuation copies frames back (copy-on-application). Continuation
+/// attachments (sections 6/7) add one marks register and a marks field per
+/// underflow record; reification-for-marks creates opportunistic one-shot
+/// records that the underflow handler can fuse back without copying.
+///
+/// Frame layout within a segment (indices relative to the frame pointer):
+///   fp+0  saved fp (fixnum; dead in the bottom frame of a stack)
+///   fp+1  return code (CodeObj value, or the underflow sentinel)
+///   fp+2  return pc (fixnum)
+///   fp+3  closure being run
+///   fp+4+ arguments, then let-bound locals, then expression temporaries
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_VM_VM_H
+#define CMARKS_VM_VM_H
+
+#include "compiler/compiler.h"
+#include "runtime/heap.h"
+#include "runtime/symbols.h"
+#include "runtime/value.h"
+
+#include <string>
+#include <vector>
+
+namespace cmk {
+
+/// Strategy switches for the benchmark variants (DESIGN.md experiment
+/// index). The default configuration is the paper's "builtin" system.
+struct VMConfig {
+  /// Paper section 6: create opportunistic one-shot records on reification
+  /// and fuse on underflow. Off = the "no 1cc" variant of figure 6.
+  bool EnableOneShots = true;
+  /// Slots per stack segment.
+  uint32_t SegmentSlots = 16 * 1024;
+  /// Force a fresh segment on every call: emulates heap-allocated frames
+  /// (Pycket-like) for the ctak comparison.
+  bool HeapFrameMode = false;
+  /// call/cc eagerly copies the captured frames (Gambit/CHICKEN-like
+  /// copy-on-capture) instead of Chez's copy-on-application.
+  bool CopyOnCapture = false;
+  /// Old-Racket-style eager mark stack: with-continuation-mark pushes onto
+  /// a side stack synchronized with frames; every return pays a check and
+  /// continuation capture copies the whole mark stack.
+  bool MarkStackMode = false;
+};
+
+/// Per-run statistics used by tests and the ablation benchmarks.
+struct VMStats {
+  uint64_t Reifications = 0;
+  uint64_t UnderflowFusions = 0; ///< Opportunistic one-shot fast paths.
+  uint64_t UnderflowCopies = 0;
+  uint64_t ContinuationCaptures = 0;
+  uint64_t ContinuationApplies = 0;
+  uint64_t SegmentOverflows = 0;
+};
+
+/// Entry of the old-Racket-style mark stack (MarkStackMode only).
+struct MarkStackEntry {
+  Value Seg;   ///< Segment identity of the owning frame.
+  uint32_t Fp; ///< Frame pointer of the owning frame.
+  Value Key;
+  Value Val;
+};
+
+class VM : public GCRootSource, public GlobalEnv {
+public:
+  explicit VM(const VMConfig &Cfg = VMConfig());
+  ~VM() override;
+
+  Heap &heap() { return H; }
+  WellKnown &wellKnown() { return WK; }
+  VMConfig &config() { return Cfg; }
+  VMStats &stats() { return Stats; }
+
+  // --- Running code ---------------------------------------------------------
+
+  /// Applies a procedure to arguments on a fresh stack; returns the result.
+  /// On a runtime error, *Ok is set to false and errorMessage() explains.
+  Value applyProcedure(Value Fn, const Value *Args, uint32_t NArgs, bool &Ok);
+
+  bool failed() const { return Failed; }
+  const std::string &errorMessage() const { return ErrMsg; }
+  void clearError() {
+    Failed = false;
+    ErrMsg.clear();
+  }
+
+  /// Signals a Scheme-level runtime error; unwinds to applyProcedure.
+  Value raiseError(const std::string &Msg);
+
+  // --- Globals ---------------------------------------------------------------
+
+  Value globalCell(Value Sym) override;
+  void setGlobal(const std::string &Name, Value V);
+  Value getGlobal(const std::string &Name);
+  void defineNative(const std::string &Name, NativeFn Fn, int32_t MinArgs,
+                    int32_t MaxArgs);
+
+  // --- Native call-back protocol ---------------------------------------------
+
+  /// Requests that \p Fn be applied, in tail position with respect to the
+  /// running native's call, once the native returns. At most one pending
+  /// call may be scheduled per native invocation.
+  void scheduleTailCall(Value Fn, const Value *Args, uint32_t NArgs);
+
+  // --- Continuation machinery (vm/stacks.cpp, vm/callcc.cpp) -----------------
+
+  /// Reifies the current frame's continuation if needed (paper 7.2: tail
+  /// attachment operations). After this, Regs frame returns to the
+  /// underflow sentinel and NextK is this frame's record.
+  void reifyCurrentFrame();
+
+  /// Reifies at the current sp (call/cc-style split): the current frame and
+  /// its temporaries become part of the captured stack. Returns the record.
+  Value reifyAtSp(ContShot Shot);
+
+  /// Handles a return through the underflow sentinel; pushes \p Result on
+  /// the restored stack. Returns false when the continuation chain is empty
+  /// (the run is complete and \p Result is final).
+  bool underflow(Value Result);
+
+  /// Applies continuation record \p K to \p Result: replaces the current
+  /// stack with the captured one (copying; paper 5).
+  void applyContinuation(Value K, Value Result);
+
+  /// Ensures at least \p Needed free slots; may split the stack into a new
+  /// segment (overflow reification).
+  void ensureStackSpace(uint32_t Needed);
+
+  /// Like applyContinuation but delivers no value: restores the machine to
+  /// \p K's resume point. The caller schedules what runs there (used by
+  /// prompt aborts to invoke the handler in the prompt's continuation).
+  void jumpToContinuation(Value K);
+
+  /// Creates a fresh pass-through underflow record: returning through it
+  /// just forwards the value to the next record. Used to attach prompt
+  /// metadata to a tail-position continuation without mutating records
+  /// that may be shared with captured continuations.
+  Value makePassThroughRecord();
+
+  // --- Registers --------------------------------------------------------------
+
+  /// The machine registers (paper 5/6: stack-base, frame, next-stack, and
+  /// the marks register added for attachments).
+  struct Registers {
+    Value Seg;      ///< Current StackSeg.
+    uint32_t Base;  ///< Stack base index within Seg.
+    uint32_t Fp;    ///< Current frame pointer (index within Seg).
+    uint32_t Sp;    ///< Next free slot (index within Seg).
+    Value CurCode;  ///< CodeObj of the running function.
+    uint32_t Pc;    ///< Byte offset into CurCode's instructions.
+    Value Marks;    ///< Attachment list of the current continuation.
+    Value NextK;    ///< Innermost underflow record (or nil).
+    Value Winders;  ///< dynamic-wind chain (WinderObj list).
+  };
+  Registers Regs;
+
+  /// Old-Racket-style mark stack (MarkStackMode).
+  std::vector<MarkStackEntry> MarkStack;
+
+  /// When the figure 3 imitation carries the attachments (Imitate engine
+  /// variant), this holds the global cell of #%imitate-atts; the marks
+  /// layer reads the attachment list from it instead of the register.
+  Value ImitationAtts = Value::undefined();
+
+  /// The attachment list the marks layer should read (register or
+  /// imitation stack).
+  Value currentMarksList() const {
+    if (ImitationAtts.isPair())
+      return asPair(ImitationAtts)->Car;
+    return Regs.Marks;
+  }
+
+  // --- GC ---------------------------------------------------------------------
+
+  void traceRoots(Heap &Heap) override;
+
+  /// Protects a value for the lifetime of the VM (e.g. well-known data).
+  void addPermanentRoot(Value V) { PermanentRoots.push_back(V); }
+
+  Value slot(uint32_t I) const { return asStackSeg(Regs.Seg)->Slots[I]; }
+  void setSlot(uint32_t I, Value V) { asStackSeg(Regs.Seg)->Slots[I] = V; }
+
+  // The interpreter loop lives in vm.cpp.
+  Value run();
+
+  // Pending tail-call state (see scheduleTailCall).
+  bool PendingCall = false;
+  Value PendingFn;
+  std::vector<Value> PendingArgs;
+
+  /// True while a native invoked from tail position runs; generic
+  /// attachment natives use it to pick the right reification flavour.
+  bool NativeTailCall = false;
+  /// Set by applyContinuation and the prompt layer when a native replaced
+  /// the current continuation (the result is already in place).
+  bool NativeJumped = false;
+
+  /// Outcome of the out-of-line call dispatcher.
+  enum class Dispatch { Done, Halt };
+
+  /// Dispatches a non-closure (or overflowing) call whose frame starts at
+  /// \p Hdr. Registers are authoritative on entry and exit. Returns Halt
+  /// when the whole run completed (final value at slot(Regs.Sp - 1)).
+  Dispatch dispatchSlowCall(uint32_t Hdr, uint32_t NArgs);
+
+  /// Same for tail calls: callee and args already occupy the current frame.
+  Dispatch dispatchSlowTail(uint32_t NArgs);
+
+  /// CallAttach support: reifies at \p Hdr with (rest marks) in the record
+  /// (paper 7.2, second category) and marks the pending frame's header.
+  void preReifyForAttachCall(uint32_t Hdr);
+
+private:
+  friend class SchemeEngine;
+
+  void installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs);
+
+  /// Code object containing a single Halt instruction; the bottom of every
+  /// run's continuation chain resumes here.
+  Value HaltCode;
+  /// Code object containing a single Return instruction, used by
+  /// pass-through records.
+  Value ReturnCode;
+
+  Heap H;
+  WellKnown WK;
+  VMConfig Cfg;
+  VMStats Stats;
+
+  Value GlobalTable; ///< HashTable symbol -> box.
+  std::vector<Value> PermanentRoots;
+
+  bool Failed = false;
+  std::string ErrMsg;
+  bool Running = false;
+};
+
+// --- Native registration (vm/primitives*.cpp, marks/, control/, lib/) --------
+
+/// Installs the base primitive library into \p M.
+void installPrimitives(VM &M);
+void installListPrimitives(VM &M);
+void installStringPrimitives(VM &M);
+void installControlPrimitives(VM &M); ///< call/cc, one-shots.
+void installWinderPrimitives(VM &M);  ///< dynamic-wind support natives.
+void installAttachmentPrimitives(VM &M); ///< Generic 7.1 primitives.
+void installPromptPrimitives(VM &M);  ///< control/prompts.cpp.
+
+/// Applies a composable continuation: splices rebased copies of its
+/// captured records onto the current continuation (control/prompts.cpp).
+void applyCompositeCont(VM &M, Value K, Value Arg, bool TailMode);
+void installMarkPrimitives(VM &M);    ///< marks/: mark frames and sets.
+void installParameterPrimitives(VM &M);
+
+// Helpers shared by native implementations.
+
+/// Reports a type error like "car: expected pair, got 5".
+Value typeError(VM &M, const char *Who, const char *Expected, Value Got);
+
+/// Checks the argument count; raises otherwise.
+bool checkArity(VM &M, const char *Who, uint32_t NArgs, int32_t Min,
+                int32_t Max);
+
+} // namespace cmk
+
+#endif // CMARKS_VM_VM_H

@@ -1,0 +1,189 @@
+//===- tests/test_compiler.cpp - Expander, cp0, codegen --------*- C++ -*-===//
+
+#include "test_helpers.h"
+
+#include "compiler/compiler.h"
+
+using namespace cmk;
+
+namespace {
+
+class CompilerTest : public ::testing::Test {
+protected:
+  std::string disasm(const std::string &Src) {
+    Value Form = readOne(E, Src);
+    std::string Err;
+    Value Code = E.compiler().compileToplevel(Form, &Err);
+    EXPECT_TRUE(Err.empty()) << Err;
+    if (!Err.empty())
+      return "";
+    return Compiler::disassemble(Code);
+  }
+
+  bool contains(const std::string &Hay, const std::string &Needle) {
+    return Hay.find(Needle) != std::string::npos;
+  }
+
+  SchemeEngine E;
+};
+
+TEST_F(CompilerTest, ConstantFolding) {
+  std::string D = disasm("(+ 1 2)");
+  EXPECT_TRUE(contains(D, "; 3")) << D;
+  EXPECT_FALSE(contains(D, "add")) << D;
+}
+
+TEST_F(CompilerTest, IfFolding) {
+  std::string D = disasm("(if (< 1 2) 'yes 'no)");
+  EXPECT_TRUE(contains(D, "; yes")) << D;
+  EXPECT_FALSE(contains(D, "jump-if-false")) << D;
+}
+
+TEST_F(CompilerTest, BetaReduction) {
+  // ((lambda (x) (+ x 1)) 2) folds completely.
+  std::string D = disasm("((lambda (x) (+ x 1)) 2)");
+  EXPECT_FALSE(contains(D, "make-closure")) << D;
+  EXPECT_TRUE(contains(D, "; 3")) << D;
+}
+
+TEST_F(CompilerTest, DeadLetRemoval) {
+  std::string D = disasm("(let ([unused 5]) 'body)");
+  EXPECT_TRUE(contains(D, "; body")) << D;
+  EXPECT_FALSE(contains(D, "set-local")) << D;
+}
+
+TEST_F(CompilerTest, PrimitivesInline) {
+  std::string D = disasm("(lambda (a b) (+ (car a) (cdr b)))");
+  EXPECT_TRUE(contains(D, "car")) << D;
+  EXPECT_TRUE(contains(D, "cdr")) << D;
+  EXPECT_TRUE(contains(D, "add")) << D;
+  EXPECT_FALSE(contains(D, "frame ")) << D; // No out-of-line calls.
+}
+
+TEST_F(CompilerTest, TailCallsUseTailCall) {
+  std::string D = disasm("(define (f g) (g 1))");
+  EXPECT_TRUE(contains(D, "tail-call")) << D;
+}
+
+TEST_F(CompilerTest, NonTailCallsUseCall) {
+  std::string D = disasm("(define (f g) (+ 1 (g)))");
+  EXPECT_TRUE(contains(D, "frame")) << D;
+  EXPECT_TRUE(contains(D, " call")) << D;
+}
+
+TEST_F(CompilerTest, TailAttachUsesReify) {
+  // The body must not be a constant, or the 7.3 high-level optimization
+  // removes the whole mark (see Marks.HighLevelElision).
+  std::string D = disasm(
+      "(define (f g) (call-setting-continuation-attachment 'v"
+      "                (lambda () (g))))");
+  EXPECT_TRUE(contains(D, "reify")) << D;
+  EXPECT_TRUE(contains(D, "attach-set")) << D;
+}
+
+TEST_F(CompilerTest, NonTailNoCallUsesPushPop) {
+  std::string D = disasm(
+      "(define (f x) (+ 1 (call-setting-continuation-attachment 'v"
+      "                     (lambda () (+ 2 x)))))");
+  EXPECT_TRUE(contains(D, "marks-push")) << D;
+  EXPECT_TRUE(contains(D, "marks-pop")) << D;
+  EXPECT_FALSE(contains(D, "reify")) << D;
+  EXPECT_FALSE(contains(D, "call-attach")) << D;
+}
+
+TEST_F(CompilerTest, NonTailWithCallUsesCallAttach) {
+  std::string D = disasm(
+      "(define (f g) (+ 1 (call-setting-continuation-attachment 'v"
+      "                     (lambda () (g)))))");
+  EXPECT_TRUE(contains(D, "marks-push")) << D;
+  EXPECT_TRUE(contains(D, "call-attach")) << D;
+}
+
+TEST_F(CompilerTest, WcmFusedReifiesOnce) {
+  std::string D =
+      disasm("(define (f) (with-continuation-mark 'k 'v (current-continuation-marks)))");
+  // Exactly one reify for the consume+set pair (paper 7.2).
+  size_t First = D.find("reify");
+  ASSERT_NE(First, std::string::npos) << D;
+  EXPECT_EQ(D.find("reify", First + 1), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, NoOptVariantEmitsGenericCalls) {
+  SchemeEngine E2(EngineVariant::NoOpt);
+  Value Form = readOne(
+      E2, "(define (f) (call-setting-continuation-attachment 'v (lambda () 1)))");
+  std::string Err;
+  Value Code = E2.compiler().compileToplevel(Form, &Err);
+  ASSERT_TRUE(Err.empty());
+  std::string D = Compiler::disassemble(Code);
+  EXPECT_FALSE(contains(D, "reify")) << D;
+  EXPECT_FALSE(contains(D, "attach-set")) << D;
+  EXPECT_TRUE(contains(D, "make-closure")) << D
+      << "the generic path passes the body as a closure (footnote 5)";
+}
+
+TEST_F(CompilerTest, NonImmediateLambdaIsGenericCall) {
+  // Footnote 5: only immediate lambdas are recognized.
+  std::string D = disasm(
+      "(define (f thunk) (call-setting-continuation-attachment 'v thunk))");
+  EXPECT_FALSE(contains(D, "attach-set")) << D;
+  EXPECT_TRUE(contains(D, "tail-call")) << D;
+}
+
+TEST_F(CompilerTest, MutatedVariablesAreBoxed) {
+  std::string D = disasm("(define (f) (let ([x 1]) (set! x 2) x))");
+  EXPECT_TRUE(contains(D, "box-local")) << D;
+  EXPECT_TRUE(contains(D, "set-local-box")) << D;
+}
+
+TEST_F(CompilerTest, ClosuresCaptureFreeVars) {
+  std::string D = disasm("(define (f x) (lambda (y) (+ x y)))");
+  EXPECT_TRUE(contains(D, "make-closure")) << D;
+  EXPECT_TRUE(contains(D, "push-free")) << D;
+}
+
+TEST_F(CompilerTest, CompileErrors) {
+  SchemeEngine E2;
+  E2.eval("(lambda)");
+  EXPECT_FALSE(E2.ok());
+  E2.eval("(if)");
+  EXPECT_FALSE(E2.ok());
+  E2.eval("(set! 3 4)");
+  EXPECT_FALSE(E2.ok());
+  E2.eval("(let ([x]) x)");
+  EXPECT_FALSE(E2.ok());
+  E2.eval("(define)");
+  EXPECT_FALSE(E2.ok());
+  // Recovery after compile errors.
+  EXPECT_EQ(E2.evalToString("'fine"), "fine");
+}
+
+TEST_F(CompilerTest, ShadowingKeywords) {
+  // A lexical binding shadows a core form keyword.
+  SchemeEngine E2;
+  expectEval(E2, "(let ([if (lambda (a b c) 'shadowed)]) (if 1 2 3))",
+             "shadowed");
+  expectEval(E2, "(let ([lambda (lambda args 'l)]) (lambda 1 2))", "l");
+}
+
+TEST_F(CompilerTest, UnmodVariantElidesObservableLets) {
+  // The section 7.4 regression test at the compiler level: tail-position
+  // (let ([x E]) x) disappears under the unmod compiler.
+  SchemeEngine Unmod(EngineVariant::Unmod);
+  Value Form = readOne(Unmod, "(define (g f) (let ([x (f)]) x))");
+  std::string Err;
+  Value Code = Unmod.compiler().compileToplevel(Form, &Err);
+  ASSERT_TRUE(Err.empty());
+  std::string D = Compiler::disassemble(Code);
+  EXPECT_TRUE(contains(D, "tail-call")) << D << "\nunmod should tail-call f";
+
+  SchemeEngine Mod;
+  Form = readOne(Mod, "(define (g f) (let ([x (f)]) x))");
+  Value Code2 = Mod.compiler().compileToplevel(Form, &Err);
+  ASSERT_TRUE(Err.empty());
+  std::string D2 = Compiler::disassemble(Code2);
+  EXPECT_FALSE(contains(D2, "tail-call"))
+      << D2 << "\nconstrained cp0 must keep the non-tail call (7.4)";
+}
+
+} // namespace

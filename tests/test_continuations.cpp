@@ -1,0 +1,240 @@
+//===- tests/test_continuations.cpp - call/cc, one-shots, winders -*- C++ -*-=//
+
+#include "test_helpers.h"
+
+using namespace cmk;
+
+namespace {
+
+class Continuations : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+TEST_F(Continuations, EscapeFromExpression) {
+  expectEval(E, "(+ 1 (call/cc (lambda (k) (k 41))))", "42");
+  expectEval(E, "(+ 1 (call/cc (lambda (k) (+ 1000 (k 41)))))", "42");
+  // Normal return delivers to the same continuation.
+  expectEval(E, "(+ 1 (call/cc (lambda (k) 41)))", "42");
+}
+
+TEST_F(Continuations, MultiShotReentry) {
+  expectEval(E,
+             "(let ([k0 #f] [n (box 0)] [acc (box '())])"
+             "  (let ([v (call/cc (lambda (k) (set! k0 k) 0))])"
+             "    (set-box! acc (cons v (unbox acc)))"
+             "    (set-box! n (+ 1 (unbox n)))"
+             "    (if (< (unbox n) 4) (k0 (unbox n)) (reverse (unbox acc)))))",
+             "(0 1 2 3)");
+}
+
+TEST_F(Continuations, CoroutinePingPong) {
+  // Two coroutines alternating via saved continuations.
+  expectEval(E,
+             "(define out '())"
+             "(define (note x) (set! out (cons x out)))"
+             "(define pong-k #f)"
+             "(define (ping n)"
+             "  (if (zero? n)"
+             "      (reverse out)"
+             "      (begin"
+             "        (note (list 'ping n))"
+             "        (call/cc (lambda (k)"
+             "          (if pong-k (pong-k k) (pong k n))))"
+             "        (ping (- n 1)))))"
+             "(define (pong back n)"
+             "  (let ([k (call/cc (lambda (k2) (set! pong-k k2) back))])"
+             "    (note 'pong)"
+             "    (k #f)))"
+             "(ping 3)",
+             "((ping 3) pong (ping 2) pong (ping 1) pong)");
+}
+
+TEST_F(Continuations, CtakComputesTak) {
+  const char *Ctak =
+      "(define (ctak x y z) (call/cc (lambda (k) (ctak-aux k x y z))))"
+      "(define (ctak-aux k x y z)"
+      "  (if (not (< y x))"
+      "      (k z)"
+      "      (call/cc (lambda (k2)"
+      "        (ctak-aux k2"
+      "          (call/cc (lambda (k3) (ctak-aux k3 (- x 1) y z)))"
+      "          (call/cc (lambda (k4) (ctak-aux k4 (- y 1) z x)))"
+      "          (call/cc (lambda (k5) (ctak-aux k5 (- z 1) x y))))))))";
+  E.evalOrDie(Ctak);
+  expectEval(E, "(ctak 7 4 2)", "4");
+  expectEval(E, "(ctak 12 6 3)", "4");
+  expectEval(E, "(ctak 18 12 6)", "7");
+  EXPECT_GT(E.vm().stats().ContinuationCaptures, 100u);
+  EXPECT_GT(E.vm().stats().ContinuationApplies, 100u);
+}
+
+TEST_F(Continuations, OneShotFusionOnPlainReturns) {
+  // Reify-and-return without capture in between must fuse (paper 6). The
+  // attachment body must not fold to a constant (7.3 would remove it).
+  uint64_t FusionsBefore = E.vm().stats().UnderflowFusions;
+  uint64_t CopiesBefore = E.vm().stats().UnderflowCopies;
+  E.evalOrDie(
+      "(define (f) (call-setting-continuation-attachment 'v"
+      "              (lambda () (car (current-continuation-attachments)))))"
+      "(let loop ([i 0]) (if (= i 1000) 'done (begin (f) (loop (+ i 1)))))");
+  EXPECT_GE(E.vm().stats().UnderflowFusions, FusionsBefore + 1000);
+  EXPECT_LE(E.vm().stats().UnderflowCopies, CopiesBefore + 5)
+      << "no copies expected for one-shot reify/return pairs";
+}
+
+TEST_F(Continuations, CaptureForcesCopyOnReturn) {
+  // call/cc promotes the one-shot chain (paper 6), so the return through
+  // the captured record must copy.
+  uint64_t CopiesBefore = E.vm().stats().UnderflowCopies;
+  E.evalOrDie("(define (f) (call-setting-continuation-attachment 'v"
+              "  (lambda () (call/cc (lambda (k) 1)))))"
+              "(f)");
+  EXPECT_GT(E.vm().stats().UnderflowCopies, CopiesBefore);
+}
+
+TEST_F(Continuations, No1ccVariantNeverFuses) {
+  SchemeEngine E2(EngineVariant::No1cc);
+  E2.evalOrDie(
+      "(define (f) (call-setting-continuation-attachment 'v"
+      "              (lambda () (car (current-continuation-attachments)))))"
+      "(let loop ([i 0]) (if (= i 100) 'done (begin (f) (loop (+ i 1)))))");
+  EXPECT_EQ(E2.vm().stats().UnderflowFusions, 0u);
+  EXPECT_GE(E2.vm().stats().UnderflowCopies, 100u);
+}
+
+TEST_F(Continuations, DynamicWindNormalFlow) {
+  expectEval(E,
+             "(define out '())"
+             "(define (note x) (set! out (cons x out)))"
+             "(dynamic-wind (lambda () (note 'before))"
+             "              (lambda () (note 'during) 'value)"
+             "              (lambda () (note 'after)))"
+             "(reverse out)",
+             "(before during after)");
+}
+
+TEST_F(Continuations, DynamicWindEscapeRunsAfter) {
+  expectEval(E,
+             "(define out '())"
+             "(define (note x) (set! out (cons x out)))"
+             "(call/cc (lambda (escape)"
+             "  (dynamic-wind (lambda () (note 'in))"
+             "                (lambda () (escape 'out!) (note 'unreached))"
+             "                (lambda () (note 'out)))))"
+             "(reverse out)",
+             "(in out)");
+}
+
+TEST_F(Continuations, DynamicWindReentryRunsBefore) {
+  // Jumping back into a dynamic-wind extent re-runs the before thunk.
+  expectEval(E,
+             "(let ([out (box '())] [k0 (box #f)] [count (box 0)])"
+             "  (define (note x) (set-box! out (cons x (unbox out))))"
+             "  (dynamic-wind"
+             "    (lambda () (note 'in))"
+             "    (lambda ()"
+             "      (call/cc (lambda (k) (set-box! k0 k)))"
+             "      (set-box! count (+ 1 (unbox count))))"
+             "    (lambda () (note 'out)))"
+             "  (if (< (unbox count) 3)"
+             "      ((unbox k0) #f)"
+             "      (list (reverse (unbox out)) (unbox count))))",
+             "((in out in out in out) 3)");
+}
+
+TEST_F(Continuations, NestedWindsUnwindInOrder) {
+  expectEval(E,
+             "(define out '())"
+             "(define (note x) (set! out (cons x out)))"
+             "(call/cc (lambda (escape)"
+             "  (dynamic-wind (lambda () (note 'in1))"
+             "    (lambda ()"
+             "      (dynamic-wind (lambda () (note 'in2))"
+             "        (lambda () (escape 'go))"
+             "        (lambda () (note 'out2))))"
+             "    (lambda () (note 'out1)))))"
+             "(reverse out)",
+             "(in1 in2 out2 out1)");
+}
+
+TEST_F(Continuations, WindersSeeTheirMarks) {
+  // Footnote 4: winder thunks run with the marks of the dynamic-wind
+  // call's continuation, not of the jump's origin.
+  expectEval(E,
+             "(define seen '())"
+             "(define (note) (set! seen (cons (continuation-mark-set-first #f 'm 'none) seen)))"
+             "(call/cc (lambda (escape)"
+             "  (with-continuation-mark 'm 'at-wind"
+             "    (car (list"
+             "      (dynamic-wind (lambda () (note))"
+             "        (lambda ()"
+             "          (with-continuation-mark 'm 'inner"
+             "            (car (list (escape 'x)))))"
+             "        (lambda () (note))))))))"
+             "(reverse seen)",
+             "(at-wind at-wind)");
+}
+
+TEST_F(Continuations, EscapeOnlyUpward) {
+  expectEval(E,
+             "(define (find-leaf pred tree)"
+             "  (call/cc (lambda (return)"
+             "    (let walk ([t tree])"
+             "      (cond [(pair? t) (walk (car t)) (walk (cdr t))]"
+             "            [(pred t) (return t)]"
+             "            [else #f]))"
+             "    'not-found)))"
+             "(define (even-num? x) (if (integer? x) (even? x) #f))"
+             "(list (find-leaf even-num? '((1 3) (5 . 8) 9))"
+             "      (find-leaf string? '((1 3) 5)))",
+             "(8 not-found)");
+}
+
+TEST_F(Continuations, HeapFrameModeSemantics) {
+  SchemeEngine E2(EngineVariant::HeapFrames);
+  expectEval(E2, "(+ 1 (call/cc (lambda (k) (k 41))))", "42");
+  expectEval(E2,
+             "(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1))))) (sum 5000)",
+             "12502500");
+  EXPECT_GE(E2.vm().stats().SegmentOverflows, 5000u)
+      << "heap-frame mode allocates a segment per call";
+}
+
+TEST_F(Continuations, CopyOnCaptureModeSemantics) {
+  SchemeEngine E2(EngineVariant::CopyOnCapture);
+  expectEval(E2,
+             "(let ([k0 #f] [n (box 0)] [acc (box '())])"
+             "  (let ([v (call/cc (lambda (k) (set! k0 k) 0))])"
+             "    (set-box! acc (cons v (unbox acc)))"
+             "    (set-box! n (+ 1 (unbox n)))"
+             "    (if (< (unbox n) 3) (k0 (unbox n)) (reverse (unbox acc)))))",
+             "(0 1 2)");
+}
+
+TEST_F(Continuations, ContinuationPredicates) {
+  expectEval(E, "(call/cc (lambda (k) (procedure? k)))", "#t");
+  expectEval(E, "(#%call/cc (lambda (k) (continuation? k)))", "#t");
+  expectEval(E, "(continuation? +)", "#f");
+}
+
+// Stress sweep: repeated capture/apply at varying recursion depths makes
+// sure splitting, promotion, and copy-back interact safely.
+class CaptureDepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CaptureDepthSweep, EscapeFromDepth) {
+  SchemeEngine E;
+  int Depth = GetParam();
+  std::string Src =
+      "(define (dig n escape)"
+      "  (if (zero? n) (escape 'bottom) (+ 1 (dig (- n 1) escape))))"
+      "(call/cc (lambda (k) (dig " +
+      std::to_string(Depth) + " k)))";
+  EXPECT_EQ(E.evalToString(Src), "bottom");
+  EXPECT_TRUE(E.ok()) << E.lastError();
+}
+
+INSTANTIATE_TEST_SUITE_P(Continuations, CaptureDepthSweep,
+                         ::testing::Values(1, 10, 1000, 20000, 100000));
+
+} // namespace

@@ -1,0 +1,277 @@
+//===- tests/test_library.cpp - Library-level extensions -------*- C++ -*-===//
+///
+/// \file
+/// The paper's thesis: dynamic binding, exceptions, and contracts are
+/// implementable as libraries over continuation marks. These tests exercise
+/// the prelude's implementations of each.
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+using namespace cmk;
+
+namespace {
+
+class Library : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+// --- Parameters (dynamic binding, paper section 1) ---------------------------
+
+TEST_F(Library, ParameterDefault) {
+  expectEval(E, "(define p (make-parameter 10)) (p)", "10");
+}
+
+TEST_F(Library, ParameterizeScopes) {
+  expectEval(E,
+             "(define p (make-parameter 'out))"
+             "(list (p) (parameterize ([p 'in]) (p)) (p))",
+             "(out in out)");
+}
+
+TEST_F(Library, ParameterizeNests) {
+  expectEval(E,
+             "(define p (make-parameter 0))"
+             "(parameterize ([p 1])"
+             "  (list (p) (parameterize ([p 2]) (p)) (p)))",
+             "(1 2 1)");
+}
+
+TEST_F(Library, ParameterizeMultiple) {
+  expectEval(E,
+             "(define p (make-parameter 'p0)) (define q (make-parameter 'q0))"
+             "(parameterize ([p 'p1] [q 'q1]) (list (p) (q)))",
+             "(p1 q1)");
+}
+
+TEST_F(Library, ParameterizeBodyIsTailPosition) {
+  // Dynamic binding must not break tail recursion (the section 1
+  // motivation): a million-deep parameterize loop must not overflow.
+  expectEval(E,
+             "(define p (make-parameter 0))"
+             "(define (loop i)"
+             "  (if (= i 1000000)"
+             "      (p)"
+             "      (parameterize ([p i]) (loop (+ i 1)))))"
+             "(loop 0)",
+             "999999");
+}
+
+TEST_F(Library, ParameterGuard) {
+  expectEval(E,
+             "(define p (make-parameter 1 (lambda (v) (* v 10))))"
+             "(parameterize ([p 5]) (p))",
+             "50");
+}
+
+TEST_F(Library, ParameterizeSurvivesEscape) {
+  // Escaping out of a parameterize restores the outer binding without any
+  // user-level cleanup code.
+  expectEval(E,
+             "(define p (make-parameter 'outer))"
+             "(call/cc (lambda (k) (parameterize ([p 'inner]) (k 'gone))))"
+             "(p)",
+             "outer");
+}
+
+TEST_F(Library, OutputRedirection) {
+  // The paper's opening example: redirect output for one call, in tail
+  // position, with no save/restore code.
+  expectEval(E,
+             "(define (greet) (display \"hello\"))"
+             "(let ([port (open-output-string)])"
+             "  (parameterize ([current-output-port port]) (greet))"
+             "  (get-output-string port))",
+             "\"hello\"");
+}
+
+// --- Exceptions (paper section 2.3) -------------------------------------------
+
+TEST_F(Library, CatchReturnsBodyValue) {
+  expectEval(E, "(catch (lambda (e) 'handler) (+ 40 2))", "42");
+}
+
+TEST_F(Library, ThrowEscapesToHandler) {
+  expectEval(E,
+             "(catch (lambda (e) (list 'caught e))"
+             "  (+ 1 (throw 'none)))",
+             "(caught none)");
+}
+
+TEST_F(Library, ErrorIsCatchable) {
+  expectEval(E,
+             "(catch (lambda (e) (list (exn-message e) (exn-irritants e)))"
+             "  (error \"boom\" 1 2))",
+             "(\"boom\" (1 2))");
+}
+
+TEST_F(Library, UncaughtThrowIsFatal) {
+  expectError(E, "(throw 'loose)", "uncaught exception");
+}
+
+TEST_F(Library, HandlersNest) {
+  expectEval(E,
+             "(catch (lambda (e) (list 'outer e))"
+             "  (catch (lambda (e) (throw (list 'rethrown e)))"
+             "    (throw 'inner)))",
+             "(outer (rethrown inner))");
+}
+
+TEST_F(Library, CatchBodyIsTailPosition) {
+  // Section 2.3: the body of catch is in tail position; handler frames
+  // chain on the same frame instead of growing the stack.
+  expectEval(E,
+             "(define (loop i)"
+             "  (if (= i 200000)"
+             "      'deep-ok"
+             "      (catch (lambda (e) e) (loop (+ i 1)))))"
+             "(loop 0)",
+             "deep-ok");
+}
+
+TEST_F(Library, HandlerStackUnwindsCorrectly) {
+  expectEval(E,
+             "(define (risky n)"
+             "  (catch (lambda (e) (cons n e))"
+             "    (if (zero? n) (throw 'zero) (risky (- n 1)))))"
+             // The innermost handler catches first.
+             "(risky 3)",
+             "(0 . zero)");
+}
+
+TEST_F(Library, WithHandlersDispatchesByPredicate) {
+  expectEval(E,
+             "(with-handlers ([symbol? (lambda (e) (list 'sym e))]"
+             "                [number? (lambda (e) (list 'num e))])"
+             "  (throw 42))",
+             "(num 42)");
+  expectEval(E,
+             "(with-handlers ([exn? (lambda (e) (exn-message e))])"
+             "  (error \"boom\"))",
+             "\"boom\"");
+  // No matching predicate: rethrown to the enclosing handler.
+  expectEval(E,
+             "(catch (lambda (e) (list 'outer e))"
+             "  (with-handlers ([symbol? (lambda (e) 'wrong)])"
+             "    (throw 7)))",
+             "(outer 7)");
+  // Body is a sequence; the result is the last expression.
+  expectEval(E,
+             "(with-handlers ([symbol? (lambda (e) e)]) 1 2 3)",
+             "3");
+}
+
+TEST_F(Library, PreludeListUtilities) {
+  expectEval(E, "(andmap even? '(2 4 6))", "#t");
+  expectEval(E, "(andmap even? '(2 3 6))", "#f");
+  expectEval(E, "(ormap odd? '(2 4 5))", "#t");
+  expectEval(E, "(list-index odd? '(2 4 5 7))", "2");
+  expectEval(E, "(list-index odd? '(2 4))", "#f");
+  expectEval(E, "(vector-map add1 #(1 2 3))", "#(2 3 4)");
+  expectEval(E, "(let ([n (box 0)])"
+                "  (vector-for-each (lambda (x) (set-box! n (+ x (unbox n))))"
+                "                   #(1 2 3))"
+                "  (unbox n))",
+             "6");
+}
+
+TEST_F(Library, ParameterizeAcrossGeneratorResume) {
+  // Composable-continuation splicing rebasing marks means the generator
+  // body sees the dynamic bindings of the *resume* site (as in Racket).
+  expectEval(E,
+             "(define p (make-parameter 'unset))"
+             "(define g (make-generator"
+             "  (lambda (yield)"
+             "    (yield (p)) (yield (p)) 'end)))"
+             "(list (parameterize ([p 'first]) (g))"
+             "      (parameterize ([p 'second]) (g)))",
+             "(first second)");
+}
+
+// --- Contracts (paper section 8.4) --------------------------------------------
+
+TEST_F(Library, FlatContracts) {
+  expectEval(E, "(contract-wrap integer/c 42 'me)", "42");
+  expectError(E, "(contract-wrap integer/c \"no\" 'me)",
+              "uncaught exception");
+}
+
+TEST_F(Library, ArrowContractPasses) {
+  expectEval(E,
+             "(define f (contract-wrap (-> integer/c integer/c)"
+             "                         (lambda (x) (* x 2)) 'server))"
+             "(f 21)",
+             "42");
+}
+
+TEST_F(Library, ArrowContractDomainViolation) {
+  expectEval(E,
+             "(define f2 (contract-wrap (-> integer/c integer/c)"
+             "                          (lambda (x) x) 'server))"
+             "(catch (lambda (e) 'domain-blamed) (f2 \"nope\"))",
+             "domain-blamed");
+}
+
+TEST_F(Library, ArrowContractRangeViolation) {
+  expectEval(E,
+             "(define f3 (contract-wrap (-> integer/c integer/c)"
+             "                          (lambda (x) 'not-an-integer) 'server))"
+             "(catch (lambda (e) 'range-blamed) (f3 1))",
+             "range-blamed");
+}
+
+TEST_F(Library, BlameIsVisibleDuringCall) {
+  expectEval(E,
+             "(define probe (contract-wrap (-> any/c any/c)"
+             "                             (lambda (x) (current-blame))"
+             "                             'the-blame))"
+             "(list (probe 0) (current-blame))",
+             "(the-blame #f)");
+}
+
+TEST_F(Library, BlameTrailNests) {
+  expectEval(E,
+             "(define inner (contract-wrap (-> any/c any/c)"
+             "                             (lambda (x) (blame-trail)) 'inner))"
+             "(define outer (contract-wrap (-> any/c any/c)"
+             "                             (lambda (x) (inner x)) 'outer))"
+             "(outer 0)",
+             "(inner outer)");
+}
+
+TEST_F(Library, WrappedCallsAreNotSpaceLeaky) {
+  // The blame mark sits in tail position of the wrapper, so deep
+  // wrapped-call recursion in tail position must not accumulate frames.
+  expectEval(E,
+             "(define loop-fn #f)"
+             "(set! loop-fn (contract-wrap (-> integer/c integer/c)"
+             "  (lambda (n) (if (zero? n) 0 (loop-fn (- n 1)))) 'me))"
+             "(loop-fn 300000)",
+             "0");
+}
+
+// --- Stack inspection helpers --------------------------------------------------
+
+TEST_F(Library, StackTraceShowsFrames) {
+  expectEval(E,
+             "(define (leaf) (current-stack-trace))"
+             "(define (middle) (with-stack-frame 'middle (car (list (leaf)))))"
+             "(define (top) (with-stack-frame 'top (car (list (middle)))))"
+             "(top)",
+             "(middle top)");
+}
+
+TEST_F(Library, StackTraceCollapsesTailFrames) {
+  // Tail calls share the frame, so the trace records only the latest name
+  // — precisely the proper-tail-call behaviour of marks.
+  expectEval(E,
+             "(define (leaf2) (current-stack-trace))"
+             "(define (tail-mid) (with-stack-frame 'tail-mid (leaf2)))"
+             "(define (top2) (with-stack-frame 'top2 (tail-mid)))"
+             "(top2)",
+             "(tail-mid)");
+}
+
+} // namespace

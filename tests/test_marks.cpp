@@ -1,0 +1,372 @@
+//===- tests/test_marks.cpp - Continuation marks layer ---------*- C++ -*-===//
+///
+/// \file
+/// Racket-level continuation-mark semantics (paper section 2) and the
+/// performance-critical properties of section 7.5: amortized-constant
+/// first-mark lookup via path compression, and the evolving mark-frame
+/// representation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+#include "marks/marks.h"
+#include "runtime/heap.h"
+
+using namespace cmk;
+
+namespace {
+
+class Marks : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+TEST_F(Marks, BasicSetAndFirst) {
+  expectEval(E,
+             "(with-continuation-mark 'team-color \"red\""
+             "  (continuation-mark-set-first #f 'team-color \"?\"))",
+             "\"red\"");
+  expectEval(E, "(continuation-mark-set-first #f 'absent \"?\")", "\"?\"");
+}
+
+TEST_F(Marks, PaperTeamColorExample) {
+  // Section 2.1's example: red wraps the whole call; blue is nested.
+  expectEval(E,
+             "(define (all-team-colors)"
+             "  (continuation-mark-set->list (current-continuation-marks)"
+             "                               'team-color))"
+             "(with-continuation-mark 'team-color \"red\""
+             "  (car (list"
+             "    (with-continuation-mark 'team-color \"blue\""
+             "      (all-team-colors)))))",
+             "(\"blue\" \"red\")");
+}
+
+TEST_F(Marks, TailMarkReplaces) {
+  expectEval(E,
+             "(define (inner)"
+             "  (with-continuation-mark 'k 'new"
+             "    (continuation-mark-set->list (current-continuation-marks) 'k)))"
+             "(with-continuation-mark 'k 'old (inner))",
+             "(new)");
+}
+
+TEST_F(Marks, DifferentKeysShareFrame) {
+  // Section 3: marks with different keys land on the same frame.
+  expectEval(E,
+             "(with-continuation-mark 'a 1"
+             "  (with-continuation-mark 'b 2"
+             "    (list (continuation-mark-set-first #f 'a)"
+             "          (continuation-mark-set-first #f 'b))))",
+             "(1 2)");
+}
+
+TEST_F(Marks, MarkLeavesScopeOnReturn) {
+  expectEval(E,
+             "(begin"
+             "  (with-continuation-mark 'k 1 (list 'x))"
+             "  (continuation-mark-set-first #f 'k 'gone))",
+             "gone");
+}
+
+TEST_F(Marks, MarkSetFromContinuation) {
+  expectEval(E,
+             "(define set1"
+             "  (with-continuation-mark 'k 'v"
+             "    (car (list (current-continuation-marks)))))"
+             "(continuation-mark-set->list set1 'k)",
+             "(v)");
+  // continuation-marks of a captured continuation (section 2.2).
+  expectEval(E,
+             "(define marks2"
+             "  (with-continuation-mark 'k 'w"
+             "    (car (list"
+             "      (#%call/cc (lambda (k) (continuation-marks k)))))))"
+             "(continuation-mark-set->list marks2 'k)",
+             "(w)");
+}
+
+TEST_F(Marks, ImmediateMarkOnlyOnCurrentFrame) {
+  // call-with-immediate-continuation-mark sees the frame's own mark...
+  expectEval(E,
+             "(with-continuation-mark 'k 'mine"
+             "  (call-with-immediate-continuation-mark 'k"
+             "    (lambda (v) v) 'none))",
+             "mine");
+  // ...but not marks of deeper frames.
+  expectEval(E,
+             "(with-continuation-mark 'k 'outer"
+             "  (car (list"
+             "    (call-with-immediate-continuation-mark 'k"
+             "      (lambda (v) v) 'none))))",
+             "none");
+}
+
+TEST_F(Marks, ImmediateMarkChainPattern) {
+  // The catch pattern of section 2.3: chain the frame's handler list.
+  expectEval(E,
+             "(define (push-frame-local v body-thunk)"
+             "  (call-with-immediate-continuation-mark 'stack"
+             "    (lambda (existing)"
+             "      (with-continuation-mark 'stack"
+             "        (cons v (if existing existing '()))"
+             "        (body-thunk)))"
+             "    #f))"
+             "(push-frame-local 1"
+             "  (lambda ()"
+             "    (push-frame-local 2"
+             "      (lambda ()"
+             "        (continuation-mark-set-first #f 'stack)))))",
+             "(2 1)");
+}
+
+TEST_F(Marks, ListCollectsAllFrames) {
+  expectEval(E,
+             "(define (deep n)"
+             "  (if (zero? n)"
+             "      (continuation-mark-set->list (current-continuation-marks) 'd)"
+             "      (car (list (with-continuation-mark 'd n (deep (- n 1)))))))"
+             "(length (deep 500))",
+             "500");
+}
+
+TEST_F(Marks, FirstIsAmortizedConstant) {
+  // Build a continuation with the only mark 10000 frames deep, then look
+  // it up repeatedly: path compression (7.5) must collapse the cost. We
+  // check semantics here and bound the work by wall-clock sanity (the
+  // benchmark suite measures it properly).
+  expectEval(E,
+             "(define (deep n)"
+             "  (if (zero? n)"
+             "      (let loop ([i 0] [acc 0])"
+             "        (if (= i 2000)"
+             "            acc"
+             "            (loop (+ i 1)"
+             "                  (+ acc (continuation-mark-set-first #f 'key 0)))))"
+             "      (+ 0 (deep (- n 1)))))"
+             "(with-continuation-mark 'key 1 (deep 10000))",
+             "2000");
+}
+
+TEST_F(Marks, IteratorGroupsByFrame) {
+  expectEval(E,
+             "(define (grab)"
+             "  (continuation-mark-set->iterator (current-continuation-marks)"
+             "                                   (list 'a 'b)))"
+             "(define it"
+             "  (with-continuation-mark 'a 1"
+             "    (with-continuation-mark 'b 2"
+             "      (car (list (with-continuation-mark 'a 3 (grab)))))))"
+             "(let loop ([it it] [acc '()])"
+             "  (let ([n (#%mark-iterator-next it)])"
+             "    (if n"
+             "        (loop (cdr n) (cons (vector->list (car n)) acc))"
+             "        (reverse acc))))",
+             "((3 #f) (1 2))");
+}
+
+TEST_F(Marks, MarksThroughNonTailPrimitives) {
+  expectEval(E,
+             "(with-continuation-mark 'k 1"
+             "  (+ 0 (with-continuation-mark 'k 2"
+             "         (length (continuation-mark-set->list"
+             "                  (current-continuation-marks) 'k)))))",
+             "2");
+}
+
+TEST_F(Marks, KeysComparedByEq) {
+  expectEval(E,
+             "(define k1 (gensym 'k))"
+             "(define k2 (gensym 'k))"
+             "(with-continuation-mark k1 'one"
+             "  (list (continuation-mark-set-first #f k1 'no)"
+             "        (continuation-mark-set-first #f k2 'no)))",
+             "(one no)");
+}
+
+TEST_F(Marks, HighLevelElision) {
+  // Section 7.3: a mark around a constant body is compiled away entirely.
+  Value Form = readOne(E, "(lambda () (let ([x 5])"
+                          "  (with-continuation-mark 'key 'val x)))");
+  std::string Err;
+  Value Code = E.compiler().compileToplevel(Form, &Err);
+  ASSERT_TRUE(Err.empty()) << Err;
+  std::string Disasm = Compiler::disassemble(Code);
+  EXPECT_EQ(Disasm.find("reify"), std::string::npos)
+      << "no reification expected:\n"
+      << Disasm;
+  EXPECT_EQ(Disasm.find("marks-push"), std::string::npos)
+      << "no mark push expected:\n"
+      << Disasm;
+}
+
+TEST_F(Marks, Section74ConstraintObservable) {
+  // (let ([x E]) x) in tail position must not be elided when E can
+  // observe marks: if it were, work's tail mark would replace 'k 1.
+  const char *Prog =
+      "(define (work)"
+      "  (with-continuation-mark 'k 2"
+      "    (continuation-mark-set->list (current-continuation-marks) 'k)))"
+      "(define (g) (with-continuation-mark 'k 1 (let ([x (work)]) x)))"
+      "(g)";
+  expectEval(E, Prog, "(2 1)");
+
+  // The unconstrained compiler ("unmod", 8.2) elides and the nested mark
+  // replaces the outer one — exactly the difference the paper legislates.
+  SchemeEngine Unmod(EngineVariant::Unmod);
+  expectEval(Unmod, Prog, "(2)");
+}
+
+TEST_F(Marks, Section74SafeSimplificationStillHappens) {
+  // When the let is not in tail position the binding can still go away;
+  // semantics must be unchanged either way.
+  const char *Prog = "(define (f g) (+ 2 (let ([x (+ 1 (g))]) x)))"
+                     "(f (lambda () 39))";
+  expectEval(E, Prog, "42");
+}
+
+// --- Mark-frame unit tests (direct C++ surface) -------------------------------
+
+TEST(MarkFrames, UpdateAndLookup) {
+  Heap H;
+  Value K1 = H.intern("k1");
+  Value K2 = H.intern("k2");
+  GCRoot F1(H, markFrameUpdate(H, Value::False(), K1, Value::fixnum(1)));
+  EXPECT_EQ(markFrameLookup(F1.get(), K1).asFixnum(), 1);
+  EXPECT_TRUE(markFrameLookup(F1.get(), K2).isUndefined());
+
+  GCRoot F2(H, markFrameUpdate(H, F1.get(), K2, Value::fixnum(2)));
+  EXPECT_EQ(markFrameLookup(F2.get(), K1).asFixnum(), 1);
+  EXPECT_EQ(markFrameLookup(F2.get(), K2).asFixnum(), 2);
+  EXPECT_EQ(asMarkFrame(F2.get())->NumEntries, 2u);
+
+  // Same-key update replaces without growing.
+  GCRoot F3(H, markFrameUpdate(H, F2.get(), K1, Value::fixnum(9)));
+  EXPECT_EQ(markFrameLookup(F3.get(), K1).asFixnum(), 9);
+  EXPECT_EQ(asMarkFrame(F3.get())->NumEntries, 2u);
+
+  // Updates are persistent: the original frame is untouched.
+  EXPECT_EQ(markFrameLookup(F2.get(), K1).asFixnum(), 1);
+}
+
+TEST(MarkFrames, FirstLookupCachesAtHalfDepth) {
+  Heap H;
+  Value Key = H.intern("key");
+  // marks = [empty x 64, frame-with-key]
+  GCRoot Frame(H, markFrameUpdate(H, Value::False(), Key, Value::fixnum(7)));
+  GCRoot Marks(H, H.makePair(Frame.get(), Value::nil()));
+  for (int I = 0; I < 64; ++I) {
+    GCRoot Empty(H, markFrameUpdate(H, Value::False(), H.intern("other"),
+                                    Value::fixnum(I)));
+    Marks.set(H.makePair(Empty.get(), Marks.get()));
+  }
+  Value First =
+      markListFirst(H, Marks.get(), Key, Value::fixnum(-1));
+  EXPECT_EQ(First.asFixnum(), 7);
+
+  // A cache entry must now exist at roughly half depth.
+  int CachedAt = -1;
+  Value P = Marks.get();
+  for (int I = 0; P.isPair(); P = cdr(P), ++I) {
+    if (car(P).isMarkFrame() &&
+        (asMarkFrame(car(P))->H.Aux & 1) != 0) {
+      CachedAt = I;
+      break;
+    }
+  }
+  EXPECT_GE(CachedAt, 16);
+  EXPECT_LE(CachedAt, 48);
+
+  // Lookups keep working (and now hit the cache).
+  EXPECT_EQ(markListFirst(H, Marks.get(), Key, Value::fixnum(-1)).asFixnum(),
+            7);
+}
+
+TEST(MarkFrames, CacheValidatedAgainstTail) {
+  Heap H;
+  Value Key = H.intern("key");
+  GCRoot Shared(H, markFrameUpdate(H, Value::False(), H.intern("other"),
+                                   Value::fixnum(0)));
+  // Chain A: shared frame with key=1 below; chain B: same shared frame
+  // with key=2 below. A stale cache from chain A must not leak into B.
+  GCRoot FA(H, markFrameUpdate(H, Value::False(), Key, Value::fixnum(1)));
+  GCRoot FB(H, markFrameUpdate(H, Value::False(), Key, Value::fixnum(2)));
+  GCRoot ChainA(H, H.makePair(FA.get(), Value::nil()));
+  for (int I = 0; I < 32; ++I)
+    ChainA.set(H.makePair(Shared.get(), ChainA.get()));
+  GCRoot ChainB(H, H.makePair(FB.get(), Value::nil()));
+  for (int I = 0; I < 32; ++I)
+    ChainB.set(H.makePair(Shared.get(), ChainB.get()));
+
+  EXPECT_EQ(markListFirst(H, ChainA.get(), Key, Value::fixnum(-1)).asFixnum(),
+            1);
+  EXPECT_EQ(markListFirst(H, ChainB.get(), Key, Value::fixnum(-1)).asFixnum(),
+            2)
+      << "cache computed for chain A must not answer for chain B";
+}
+
+// --- Old-Racket mark-stack comparator -----------------------------------------
+
+class MarkStackMode : public ::testing::Test {
+protected:
+  SchemeEngine E{EngineVariant::MarkStack};
+};
+
+TEST_F(MarkStackMode, BasicSemanticsMatch) {
+  expectEval(E,
+             "(with-continuation-mark 'k 1"
+             "  (continuation-mark-set-first #f 'k))",
+             "1");
+  expectEval(E,
+             "(define (inner)"
+             "  (with-continuation-mark 'k 'new"
+             "    (continuation-mark-set->list (current-continuation-marks) 'k)))"
+             "(with-continuation-mark 'k 'old (inner))",
+             "(new)");
+  expectEval(E,
+             "(with-continuation-mark 'a 1"
+             "  (with-continuation-mark 'b 2"
+             "    (list (continuation-mark-set-first #f 'a)"
+             "          (continuation-mark-set-first #f 'b))))",
+             "(1 2)");
+}
+
+TEST_F(MarkStackMode, MarksPopOnReturn) {
+  expectEval(E,
+             "(begin"
+             "  (with-continuation-mark 'k 1 (list 'x))"
+             "  (continuation-mark-set-first #f 'k 'gone))",
+             "gone");
+  EXPECT_EQ(E.evalToString("(#%vm-stat 'mark-stack-size)"), "0");
+}
+
+TEST_F(MarkStackMode, DeepRecursionTruncatesOnUnderflow) {
+  expectEval(E,
+             "(define (deep n)"
+             "  (if (zero? n)"
+             "      (if (eq? 'v (continuation-mark-set-first #f 'k 'none)) 1 0)"
+             "      (+ 0 (deep (- n 1)))))"
+             "(with-continuation-mark 'k 'v (deep 60000))",
+             "1");
+  EXPECT_EQ(E.evalToString("(#%vm-stat 'mark-stack-size)"), "0");
+}
+
+TEST_F(MarkStackMode, CaptureCopiesMarkStack) {
+  expectEval(E,
+             "(define k0 #f)"
+             "(define hits (box 0))"
+             "(with-continuation-mark 'k 'v"
+             "  (car (list"
+             "    (begin"
+             "      (#%call/cc (lambda (k) (set! k0 k)))"
+             "      (set-box! hits (+ 1 (unbox hits)))"
+             "      (if (and (< (unbox hits) 3)"
+             "               (eq? 'v (continuation-mark-set-first #f 'k 'none)))"
+             "          (k0 #f)"
+             "          (list (unbox hits)"
+             "                (continuation-mark-set-first #f 'k 'none)))))))",
+             "(3 v)");
+}
+
+} // namespace

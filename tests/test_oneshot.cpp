@@ -1,0 +1,165 @@
+//===- tests/test_oneshot.cpp - One-shot continuations + GC stress -*- C++ -*-//
+///
+/// \file
+/// call/1cc semantics (paper section 6 / Bruggeman et al.) and stress
+/// tests for the interaction between continuation capture and garbage
+/// collection (the collector promotes opportunistic one-shots and must
+/// keep captured segments alive).
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+using namespace cmk;
+
+namespace {
+
+class OneShot : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+TEST_F(OneShot, EscapeOnce) {
+  expectEval(E, "(+ 1 (call/1cc (lambda (k) (k 41))))", "42");
+  expectEval(E, "(+ 1 (call/1cc (lambda (k) 41)))", "42");
+}
+
+TEST_F(OneShot, Predicate) {
+  // Non-tail captures, so fresh records are created (a tail capture at the
+  // very bottom of a run reuses the full halt record).
+  expectEval(E,
+             "(car (list (#%call/1cc (lambda (k)"
+             "             (one-shot-continuation? k)))))",
+             "#t");
+  expectEval(E,
+             "(car (list (#%call/cc (lambda (k)"
+             "             (one-shot-continuation? k)))))",
+             "#f");
+}
+
+TEST_F(OneShot, SecondUseIsAnError) {
+  expectError(E,
+              "(define k1 (box #f))"
+              "(list (call/1cc (lambda (k) (set-box! k1 k) 1)))"
+              "((unbox k1) 2)" // First explicit use: ok.
+              "((unbox k1) 3)", // Second use: error.
+              "one-shot continuation used more than once");
+}
+
+TEST_F(OneShot, NormalReturnConsumesIt) {
+  expectError(E,
+              "(define k2 (box #f))"
+              "(define (grab) (#%call/1cc (lambda (k) (set-box! k2 k) 1)))"
+              "(list (grab))" // grab returns normally through the record.
+              "((unbox k2) 9)",
+              "one-shot continuation used more than once");
+}
+
+TEST_F(OneShot, CallCCPromotesToFull) {
+  // Paper 6: "call/cc must also promote any one-shot continuations in the
+  // tail of the continuation to full continuations". The capture must
+  // happen while the one-shot record is still in the chain (before
+  // returning through it); afterwards the one-shot is freely reusable.
+  expectEval(E,
+             "(let ([k1 (box #f)] [n (box 0)] [acc (box '())])"
+             "  (define (inner)"
+             "    (#%call/1cc (lambda (k)"
+             "      (set-box! k1 k)"
+             "      (car (list (#%call/cc (lambda (k2) k2))))" // Promotes.
+             "      0)))"
+             "  (let ([v (inner)])"
+             "    (set-box! acc (cons v (unbox acc)))"
+             "    (set-box! n (+ 1 (unbox n)))"
+             "    (if (< (unbox n) 3)"
+             "        ((unbox k1) (unbox n))" // Legal after promotion.
+             "        (reverse (unbox acc)))))",
+             "(0 1 2)");
+}
+
+TEST_F(OneShot, TimeMacroMeasures) {
+  expectEval(E,
+             "(define r (time (let loop ([i 0]) (if (= i 1000) 'fin (loop (+ i 1))))))"
+             "(list (car r) (>= (cdr r) 0.0) (flonum? (cdr r)))",
+             "(fin #t #t)");
+}
+
+// --- GC interaction stress ------------------------------------------------------
+
+class GcStress : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+TEST_F(GcStress, CapturedContinuationsSurviveCollection) {
+  // Capture 50 continuations mid-recursion, collect twice, then reapply a
+  // mid-stack one: its frames are only reachable through the record chain.
+  // ks is newest-first, so index 25 was captured at n = 26: reapplying
+  // with 2 recomputes 24 outer ones + 2 + 25 inner ones = 51.
+  expectEval(E,
+             "(let ([ks (box '())] [reapplied (box #f)])"
+             "  (define (build n)"
+             "    (if (zero? n)"
+             "        0"
+             "        (+ (call/cc (lambda (k)"
+             "                      (set-box! ks (cons k (unbox ks))) 1))"
+             "           (build (- n 1)))))"
+             "  (let ([total (build 50)])"
+             "    (collect-garbage) (collect-garbage)"
+             "    (if (unbox reapplied)"
+             "        total"
+             "        (begin (set-box! reapplied #t)"
+             "               ((list-ref (unbox ks) 25) 2)))))",
+             "51");
+}
+
+TEST_F(GcStress, MarksSurviveCollectionUnderPressure) {
+  expectEval(E,
+             "(define (deep n)"
+             "  (if (zero? n)"
+             "      (begin"
+             "        (collect-garbage)"
+             "        (continuation-mark-set->list (current-continuation-marks) 'm))"
+             "      (car (list"
+             "        (with-continuation-mark 'm n"
+             "          (begin"
+             "            (make-vector 1000 n)" // Allocation pressure.
+             "            (deep (- n 1))))))))"
+             "(length (deep 300))",
+             "300");
+  EXPECT_GE(E.vm().heap().stats().Collections, 1u);
+}
+
+TEST_F(GcStress, PromotionDuringGCDisablesFusionSafely) {
+  // Force collections between reify and return: the records get promoted
+  // (paper 6) and returns must fall back to copying, with identical
+  // semantics.
+  expectEval(E,
+             "(define (f i)"
+             "  (call-setting-continuation-attachment i"
+             "    (lambda ()"
+             "      (when (zero? (modulo i 50)) (collect-garbage))"
+             "      (car (current-continuation-attachments)))))"
+             "(let loop ([i 0] [acc 0])"
+             "  (if (= i 300) acc (loop (+ i 1) (+ acc (f i)))))",
+             "44850");
+  EXPECT_GT(E.vm().heap().stats().OneShotPromotions, 0u);
+  EXPECT_GT(E.vm().stats().UnderflowCopies, 0u);
+}
+
+TEST_F(GcStress, SegmentChurnWithCapture) {
+  // Deep recursion (multiple segments) + capture + escape, repeatedly,
+  // with collections in between.
+  expectEval(E,
+             "(define (dig n esc)"
+             "  (if (zero? n) (esc 'hit) (+ 1 (dig (- n 1) esc))))"
+             "(let loop ([r 0] [acc '()])"
+             "  (if (= r 10)"
+             "      acc"
+             "      (begin"
+             "        (collect-garbage)"
+             "        (loop (+ r 1)"
+             "              (cons (call/cc (lambda (k) (dig 30000 k))) acc)))))",
+             "(hit hit hit hit hit hit hit hit hit hit)");
+}
+
+} // namespace

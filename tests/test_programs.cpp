@@ -1,0 +1,218 @@
+//===- tests/test_programs.cpp - Benchmark program integration -*- C++ -*-===//
+///
+/// \file
+/// Runs every benchmark workload (classic suite, attachment/mark micros,
+/// delimited-control triple, applications) at reduced size, checking
+/// results and cross-variant agreement. This keeps the benchmark corpus
+/// honest: a miscompile in any variant shows up here, not as a silently
+/// wrong timing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+#include "../bench/programs/apps.h"
+#include "../bench/programs/classics.h"
+#include "../bench/programs/control.h"
+#include "../bench/programs/micro_attachments.h"
+#include "../bench/programs/micro_marks.h"
+#include "lib/prelude.h"
+
+using namespace cmk;
+using namespace cmkbench;
+
+namespace {
+
+// --- Classic suite -------------------------------------------------------------
+
+class ClassicPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(ClassicPrograms, CorrectOnAllCompilerVariants) {
+  int Count = 0;
+  const ClassicBenchmark &B = classicBenchmarks(Count)[GetParam()];
+  char Run[128];
+  std::snprintf(Run, sizeof(Run), B.RunTemplate, B.DefaultIters / 20 + 1);
+
+  std::string Expected;
+  for (EngineVariant V : {EngineVariant::Builtin, EngineVariant::Unmod,
+                          EngineVariant::NoOpt}) {
+    SchemeEngine E(V);
+    E.evalOrDie(B.Source);
+    std::string Got = E.evalToString(Run);
+    ASSERT_TRUE(E.ok()) << B.Name << ": " << E.lastError();
+    if (Expected.empty())
+      Expected = Got;
+    EXPECT_EQ(Got, Expected) << B.Name << " diverges across variants";
+  }
+}
+
+int classicCount() {
+  int Count = 0;
+  classicBenchmarks(Count);
+  return Count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, ClassicPrograms,
+                         ::testing::Range(0, classicCount()),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           int Count = 0;
+                           std::string N =
+                               classicBenchmarks(Count)[I.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+// --- Attachment micros: builtin vs imitation ------------------------------------
+
+class AttachmentPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(AttachmentPrograms, BuiltinAndImitationAgree) {
+  int Count = 0;
+  const AttachmentMicro &B = attachmentMicros(Count)[GetParam()];
+  std::string Run =
+      "(bench-entry " + std::to_string(B.DefaultN / 50 + 1) + ")";
+
+  SchemeEngine Builtin;
+  Builtin.evalOrDie(substituteAttachmentOps(B.Source, true));
+  std::string G1 = Builtin.evalToString(Run);
+  ASSERT_TRUE(Builtin.ok()) << B.Name << ": " << Builtin.lastError();
+
+  SchemeEngine Imitate;
+  Imitate.evalOrDie(imitationSource());
+  Imitate.evalOrDie(substituteAttachmentOps(B.Source, false));
+  std::string G2 = Imitate.evalToString(Run);
+  ASSERT_TRUE(Imitate.ok()) << B.Name << ": " << Imitate.lastError();
+
+  EXPECT_EQ(G1, G2) << B.Name;
+}
+
+int attachmentCount() {
+  int Count = 0;
+  attachmentMicros(Count);
+  return Count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, AttachmentPrograms,
+                         ::testing::Range(0, attachmentCount()),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           int Count = 0;
+                           std::string N =
+                               attachmentMicros(Count)[I.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+// --- Mark micros: attachments vs mark stack --------------------------------------
+
+class MarkPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(MarkPrograms, AttachmentsAndMarkStackAgree) {
+  int Count = 0;
+  const MarkMicro &B = markMicros(Count)[GetParam()];
+  std::string Run =
+      "(bench-entry " + std::to_string(B.DefaultN / 50 + 1) + ")";
+
+  SchemeEngine CS(EngineVariant::Builtin);
+  CS.evalOrDie(B.Source);
+  std::string G1 = CS.evalToString(Run);
+  ASSERT_TRUE(CS.ok()) << B.Name << ": " << CS.lastError();
+
+  SchemeEngine Old(EngineVariant::MarkStack);
+  Old.evalOrDie(B.Source);
+  std::string G2 = Old.evalToString(Run);
+  ASSERT_TRUE(Old.ok()) << B.Name << ": " << Old.lastError();
+
+  EXPECT_EQ(G1, G2) << B.Name;
+}
+
+int markCount() {
+  int Count = 0;
+  markMicros(Count);
+  return Count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, MarkPrograms,
+                         ::testing::Range(0, markCount()),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           int Count = 0;
+                           std::string N = markMicros(Count)[I.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+// --- Triple encodings --------------------------------------------------------------
+
+TEST(TriplePrograms, AllEncodingsAgree) {
+  SchemeEngine E;
+  E.evalOrDie(tripleNativeSource());
+  E.evalOrDie(tripleDpjsSource());
+  E.evalOrDie(tripleKSource());
+  for (int N : {0, 1, 7, 30}) {
+    std::string Native =
+        E.evalToString("(triple-native " + std::to_string(N) + ")");
+    EXPECT_EQ(E.evalToString("(triple-dpjs " + std::to_string(N) + ")"),
+              Native)
+        << "n = " << N;
+    EXPECT_EQ(E.evalToString("(triple-k " + std::to_string(N) + ")"), Native)
+        << "n = " << N;
+    ASSERT_TRUE(E.ok()) << E.lastError();
+  }
+  // Reference: partitions of 30 into 3 non-decreasing nonnegative parts.
+  EXPECT_EQ(E.evalToString("(triple-native 30)"), "91");
+}
+
+TEST(TriplePrograms, CtakIsTak) {
+  SchemeEngine E;
+  E.evalOrDie(ctakSource());
+  E.evalOrDie(ctakRawSource());
+  EXPECT_EQ(E.evalToString("(ctak 7 4 2)"), "4");
+  EXPECT_EQ(E.evalToString("(ctak-raw 7 4 2)"), "4");
+  EXPECT_EQ(E.evalToString("(ctak 12 6 3)"), "4");
+}
+
+// --- Applications --------------------------------------------------------------------
+
+class AppPrograms : public ::testing::TestWithParam<int> {};
+
+TEST_P(AppPrograms, CorrectAcrossVariants) {
+  int Count = 0;
+  const AppBenchmark &B = appBenchmarks(Count)[GetParam()];
+  std::string Run = "(app-main " + std::to_string(B.DefaultN / 20 + 1) + ")";
+
+  std::string Expected;
+  for (EngineVariant V : {EngineVariant::Builtin, EngineVariant::Imitate,
+                          EngineVariant::NoOpt, EngineVariant::No1cc}) {
+    SchemeEngine E(V);
+    E.evalOrDie(B.Source);
+    std::string Got = E.evalToString(Run);
+    ASSERT_TRUE(E.ok()) << B.Name << ": " << E.lastError();
+    if (Expected.empty())
+      Expected = Got;
+    EXPECT_EQ(Got, Expected) << B.Name << " diverges across variants";
+  }
+}
+
+int appCount() {
+  int Count = 0;
+  appBenchmarks(Count);
+  return Count;
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, AppPrograms,
+                         ::testing::Range(0, appCount()),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           int Count = 0;
+                           std::string N = appBenchmarks(Count)[I.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+} // namespace

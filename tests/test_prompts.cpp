@@ -1,0 +1,239 @@
+//===- tests/test_prompts.cpp - Delimited control ---------------*- C++ -*-===//
+
+#include "test_helpers.h"
+
+using namespace cmk;
+
+namespace {
+
+class Prompts : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+TEST_F(Prompts, NormalReturnThroughPrompt) {
+  expectEval(E,
+             "(call-with-continuation-prompt (lambda () (+ 1 2))"
+             "  (default-continuation-prompt-tag) (lambda (v) 'aborted))",
+             "3");
+}
+
+TEST_F(Prompts, AbortInvokesHandler) {
+  expectEval(E,
+             "(call-with-continuation-prompt"
+             "  (lambda () (+ 1 (abort-current-continuation"
+             "                   (default-continuation-prompt-tag) 42)))"
+             "  (default-continuation-prompt-tag)"
+             "  (lambda (v) (list 'aborted v)))",
+             "(aborted 42)");
+}
+
+TEST_F(Prompts, HandlerRunsInPromptContinuation) {
+  expectEval(E,
+             "(cons 'outer"
+             "  (call-with-continuation-prompt"
+             "    (lambda () (abort-current-continuation"
+             "                (default-continuation-prompt-tag) 1))"
+             "    (default-continuation-prompt-tag)"
+             "    (lambda (v) (+ v 10))))",
+             "(outer . 11)");
+}
+
+TEST_F(Prompts, TagsSelectPrompt) {
+  expectEval(E,
+             "(define t1 (make-continuation-prompt-tag 'one))"
+             "(define t2 (make-continuation-prompt-tag 'two))"
+             "(call-with-continuation-prompt"
+             "  (lambda ()"
+             "    (call-with-continuation-prompt"
+             "      (lambda () (abort-current-continuation t1 'x))"
+             "      t2"
+             "      (lambda (v) 'inner-caught)))"
+             "  t1"
+             "  (lambda (v) (list 'outer-caught v)))",
+             "(outer-caught x)");
+}
+
+TEST_F(Prompts, AbortWithNoPromptFails) {
+  expectError(E,
+              "(abort-current-continuation (make-continuation-prompt-tag) 1)",
+              "no matching prompt");
+}
+
+TEST_F(Prompts, PromptAvailable) {
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(list (call-with-continuation-prompt"
+             "        (lambda () (continuation-prompt-available? t))"
+             "        t (lambda (v) v))"
+             "      (continuation-prompt-available? t))",
+             "(#t #f)");
+}
+
+TEST_F(Prompts, AbortUnwindsWinders) {
+  expectEval(E,
+             "(define out '())"
+             "(define (note x) (set! out (cons x out)))"
+             "(define t (make-continuation-prompt-tag))"
+             "(call-with-continuation-prompt"
+             "  (lambda ()"
+             "    (dynamic-wind (lambda () (note 'in))"
+             "                  (lambda () (abort-current-continuation t 'gone))"
+             "                  (lambda () (note 'out))))"
+             "  t (lambda (v) (note (list 'handler v))))"
+             "(reverse out)",
+             "(in out (handler gone))");
+}
+
+TEST_F(Prompts, ComposableBasic) {
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(define saved #f)"
+             "(define first-run"
+             "  (call-with-continuation-prompt"
+             "    (lambda ()"
+             "      (+ 1 (call-with-composable-continuation"
+             "            (lambda (k) (set! saved k) 10) t)))"
+             "    t (lambda (v) v)))"
+             "(list first-run (saved 100) (saved (saved 1000)))",
+             "(11 101 1002)");
+}
+
+TEST_F(Prompts, ComposableIsComposable) {
+  // Applying the captured continuation does not abort: it extends the
+  // current continuation. The continuation is extracted by aborting.
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(define k2"
+             "  (call-with-continuation-prompt"
+             "    (lambda ()"
+             "      (* 2 (call-with-composable-continuation"
+             "            (lambda (k) (abort-current-continuation t k)) t)))"
+             "    t (lambda (v) v)))"
+             "(+ 1 (k2 20))",
+             "41");
+}
+
+TEST_F(Prompts, ComposableSplicesMarks) {
+  // Section 2.3: delimited continuations capture and splice mark chains.
+  // The captured context calls its argument, so the probe runs inside the
+  // spliced frames and must see both the captured and the outer mark.
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(define k1"
+             "  (call-with-continuation-prompt"
+             "    (lambda ()"
+             "      (with-continuation-mark 'h 'captured"
+             "        (car (list"
+             "          ((call-with-composable-continuation"
+             "            (lambda (k) (abort-current-continuation t k)) t))))))"
+             "    t (lambda (v) v)))"
+             "(define (probe) (continuation-mark-set->list"
+             "                 (current-continuation-marks) 'h))"
+             "(with-continuation-mark 'h 'outer"
+             "  (car (list (k1 probe))))",
+             "(captured outer)");
+}
+
+TEST_F(Prompts, TripleStyleSearch) {
+  // A miniature of the paper's triple benchmark: nondeterministic choice
+  // via composable continuations and a failure prompt.
+  const char *Prog = R"(
+(define choice-tag (make-continuation-prompt-tag 'choice))
+(define (fail) (abort-current-continuation choice-tag 'fail))
+(define (choose-from lst)
+  (call-with-composable-continuation
+   (lambda (k)
+     (abort-current-continuation choice-tag
+       (lambda ()
+         (let loop ([l lst])
+           (if (null? l)
+               'fail
+               (let ([r (call-with-continuation-prompt
+                         (lambda () (k (car l)))
+                         choice-tag
+                         (lambda (v) (if (procedure? v) (v) v)))])
+                 (if (eq? r 'fail) (loop (cdr l)) r)))))))
+   choice-tag))
+(define (solve)
+  (call-with-continuation-prompt
+   (lambda ()
+     (let ([a (choose-from '(1 2 3 4))])
+       (let ([b (choose-from '(1 2 3 4))])
+         (if (= (+ a b) 7) (list a b) (fail)))))
+   choice-tag
+   (lambda (v) (if (procedure? v) (v) v))))
+(solve)
+)";
+  expectEval(E, Prog, "(3 4)");
+}
+
+TEST_F(Prompts, GeneratorsYieldInOrder) {
+  expectEval(E,
+             "(define g (make-generator"
+             "  (lambda (yield)"
+             "    (yield 'a) (yield 'b) (yield 'c) 'end)))"
+             "(list (g) (g) (g) (g) (g))",
+             "(a b c end end)");
+}
+
+TEST_F(Prompts, GeneratorsInterleave) {
+  expectEval(E,
+             "(define g1 (make-generator (lambda (y) (y 1) (y 2) 'e1)))"
+             "(define g2 (make-generator (lambda (y) (y 10) (y 20) 'e2)))"
+             "(list (g1) (g2) (g1) (g2) (g1) (g2))",
+             "(1 10 2 20 e1 e2)");
+}
+
+TEST_F(Prompts, GeneratorFibonacci) {
+  expectEval(E,
+             "(define fibs (make-generator"
+             "  (lambda (yield)"
+             "    (let loop ([a 0] [b 1])"
+             "      (yield a)"
+             "      (loop b (+ a b))))))"
+             "(map (lambda (i) (fibs)) (iota 10))",
+             "(0 1 1 2 3 5 8 13 21 34)");
+}
+
+TEST_F(Prompts, MarksDelimitedByPromptTag) {
+  // current-continuation-marks with a tag stops at the matching prompt:
+  // the outer mark is invisible through it.
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(with-continuation-mark 'k 'outside"
+             "  (car (list"
+             "    (call-with-continuation-prompt"
+             "      (lambda ()"
+             "        (with-continuation-mark 'k 'inside"
+             "          (car (list"
+             "            (list (continuation-mark-set->list"
+             "                   (current-continuation-marks t) 'k)"
+             "                  (continuation-mark-set->list"
+             "                   (current-continuation-marks) 'k)"
+             "                  (continuation-mark-set-first"
+             "                   (current-continuation-marks t) 'unset 'dflt))))))"
+             "      t (lambda (v) v)))))",
+             "((inside) (inside outside) dflt)");
+}
+
+TEST_F(Prompts, DelimitedMarksWithNoMatchingTagError) {
+  expectError(E,
+              "(current-continuation-marks (make-continuation-prompt-tag))",
+              "no prompt with the given tag");
+}
+
+TEST_F(Prompts, NestedPromptsSameTagInnermostWins) {
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(call-with-continuation-prompt"
+             "  (lambda ()"
+             "    (list 'outer"
+             "      (call-with-continuation-prompt"
+             "        (lambda () (abort-current-continuation t 'v))"
+             "        t (lambda (v) (list 'inner v)))))"
+             "  t (lambda (v) (list 'wrong v)))",
+             "(outer (inner v))");
+}
+
+} // namespace

@@ -1,0 +1,133 @@
+//===- tests/test_property_control.cpp - Control-flow fuzzing --*- C++ -*-===//
+///
+/// \file
+/// Randomized differential testing over a control-flow grammar: escape
+/// continuations, catch/throw, dynamic-wind with side-effect logs,
+/// parameterize, and marks — all interleaved. Every equivalent system
+/// variant must produce the identical result, including the order of
+/// winder side effects.
+///
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+#include "support/rng.h"
+
+using namespace cmk;
+
+namespace {
+
+/// Generates deterministic programs that exercise non-local control. The
+/// program threads an output log through a box so that evaluation order
+/// (including winder thunks) is part of the observed result.
+class ControlProgramGen {
+public:
+  explicit ControlProgramGen(uint64_t Seed) : R(Seed) {}
+
+  std::string program() {
+    EscapeDepth = 0;
+    std::string P =
+        "(define log (box '()))"
+        "(define (note x) (set-box! log (cons x (unbox log))))"
+        "(define p1 (make-parameter 'p1-default))"
+        "(define p2 (make-parameter 0))"
+        "(define (result) (list (reverse (unbox log)) (p1) (p2)))";
+    P += "(list " + expr(4) + " (result))";
+    return P;
+  }
+
+private:
+  std::string num() { return std::to_string(R.nextBelow(50)); }
+
+  std::string expr(int Depth) {
+    if (Depth == 0)
+      return leaf();
+    switch (R.nextBelow(10)) {
+    case 0: // Escape continuation, used zero or one times.
+      ++EscapeDepth;
+      {
+        std::string Inner = expr(Depth - 1);
+        std::string Use = R.chance(1, 2)
+                              ? "(begin (note 'pre-escape) (esc" +
+                                    std::to_string(EscapeDepth) + " " +
+                                    num() + "))"
+                              : Inner;
+        std::string Out = "(call/cc (lambda (esc" +
+                          std::to_string(EscapeDepth) + ") " + Use + "))";
+        --EscapeDepth;
+        return Out;
+      }
+    case 1: // catch with possible throw.
+      return "(catch (lambda (e) (begin (note (list 'caught e)) " + num() +
+             ")) " +
+             (R.chance(1, 2) ? "(begin (note 'about-to-throw) (throw " +
+                                   num() + "))"
+                             : expr(Depth - 1)) +
+             ")";
+    case 2: // dynamic-wind logging entry and exit.
+      return "(dynamic-wind (lambda () (note 'in)) (lambda () " +
+             expr(Depth - 1) + ") (lambda () (note 'out)))";
+    case 3: // parameterize p1.
+      return "(parameterize ([p1 '" + std::string(R.chance(1, 2) ? "a" : "b") +
+             "]) (begin (note (p1)) " + expr(Depth - 1) + "))";
+    case 4: // parameterize p2 numerically.
+      return "(parameterize ([p2 " + num() + "]) (+ (p2) " +
+             expr(Depth - 1) + "))";
+    case 5: // wcm + first.
+      return "(with-continuation-mark 'k " + num() +
+             " (car (list (+ (continuation-mark-set-first #f 'k 0) " +
+             expr(Depth - 1) + "))))";
+    case 6: // Sequence with notes.
+      return "(begin (note 'step) " + expr(Depth - 1) + ")";
+    case 7: // Conditional on generated parity.
+      return std::string("(if (even? ") + num() + ") " + expr(Depth - 1) +
+             " " + expr(Depth - 1) + ")";
+    case 8: // Helper function call boundary.
+      return "((lambda (x) (+ x " + expr(Depth - 1) + ")) " + num() + ")";
+    default: // Generator interplay (bounded).
+      return "(let ([g (make-generator (lambda (y) (y " + num() + ") (y " +
+             num() + ") " + num() + "))])" + "(+ (g) (g) (g)))";
+    }
+  }
+
+  std::string leaf() {
+    switch (R.nextBelow(3)) {
+    case 0:
+      return num();
+    case 1:
+      return "(begin (note 'leaf) " + num() + ")";
+    default:
+      return "(+ (p2) " + num() + ")";
+    }
+  }
+
+  Rng R;
+  int EscapeDepth = 0;
+};
+
+class ControlFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ControlFuzz, VariantsAgreeOnControlFlow) {
+  ControlProgramGen Gen(GetParam() * 7919);
+  for (int Round = 0; Round < 6; ++Round) {
+    std::string Prog = Gen.program();
+
+    SchemeEngine Reference(EngineVariant::Builtin);
+    std::string Expected = Reference.evalToString(Prog);
+    ASSERT_TRUE(Reference.ok()) << Reference.lastError() << "\n" << Prog;
+
+    for (EngineVariant V :
+         {EngineVariant::NoOpt, EngineVariant::NoPrim, EngineVariant::No1cc,
+          EngineVariant::HeapFrames, EngineVariant::CopyOnCapture}) {
+      SchemeEngine Variant(V);
+      std::string Got = Variant.evalToString(Prog);
+      ASSERT_TRUE(Variant.ok()) << Variant.lastError() << "\n" << Prog;
+      EXPECT_EQ(Got, Expected) << "divergence on:\n" << Prog;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Property, ControlFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/test_reader.cpp - S-expression reader tests -------*- C++ -*-===//
+
+#include "reader/reader.h"
+#include "runtime/heap.h"
+#include "runtime/printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cmk;
+
+namespace {
+
+class ReaderTest : public ::testing::Test {
+protected:
+  /// Reads one datum and returns its written representation.
+  std::string roundTrip(const std::string &Src) {
+    Reader R(H, Src);
+    ReadResult Res = R.read();
+    if (!Res.isDatum())
+      return "<" + (Res.isEof() ? std::string("eof") : Res.Error) + ">";
+    return writeToString(Res.Datum);
+  }
+
+  Heap H;
+};
+
+TEST_F(ReaderTest, Fixnums) {
+  EXPECT_EQ(roundTrip("42"), "42");
+  EXPECT_EQ(roundTrip("-17"), "-17");
+  EXPECT_EQ(roundTrip("+3"), "3");
+  EXPECT_EQ(roundTrip("0"), "0");
+}
+
+TEST_F(ReaderTest, Flonums) {
+  EXPECT_EQ(roundTrip("3.5"), "3.5");
+  EXPECT_EQ(roundTrip("-0.25"), "-0.25");
+  EXPECT_EQ(roundTrip("1e3"), "1000.0");
+  EXPECT_EQ(roundTrip("2."), "2.0");
+}
+
+TEST_F(ReaderTest, SymbolsIntern) {
+  Reader R(H, "abc abc");
+  Value A = R.read().Datum;
+  Value B = R.read().Datum;
+  EXPECT_TRUE(A == B) << "symbols must be interned (eq?)";
+}
+
+TEST_F(ReaderTest, SymbolShapes) {
+  EXPECT_EQ(roundTrip("set!"), "set!");
+  EXPECT_EQ(roundTrip("+"), "+");
+  EXPECT_EQ(roundTrip("-"), "-");
+  EXPECT_EQ(roundTrip("->list"), "->list");
+  EXPECT_EQ(roundTrip("a.b"), "a.b");
+  EXPECT_EQ(roundTrip("#%internal"), "#%internal");
+}
+
+TEST_F(ReaderTest, Booleans) {
+  EXPECT_EQ(roundTrip("#t"), "#t");
+  EXPECT_EQ(roundTrip("#f"), "#f");
+}
+
+TEST_F(ReaderTest, Characters) {
+  EXPECT_EQ(roundTrip("#\\a"), "#\\a");
+  EXPECT_EQ(roundTrip("#\\space"), "#\\space");
+  EXPECT_EQ(roundTrip("#\\newline"), "#\\newline");
+}
+
+TEST_F(ReaderTest, Strings) {
+  EXPECT_EQ(roundTrip("\"hi\""), "\"hi\"");
+  EXPECT_EQ(roundTrip("\"a\\nb\""), "\"a\\nb\"");
+  EXPECT_EQ(roundTrip("\"q\\\"q\""), "\"q\\\"q\"");
+}
+
+TEST_F(ReaderTest, Lists) {
+  EXPECT_EQ(roundTrip("(1 2 3)"), "(1 2 3)");
+  EXPECT_EQ(roundTrip("()"), "()");
+  EXPECT_EQ(roundTrip("(1 . 2)"), "(1 . 2)");
+  EXPECT_EQ(roundTrip("(1 2 . 3)"), "(1 2 . 3)");
+  EXPECT_EQ(roundTrip("((a) (b c))"), "((a) (b c))");
+  EXPECT_EQ(roundTrip("[a b]"), "(a b)");
+}
+
+TEST_F(ReaderTest, Vectors) {
+  EXPECT_EQ(roundTrip("#(1 2 3)"), "#(1 2 3)");
+  EXPECT_EQ(roundTrip("#()"), "#()");
+}
+
+TEST_F(ReaderTest, QuoteSugar) {
+  EXPECT_EQ(roundTrip("'x"), "(quote x)");
+  EXPECT_EQ(roundTrip("`x"), "(quasiquote x)");
+  EXPECT_EQ(roundTrip(",x"), "(unquote x)");
+  EXPECT_EQ(roundTrip(",@x"), "(unquote-splicing x)");
+  EXPECT_EQ(roundTrip("''x"), "(quote (quote x))");
+}
+
+TEST_F(ReaderTest, Comments) {
+  EXPECT_EQ(roundTrip("; hi\n42"), "42");
+  EXPECT_EQ(roundTrip("#| block |# 42"), "42");
+  EXPECT_EQ(roundTrip("#| nested #| deep |# |# 42"), "42");
+  EXPECT_EQ(roundTrip("#;(skip me) 42"), "42");
+}
+
+TEST_F(ReaderTest, Errors) {
+  EXPECT_EQ(roundTrip("(1 2"), "<unterminated list>");
+  EXPECT_EQ(roundTrip(")"), "<unexpected close parenthesis>");
+  EXPECT_EQ(roundTrip("\"abc"), "<unterminated string>");
+  EXPECT_EQ(roundTrip("(1 . 2 3)"), "<expected close after dotted tail>");
+}
+
+TEST_F(ReaderTest, ReadAll) {
+  std::string Err;
+  std::vector<Value> All = readAllFromString(H, "1 2 3", &Err);
+  EXPECT_TRUE(Err.empty());
+  EXPECT_EQ(All.size(), 3u);
+}
+
+TEST_F(ReaderTest, MismatchedBrackets) {
+  EXPECT_EQ(roundTrip("(a b]"), "<mismatched bracket>");
+}
+
+} // namespace

@@ -1,0 +1,226 @@
+//===- tests/test_runtime.cpp - Values, GC, printer, hash ------*- C++ -*-===//
+
+#include "runtime/equal.h"
+#include "runtime/hashtable.h"
+#include "runtime/heap.h"
+#include "runtime/numbers.h"
+#include "runtime/printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace cmk;
+
+namespace {
+
+TEST(Values, FixnumTagging) {
+  EXPECT_EQ(Value::fixnum(0).asFixnum(), 0);
+  EXPECT_EQ(Value::fixnum(42).asFixnum(), 42);
+  EXPECT_EQ(Value::fixnum(-42).asFixnum(), -42);
+  EXPECT_EQ(Value::fixnum(FixnumMax).asFixnum(), FixnumMax);
+  EXPECT_EQ(Value::fixnum(FixnumMin).asFixnum(), FixnumMin);
+  EXPECT_TRUE(Value::fixnum(7).isFixnum());
+  EXPECT_FALSE(Value::fixnum(7).isObj());
+}
+
+TEST(Values, Immediates) {
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::True().isTrue());
+  EXPECT_TRUE(Value::False().isFalse());
+  EXPECT_FALSE(Value::False().isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy()) << "0 is truthy in Scheme";
+  EXPECT_TRUE(Value::nil().isTruthy()) << "() is truthy in Scheme";
+  EXPECT_TRUE(Value::character('x').isChar());
+  EXPECT_EQ(Value::character('x').asChar(), static_cast<uint32_t>('x'));
+  EXPECT_TRUE(Value::underflowSentinel().isUnderflowSentinel());
+  EXPECT_NE(Value::nil().raw(), Value::voidValue().raw());
+}
+
+TEST(Heap, PairsAndInterning) {
+  Heap H;
+  Value P = H.makePair(Value::fixnum(1), Value::fixnum(2));
+  EXPECT_TRUE(P.isPair());
+  EXPECT_EQ(car(P).asFixnum(), 1);
+  EXPECT_EQ(cdr(P).asFixnum(), 2);
+
+  Value A = H.intern("hello");
+  Value B = H.intern("hello");
+  Value C = H.intern("world");
+  EXPECT_TRUE(A == B);
+  EXPECT_FALSE(A == C);
+
+  Value G1 = H.gensym("g");
+  Value G2 = H.gensym("g");
+  EXPECT_FALSE(G1 == G2) << "gensyms are uninterned";
+}
+
+TEST(Heap, CollectReclaimsGarbage) {
+  Heap H;
+  // Allocate a lot of unreachable pairs, then collect.
+  for (int I = 0; I < 100000; ++I)
+    H.makePair(Value::fixnum(I), Value::nil());
+  uint64_t Before = H.stats().BytesAllocated;
+  H.collect();
+  EXPECT_GT(Before, H.stats().LiveBytesAfterLastGC);
+  EXPECT_GE(H.stats().Collections, 1u);
+}
+
+TEST(Heap, RootsSurviveCollection) {
+  Heap H;
+  GCRoot Root(H, H.makePair(Value::fixnum(1), Value::fixnum(2)));
+  for (int Cycle = 0; Cycle < 3; ++Cycle) {
+    H.collect();
+    EXPECT_EQ(car(Root.get()).asFixnum(), 1);
+    EXPECT_EQ(cdr(Root.get()).asFixnum(), 2);
+  }
+}
+
+TEST(Heap, RootedValuesSurvive) {
+  Heap H;
+  RootedValues Roots(H);
+  for (int I = 0; I < 100; ++I)
+    Roots.push(H.makeString("s" + std::to_string(I)));
+  H.collect();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(displayToString(Roots[I]), "s" + std::to_string(I));
+}
+
+TEST(Heap, FreedMemoryIsReused) {
+  Heap H;
+  H.collect();
+  uint64_t Live = H.stats().LiveBytesAfterLastGC;
+  // Churn: allocate and drop repeatedly; live size must not grow.
+  for (int Round = 0; Round < 5; ++Round) {
+    for (int I = 0; I < 200000; ++I)
+      H.makePair(Value::fixnum(I), Value::nil());
+    H.collect();
+    EXPECT_LE(H.stats().LiveBytesAfterLastGC, Live + 4096);
+  }
+}
+
+TEST(Heap, GCPromotesOneShots) {
+  Heap H;
+  GCRoot K(H, H.makeCont());
+  asCont(K.get())->setShot(ContShot::Opportunistic);
+  H.collect();
+  EXPECT_EQ(asCont(K.get())->shot(), ContShot::Full)
+      << "paper section 6: the collector promotes opportunistic one-shots";
+  EXPECT_GE(H.stats().OneShotPromotions, 1u);
+}
+
+TEST(Numbers, OverflowFallsToFlonum) {
+  Heap H;
+  Value Big = Value::fixnum(FixnumMax);
+  NumResult R = numAdd(H, Big, Value::fixnum(1));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.V.isFlonum());
+  EXPECT_DOUBLE_EQ(asFlonum(R.V)->Val, static_cast<double>(FixnumMax) + 1);
+}
+
+TEST(Numbers, MixedArith) {
+  Heap H;
+  NumResult R = numAdd(H, Value::fixnum(1), H.makeFlonum(0.5));
+  ASSERT_TRUE(R.Ok);
+  EXPECT_DOUBLE_EQ(asFlonum(R.V)->Val, 1.5);
+  EXPECT_FALSE(numAdd(H, Value::fixnum(1), H.intern("x")).Ok);
+}
+
+TEST(Numbers, Modulo) {
+  Heap H;
+  EXPECT_EQ(numModulo(H, Value::fixnum(-7), Value::fixnum(3)).V.asFixnum(), 2);
+  EXPECT_EQ(numModulo(H, Value::fixnum(7), Value::fixnum(-3)).V.asFixnum(),
+            -2);
+  EXPECT_EQ(numRemainder(H, Value::fixnum(-7), Value::fixnum(3)).V.asFixnum(),
+            -1);
+}
+
+TEST(Equal, Eqv) {
+  Heap H;
+  EXPECT_TRUE(isEqv(Value::fixnum(3), Value::fixnum(3)));
+  EXPECT_TRUE(isEqv(H.makeFlonum(1.5), H.makeFlonum(1.5)));
+  EXPECT_FALSE(isEqv(Value::fixnum(1), H.makeFlonum(1.0)))
+      << "eqv? distinguishes exact from inexact";
+  EXPECT_FALSE(isEqv(H.makeString("a"), H.makeString("a")));
+}
+
+TEST(Equal, Structural) {
+  Heap H;
+  Value A = H.makePair(Value::fixnum(1), H.makeString("x"));
+  Value B = H.makePair(Value::fixnum(1), H.makeString("x"));
+  EXPECT_TRUE(isEqual(A, B));
+  Value V1 = H.makeVector(2, Value::fixnum(9));
+  Value V2 = H.makeVector(2, Value::fixnum(9));
+  EXPECT_TRUE(isEqual(V1, V2));
+  asVector(V2)->Elems[1] = Value::fixnum(8);
+  EXPECT_FALSE(isEqual(V1, V2));
+}
+
+TEST(Equal, HashConsistency) {
+  Heap H;
+  Value A = H.makePair(Value::fixnum(1), H.makeString("x"));
+  Value B = H.makePair(Value::fixnum(1), H.makeString("x"));
+  EXPECT_EQ(equalHash(A), equalHash(B));
+  EXPECT_EQ(eqHash(A), eqHash(A));
+}
+
+TEST(Printer, WriteVsDisplay) {
+  Heap H;
+  Value S = H.makeString("hi");
+  EXPECT_EQ(writeToString(S), "\"hi\"");
+  EXPECT_EQ(displayToString(S), "hi");
+  EXPECT_EQ(writeToString(Value::character('a')), "#\\a");
+  EXPECT_EQ(displayToString(Value::character('a')), "a");
+  Value L = H.makePair(Value::fixnum(1),
+                       H.makePair(Value::fixnum(2), Value::nil()));
+  EXPECT_EQ(writeToString(L), "(1 2)");
+}
+
+TEST(HashTable, EqTable) {
+  Heap H;
+  GCRoot T(H, H.makeHashTable(false));
+  Value K1 = H.intern("k1");
+  htSet(H, T.get(), K1, Value::fixnum(10));
+  htSet(H, T.get(), H.intern("k2"), Value::fixnum(20));
+  EXPECT_EQ(htGet(T.get(), K1, Value::False()).asFixnum(), 10);
+  EXPECT_EQ(htCount(T.get()), 2u);
+  htSet(H, T.get(), K1, Value::fixnum(11));
+  EXPECT_EQ(htGet(T.get(), K1, Value::False()).asFixnum(), 11);
+  EXPECT_EQ(htCount(T.get()), 2u);
+  EXPECT_TRUE(htDelete(T.get(), K1));
+  EXPECT_FALSE(htDelete(T.get(), K1));
+  EXPECT_TRUE(htGet(T.get(), K1, Value::False()).isFalse());
+}
+
+TEST(HashTable, GrowthAndTombstones) {
+  Heap H;
+  GCRoot T(H, H.makeHashTable(false));
+  std::vector<Value> Keys;
+  for (int I = 0; I < 1000; ++I) {
+    Value K = H.intern("key" + std::to_string(I));
+    htSet(H, T.get(), K, Value::fixnum(I));
+  }
+  EXPECT_EQ(htCount(T.get()), 1000u);
+  for (int I = 0; I < 1000; I += 2)
+    htDelete(T.get(), H.intern("key" + std::to_string(I)));
+  EXPECT_EQ(htCount(T.get()), 500u);
+  for (int I = 1; I < 1000; I += 2)
+    EXPECT_EQ(htGet(T.get(), H.intern("key" + std::to_string(I)),
+                    Value::False())
+                  .asFixnum(),
+              I);
+  // Reinsert into tombstoned slots.
+  for (int I = 0; I < 1000; I += 2)
+    htSet(H, T.get(), H.intern("key" + std::to_string(I)),
+          Value::fixnum(-I));
+  EXPECT_EQ(htCount(T.get()), 1000u);
+}
+
+TEST(HashTable, EqualTable) {
+  Heap H;
+  GCRoot T(H, H.makeHashTable(true));
+  htSet(H, T.get(), H.makeString("alpha"), Value::fixnum(1));
+  EXPECT_EQ(htGet(T.get(), H.makeString("alpha"), Value::False()).asFixnum(),
+            1)
+      << "equal? table must match distinct but equal strings";
+}
+
+} // namespace

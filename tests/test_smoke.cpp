@@ -1,0 +1,48 @@
+//===- tests/test_smoke.cpp - End-to-end smoke tests -----------*- C++ -*-===//
+
+#include "api/scheme.h"
+
+#include <gtest/gtest.h>
+
+using namespace cmk;
+
+TEST(Smoke, Arithmetic) {
+  SchemeEngine E;
+  EXPECT_EQ(E.evalToString("(+ 1 2)"), "3");
+  EXPECT_EQ(E.evalToString("(* 6 7)"), "42");
+  EXPECT_EQ(E.evalToString("(- 10 4 3)"), "3");
+}
+
+TEST(Smoke, Closures) {
+  SchemeEngine E;
+  EXPECT_EQ(E.evalToString("(define (adder n) (lambda (x) (+ x n)))"
+                           "((adder 5) 37)"),
+            "42");
+}
+
+TEST(Smoke, TailLoop) {
+  SchemeEngine E;
+  EXPECT_EQ(E.evalToString("(let loop ([i 0] [acc 0])"
+                           "  (if (= i 1000000) acc (loop (+ i 1) (+ acc 2))))"),
+            "2000000");
+}
+
+TEST(Smoke, DeepRecursionOverflows) {
+  SchemeEngine E;
+  // Forces segment overflows and underflow fusion on return.
+  EXPECT_EQ(E.evalToString("(define (count n) (if (zero? n) 0 (+ 1 (count (- n 1)))))"
+                           "(count 200000)"),
+            "200000");
+}
+
+TEST(Smoke, Marks) {
+  SchemeEngine E;
+  EXPECT_EQ(E.evalToString("(with-continuation-mark 'k 1"
+                           "  (continuation-mark-set-first #f 'k))"),
+            "1");
+}
+
+TEST(Smoke, CallCC) {
+  SchemeEngine E;
+  EXPECT_EQ(E.evalToString("(+ 1 (call/cc (lambda (k) (k 41))))"), "42");
+}

@@ -1,0 +1,205 @@
+//===- tools/cmarks_repl.cpp - Interactive driver --------------*- C++ -*-===//
+///
+/// \file
+/// A command-line driver for the cmarks Scheme system:
+///
+///   cmarks_repl                      interactive REPL
+///   cmarks_repl file.scm ...         run files
+///   cmarks_repl -e '(+ 1 2)'         evaluate an expression
+///   cmarks_repl --variant=no-opt     pick a system variant (see --help)
+///   cmarks_repl --disasm -e '...'    show compiled bytecode instead
+///
+//===----------------------------------------------------------------------===//
+
+#include "api/scheme.h"
+#include "reader/reader.h"
+#include "runtime/printer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+using namespace cmk;
+
+namespace {
+
+struct CliOptions {
+  EngineVariant Variant = EngineVariant::Builtin;
+  bool Disasm = false;
+  bool ShowHelp = false;
+  std::vector<std::string> Files;
+  std::vector<std::string> Exprs;
+};
+
+bool parseVariant(const std::string &Name, EngineVariant &Out) {
+  struct Entry {
+    const char *Name;
+    EngineVariant V;
+  };
+  const Entry Entries[] = {
+      {"builtin", EngineVariant::Builtin},
+      {"no-opt", EngineVariant::NoOpt},
+      {"no-prim", EngineVariant::NoPrim},
+      {"no-1cc", EngineVariant::No1cc},
+      {"unmod", EngineVariant::Unmod},
+      {"imitate", EngineVariant::Imitate},
+      {"mark-stack", EngineVariant::MarkStack},
+      {"heap-frames", EngineVariant::HeapFrames},
+      {"copy-on-capture", EngineVariant::CopyOnCapture},
+  };
+  for (const Entry &E : Entries)
+    if (Name == E.Name) {
+      Out = E.V;
+      return true;
+    }
+  return false;
+}
+
+void printHelp() {
+  std::printf(
+      "cmarks: compiler and runtime support for continuation marks\n"
+      "usage: cmarks_repl [options] [file.scm ...]\n"
+      "  -e EXPR            evaluate EXPR (may be repeated)\n"
+      "  --variant=NAME     builtin | no-opt | no-prim | no-1cc | unmod |\n"
+      "                     imitate | mark-stack | heap-frames |\n"
+      "                     copy-on-capture\n"
+      "  --disasm           print bytecode for -e expressions and exit\n"
+      "  -h, --help         this message\n"
+      "With no files or -e options, starts an interactive REPL.\n");
+}
+
+/// Counts unclosed parens/brackets outside strings and comments, so the
+/// REPL knows when a form is complete.
+int parenBalance(const std::string &S) {
+  int Depth = 0;
+  bool InString = false;
+  for (size_t I = 0; I < S.size(); ++I) {
+    char C = S[I];
+    if (InString) {
+      if (C == '\\')
+        ++I;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == ';') {
+      while (I < S.size() && S[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '(' || C == '[')
+      ++Depth;
+    else if (C == ')' || C == ']')
+      --Depth;
+  }
+  return Depth;
+}
+
+int runRepl(SchemeEngine &Engine) {
+  std::printf("cmarks repl; (exit) or Ctrl-D to quit\n");
+  std::string Pending;
+  std::string Line;
+  for (;;) {
+    std::printf("%s", Pending.empty() ? "> " : "  ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    Pending += Line + "\n";
+    if (parenBalance(Pending) > 0)
+      continue;
+    std::string Form = Pending;
+    Pending.clear();
+    if (Form.find("(exit)") != std::string::npos)
+      break;
+    Value V = Engine.eval(Form);
+    if (!Engine.ok()) {
+      std::printf("error: %s\n", Engine.lastError().c_str());
+      continue;
+    }
+    if (!V.isVoid())
+      std::printf("%s\n", writeToString(V).c_str());
+  }
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "-h" || Arg == "--help") {
+      Opts.ShowHelp = true;
+    } else if (Arg == "-e" && I + 1 < Argc) {
+      Opts.Exprs.push_back(Argv[++I]);
+    } else if (Arg.rfind("--variant=", 0) == 0) {
+      if (!parseVariant(Arg.substr(10), Opts.Variant)) {
+        std::fprintf(stderr, "unknown variant: %s\n", Arg.c_str());
+        return 2;
+      }
+    } else if (Arg == "--disasm") {
+      Opts.Disasm = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s (try --help)\n", Arg.c_str());
+      return 2;
+    } else {
+      Opts.Files.push_back(Arg);
+    }
+  }
+  if (Opts.ShowHelp) {
+    printHelp();
+    return 0;
+  }
+
+  SchemeEngine Engine(Opts.Variant);
+
+  if (Opts.Disasm) {
+    for (const std::string &Expr : Opts.Exprs) {
+      std::vector<Value> Forms = readAllFromString(Engine.heap(), Expr);
+      for (Value Form : Forms) {
+        std::string Err;
+        Value Code = Engine.compiler().compileToplevel(Form, &Err);
+        if (!Err.empty()) {
+          std::fprintf(stderr, "compile error: %s\n", Err.c_str());
+          return 1;
+        }
+        std::printf("%s", Compiler::disassemble(Code).c_str());
+      }
+    }
+    return 0;
+  }
+
+  for (const std::string &File : Opts.Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", File.c_str());
+      return 1;
+    }
+    std::stringstream Buf;
+    Buf << In.rdbuf();
+    Engine.eval(Buf.str());
+    if (!Engine.ok()) {
+      std::fprintf(stderr, "%s: %s\n", File.c_str(),
+                   Engine.lastError().c_str());
+      return 1;
+    }
+  }
+
+  for (const std::string &Expr : Opts.Exprs) {
+    Value V = Engine.eval(Expr);
+    if (!Engine.ok()) {
+      std::fprintf(stderr, "error: %s\n", Engine.lastError().c_str());
+      return 1;
+    }
+    std::printf("%s\n", writeToString(V).c_str());
+  }
+
+  if (Opts.Files.empty() && Opts.Exprs.empty())
+    return runRepl(Engine);
+  return 0;
+}
