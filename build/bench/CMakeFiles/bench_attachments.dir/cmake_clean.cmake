@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_attachments.dir/bench_attachments.cpp.o"
+  "CMakeFiles/bench_attachments.dir/bench_attachments.cpp.o.d"
+  "bench_attachments"
+  "bench_attachments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_attachments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

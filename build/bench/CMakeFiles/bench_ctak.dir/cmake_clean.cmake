@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ctak.dir/bench_ctak.cpp.o"
+  "CMakeFiles/bench_ctak.dir/bench_ctak.cpp.o.d"
+  "bench_ctak"
+  "bench_ctak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ctak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

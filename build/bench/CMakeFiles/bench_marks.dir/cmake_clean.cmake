@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_marks.dir/bench_marks.cpp.o"
+  "CMakeFiles/bench_marks.dir/bench_marks.cpp.o.d"
+  "bench_marks"
+  "bench_marks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_modified_chez.dir/bench_modified_chez.cpp.o"
+  "CMakeFiles/bench_modified_chez.dir/bench_modified_chez.cpp.o.d"
+  "bench_modified_chez"
+  "bench_modified_chez.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_modified_chez.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

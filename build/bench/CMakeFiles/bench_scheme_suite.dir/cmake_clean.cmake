@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheme_suite.dir/bench_scheme_suite.cpp.o"
+  "CMakeFiles/bench_scheme_suite.dir/bench_scheme_suite.cpp.o.d"
+  "bench_scheme_suite"
+  "bench_scheme_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheme_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_triple.dir/bench_triple.cpp.o"
+  "CMakeFiles/bench_triple.dir/bench_triple.cpp.o.d"
+  "bench_triple"
+  "bench_triple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_triple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exceptions.dir/exceptions.cpp.o"
+  "CMakeFiles/exceptions.dir/exceptions.cpp.o.d"
+  "exceptions"
+  "exceptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exceptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redirect.dir/redirect.cpp.o"
+  "CMakeFiles/redirect.dir/redirect.cpp.o.d"
+  "redirect"
+  "redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_tracer.dir/stack_tracer.cpp.o"
+  "CMakeFiles/stack_tracer.dir/stack_tracer.cpp.o.d"
+  "stack_tracer"
+  "stack_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

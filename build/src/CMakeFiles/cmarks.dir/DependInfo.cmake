@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/scheme.cpp" "src/CMakeFiles/cmarks.dir/api/scheme.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/api/scheme.cpp.o.d"
+  "/root/repo/src/compiler/attachments_pass.cpp" "src/CMakeFiles/cmarks.dir/compiler/attachments_pass.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/attachments_pass.cpp.o.d"
+  "/root/repo/src/compiler/bytecode.cpp" "src/CMakeFiles/cmarks.dir/compiler/bytecode.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/bytecode.cpp.o.d"
+  "/root/repo/src/compiler/codegen.cpp" "src/CMakeFiles/cmarks.dir/compiler/codegen.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/codegen.cpp.o.d"
+  "/root/repo/src/compiler/compiler.cpp" "src/CMakeFiles/cmarks.dir/compiler/compiler.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/compiler.cpp.o.d"
+  "/root/repo/src/compiler/cp0.cpp" "src/CMakeFiles/cmarks.dir/compiler/cp0.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/cp0.cpp.o.d"
+  "/root/repo/src/compiler/disasm.cpp" "src/CMakeFiles/cmarks.dir/compiler/disasm.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/disasm.cpp.o.d"
+  "/root/repo/src/compiler/expand.cpp" "src/CMakeFiles/cmarks.dir/compiler/expand.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/expand.cpp.o.d"
+  "/root/repo/src/compiler/free_vars.cpp" "src/CMakeFiles/cmarks.dir/compiler/free_vars.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/compiler/free_vars.cpp.o.d"
+  "/root/repo/src/control/prompts.cpp" "src/CMakeFiles/cmarks.dir/control/prompts.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/control/prompts.cpp.o.d"
+  "/root/repo/src/lib/parameters.cpp" "src/CMakeFiles/cmarks.dir/lib/parameters.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/lib/parameters.cpp.o.d"
+  "/root/repo/src/lib/prelude.cpp" "src/CMakeFiles/cmarks.dir/lib/prelude.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/lib/prelude.cpp.o.d"
+  "/root/repo/src/marks/mark_frame.cpp" "src/CMakeFiles/cmarks.dir/marks/mark_frame.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/marks/mark_frame.cpp.o.d"
+  "/root/repo/src/marks/mark_set.cpp" "src/CMakeFiles/cmarks.dir/marks/mark_set.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/marks/mark_set.cpp.o.d"
+  "/root/repo/src/model/heap_model.cpp" "src/CMakeFiles/cmarks.dir/model/heap_model.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/model/heap_model.cpp.o.d"
+  "/root/repo/src/reader/reader.cpp" "src/CMakeFiles/cmarks.dir/reader/reader.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/reader/reader.cpp.o.d"
+  "/root/repo/src/runtime/equal.cpp" "src/CMakeFiles/cmarks.dir/runtime/equal.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/equal.cpp.o.d"
+  "/root/repo/src/runtime/hashtable.cpp" "src/CMakeFiles/cmarks.dir/runtime/hashtable.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/hashtable.cpp.o.d"
+  "/root/repo/src/runtime/heap.cpp" "src/CMakeFiles/cmarks.dir/runtime/heap.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/heap.cpp.o.d"
+  "/root/repo/src/runtime/numbers.cpp" "src/CMakeFiles/cmarks.dir/runtime/numbers.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/numbers.cpp.o.d"
+  "/root/repo/src/runtime/printer.cpp" "src/CMakeFiles/cmarks.dir/runtime/printer.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/printer.cpp.o.d"
+  "/root/repo/src/runtime/symbols.cpp" "src/CMakeFiles/cmarks.dir/runtime/symbols.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/symbols.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/CMakeFiles/cmarks.dir/runtime/value.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/runtime/value.cpp.o.d"
+  "/root/repo/src/support/debug.cpp" "src/CMakeFiles/cmarks.dir/support/debug.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/support/debug.cpp.o.d"
+  "/root/repo/src/vm/attachments.cpp" "src/CMakeFiles/cmarks.dir/vm/attachments.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/attachments.cpp.o.d"
+  "/root/repo/src/vm/callcc.cpp" "src/CMakeFiles/cmarks.dir/vm/callcc.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/callcc.cpp.o.d"
+  "/root/repo/src/vm/dynwind.cpp" "src/CMakeFiles/cmarks.dir/vm/dynwind.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/dynwind.cpp.o.d"
+  "/root/repo/src/vm/primitives.cpp" "src/CMakeFiles/cmarks.dir/vm/primitives.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/primitives.cpp.o.d"
+  "/root/repo/src/vm/primitives_list.cpp" "src/CMakeFiles/cmarks.dir/vm/primitives_list.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/primitives_list.cpp.o.d"
+  "/root/repo/src/vm/primitives_string.cpp" "src/CMakeFiles/cmarks.dir/vm/primitives_string.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/primitives_string.cpp.o.d"
+  "/root/repo/src/vm/stacks.cpp" "src/CMakeFiles/cmarks.dir/vm/stacks.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/stacks.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/CMakeFiles/cmarks.dir/vm/vm.cpp.o" "gcc" "src/CMakeFiles/cmarks.dir/vm/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+src/CMakeFiles/cmarks.dir/lib/prelude.cpp.o: \
+ /root/repo/src/lib/prelude.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/lib/prelude.h

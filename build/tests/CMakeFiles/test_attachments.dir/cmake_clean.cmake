@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attachments.dir/test_attachments.cpp.o"
+  "CMakeFiles/test_attachments.dir/test_attachments.cpp.o.d"
+  "test_attachments"
+  "test_attachments.pdb"
+  "test_attachments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attachments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

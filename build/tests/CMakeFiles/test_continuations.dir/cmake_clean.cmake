@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuations.dir/test_continuations.cpp.o"
+  "CMakeFiles/test_continuations.dir/test_continuations.cpp.o.d"
+  "test_continuations"
+  "test_continuations.pdb"
+  "test_continuations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap_model.dir/test_heap_model.cpp.o"
+  "CMakeFiles/test_heap_model.dir/test_heap_model.cpp.o.d"
+  "test_heap_model"
+  "test_heap_model.pdb"
+  "test_heap_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marks.dir/test_marks.cpp.o"
+  "CMakeFiles/test_marks.dir/test_marks.cpp.o.d"
+  "test_marks"
+  "test_marks.pdb"
+  "test_marks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

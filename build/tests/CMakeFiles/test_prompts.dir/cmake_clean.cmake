@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prompts.dir/test_prompts.cpp.o"
+  "CMakeFiles/test_prompts.dir/test_prompts.cpp.o.d"
+  "test_prompts"
+  "test_prompts.pdb"
+  "test_prompts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prompts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

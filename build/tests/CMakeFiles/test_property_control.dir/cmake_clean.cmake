@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_control.dir/test_property_control.cpp.o"
+  "CMakeFiles/test_property_control.dir/test_property_control.cpp.o.d"
+  "test_property_control"
+  "test_property_control.pdb"
+  "test_property_control[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_reader[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_core[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_attachments[1]_include.cmake")
+include("/root/repo/build/tests/test_continuations[1]_include.cmake")
+include("/root/repo/build/tests/test_marks[1]_include.cmake")
+include("/root/repo/build/tests/test_prompts[1]_include.cmake")
+include("/root/repo/build/tests/test_library[1]_include.cmake")
+include("/root/repo/build/tests/test_variants[1]_include.cmake")
+include("/root/repo/build/tests/test_programs[1]_include.cmake")
+include("/root/repo/build/tests/test_oneshot[1]_include.cmake")
+include("/root/repo/build/tests/test_engine_api[1]_include.cmake")
+include("/root/repo/build/tests/test_property_control[1]_include.cmake")
+include("/root/repo/build/tests/test_heap_model[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmarks_repl.dir/cmarks_repl.cpp.o"
+  "CMakeFiles/cmarks_repl.dir/cmarks_repl.cpp.o.d"
+  "cmarks_repl"
+  "cmarks_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmarks_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
