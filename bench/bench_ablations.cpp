@@ -35,14 +35,20 @@ const char *ContractSetup = R"(
     (if (zero? i) acc (loop (- i 1) (+ 0 (f acc))))))
 )";
 
-void ablationRow(const std::string &Name, const std::string &Setup,
-                 const std::string &Run) {
-  Timing Base = timeOnVariant(EngineVariant::Builtin, Setup, Run);
-  Timing No1cc = timeOnVariant(EngineVariant::No1cc, Setup, Run);
-  Timing NoOpt = timeOnVariant(EngineVariant::NoOpt, Setup, Run);
-  Timing NoPrim = timeOnVariant(EngineVariant::NoPrim, Setup, Run);
-  printRelRow(Name, Base,
-              {{"no-1cc", No1cc}, {"no-opt", NoOpt}, {"no-prim", NoPrim}});
+void ablationRow(JsonReport &Report, const std::string &Name,
+                 const std::string &Setup, const std::string &Run) {
+  Measurement Base = measureOnVariant(EngineVariant::Builtin, Setup, Run);
+  Measurement No1cc = measureOnVariant(EngineVariant::No1cc, Setup, Run);
+  Measurement NoOpt = measureOnVariant(EngineVariant::NoOpt, Setup, Run);
+  Measurement NoPrim = measureOnVariant(EngineVariant::NoPrim, Setup, Run);
+  Report.add(Name, EngineVariant::Builtin, Base);
+  Report.add(Name, EngineVariant::No1cc, No1cc);
+  Report.add(Name, EngineVariant::NoOpt, NoOpt);
+  Report.add(Name, EngineVariant::NoPrim, NoPrim);
+  printRelRow(Name, Base.T,
+              {{"no-1cc", No1cc.T},
+               {"no-opt", NoOpt.T},
+               {"no-prim", NoPrim.T}});
 }
 
 } // namespace
@@ -50,6 +56,7 @@ void ablationRow(const std::string &Name, const std::string &Setup,
 int main() {
   printTitle("E9: optimization ablations (figure 6)");
   std::printf("  %-26s %12s\n", "benchmark", "Racket CS");
+  JsonReport Report("ablations");
 
   // Mark microbenchmarks (the set-* subset that the ablations target).
   int Count = 0;
@@ -61,12 +68,13 @@ int main() {
         Name != "base-deep" && Name.find("first-") != 0)
       continue;
     long N = scaled(B.DefaultN);
-    ablationRow(B.Name, B.Source, "(bench-entry " + std::to_string(N) + ")");
+    ablationRow(Report, B.Name, B.Source,
+                "(bench-entry " + std::to_string(N) + ")");
   }
 
   // Contract benchmark.
   long N = scaled(200000);
-  ablationRow("contract-checked", ContractSetup,
+  ablationRow(Report, "contract-checked", ContractSetup,
               "(call-loop checked-id " + std::to_string(N) + ")");
 
   // Applications.
@@ -75,7 +83,8 @@ int main() {
   for (int I = 0; I < AppCount; ++I) {
     const AppBenchmark &B = Apps[I];
     long AppN = scaled(B.DefaultN / 2);
-    ablationRow(B.Name, B.Source, "(app-main " + std::to_string(AppN) + ")");
+    ablationRow(Report, B.Name, B.Source,
+                "(app-main " + std::to_string(AppN) + ")");
   }
   return 0;
 }

@@ -39,17 +39,23 @@ int main() {
             "; shapes matter, not absolute times");
 
   struct RowSpec {
-    const char *Name;
+    const char *Name; ///< JSON variant key.
+    const char *Desc; ///< Human table row.
     EngineVariant V;
     bool Raw;
   };
   const RowSpec Rows[] = {
-      {"heap-frames (Pycket-like)", EngineVariant::HeapFrames, false},
-      {"raw capture (Chez-like)", EngineVariant::Builtin, true},
-      {"wrapped call/cc (Racket CS)", EngineVariant::Builtin, false},
-      {"copy-on-capture (Gambit-ish)", EngineVariant::CopyOnCapture, false},
+      {"heap-frames", "heap frames (Pycket-like)", EngineVariant::HeapFrames,
+       false},
+      {"raw-capture", "raw capture (Chez-like)", EngineVariant::Builtin,
+       true},
+      {"wrapped-callcc", "wrapped call/cc (Racket CS)",
+       EngineVariant::Builtin, false},
+      {"copy-on-capture", "copy-on-capture (Gambit-ish)",
+       EngineVariant::CopyOnCapture, false},
   };
 
+  JsonReport Report("ctak");
   for (const RowSpec &R : Rows) {
     SchemeEngine E(R.V);
     E.evalOrDie(ctakSource());
@@ -60,8 +66,9 @@ int main() {
       std::fprintf(stderr, "ctak self-check failed\n");
       return 1;
     }
-    Timing T = timeExpr(E, R.Raw ? RunRaw : Run);
-    printAbsRow(R.Name, T);
+    Measurement M = measureExpr(E, R.Raw ? RunRaw : Run);
+    Report.add("ctak", R.Name, M);
+    printAbsRow(R.Desc, M.T);
   }
   return 0;
 }

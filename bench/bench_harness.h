@@ -8,8 +8,17 @@
 /// standard deviations.
 ///
 /// Environment knobs:
-///   CMARKS_BENCH_RUNS   runs per measurement (default 3; the paper used 5)
-///   CMARKS_BENCH_SCALE  workload multiplier (default 1.0)
+///   CMARKS_BENCH_RUNS      runs per measurement (default 3; the paper used 5)
+///   CMARKS_BENCH_SCALE     workload multiplier (default 1.0)
+///   CMARKS_BENCH_JSON      "0" disables the BENCH_<name>.json blob
+///   CMARKS_BENCH_JSON_DIR  output directory for the blob (default ".")
+///
+/// Besides the human tables, every binary that routes its measurements
+/// through a JsonReport emits a machine-readable `BENCH_<name>.json`
+/// containing timings *and* runtime event counters (support/stats.h) per
+/// benchmark and engine variant. That file is what CI archives and what
+/// tools/check_bench.py gates regressions against; see DESIGN.md for the
+/// schema.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -17,6 +26,7 @@
 #define CMARKS_BENCH_BENCH_HARNESS_H
 
 #include "api/scheme.h"
+#include "support/stats.h"
 #include "support/timing.h"
 
 #include <cstdio>
@@ -48,6 +58,31 @@ struct Timing {
   double StdevMs = 0;
 };
 
+/// Stable external name of an engine variant, used as the JSON key.
+inline const char *variantName(cmk::EngineVariant V) {
+  switch (V) {
+  case cmk::EngineVariant::Builtin:
+    return "builtin";
+  case cmk::EngineVariant::NoOpt:
+    return "no-opt";
+  case cmk::EngineVariant::NoPrim:
+    return "no-prim";
+  case cmk::EngineVariant::No1cc:
+    return "no-1cc";
+  case cmk::EngineVariant::Unmod:
+    return "unmod";
+  case cmk::EngineVariant::Imitate:
+    return "imitate";
+  case cmk::EngineVariant::MarkStack:
+    return "mark-stack";
+  case cmk::EngineVariant::HeapFrames:
+    return "heap-frames";
+  case cmk::EngineVariant::CopyOnCapture:
+    return "copy-on-capture";
+  }
+  return "unknown";
+}
+
 /// Times `RunExpr` (usually a call to a pre-defined benchmark entry) over
 /// runCount() runs in an already-set-up engine.
 inline Timing timeExpr(cmk::SchemeEngine &E, const std::string &RunExpr) {
@@ -69,6 +104,125 @@ inline Timing timeOnVariant(cmk::EngineVariant V, const std::string &Setup,
     E.evalOrDie(Setup);
   return timeExpr(E, RunExpr);
 }
+
+/// A timing plus the runtime event-counter deltas accumulated across the
+/// timed runs (setup excluded).
+struct Measurement {
+  Timing T;
+  cmk::VMStats Counters;
+};
+
+/// Like timeExpr, but also captures the counter deltas of the timed runs.
+inline Measurement measureExpr(cmk::SchemeEngine &E,
+                               const std::string &RunExpr) {
+  cmk::VMStats Before = E.stats();
+  Timing T = timeExpr(E, RunExpr);
+  return {T, E.stats().delta(Before)};
+}
+
+/// One-shot variant measurement: fresh engine, setup, then timed runs with
+/// counters isolated to the workload.
+inline Measurement measureOnVariant(cmk::EngineVariant V,
+                                    const std::string &Setup,
+                                    const std::string &RunExpr) {
+  cmk::SchemeEngine E(V);
+  if (!Setup.empty())
+    E.evalOrDie(Setup);
+  return measureExpr(E, RunExpr);
+}
+
+/// Accumulates (benchmark, variant) measurements and writes them as
+/// BENCH_<name>.json when destroyed (or on an explicit write()). The
+/// schema (see DESIGN.md "Machine-readable bench output"):
+///
+///   { "schema": "cmarks-bench-v1", "bench": "<name>",
+///     "runs": N, "scale": S,
+///     "results": [ { "name": "<benchmark>", "variants": [
+///         { "variant": "<variant>", "avg_ms": .., "stdev_ms": ..,
+///           "counters": { "<counter>": <n>, ... } }, ... ] }, ... ] }
+///
+/// Emission is on by default; CMARKS_BENCH_JSON=0 disables it and
+/// CMARKS_BENCH_JSON_DIR redirects the output directory.
+class JsonReport {
+public:
+  explicit JsonReport(const std::string &BenchName) : Bench(BenchName) {}
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+  ~JsonReport() { write(); }
+
+  void add(const std::string &Benchmark, const std::string &VariantLabel,
+           const Measurement &M) {
+    if (Results.empty() || Results.back().Name != Benchmark) {
+      Results.push_back({Benchmark, {}});
+    }
+    Results.back().Variants.push_back({VariantLabel, M});
+  }
+
+  void add(const std::string &Benchmark, cmk::EngineVariant V,
+           const Measurement &M) {
+    add(Benchmark, variantName(V), M);
+  }
+
+  /// Writes the blob; safe to call once, the destructor then no-ops.
+  void write() {
+    if (Written)
+      return;
+    Written = true;
+    if (const char *S = std::getenv("CMARKS_BENCH_JSON"))
+      if (S[0] == '0' && S[1] == '\0')
+        return;
+    std::string Dir = ".";
+    if (const char *D = std::getenv("CMARKS_BENCH_JSON_DIR"))
+      Dir = D;
+    std::string Path = Dir + "/BENCH_" + Bench + ".json";
+    std::FILE *Out = std::fopen(Path.c_str(), "w");
+    if (!Out) {
+      std::fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return;
+    }
+    std::fprintf(Out,
+                 "{\n  \"schema\": \"cmarks-bench-v1\",\n"
+                 "  \"bench\": \"%s\",\n  \"runs\": %d,\n"
+                 "  \"scale\": %g,\n  \"results\": [",
+                 Bench.c_str(), runCount(), workScale());
+    for (size_t R = 0; R < Results.size(); ++R) {
+      std::fprintf(Out, "%s\n    {\"name\": \"%s\", \"variants\": [",
+                   R ? "," : "", Results[R].Name.c_str());
+      const auto &Vs = Results[R].Variants;
+      for (size_t I = 0; I < Vs.size(); ++I) {
+        std::fprintf(Out,
+                     "%s\n      {\"variant\": \"%s\", \"avg_ms\": %.6f, "
+                     "\"stdev_ms\": %.6f, \"counters\": {",
+                     I ? "," : "", Vs[I].Label.c_str(), Vs[I].M.T.AvgMs,
+                     Vs[I].M.T.StdevMs);
+        int N = 0;
+        const cmk::StatsCounterDesc *Table = cmk::statsCounters(N);
+        for (int C = 0; C < N; ++C)
+          std::fprintf(Out, "%s\"%s\": %llu", C ? ", " : "", Table[C].Name,
+                       static_cast<unsigned long long>(
+                           Vs[I].M.Counters.*(Table[C].Field)));
+        std::fprintf(Out, "}}");
+      }
+      std::fprintf(Out, "\n    ]}");
+    }
+    std::fprintf(Out, "\n  ]\n}\n");
+    std::fclose(Out);
+    std::printf("  [bench json: %s]\n", Path.c_str());
+  }
+
+private:
+  struct VariantEntry {
+    std::string Label;
+    Measurement M;
+  };
+  struct ResultEntry {
+    std::string Name;
+    std::vector<VariantEntry> Variants;
+  };
+  std::string Bench;
+  std::vector<ResultEntry> Results;
+  bool Written = false;
+};
 
 inline void printTitle(const std::string &Title) {
   std::printf("\n=== %s ===\n", Title.c_str());

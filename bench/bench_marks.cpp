@@ -28,6 +28,7 @@ int main() {
   int Count = 0;
   const MarkMicro *Micros = markMicros(Count);
   bool AllOk = true;
+  JsonReport Report("marks");
 
   for (int I = 0; I < Count; ++I) {
     const MarkMicro &B = Micros[I];
@@ -50,9 +51,11 @@ int main() {
       }
     }
 
-    Timing TCS = timeExpr(CS, Run);
-    Timing TOld = timeExpr(Old, Run);
-    printSpeedupRow(B.Name, TCS, TOld);
+    Measurement MCS = measureExpr(CS, Run);
+    Measurement MOld = measureExpr(Old, Run);
+    Report.add(B.Name, EngineVariant::Builtin, MCS);
+    Report.add(B.Name, EngineVariant::MarkStack, MOld);
+    printSpeedupRow(B.Name, MCS.T, MOld.T);
   }
   return AllOk ? 0 : 1;
 }

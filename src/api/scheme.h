@@ -79,6 +79,15 @@ public:
   Heap &heap() { return Machine.heap(); }
   Compiler &compiler() { return Comp; }
 
+  /// Runtime event counters accumulated since construction (or the last
+  /// resetStats()). See support/stats.h for the counter inventory; the
+  /// same numbers are reachable from Scheme via (runtime-stats).
+  const VMStats &stats() const { return Machine.stats(); }
+
+  /// Zeroes the event counters; typically called after setup code so a
+  /// measurement sees only the workload's events.
+  void resetStats() { Machine.stats().reset(); }
+
   /// Protects a value from collection for the engine's lifetime.
   void protect(Value V) { Machine.addPermanentRoot(V); }
 

@@ -20,7 +20,7 @@
 using namespace cmk;
 
 namespace cmk {
-void promoteOneShots(Value K); // vm/callcc.cpp
+void promoteOneShots(VM &M, Value K); // vm/callcc.cpp
 }
 
 namespace {
@@ -160,7 +160,7 @@ Value nativeCallWithComposable(VM &M, Value *Args, uint32_t NArgs) {
   if (Boundary.isUndefined())
     return M.raiseError(
         "call-with-composable-continuation: no matching prompt");
-  promoteOneShots(M.Regs.NextK);
+  promoteOneShots(M, M.Regs.NextK);
 
   GCRoot BoundaryRoot(M.heap(), Boundary);
   Value Comp =

@@ -27,6 +27,7 @@ Value cmk::markFrameUpdate(Heap &H, Value FrameOrFalse, Value Key, Value Val) {
 
   if (!FrameOrFalse.isMarkFrame()) {
     // First mark on this frame: the one-mark representation.
+    CMK_STAT_DETAIL(H.vmStats(), MarkFrameCreates);
     Value NewV = H.makeMarkFrame(1);
     MarkFrameObj *New = asMarkFrame(NewV);
     New->Entries[0] = KeyRoot.get();
@@ -42,6 +43,10 @@ Value cmk::markFrameUpdate(Heap &H, Value FrameOrFalse, Value Key, Value Val) {
     if (OldF->Entries[2 * I] == KeyRoot.get())
       Existing = static_cast<int32_t>(I);
 
+  if (Existing >= 0)
+    CMK_STAT_DETAIL(H.vmStats(), MarkFrameRebinds);
+  else
+    CMK_STAT_DETAIL(H.vmStats(), MarkFrameExtends);
   uint32_t NewN = Existing >= 0 ? N : N + 1;
   Value NewV = H.makeMarkFrame(NewN);
   MarkFrameObj *New = asMarkFrame(NewV);
@@ -75,6 +80,8 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
   Value P = Marks;
   Value Result = Value::undefined();
   bool Found = false;
+  bool CacheHit = false;
+  CMK_STAT_DETAIL(H.vmStats(), MarkFirstLookups);
 
   while (P.isPair() && P != UntilTail) {
     Value Att = car(P);
@@ -85,6 +92,7 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
       // below its prompt boundary.
       if (UntilTail.isUndefined() && (F->H.Aux & CacheValidBit) &&
           F->CacheKey == Key && F->CacheTail == cdr(P)) {
+        CacheHit = true;
         // Cached answer for "first mark for Key from here down".
         Value Direct = markFrameLookup(Att, Key);
         if (!Direct.isUndefined()) {
@@ -108,6 +116,15 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
     ++Depth;
   }
 
+  CMK_STAT_DETAIL_ADD(H.vmStats(), MarkFirstCellsWalked,
+                      static_cast<uint64_t>(Depth));
+  if (UntilTail.isUndefined()) {
+    if (CacheHit)
+      CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheHits);
+    else
+      CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheMisses);
+  }
+
   // Path compression (paper 7.5): cache the answer at depth N/2 so repeated
   // queries converge to amortized constant time.
   if (Depth >= 4 && UntilTail.isUndefined()) {
@@ -120,6 +137,7 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
       F->CacheVal = Found ? Result : Value::undefined();
       F->CacheTail = cdr(Q);
       F->H.Aux |= CacheValidBit;
+      CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheInstalls);
     }
   }
   return Found ? Result : Dflt;

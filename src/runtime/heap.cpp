@@ -2,6 +2,8 @@
 
 #include "runtime/heap.h"
 
+#include "support/stats.h"
+
 #include <cstdlib>
 #include <cstring>
 
@@ -436,6 +438,10 @@ Value Heap::makeStackSeg(uint32_t CapacitySlots) {
   auto *S = static_cast<StackSegObj *>(allocRaw(
       sizeof(StackSegObj) + sizeof(Value) * CapacitySlots, ObjKind::StackSeg));
   S->Capacity = CapacitySlots;
+  if (VmStatsPtr) {
+    ++VmStatsPtr->SegmentAllocs;
+    VmStatsPtr->SegmentSlotsAllocated += CapacitySlots;
+  }
   return Value::fromObj(&S->H);
 }
 

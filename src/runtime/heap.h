@@ -27,6 +27,7 @@
 namespace cmk {
 
 class Heap;
+struct VMStats; // support/stats.h
 
 /// Interface through which the heap discovers roots held by subsystems
 /// (the VM registers and stacks, the symbol table, compiler temporaries).
@@ -141,6 +142,12 @@ public:
 
   const HeapStats &stats() const { return Stats; }
 
+  /// Lets the owning VM route event counters (segment allocations, mark
+  /// frame transitions, lookup-cache behaviour) into its VMStats even from
+  /// code that only sees the heap. Null when no VM is attached.
+  void attachVMStats(VMStats *S) { VmStatsPtr = S; }
+  VMStats *vmStats() const { return VmStatsPtr; }
+
   /// Disables automatic collection while constructing multi-object graphs.
   void pauseGC() { ++GCPaused; }
   void resumeGC() { --GCPaused; }
@@ -187,6 +194,7 @@ private:
   int GCPaused = 0;
   bool InGC = false;
   HeapStats Stats;
+  VMStats *VmStatsPtr = nullptr;
 };
 
 /// RAII wrapper for Heap::pauseGC/resumeGC.

@@ -44,10 +44,12 @@ Value restMarksAfterReify(VM &M) {
 /// Reifies the continuation of the running native call (tail: the caller's
 /// frame; non-tail: the resume point).
 void reifyForNative(VM &M) {
+  uint64_t ReifiedBefore = M.stats().Reifications;
   if (M.NativeTailCall)
     M.reifyCurrentFrame();
   else
     M.reifyAtSp(ContShot::Opportunistic);
+  M.stats().ReifyForAttachOp += M.stats().Reifications - ReifiedBefore;
 }
 
 Value nativeCallSetting(VM &M, Value *Args, uint32_t NArgs) {

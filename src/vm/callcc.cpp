@@ -15,13 +15,14 @@ using namespace cmk;
 
 namespace cmk {
 
-void promoteOneShots(Value K) {
+void promoteOneShots(VM &M, Value K) {
   // Chain invariant: once a record is Full, its entire tail is Full, so
   // the walk is amortized constant. Promotion also clears explicit
   // one-shot markings: a promoted one-shot is a full continuation
   // (paper section 6).
   while (K.isCont() && (asCont(K)->shot() == ContShot::Opportunistic ||
                         asCont(K)->isExplicitOneShot())) {
+    ++M.stats().OneShotPromotions;
     asCont(K)->setShot(ContShot::Full);
     asCont(K)->H.Aux &= ~uint16_t(0x300); // Clear one-shot + used bits.
     K = asCont(K)->Next;
@@ -90,6 +91,7 @@ Value nativeRawCallCC(VM &M, Value *Args, uint32_t NArgs) {
     return typeError(M, "#%call/cc", "procedure", Args[0]);
   GCRoot Proc(M.heap(), Args[0]);
   ++M.stats().ContinuationCaptures;
+  uint64_t ReifiedBefore = M.stats().Reifications;
 
   Value KV;
   if (M.NativeTailCall) {
@@ -104,7 +106,8 @@ Value nativeRawCallCC(VM &M, Value *Args, uint32_t NArgs) {
     // invariant that makes promotion amortized constant.
     KV = M.reifyAtSp(ContShot::Opportunistic);
   }
-  promoteOneShots(KV);
+  M.stats().ReifyForCapture += M.stats().Reifications - ReifiedBefore;
+  promoteOneShots(M, KV);
 
   if (M.config().MarkStackMode) {
     // Old-Racket comparator: capturing copies the whole mark stack.
@@ -140,6 +143,7 @@ Value nativeCallOneShot(VM &M, Value *Args, uint32_t NArgs) {
     return typeError(M, "#%call/1cc", "procedure", Args[0]);
   GCRoot Proc(M.heap(), Args[0]);
   ++M.stats().ContinuationCaptures;
+  uint64_t ReifiedBefore = M.stats().Reifications;
 
   Value KV;
   if (M.NativeTailCall) {
@@ -148,6 +152,7 @@ Value nativeCallOneShot(VM &M, Value *Args, uint32_t NArgs) {
   } else {
     KV = M.reifyAtSp(ContShot::Opportunistic);
   }
+  M.stats().ReifyForCapture += M.stats().Reifications - ReifiedBefore;
   // Do not demote a record that a previous call/cc already promoted to a
   // full continuation (it may legitimately be used many times).
   if (asCont(KV)->shot() == ContShot::Opportunistic)

@@ -593,6 +593,8 @@ Value nativeCurrentMillis(VM &M, Value *, uint32_t) {
 }
 
 /// (#%vm-stat 'name) exposes runtime counters to tests and benchmarks.
+/// Accepts the short legacy names plus every name in the stats counter
+/// table (support/stats.h).
 Value nativeVmStat(VM &M, Value *Args, uint32_t) {
   if (!Args[0].isSymbol())
     return typeError(M, "#%vm-stat", "symbol", Args[0]);
@@ -613,11 +615,47 @@ Value nativeVmStat(VM &M, Value *Args, uint32_t) {
     return Value::fixnum(S.SegmentOverflows);
   if (Name == "collections")
     return Value::fixnum(HS.Collections);
-  if (Name == "one-shot-promotions")
+  if (Name == "gc-one-shot-promotions")
     return Value::fixnum(HS.OneShotPromotions);
   if (Name == "mark-stack-size")
     return Value::fixnum(M.MarkStack.size());
+  int N = 0;
+  const StatsCounterDesc *Table = statsCounters(N);
+  for (int I = 0; I < N; ++I)
+    if (Name == Table[I].Name)
+      return Value::fixnum(S.*(Table[I].Field));
   return M.raiseError("#%vm-stat: unknown counter " + Name);
+}
+
+/// (runtime-stats) -> association list ((name . count) ...) of every VM
+/// event counter plus the GC-side counters, newest schema in
+/// support/stats.h. The alist order matches the counter table.
+Value nativeRuntimeStats(VM &M, Value *, uint32_t) {
+  const VMStats &S = M.stats();
+  const HeapStats &HS = M.heap().stats();
+  RootedValues Cells(M.heap());
+  auto AddCounter = [&](const char *Name, uint64_t V) {
+    GCRoot Sym(M.heap(), M.heap().intern(Name));
+    Cells.push(M.heap().makePair(Sym.get(), Value::fixnum(V)));
+  };
+  int N = 0;
+  const StatsCounterDesc *Table = statsCounters(N);
+  for (int I = 0; I < N; ++I)
+    AddCounter(Table[I].Name, S.*(Table[I].Field));
+  AddCounter("gc-collections", HS.Collections);
+  AddCounter("gc-one-shot-promotions", HS.OneShotPromotions);
+  AddCounter("gc-bytes-allocated", HS.BytesAllocated);
+  GCRoot Acc(M.heap(), Value::nil());
+  for (size_t I = Cells.size(); I > 0; --I)
+    Acc.set(M.heap().makePair(Cells[I - 1], Acc.get()));
+  return Acc.get();
+}
+
+/// (runtime-stats-reset!) zeroes the VM event counters (GC counters are
+/// cumulative for the heap's lifetime and are not reset).
+Value nativeRuntimeStatsReset(VM &M, Value *, uint32_t) {
+  M.stats().reset();
+  return Value::voidValue();
 }
 
 Value nativeAdd1(VM &M, Value *Args, uint32_t) {
@@ -739,6 +777,8 @@ void cmk::installPrimitives(VM &M) {
   M.defineNative("collect-garbage", nativeCollectGarbage, 0, 0);
   M.defineNative("current-inexact-milliseconds", nativeCurrentMillis, 0, 0);
   M.defineNative("#%vm-stat", nativeVmStat, 1, 1);
+  M.defineNative("runtime-stats", nativeRuntimeStats, 0, 0);
+  M.defineNative("runtime-stats-reset!", nativeRuntimeStatsReset, 0, 0);
   M.defineNative("symbol->string", nativeSymbolToString, 1, 1);
   M.defineNative("string->symbol", nativeStringToSymbol, 1, 1);
 }

@@ -21,6 +21,7 @@ void VM::reifyCurrentFrame() {
     return; // Already reified; NextK is this frame's record.
 
   ++Stats.Reifications;
+  ++Stats.ReifyTailFrame;
   Value KV = H.makeCont();
   ContObj *K = asCont(KV);
   S = asStackSeg(Regs.Seg);
@@ -52,6 +53,7 @@ Value VM::reifyAtSp(ContShot Shot) {
     return Regs.NextK;
   }
   ++Stats.Reifications;
+  ++Stats.ReifySplit;
   Value KV = H.makeCont();
   ContObj *K = asCont(KV);
 
@@ -226,6 +228,7 @@ Value VM::makePassThroughRecord() {
   // A 4-slot slice holding one frame that returns to the underflow
   // sentinel; resuming runs a lone Return, which forwards the value to the
   // record's Next.
+  ++Stats.PassThroughRecords;
   Value SegV = H.makeStackSeg(8);
   GCRoot SegRoot(H, SegV);
   Value KV = H.makeCont();

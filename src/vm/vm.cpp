@@ -28,6 +28,7 @@ void applyCompositeCont(VM &M, Value K, Value Arg, bool TailMode);
 
 VM::VM(const VMConfig &Config) : Cfg(Config) {
   WK.init(H);
+  H.attachVMStats(&Stats);
   H.addRootSource(this);
   GlobalTable = H.makeHashTable(/*EqualBased=*/false);
   HaltCode = H.makeCode(0, 0, 16, 0, H.intern("#%halt"), {},
@@ -881,6 +882,7 @@ void VM::preReifyForAttachCall(uint32_t Hdr) {
   uint32_t SavedSp = Regs.Sp;
   Value RecMarks = cdr(Regs.Marks);
   Regs.Sp = Hdr;
+  ++Stats.ReifyForAttachCall;
   Value KV = reifyAtSp(ContShot::Opportunistic);
   // Paper 7.2: installing (rest marks) instead of marks communicates to
   // the called function that an attachment is present and pops it on

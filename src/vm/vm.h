@@ -26,6 +26,7 @@
 #include "runtime/heap.h"
 #include "runtime/symbols.h"
 #include "runtime/value.h"
+#include "support/stats.h"
 
 #include <string>
 #include <vector>
@@ -52,16 +53,6 @@ struct VMConfig {
   bool MarkStackMode = false;
 };
 
-/// Per-run statistics used by tests and the ablation benchmarks.
-struct VMStats {
-  uint64_t Reifications = 0;
-  uint64_t UnderflowFusions = 0; ///< Opportunistic one-shot fast paths.
-  uint64_t UnderflowCopies = 0;
-  uint64_t ContinuationCaptures = 0;
-  uint64_t ContinuationApplies = 0;
-  uint64_t SegmentOverflows = 0;
-};
-
 /// Entry of the old-Racket-style mark stack (MarkStackMode only).
 struct MarkStackEntry {
   Value Seg;   ///< Segment identity of the owning frame.
@@ -79,6 +70,7 @@ public:
   WellKnown &wellKnown() { return WK; }
   VMConfig &config() { return Cfg; }
   VMStats &stats() { return Stats; }
+  const VMStats &stats() const { return Stats; }
 
   // --- Running code ---------------------------------------------------------
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_*.json against a committed baseline.
+
+Usage:
+    check_bench.py BASELINE.json FRESH.json [--threshold 0.25]
+                   [--variant builtin] [--counters]
+
+Fails (exit 1) when any benchmark's tracked-variant average time regresses
+by more than --threshold (default 25%) relative to the baseline. Benchmarks
+present in only one file are reported but do not fail the check. When the
+two files were produced at different CMARKS_BENCH_SCALE settings, timings
+are not comparable and the check exits 0 with a warning.
+
+With --counters, deterministic event counters (reifications, fusions,
+copies) are also compared; counter drift beyond the threshold is reported
+as a warning only, since counters legitimately change when the runtime is
+intentionally modified -- the committed baseline should be refreshed in
+the same PR.
+
+The JSON schema is `cmarks-bench-v1`, documented in DESIGN.md and emitted
+by bench/bench_harness.h's JsonReport.
+"""
+
+import argparse
+import json
+import sys
+
+TRACKED_COUNTERS = ("reifications", "underflow-fusions", "underflow-copies",
+                    "segment-overflows")
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if data.get("schema") != "cmarks-bench-v1":
+        sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
+    return data
+
+
+def variants_by_name(result):
+    return {v["variant"]: v for v in result.get("variants", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed relative regression (default 0.25)")
+    ap.add_argument("--variant", default="builtin",
+                    help="variant whose timing is gated (default builtin)")
+    ap.add_argument("--counters", action="store_true",
+                    help="also report event-counter drift (warnings only)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    if base.get("bench") != fresh.get("bench"):
+        print(f"warning: comparing different benches "
+              f"({base.get('bench')} vs {fresh.get('bench')})")
+
+    if base.get("scale") != fresh.get("scale"):
+        print(f"warning: scale mismatch (baseline {base.get('scale')}, "
+              f"fresh {fresh.get('scale')}); timings not comparable, "
+              f"skipping check")
+        return 0
+
+    base_results = {r["name"]: r for r in base.get("results", [])}
+    fresh_results = {r["name"]: r for r in fresh.get("results", [])}
+
+    failures = []
+    for name in base_results:
+        if name not in fresh_results:
+            print(f"note: benchmark {name!r} missing from fresh run")
+            continue
+        bvars = variants_by_name(base_results[name])
+        fvars = variants_by_name(fresh_results[name])
+        if args.variant not in bvars or args.variant not in fvars:
+            continue
+        b, f = bvars[args.variant], fvars[args.variant]
+
+        b_ms, f_ms = b["avg_ms"], f["avg_ms"]
+        if b_ms > 0:
+            rel = (f_ms - b_ms) / b_ms
+            status = "ok"
+            if rel > args.threshold:
+                status = "REGRESSION"
+                failures.append((name, b_ms, f_ms, rel))
+            print(f"{name:28s} {args.variant}: {b_ms:9.3f} ms -> "
+                  f"{f_ms:9.3f} ms  ({rel:+.1%})  {status}")
+
+        if args.counters:
+            for key in TRACKED_COUNTERS:
+                bc = b.get("counters", {}).get(key)
+                fc = f.get("counters", {}).get(key)
+                if bc is None or fc is None or bc == fc:
+                    continue
+                drift = (fc - bc) / bc if bc else float("inf")
+                if abs(drift) > args.threshold:
+                    print(f"  warning: {name} counter {key} drifted "
+                          f"{bc} -> {fc} ({drift:+.1%})")
+
+    for name in fresh_results:
+        if name not in base_results:
+            print(f"note: benchmark {name!r} not in baseline "
+                  f"(new benchmark? refresh the baseline)")
+
+    if failures:
+        print(f"\n{len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%} in the {args.variant!r} variant:")
+        for name, b_ms, f_ms, rel in failures:
+            print(f"  {name}: {b_ms:.3f} ms -> {f_ms:.3f} ms ({rel:+.1%})")
+        return 1
+    print("\nbench check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

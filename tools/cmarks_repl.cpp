@@ -30,6 +30,7 @@ struct CliOptions {
   EngineVariant Variant = EngineVariant::Builtin;
   bool Disasm = false;
   bool ShowHelp = false;
+  bool ShowStats = false;
   std::vector<std::string> Files;
   std::vector<std::string> Exprs;
 };
@@ -67,6 +68,7 @@ void printHelp() {
       "                     imitate | mark-stack | heap-frames |\n"
       "                     copy-on-capture\n"
       "  --disasm           print bytecode for -e expressions and exit\n"
+      "  --stats            print runtime event counters to stderr on exit\n"
       "  -h, --help         this message\n"
       "With no files or -e options, starts an interactive REPL.\n");
 }
@@ -144,6 +146,8 @@ int main(int Argc, char **Argv) {
       }
     } else if (Arg == "--disasm") {
       Opts.Disasm = true;
+    } else if (Arg == "--stats") {
+      Opts.ShowStats = true;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", Arg.c_str());
       return 2;
@@ -199,7 +203,19 @@ int main(int Argc, char **Argv) {
     std::printf("%s\n", writeToString(V).c_str());
   }
 
+  int Ret = 0;
   if (Opts.Files.empty() && Opts.Exprs.empty())
-    return runRepl(Engine);
-  return 0;
+    Ret = runRepl(Engine);
+
+  if (Opts.ShowStats) {
+    printStatsTable(Engine.stats(), stderr);
+    const HeapStats &HS = Engine.heap().stats();
+    std::fprintf(stderr, "  %-26s %12llu\n", "gc-collections",
+                 static_cast<unsigned long long>(HS.Collections));
+    std::fprintf(stderr, "  %-26s %12llu\n", "gc-one-shot-promotions",
+                 static_cast<unsigned long long>(HS.OneShotPromotions));
+    std::fprintf(stderr, "  %-26s %12llu\n", "gc-bytes-allocated",
+                 static_cast<unsigned long long>(HS.BytesAllocated));
+  }
+  return Ret;
 }
