@@ -1,84 +1,96 @@
-//===- examples/stack_tracer.cpp - Context inspection ----------*- C++ -*-===//
+//===- examples/stack_tracer.cpp - Tracing and stack snapshots -*- C++ -*-===//
 ///
 /// \file
-/// Stack inspection for debugging (one of the paper's motivating uses):
-/// functions annotate their frames with continuation marks, and an error
-/// reporter reads the annotations back — including from a continuation
-/// captured at the error point, long after the stack has been unwound.
-/// Tail calls share frames, so the trace is exactly as deep as the real
-/// continuation, never deeper.
+/// Stack inspection and profiling (two of the paper's motivating uses),
+/// demonstrated end to end with the trace subsystem:
+///
+///   1. Functions annotate their frames with continuation marks
+///      (with-stack-frame), and (current-stack-snapshot) reads the live
+///      annotations back — tail calls share frames, so a snapshot is
+///      exactly as deep as the real continuation, never deeper.
+///   2. (call-with-profiling thunk) and the `profiled` form attribute
+///      trace spans to those same mark-annotated frames, and the engine
+///      exports the whole run as Chrome trace-event JSON that loads
+///      directly in ui.perfetto.dev.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "api/scheme.h"
+#include "support/trace.h"
 
 #include <cstdio>
+#include <map>
+#include <string>
 
 int main() {
   cmk::SchemeEngine Engine;
 
+  // Record everything from here on; the ring holds the newest events.
+  Engine.startTrace();
+
   Engine.evalOrDie(R"((begin
     ;; A tiny instrumented interpreter: each evaluation step annotates its
-    ;; frame with the expression it is working on.
+    ;; frame with the operator it is working on, and leaf lookups take a
+    ;; stack snapshot (which also drops a labeled instant into the trace).
+    (define deepest (box '()))
+    (define (note-depth!)
+      (let ([snap (current-stack-snapshot)])
+        (when (> (length snap) (length (unbox deepest)))
+          (set-box! deepest snap))))
     (define (ev e env)
-      (with-stack-frame (list 'ev e)
+      (with-stack-frame (if (pair? e) (car e) e)
         (cond
-          [(symbol? e)
-           (let ([b (assq e env)])
-             (if b (cdr b) (error "unbound" e)))]
+          [(symbol? e) (note-depth!)
+                       (let ([b (assq e env)])
+                         (if b (cdr b) (error "unbound" e)))]
           [(number? e) e]
           [(eq? (car e) '+) (+ (ev2 (cadr e) env) (ev2 (caddr e) env))]
           [(eq? (car e) '*) (* (ev2 (cadr e) env) (ev2 (caddr e) env))]
           [else (error "bad form" e)])))
     ;; Non-tail helper so nested frames stay live during subexpressions.
-    (define (ev2 e env) (car (list (ev e env))))
+    (define (ev2 e env) (car (list (ev e env))))))");
 
-    (define (run-with-trace e env)
-      (catch (lambda (err)
-               (list 'error (exn-message err)
-                     'trace (current-stack-trace-at-throw)))
-        (ev e env)))
-
-    ;; Capture the trace when throwing, via marks on the continuation that
-    ;; is still live at the throw point.
-    (define trace-at-throw (box '()))
-    (define (current-stack-trace-at-throw) (unbox trace-at-throw))
-    (define base-error error)
-    (set! error
-      (lambda args
-        (set-box! trace-at-throw (current-stack-trace))
-        (apply base-error args)))))");
-
-  std::printf("ok result:     %s\n",
-              Engine.evalToString("(run-with-trace '(+ 1 (* x 3))"
-                                  "                (list (cons 'x 5)))")
-                  .c_str());
-
-  std::printf("error + trace: %s\n",
-              Engine.evalToString("(run-with-trace '(+ 1 (* y 3))"
-                                  "                (list (cons 'x 5)))")
-                  .c_str());
-
-  // Profiling-style use: measure the deepest annotated continuation seen
-  // while evaluating leaves — a miniature of mark-based profilers.
-  std::printf("depth probe:   %s\n",
+  // `profiled` wraps the evaluation in a named span, so in Perfetto the
+  // whole interpretation shows up as one slice with VM events inside it.
+  std::printf("result:        %s\n",
               Engine
-                  .evalToString(
-                      "(define (depth-of e)"
-                      "  (define depth (box 0))"
-                      "  (define old-ev2 ev2)"
-                      "  (set! ev2 (lambda (e env)"
-                      "    (set-box! depth (max (unbox depth)"
-                      "                         (length (current-stack-trace))))"
-                      "    (old-ev2 e env)))"
-                      "  (ev e '())"
-                      "  (set! ev2 old-ev2)"
-                      "  (unbox depth))"
-                      "(depth-of '(+ 1 (* 2 (+ 3 (* 4 5)))))")
+                  .evalToString("(profiled 'interpret"
+                                "  (ev '(+ 1 (* x (+ x 2))) "
+                                "      (list (cons 'x 5))))")
                   .c_str());
+  std::printf("deepest stack: %s\n",
+              Engine.evalToString("(unbox deepest)").c_str());
 
+  Engine.stopTrace();
   if (!Engine.ok()) {
     std::fprintf(stderr, "error: %s\n", Engine.lastError().c_str());
+    return 1;
+  }
+
+  // Summarize what the VM recorded, straight from the ring buffer.
+  const cmk::TraceBuffer &T = Engine.trace();
+  int Count = 0;
+  const cmk::TraceEventDesc *Descs = cmk::traceEventDescs(Count);
+  std::map<std::string, uint64_t> Counts;
+  for (uint64_t I = 0; I < T.size(); ++I) {
+    const cmk::TraceEventDesc &D =
+        Descs[static_cast<size_t>(T.at(I).Kind)];
+    ++Counts[std::string(D.Category) + "/" + D.Name];
+  }
+  std::printf("trace summary: %llu events\n",
+              static_cast<unsigned long long>(T.size()));
+  for (const auto &KV : Counts)
+    std::printf("  %-28s %6llu\n", KV.first.c_str(),
+                static_cast<unsigned long long>(KV.second));
+
+  // And the same data as a Perfetto-loadable file.
+  const char *Path = "stack_tracer_trace.json";
+  if (Engine.dumpTrace(Path))
+    std::printf("wrote %s (load it in ui.perfetto.dev)\n", Path);
+
+  std::string Json = Engine.traceToJson();
+  if (Json.find("cmarks-trace-v1") == std::string::npos) {
+    std::fprintf(stderr, "trace JSON missing schema marker\n");
     return 1;
   }
   return 0;

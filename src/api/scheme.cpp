@@ -120,6 +120,15 @@ Value SchemeEngine::evalOrDie(const std::string &Source) {
   return V;
 }
 
+bool SchemeEngine::dumpTrace(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = Machine.trace().writeJson(F);
+  std::fclose(F);
+  return Ok;
+}
+
 Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {
   LastError.clear();
   bool Ok = false;

@@ -88,6 +88,18 @@ public:
   /// measurement sees only the workload's events.
   void resetStats() { Machine.stats().reset(); }
 
+  /// Structured event tracing (see support/trace.h): startTrace() clears
+  /// the ring buffer and records until stopTrace(); dumpTrace() exports
+  /// what the ring holds as Chrome trace-event JSON, loadable in
+  /// ui.perfetto.dev. The same controls are reachable from Scheme via
+  /// (runtime-trace-start!) / (runtime-trace-stop!) / (runtime-trace-dump).
+  void startTrace(uint32_t Capacity = 0) { Machine.trace().start(Capacity); }
+  void stopTrace() { Machine.trace().stop(); }
+  std::string traceToJson() const { return Machine.trace().toJson(); }
+  /// Writes the trace JSON to \p Path; false on an I/O failure.
+  bool dumpTrace(const std::string &Path);
+  const TraceBuffer &trace() const { return Machine.trace(); }
+
   /// Protects a value from collection for the engine's lifetime.
   void protect(Value V) { Machine.addPermanentRoot(V); }
 

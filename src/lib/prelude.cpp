@@ -349,6 +349,38 @@ const char *preludeSource() {
 (define (current-stack-trace)
   (continuation-mark-set->list (current-continuation-marks) #%trace-key))
 
+;; ------------------------------------------------------------- profiling ----
+;; The paper's motivating application: profiling built on marks. Frames are
+;; annotated with with-stack-frame (a 'trace continuation mark); snapshots
+;; read them back through continuation-mark-set->list, and spans recorded
+;; in the VM trace buffer carry the innermost frame's name, so a Perfetto
+;; timeline shows user code, not just VM internals.
+
+;; (current-stack-snapshot) -> list of frame names, innermost first. Also
+;; drops a labeled instant into the trace (when tracing is running) so the
+;; snapshot is visible on the timeline at the moment it was taken.
+(define (current-stack-snapshot)
+  (let ([frames (continuation-mark-set->list
+                 (current-continuation-marks) #%trace-key)])
+    (#%trace-instant (if (pair? frames) (car frames) 'toplevel))
+    frames))
+
+;; (call-with-profiling thunk) runs thunk inside a trace span labeled with
+;; the innermost annotated frame (or 'profile at top level); nested
+;; profiled calls render as stacked slices in Perfetto. The thunk runs in
+;; non-tail position by necessity — the span must close after it returns.
+(define (call-with-profiling thunk)
+  (let ([frames (continuation-mark-set->list
+                 (current-continuation-marks) #%trace-key)])
+    (#%trace-span-begin (if (pair? frames) (car frames) 'profile))
+    (let ([result (thunk)])
+      (#%trace-span-end)
+      result)))
+
+;; (profiled name expr): annotate and profile in one step.
+(define-syntax-rule (profiled name expr)
+  (with-stack-frame name (call-with-profiling (lambda () expr))))
+
 )PRELUDE";
 }
 

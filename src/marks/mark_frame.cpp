@@ -28,6 +28,7 @@ Value cmk::markFrameUpdate(Heap &H, Value FrameOrFalse, Value Key, Value Val) {
   if (!FrameOrFalse.isMarkFrame()) {
     // First mark on this frame: the one-mark representation.
     CMK_STAT_DETAIL(H.vmStats(), MarkFrameCreates);
+    CMK_TRACE_DETAIL(H.traceBuf(), MarkFrameCreate);
     Value NewV = H.makeMarkFrame(1);
     MarkFrameObj *New = asMarkFrame(NewV);
     New->Entries[0] = KeyRoot.get();
@@ -43,10 +44,13 @@ Value cmk::markFrameUpdate(Heap &H, Value FrameOrFalse, Value Key, Value Val) {
     if (OldF->Entries[2 * I] == KeyRoot.get())
       Existing = static_cast<int32_t>(I);
 
-  if (Existing >= 0)
+  if (Existing >= 0) {
     CMK_STAT_DETAIL(H.vmStats(), MarkFrameRebinds);
-  else
+    CMK_TRACE_DETAIL(H.traceBuf(), MarkFrameRebind);
+  } else {
     CMK_STAT_DETAIL(H.vmStats(), MarkFrameExtends);
+    CMK_TRACE_DETAIL(H.traceBuf(), MarkFrameExtend);
+  }
   uint32_t NewN = Existing >= 0 ? N : N + 1;
   Value NewV = H.makeMarkFrame(NewN);
   MarkFrameObj *New = asMarkFrame(NewV);
@@ -119,10 +123,12 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
   CMK_STAT_DETAIL_ADD(H.vmStats(), MarkFirstCellsWalked,
                       static_cast<uint64_t>(Depth));
   if (UntilTail.isUndefined()) {
-    if (CacheHit)
+    if (CacheHit) {
       CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheHits);
-    else
+      CMK_TRACE_DETAIL(H.traceBuf(), MarkCacheHit);
+    } else {
       CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheMisses);
+    }
   }
 
   // Path compression (paper 7.5): cache the answer at depth N/2 so repeated
@@ -138,6 +144,7 @@ Value cmk::markListFirst(Heap &H, Value Marks, Value Key, Value Dflt,
       F->CacheTail = cdr(Q);
       F->H.Aux |= CacheValidBit;
       CMK_STAT_DETAIL(H.vmStats(), MarkFirstCacheInstalls);
+      CMK_TRACE_DETAIL(H.traceBuf(), MarkCacheInstall);
     }
   }
   return Found ? Result : Dflt;

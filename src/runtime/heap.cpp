@@ -3,6 +3,7 @@
 #include "runtime/heap.h"
 
 #include "support/stats.h"
+#include "support/trace.h"
 
 #include <cstdlib>
 #include <cstring>
@@ -442,6 +443,7 @@ Value Heap::makeStackSeg(uint32_t CapacitySlots) {
     ++VmStatsPtr->SegmentAllocs;
     VmStatsPtr->SegmentSlotsAllocated += CapacitySlots;
   }
+  CMK_TRACE_EV_P(TraceBufPtr, SegmentAlloc, CapacitySlots);
   return Value::fromObj(&S->H);
 }
 

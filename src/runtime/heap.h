@@ -27,7 +27,8 @@
 namespace cmk {
 
 class Heap;
-struct VMStats; // support/stats.h
+struct VMStats;    // support/stats.h
+class TraceBuffer; // support/trace.h
 
 /// Interface through which the heap discovers roots held by subsystems
 /// (the VM registers and stacks, the symbol table, compiler temporaries).
@@ -148,6 +149,12 @@ public:
   void attachVMStats(VMStats *S) { VmStatsPtr = S; }
   VMStats *vmStats() const { return VmStatsPtr; }
 
+  /// Same routing for the trace buffer: heap- and marks-layer code records
+  /// events (segment allocation, mark-frame transitions, cache behaviour)
+  /// through this pointer. Null when no VM is attached.
+  void attachTraceBuffer(TraceBuffer *T) { TraceBufPtr = T; }
+  TraceBuffer *traceBuf() const { return TraceBufPtr; }
+
   /// Disables automatic collection while constructing multi-object graphs.
   void pauseGC() { ++GCPaused; }
   void resumeGC() { --GCPaused; }
@@ -195,6 +202,7 @@ private:
   bool InGC = false;
   HeapStats Stats;
   VMStats *VmStatsPtr = nullptr;
+  TraceBuffer *TraceBufPtr = nullptr;
 };
 
 /// RAII wrapper for Heap::pauseGC/resumeGC.

@@ -1,0 +1,224 @@
+//===- support/trace.cpp - Trace ring buffer and JSON export ---*- C++ -*-===//
+///
+/// \file
+/// TraceBuffer implementation: the event descriptor table, the ring
+/// recording path, and the Chrome trace-event JSON exporter with
+/// Begin/End re-balancing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/trace.h"
+#include "support/timing.h"
+
+#include <cstring>
+
+using namespace cmk;
+
+// Keep in declaration order of TraceEv; the exporter indexes by kind.
+static const TraceEventDesc Descs[] = {
+    {"reify-tail-frame", "reify", 'i', false},
+    {"reify-split", "reify", 'i', false},
+    {"attach-call-reify", "reify", 'i', false},
+    {"attach-op-reify", "reify", 'i', false},
+    {"underflow-fuse", "oneshot", 'i', false},
+    {"underflow-copy", "oneshot", 'i', false},
+    {"one-shot-promote", "oneshot", 'i', false},
+    {"capture", "cont", 'i', false},
+    {"cont-apply", "cont", 'i', false},
+    {"cont-jump", "cont", 'i', false},
+    {"segment-alloc", "segment", 'i', false},
+    {"segment-overflow", "segment", 'i', false},
+    {"dynamic-wind", "wind", 'B', false},
+    {"dynamic-wind", "wind", 'E', false},
+    {"wcm", "marks", 'B', false},
+    {"wcm", "marks", 'E', false},
+    {"wcm-tail", "marks", 'B', false},
+    {"wcm-tail", "marks", 'E', false},
+    {"span", "scheme", 'B', false},
+    {"span", "scheme", 'E', false},
+    {"snapshot", "scheme", 'i', false},
+    {"mark-frame-create", "marks-detail", 'i', true},
+    {"mark-frame-extend", "marks-detail", 'i', true},
+    {"mark-frame-rebind", "marks-detail", 'i', true},
+    {"mark-cache-hit", "marks-detail", 'i', true},
+    {"mark-cache-install", "marks-detail", 'i', true},
+    {"mark-set-capture", "marks-detail", 'i', true},
+};
+
+static_assert(sizeof(Descs) / sizeof(Descs[0]) ==
+                  static_cast<size_t>(TraceEv::NumKinds),
+              "descriptor table out of sync with TraceEv");
+
+const TraceEventDesc *cmk::traceEventDescs(int &Count) {
+  Count = static_cast<int>(TraceEv::NumKinds);
+  return Descs;
+}
+
+void TraceBuffer::start(uint32_t Capacity) {
+  reset(Capacity ? Capacity : (Cap ? Cap : DefaultCapacity));
+  EpochNs = nowNanos();
+  Enabled = true;
+}
+
+void TraceBuffer::reset(uint32_t Capacity) {
+  if (Capacity) {
+    Cap = Capacity < MinCapacity ? MinCapacity : Capacity;
+    Events.assign(Cap, TraceEvent{});
+  }
+  Head = 0;
+}
+
+void TraceBuffer::record(TraceEv Kind, uint64_t Arg) {
+  if (!Cap)
+    reset(DefaultCapacity);
+  TraceEvent &E = Events[Head % Cap];
+  E.TimeNs = nowNanos();
+  E.Arg = Arg;
+  E.Kind = Kind;
+  E.Label[0] = '\0';
+  ++Head;
+}
+
+void TraceBuffer::record(TraceEv Kind, const char *Label, size_t LabelLen,
+                         uint64_t Arg) {
+  if (!Cap)
+    reset(DefaultCapacity);
+  TraceEvent &E = Events[Head % Cap];
+  E.TimeNs = nowNanos();
+  E.Arg = Arg;
+  E.Kind = Kind;
+  size_t N = LabelLen < sizeof(E.Label) - 1 ? LabelLen : sizeof(E.Label) - 1;
+  std::memcpy(E.Label, Label, N);
+  E.Label[N] = '\0';
+  ++Head;
+}
+
+uint64_t TraceBuffer::size() const { return Head < Cap ? Head : Cap; }
+
+uint64_t TraceBuffer::dropped() const { return Head < Cap ? 0 : Head - Cap; }
+
+const TraceEvent &TraceBuffer::at(uint64_t I) const {
+  uint64_t Oldest = Head < Cap ? 0 : Head - Cap;
+  return Events[(Oldest + I) % Cap];
+}
+
+namespace {
+
+void appendEscaped(std::string &Out, const char *S) {
+  for (; *S; ++S) {
+    unsigned char C = static_cast<unsigned char>(*S);
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += static_cast<char>(C);
+      }
+    }
+  }
+}
+
+/// Appends one Chrome trace-event object. \p Ts is microseconds relative
+/// to the trace epoch; \p Name overrides the descriptor name when given.
+void appendEvent(std::string &Out, const TraceEventDesc &D, char Phase,
+                 double Ts, const char *Name, uint64_t Arg, bool First) {
+  if (!First)
+    Out += ",\n";
+  char Buf[96];
+  Out += "    {\"name\":\"";
+  appendEscaped(Out, Name && Name[0] ? Name : D.Name);
+  Out += "\",\"cat\":\"";
+  Out += D.Category;
+  std::snprintf(Buf, sizeof(Buf),
+                "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1", Phase, Ts);
+  Out += Buf;
+  if (Phase != 'E') {
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\"args\":{\"n\":%llu}",
+                  static_cast<unsigned long long>(Arg));
+    Out += Buf;
+  }
+  Out += "}";
+}
+
+} // namespace
+
+std::string TraceBuffer::toJson() const {
+  std::string Out;
+  Out.reserve(size() * 96 + 512);
+  Out += "{\n  \"traceEvents\": [\n";
+  Out += "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"cmarks\"}}";
+
+  // A span open on the export-side stack: index of its descriptor plus the
+  // name it was emitted with, so the matching End reuses both.
+  struct OpenSpan {
+    const TraceEventDesc *D;
+    std::string Name;
+  };
+  std::vector<OpenSpan> Open;
+
+  uint64_t N = size();
+  double LastTs = 0.0;
+  for (uint64_t I = 0; I < N; ++I) {
+    const TraceEvent &E = at(I);
+    const TraceEventDesc &D = Descs[static_cast<size_t>(E.Kind)];
+    // Events recorded before start() reset the epoch cannot exist (start
+    // clears the ring), so TimeNs >= EpochNs always holds.
+    double Ts = static_cast<double>(E.TimeNs - EpochNs) / 1e3;
+    LastTs = Ts;
+    if (D.Phase == 'B') {
+      const char *Name = E.Label[0] ? E.Label : D.Name;
+      appendEvent(Out, D, 'B', Ts, Name, E.Arg, false);
+      Open.push_back({&D, Name});
+    } else if (D.Phase == 'E') {
+      // An End with no matching Begin in the retained window (ring
+      // wraparound dropped it, or a continuation jump skipped the Begin):
+      // emitting it would corrupt nesting, so drop it.
+      if (Open.empty())
+        continue;
+      appendEvent(Out, *Open.back().D, 'E', Ts, Open.back().Name.c_str(),
+                  E.Arg, false);
+      Open.pop_back();
+    } else {
+      appendEvent(Out, D, D.Phase, Ts, E.Label, E.Arg, false);
+    }
+  }
+  // Close spans left open (still running at stop, or exited by a
+  // continuation jump whose resumption was never traced).
+  while (!Open.empty()) {
+    appendEvent(Out, *Open.back().D, 'E', LastTs, Open.back().Name.c_str(), 0,
+                false);
+    Open.pop_back();
+  }
+
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "\n  ],\n  \"displayTimeUnit\": \"ms\",\n"
+                "  \"otherData\": {\"schema\": \"cmarks-trace-v1\", "
+                "\"events\": %llu, \"dropped\": %llu, \"detailTier\": %s}\n}\n",
+                static_cast<unsigned long long>(N),
+                static_cast<unsigned long long>(dropped()),
+                traceDetailEnabled() ? "true" : "false");
+  Out += Buf;
+  return Out;
+}
+
+bool TraceBuffer::writeJson(std::FILE *Out) const {
+  std::string S = toJson();
+  return std::fwrite(S.data(), 1, S.size(), Out) == S.size();
+}

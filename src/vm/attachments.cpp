@@ -44,6 +44,7 @@ Value restMarksAfterReify(VM &M) {
 /// Reifies the continuation of the running native call (tail: the caller's
 /// frame; non-tail: the resume point).
 void reifyForNative(VM &M) {
+  CMK_TRACE_EV(M.trace(), AttachOpReify);
   uint64_t ReifiedBefore = M.stats().Reifications;
   if (M.NativeTailCall)
     M.reifyCurrentFrame();
@@ -58,6 +59,7 @@ Value nativeCallSetting(VM &M, Value *Args, uint32_t NArgs) {
                      Args[1]);
   GCRoot Val(M.heap(), Args[0]), Proc(M.heap(), Args[1]);
   reifyForNative(M);
+  CMK_TRACE_EV(M.trace(), AttachSet);
   M.Regs.Marks = M.heap().makePair(Val.get(), restMarksAfterReify(M));
   M.scheduleTailCall(Proc.get(), nullptr, 0);
   return Value::voidValue();
@@ -79,8 +81,10 @@ Value nativeCallConsuming(VM &M, Value *Args, uint32_t NArgs) {
     return typeError(M, "call-consuming-continuation-attachment", "procedure",
                      Args[1]);
   Value Att = Args[0];
-  if (currentFrameAttachment(M, Att))
+  if (currentFrameAttachment(M, Att)) {
+    CMK_TRACE_EV(M.trace(), AttachConsume);
     M.Regs.Marks = asCont(M.Regs.NextK)->Marks;
+  }
   Value CallArgs[1] = {Att};
   M.scheduleTailCall(Args[1], CallArgs, 1);
   return Value::voidValue();

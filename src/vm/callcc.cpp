@@ -23,6 +23,7 @@ void promoteOneShots(VM &M, Value K) {
   while (K.isCont() && (asCont(K)->shot() == ContShot::Opportunistic ||
                         asCont(K)->isExplicitOneShot())) {
     ++M.stats().OneShotPromotions;
+    CMK_TRACE_EV(M.trace(), OneShotPromote);
     asCont(K)->setShot(ContShot::Full);
     asCont(K)->H.Aux &= ~uint16_t(0x300); // Clear one-shot + used bits.
     K = asCont(K)->Next;
@@ -91,6 +92,7 @@ Value nativeRawCallCC(VM &M, Value *Args, uint32_t NArgs) {
     return typeError(M, "#%call/cc", "procedure", Args[0]);
   GCRoot Proc(M.heap(), Args[0]);
   ++M.stats().ContinuationCaptures;
+  CMK_TRACE_EV(M.trace(), Capture, 0);
   uint64_t ReifiedBefore = M.stats().Reifications;
 
   Value KV;
@@ -143,6 +145,7 @@ Value nativeCallOneShot(VM &M, Value *Args, uint32_t NArgs) {
     return typeError(M, "#%call/1cc", "procedure", Args[0]);
   GCRoot Proc(M.heap(), Args[0]);
   ++M.stats().ContinuationCaptures;
+  CMK_TRACE_EV(M.trace(), Capture, 1);
   uint64_t ReifiedBefore = M.stats().Reifications;
 
   Value KV;

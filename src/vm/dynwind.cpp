@@ -18,6 +18,7 @@ Value nativePushWinder(VM &M, Value *Args, uint32_t NArgs) {
   if (!Args[0].isProcedure() || !Args[1].isProcedure())
     return typeError(M, "#%push-winder", "procedure", Args[0]);
   // Footnote 4: record the marks of the dynamic-wind call's continuation.
+  CMK_TRACE_EV(M.trace(), WindEnter);
   M.Regs.Winders =
       M.heap().makeWinder(Args[0], Args[1], M.Regs.Marks, M.Regs.Winders);
   return Value::voidValue();
@@ -26,6 +27,7 @@ Value nativePushWinder(VM &M, Value *Args, uint32_t NArgs) {
 Value nativePopWinder(VM &M, Value *Args, uint32_t NArgs) {
   if (!M.Regs.Winders.isKind(ObjKind::Winder))
     return M.raiseError("#%pop-winder: no winders");
+  CMK_TRACE_EV(M.trace(), WindExit);
   M.Regs.Winders = asWinder(M.Regs.Winders)->Next;
   return Value::voidValue();
 }

@@ -658,6 +658,82 @@ Value nativeRuntimeStatsReset(VM &M, Value *, uint32_t) {
   return Value::voidValue();
 }
 
+/// (runtime-trace-start!) or (runtime-trace-start! capacity): clears the
+/// trace ring (resizing it when a capacity is given) and starts recording.
+Value nativeTraceStart(VM &M, Value *Args, uint32_t NArgs) {
+  uint32_t Cap = 0;
+  if (NArgs > 0) {
+    if (!Args[0].isFixnum() || Args[0].asFixnum() <= 0)
+      return typeError(M, "runtime-trace-start!", "positive fixnum", Args[0]);
+    Cap = static_cast<uint32_t>(Args[0].asFixnum());
+  }
+  M.trace().start(Cap);
+  return Value::voidValue();
+}
+
+Value nativeTraceStop(VM &M, Value *, uint32_t) {
+  M.trace().stop();
+  return Value::voidValue();
+}
+
+/// (runtime-trace-dump) returns the Chrome trace-event JSON as a string;
+/// (runtime-trace-dump "file.json") writes it to the file and returns #t
+/// (#f on an I/O failure).
+Value nativeTraceDump(VM &M, Value *Args, uint32_t NArgs) {
+  if (NArgs == 0) {
+    std::string S = M.trace().toJson();
+    return M.heap().makeString(S.data(), static_cast<uint32_t>(S.size()));
+  }
+  if (!Args[0].isString())
+    return typeError(M, "runtime-trace-dump", "string", Args[0]);
+  StringObj *S = asString(Args[0]);
+  std::string Path(S->Data, S->Len);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Value::False();
+  bool Ok = M.trace().writeJson(F);
+  std::fclose(F);
+  return Value::boolean(Ok);
+}
+
+/// Label text for a user trace event: symbols and strings contribute
+/// their characters, anything else its written form.
+std::string traceLabelOf(Value V) {
+  if (V.isSymbol()) {
+    SymbolObj *S = asSymbol(V);
+    return std::string(S->Data, S->Len);
+  }
+  if (V.isString()) {
+    StringObj *S = asString(V);
+    return std::string(S->Data, S->Len);
+  }
+  return writeToString(V);
+}
+
+/// (#%trace-span-begin label): opens a labeled slice in the trace (the
+/// substrate of call-with-profiling). No-ops while tracing is stopped.
+Value nativeTraceSpanBegin(VM &M, Value *Args, uint32_t NArgs) {
+  if (M.trace().Enabled) {
+    std::string L = NArgs > 0 ? traceLabelOf(Args[0]) : std::string();
+    M.trace().record(TraceEv::SpanBegin, L.data(), L.size());
+  }
+  return Value::voidValue();
+}
+
+Value nativeTraceSpanEnd(VM &M, Value *, uint32_t) {
+  CMK_TRACE_EV(M.trace(), SpanEnd);
+  return Value::voidValue();
+}
+
+/// (#%trace-instant label): a labeled instant (stack snapshots).
+Value nativeTraceInstant(VM &M, Value *Args, uint32_t NArgs) {
+  if (M.trace().Enabled) {
+    std::string L = NArgs > 0 ? traceLabelOf(Args[0]) : std::string();
+    M.trace().record(TraceEv::Instant, L.data(), L.size());
+  }
+  return Value::voidValue();
+}
+
 Value nativeAdd1(VM &M, Value *Args, uint32_t) {
   NumResult R = numAdd(M.heap(), Args[0], Value::fixnum(1));
   if (!R.Ok)
@@ -779,6 +855,12 @@ void cmk::installPrimitives(VM &M) {
   M.defineNative("#%vm-stat", nativeVmStat, 1, 1);
   M.defineNative("runtime-stats", nativeRuntimeStats, 0, 0);
   M.defineNative("runtime-stats-reset!", nativeRuntimeStatsReset, 0, 0);
+  M.defineNative("runtime-trace-start!", nativeTraceStart, 0, 1);
+  M.defineNative("runtime-trace-stop!", nativeTraceStop, 0, 0);
+  M.defineNative("runtime-trace-dump", nativeTraceDump, 0, 1);
+  M.defineNative("#%trace-span-begin", nativeTraceSpanBegin, 0, 1);
+  M.defineNative("#%trace-span-end", nativeTraceSpanEnd, 0, 0);
+  M.defineNative("#%trace-instant", nativeTraceInstant, 0, 1);
   M.defineNative("symbol->string", nativeSymbolToString, 1, 1);
   M.defineNative("string->symbol", nativeStringToSymbol, 1, 1);
 }

@@ -22,6 +22,7 @@ void VM::reifyCurrentFrame() {
 
   ++Stats.Reifications;
   ++Stats.ReifyTailFrame;
+  CMK_TRACE_EV(Trace, ReifyTailFrame);
   Value KV = H.makeCont();
   ContObj *K = asCont(KV);
   S = asStackSeg(Regs.Seg);
@@ -54,6 +55,7 @@ Value VM::reifyAtSp(ContShot Shot) {
   }
   ++Stats.Reifications;
   ++Stats.ReifySplit;
+  CMK_TRACE_EV(Trace, ReifySplit);
   Value KV = H.makeCont();
   ContObj *K = asCont(KV);
 
@@ -142,16 +144,25 @@ bool VM::underflow(Value Result) {
     // Paper section 6: the split stack is still contiguous with the current
     // one; fuse them back without copying.
     ++Stats.UnderflowFusions;
+    CMK_TRACE_EV(Trace, UnderflowFuse);
     Regs.Base = K->Lo;
     Regs.Fp = K->RetFp;
     Regs.Sp = K->Hi;
   } else {
     ++Stats.UnderflowCopies;
+    CMK_TRACE_EV(Trace, UnderflowCopy);
     restoreByCopy(*this, K);
   }
 
   Regs.CurCode = K->RetCode;
   Regs.Pc = static_cast<uint32_t>(K->RetPc.asFixnum());
+  if (Trace.Enabled) {
+    // Returning through the record pops every attachment the register
+    // holds beyond the record's marks: the end of those wcm extents
+    // (categories whose pop is implicit in the reified return).
+    for (Value P = Regs.Marks; P.isPair() && !(P == K->Marks); P = cdr(P))
+      Trace.record(TraceEv::MarksPop);
+  }
   Regs.Marks = K->Marks;
   Regs.Winders = K->Winders;
   Regs.NextK = K->Next;
@@ -165,6 +176,7 @@ bool VM::underflow(Value Result) {
 
 void VM::applyContinuation(Value KV, Value Result) {
   ++Stats.ContinuationApplies;
+  CMK_TRACE_EV(Trace, ContApply);
   NativeJumped = true; // A native driving this replaced the continuation.
   GCRoot KRoot(H, KV), ResultRoot(H, Result);
   ContObj *K = asCont(KV);
@@ -208,6 +220,7 @@ void VM::applyContinuation(Value KV, Value Result) {
 
 void VM::jumpToContinuation(Value KV) {
   ++Stats.ContinuationApplies;
+  CMK_TRACE_EV(Trace, ContJump);
   NativeJumped = true;
   GCRoot KRoot(H, KV);
   ContObj *K = asCont(KV);
@@ -261,6 +274,7 @@ void VM::ensureStackSpace(uint32_t Needed) {
   if (Regs.Sp + Needed <= S->Capacity)
     return;
   ++Stats.SegmentOverflows;
+  CMK_TRACE_EV(Trace, SegmentOverflow, Needed);
   reifyAtSp(ContShot::Opportunistic);
   uint32_t Cap = std::max(Cfg.SegmentSlots, Needed + 1024);
   Value NewSegV = H.makeStackSeg(Cap);

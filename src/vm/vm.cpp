@@ -29,6 +29,7 @@ void applyCompositeCont(VM &M, Value K, Value Arg, bool TailMode);
 VM::VM(const VMConfig &Config) : Cfg(Config) {
   WK.init(H);
   H.attachVMStats(&Stats);
+  H.attachTraceBuffer(&Trace);
   H.addRootSource(this);
   GlobalTable = H.makeHashTable(/*EqualBased=*/false);
   HaltCode = H.makeCode(0, 0, 16, 0, H.intern("#%halt"), {},
@@ -574,6 +575,7 @@ Value VM::run() {
       break;
     case Op::AttachSet: {
       SYNC();
+      CMK_TRACE_EV(Trace, AttachSet);
       Value V = Slots[Sp - 1];
       Regs.Marks = H.makePair(V, asCont(Regs.NextK)->Marks);
       --Sp;
@@ -588,25 +590,31 @@ Value VM::run() {
       if (Reified && !Regs.NextK.isNil() &&
           Regs.Marks != asCont(Regs.NextK)->Marks) {
         Slots[Sp - 1] = car(Regs.Marks);
-        if (O == Op::AttachConsume)
+        if (O == Op::AttachConsume) {
+          CMK_TRACE_EV(Trace, AttachConsume);
           Regs.Marks = asCont(Regs.NextK)->Marks;
+        }
       } else if (Reified && Regs.NextK.isNil() && !Regs.Marks.isNil()) {
         // Bottom frame of the whole continuation.
         Slots[Sp - 1] = car(Regs.Marks);
-        if (O == Op::AttachConsume)
+        if (O == Op::AttachConsume) {
+          CMK_TRACE_EV(Trace, AttachConsume);
           Regs.Marks = Value::nil();
+        }
       }
       ++Pc;
       break;
     }
     case Op::MarksPush: {
       SYNC();
+      CMK_TRACE_EV(Trace, MarksPush);
       Regs.Marks = H.makePair(Slots[Sp - 1], Regs.Marks);
       --Sp;
       ++Pc;
       break;
     }
     case Op::MarksPop:
+      CMK_TRACE_EV(Trace, MarksPop);
       Regs.Marks = cdr(Regs.Marks);
       ++Pc;
       break;
@@ -883,6 +891,7 @@ void VM::preReifyForAttachCall(uint32_t Hdr) {
   Value RecMarks = cdr(Regs.Marks);
   Regs.Sp = Hdr;
   ++Stats.ReifyForAttachCall;
+  CMK_TRACE_EV(Trace, AttachCallReify);
   Value KV = reifyAtSp(ContShot::Opportunistic);
   // Paper 7.2: installing (rest marks) instead of marks communicates to
   // the called function that an attachment is present and pops it on

@@ -27,6 +27,7 @@
 #include "runtime/symbols.h"
 #include "runtime/value.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 #include <string>
 #include <vector>
@@ -71,6 +72,8 @@ public:
   VMConfig &config() { return Cfg; }
   VMStats &stats() { return Stats; }
   const VMStats &stats() const { return Stats; }
+  TraceBuffer &trace() { return Trace; }
+  const TraceBuffer &trace() const { return Trace; }
 
   // --- Running code ---------------------------------------------------------
 
@@ -227,6 +230,7 @@ private:
   WellKnown WK;
   VMConfig Cfg;
   VMStats Stats;
+  TraceBuffer Trace;
 
   Value GlobalTable; ///< HashTable symbol -> box.
   std::vector<Value> PermanentRoots;

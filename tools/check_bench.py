@@ -30,8 +30,17 @@ TRACKED_COUNTERS = ("reifications", "underflow-fusions", "underflow-copies",
 
 
 def load(path):
-    with open(path) as f:
-        data = json.load(f)
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        sys.exit(f"check_bench: cannot read {path}: {e.strerror}\n"
+                 f"  (missing baseline? generate one with e.g.\n"
+                 f"   CMARKS_BENCH_RUNS=3 CMARKS_BENCH_SCALE=0.05 "
+                 f"CMARKS_BENCH_JSON_DIR=bench/baselines ./bench_NAME\n"
+                 f"   and commit the BENCH_NAME.json it writes)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"check_bench: {path} is not valid JSON: {e}")
     if data.get("schema") != "cmarks-bench-v1":
         sys.exit(f"{path}: unexpected schema {data.get('schema')!r}")
     return data

@@ -31,6 +31,7 @@ struct CliOptions {
   bool Disasm = false;
   bool ShowHelp = false;
   bool ShowStats = false;
+  std::string TraceFile; ///< --trace=FILE: record and dump on exit.
   std::vector<std::string> Files;
   std::vector<std::string> Exprs;
 };
@@ -69,6 +70,8 @@ void printHelp() {
       "                     copy-on-capture\n"
       "  --disasm           print bytecode for -e expressions and exit\n"
       "  --stats            print runtime event counters to stderr on exit\n"
+      "  --trace=FILE       record VM events; write Chrome trace-event\n"
+      "                     JSON (load in ui.perfetto.dev) to FILE on exit\n"
       "  -h, --help         this message\n"
       "With no files or -e options, starts an interactive REPL.\n");
 }
@@ -148,6 +151,12 @@ int main(int Argc, char **Argv) {
       Opts.Disasm = true;
     } else if (Arg == "--stats") {
       Opts.ShowStats = true;
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      Opts.TraceFile = Arg.substr(8);
+      if (Opts.TraceFile.empty()) {
+        std::fprintf(stderr, "--trace needs a file name (--trace=FILE)\n");
+        return 2;
+      }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", Arg.c_str());
       return 2;
@@ -161,6 +170,24 @@ int main(int Argc, char **Argv) {
   }
 
   SchemeEngine Engine(Opts.Variant);
+  // Tracing starts after the prelude loads so the timeline shows the
+  // user's program, not engine startup.
+  if (!Opts.TraceFile.empty())
+    Engine.startTrace();
+  // Dump even when a program fails: a trace of the run up to the error is
+  // exactly what a profiling user wants to look at.
+  auto DumpTrace = [&]() {
+    if (Opts.TraceFile.empty())
+      return;
+    Engine.stopTrace();
+    if (!Engine.dumpTrace(Opts.TraceFile))
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   Opts.TraceFile.c_str());
+    else
+      std::fprintf(stderr, "trace (%llu events) written to %s\n",
+                   static_cast<unsigned long long>(Engine.trace().size()),
+                   Opts.TraceFile.c_str());
+  };
 
   if (Opts.Disasm) {
     for (const std::string &Expr : Opts.Exprs) {
@@ -190,6 +217,7 @@ int main(int Argc, char **Argv) {
     if (!Engine.ok()) {
       std::fprintf(stderr, "%s: %s\n", File.c_str(),
                    Engine.lastError().c_str());
+      DumpTrace();
       return 1;
     }
   }
@@ -198,6 +226,7 @@ int main(int Argc, char **Argv) {
     Value V = Engine.eval(Expr);
     if (!Engine.ok()) {
       std::fprintf(stderr, "error: %s\n", Engine.lastError().c_str());
+      DumpTrace();
       return 1;
     }
     std::printf("%s\n", writeToString(V).c_str());
@@ -207,6 +236,7 @@ int main(int Argc, char **Argv) {
   if (Opts.Files.empty() && Opts.Exprs.empty())
     Ret = runRepl(Engine);
 
+  DumpTrace();
   if (Opts.ShowStats) {
     printStatsTable(Engine.stats(), stderr);
     const HeapStats &HS = Engine.heap().stats();

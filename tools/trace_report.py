@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) a cmarks trace JSON file.
+
+The input is the Chrome trace-event JSON written by `cmarks_repl
+--trace=FILE`, `SchemeEngine::dumpTrace()`, or `(runtime-trace-dump
+"FILE")` (schema "cmarks-trace-v1"; loadable in ui.perfetto.dev).
+
+  trace_report.py FILE            per-event counts and span durations
+  trace_report.py --check FILE    validate the schema; exit 0/1 (CI)
+"""
+import argparse
+import json
+import sys
+from collections import Counter, defaultdict
+
+SCHEMA = "cmarks-trace-v1"
+PHASES = {"B", "E", "i", "M"}
+
+
+def fail(msg):
+    print(f"trace_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def check(doc, path):
+    """Validates the cmarks-trace-v1 shape; exits non-zero on violation."""
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != SCHEMA:
+        fail(f"{path}: otherData.schema is not {SCHEMA!r}")
+    for key in ("events", "dropped", "detailTier"):
+        if key not in other:
+            fail(f"{path}: otherData lacks {key!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents must be a list")
+    depth = 0
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            fail(f"{path}: event {i} is not an object")
+        ph = e.get("ph")
+        if ph not in PHASES:
+            fail(f"{path}: event {i} has bad ph {ph!r}")
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            fail(f"{path}: event {i} lacks a name")
+        if e.get("pid") != 1 or e.get("tid") != 1:
+            fail(f"{path}: event {i} has bad pid/tid")
+        if ph != "M":
+            ts = e.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(f"{path}: event {i} has bad ts {ts!r}")
+        if ph == "B":
+            depth += 1
+        elif ph == "E":
+            depth -= 1
+            if depth < 0:
+                fail(f"{path}: event {i}: E without a matching B")
+    if depth != 0:
+        fail(f"{path}: {depth} B event(s) left unclosed")
+    # otherData.events counts ring-buffer entries; the exported list can
+    # differ slightly when the exporter repaired B/E pairs broken by
+    # wraparound, so only the field's type is checked.
+    if not isinstance(other["events"], int) or other["events"] < 0:
+        fail(f"{path}: otherData.events is not a count")
+    n_real = sum(1 for e in events if e.get("ph") != "M")
+    print(f"{path}: OK ({n_real} events, {other['dropped']} dropped, "
+          f"detail tier {'on' if other['detailTier'] else 'off'})")
+
+
+def report(doc, path):
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") != "M"]
+    other = doc.get("otherData", {})
+    print(f"{path}: {len(events)} events "
+          f"({other.get('dropped', '?')} dropped, detail tier "
+          f"{'on' if other.get('detailTier') else 'off'})")
+
+    counts = Counter()
+    for e in events:
+        suffix = {"B": " (begin)", "E": " (end)"}.get(e["ph"], "")
+        counts[(e.get("cat", "?"), e["name"] + suffix)] += 1
+    print("\n  event counts")
+    for (cat, name), n in sorted(counts.items()):
+        print(f"    {cat:<14} {name:<24} {n}")
+
+    # Span durations: stack-match B/E (the exporter guarantees balance).
+    stack = []
+    totals = defaultdict(float)
+    spans = Counter()
+    for e in events:
+        if e["ph"] == "B":
+            stack.append(e)
+        elif e["ph"] == "E" and stack:
+            b = stack.pop()
+            totals[b["name"]] += e["ts"] - b["ts"]
+            spans[b["name"]] += 1
+    if spans:
+        print("\n  span totals (inclusive wall-clock)")
+        for name, n in spans.most_common():
+            print(f"    {name:<24} {n:>6} slices  {totals[name]:>10.1f} us")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="trace JSON file")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the schema instead of summarizing")
+    args = ap.parse_args()
+    doc = load(args.file)
+    if args.check:
+        check(doc, args.file)
+    else:
+        report(doc, args.file)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
