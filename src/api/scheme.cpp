@@ -10,6 +10,20 @@
 
 using namespace cmk;
 
+namespace {
+
+/// Fault injection targets the *running program*: hits accumulated while
+/// reading or compiling would make site numbering depend on source size
+/// and compiler internals. RAII so a real exhaustion mid-compile unwinds
+/// cleanly through the pause.
+struct FaultPause {
+  FaultInjector &F;
+  explicit FaultPause(FaultInjector &Inj) : F(Inj) { F.suspend(); }
+  ~FaultPause() { F.resume(); }
+};
+
+} // namespace
+
 EngineOptions EngineOptions::forVariant(EngineVariant V) {
   EngineOptions Opts;
   switch (V) {
@@ -49,6 +63,10 @@ EngineOptions EngineOptions::forVariant(EngineVariant V) {
 SchemeEngine::SchemeEngine(const EngineOptions &Opts)
     : Machine(Opts.VmCfg),
       Comp(Machine.heap(), Machine.wellKnown(), Machine, Opts.CompilerOpts) {
+  // Fault injection (CMARKS_FAULT_SPEC) targets user programs, not the
+  // engine's own bootstrap: suspend it until the prelude is resident.
+  Machine.faults().configureFromEnv();
+  Machine.faults().suspend();
   if (Opts.CompilerOpts.UseImitationAttachments) {
     // The imitation library must exist before the prelude compiles, since
     // the prelude's with-continuation-mark forms expand into its calls.
@@ -61,47 +79,67 @@ SchemeEngine::SchemeEngine(const EngineOptions &Opts)
     eval(preludeSource());
     CMK_CHECK(ok(), "prelude failed to load");
   }
+  Machine.faults().resume();
 }
 
 SchemeEngine::~SchemeEngine() = default;
 
 Value SchemeEngine::eval(const std::string &Source) {
   LastError.clear();
+  LastErrKind = ErrorKind::None;
   Heap &H = Machine.heap();
 
-  // Read all forms up front (rooted), then compile+run one at a time.
-  std::string ReadError;
-  RootedValues Forms(H);
-  {
-    std::vector<Value> Raw = readAllFromString(H, Source, &ReadError);
-    if (!ReadError.empty()) {
-      LastError = "read error: " + ReadError;
-      return Value::undefined();
+  // The reader and compiler allocate outside applyProcedure's recovery
+  // scope, so a heap budget exhausted during read/compile surfaces here.
+  try {
+    // Read all forms up front (rooted), then compile+run one at a time.
+    std::string ReadError;
+    RootedValues Forms(H);
+    {
+      FaultPause Pause(Machine.faults());
+      std::vector<Value> Raw = readAllFromString(H, Source, &ReadError);
+      if (!ReadError.empty()) {
+        LastError = "read error: " + ReadError;
+        LastErrKind = ErrorKind::Runtime;
+        return Value::undefined();
+      }
+      for (Value V : Raw)
+        Forms.push(V);
     }
-    for (Value V : Raw)
-      Forms.push(V);
-  }
 
-  GCRoot Result(H, Value::voidValue());
-  for (size_t I = 0; I < Forms.size(); ++I) {
-    std::string CompileError;
-    Value Code = Comp.compileToplevel(Forms[I], &CompileError);
-    if (!CompileError.empty()) {
-      LastError = "compile error: " + CompileError;
-      return Value::undefined();
+    GCRoot Result(H, Value::voidValue());
+    for (size_t I = 0; I < Forms.size(); ++I) {
+      GCRoot CodeRoot(H, Value::undefined());
+      {
+        FaultPause Pause(Machine.faults());
+        std::string CompileError;
+        Value Code = Comp.compileToplevel(Forms[I], &CompileError);
+        if (!CompileError.empty()) {
+          LastError = "compile error: " + CompileError;
+          LastErrKind = ErrorKind::Runtime;
+          return Value::undefined();
+        }
+        CodeRoot.set(Code);
+        CodeRoot.set(H.makeClosure(CodeRoot.get(), 0));
+      }
+      Value Closure = CodeRoot.get();
+      bool Ok = false;
+      Value V = Machine.applyProcedure(Closure, nullptr, 0, Ok);
+      if (!Ok) {
+        LastError = Machine.errorMessage();
+        LastErrKind = Machine.errorKind();
+        Machine.clearError();
+        return Value::undefined();
+      }
+      Result.set(V);
     }
-    GCRoot CodeRoot(H, Code);
-    Value Closure = H.makeClosure(CodeRoot.get(), 0);
-    bool Ok = false;
-    Value V = Machine.applyProcedure(Closure, nullptr, 0, Ok);
-    if (!Ok) {
-      LastError = Machine.errorMessage();
-      Machine.clearError();
-      return Value::undefined();
-    }
-    Result.set(V);
+    return Result.get();
+  } catch (const ResourceExhausted &Ex) {
+    LastError = Ex.What;
+    LastErrKind = errorKindOf(Ex.Kind);
+    Machine.clearError();
+    return Value::undefined();
   }
-  return Result.get();
 }
 
 std::string SchemeEngine::evalToString(const std::string &Source) {
@@ -131,11 +169,13 @@ bool SchemeEngine::dumpTrace(const std::string &Path) {
 
 Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {
   LastError.clear();
+  LastErrKind = ErrorKind::None;
   bool Ok = false;
   Value V = Machine.applyProcedure(Fn, Args.data(),
                                    static_cast<uint32_t>(Args.size()), Ok);
   if (!Ok) {
     LastError = Machine.errorMessage();
+    LastErrKind = Machine.errorKind();
     Machine.clearError();
     return Value::undefined();
   }

@@ -75,6 +75,25 @@ public:
   bool ok() const { return LastError.empty(); }
   const std::string &lastError() const { return LastError; }
 
+  /// Classification of the last failure: was it an ordinary runtime error
+  /// or a resource-limit trip (heap/stack/timeout/interrupt)? Reset to
+  /// ErrorKind::None by the next successful eval()/apply().
+  ErrorKind lastErrorKind() const { return LastErrKind; }
+
+  /// Resource budgets enforced by the VM (see support/limits.h). Mutable
+  /// between evaluations: raising or clearing a limit takes effect at the
+  /// next eval()/apply().
+  EngineLimits &limits() { return Machine.config().Limits; }
+
+  /// Asks the engine to stop at the next safe point. Safe to call from
+  /// another thread or a signal handler; the running program sees a
+  /// catchable exn:interrupt? exception.
+  void requestInterrupt() { Machine.requestInterrupt(); }
+
+  /// Deterministic fault-injection control (active only when built with
+  /// -DCMARKS_FAULTS=ON; configuration is always accepted).
+  FaultInjector &faults() { return Machine.faults(); }
+
   VM &vm() { return Machine; }
   Heap &heap() { return Machine.heap(); }
   Compiler &compiler() { return Comp; }
@@ -107,6 +126,7 @@ private:
   VM Machine;
   Compiler Comp;
   std::string LastError;
+  ErrorKind LastErrKind = ErrorKind::None;
 };
 
 } // namespace cmk

@@ -201,6 +201,28 @@ const char *preludeSource() {
 (define (exn-message e) (vector-ref e 1))
 (define (exn-irritants e) (vector-ref e 2))
 
+;; Resource-limit exceptions (support/limits.h): ordinary exn vectors with
+;; two extra slots, so every generic handler (exn?, exn-message) still
+;; applies, plus a tag and the trip kind ('heap-limit | 'stack-limit |
+;; 'timeout | 'interrupt) for targeted handlers.
+(define (#%make-limit-exn kind msg)
+  (vector '#%exn msg (list kind) '#%limit kind))
+
+(define (exn:limit? v)
+  (if (exn? v)
+      (if (> (vector-length v) 4) (eq? (vector-ref v 3) '#%limit) #f)
+      #f))
+
+(define (exn:limit-kind e) (vector-ref e 4))
+(define (exn:heap-limit? v)
+  (if (exn:limit? v) (eq? (exn:limit-kind v) 'heap-limit) #f))
+(define (exn:stack-limit? v)
+  (if (exn:limit? v) (eq? (exn:limit-kind v) 'stack-limit) #f))
+(define (exn:timeout? v)
+  (if (exn:limit? v) (eq? (exn:limit-kind v) 'timeout) #f))
+(define (exn:interrupt? v)
+  (if (exn:limit? v) (eq? (exn:limit-kind v) 'interrupt) #f))
+
 (define (#%flatten-handler-lists lss)
   (if (null? lss)
       '()
@@ -208,8 +230,12 @@ const char *preludeSource() {
 
 (define (#%throw-with-handler-stack exn handlers)
   (if (null? handlers)
-      (#%fatal-error "uncaught exception:"
-                     (if (exn? exn) (exn-message exn) exn))
+      (if (exn:limit? exn)
+          ;; Uncaught limit trips keep their classification, so the host
+          ;; can tell "program hit its heap limit" from "program errored".
+          (#%fatal-limit (exn:limit-kind exn) (exn-message exn))
+          (#%fatal-error "uncaught exception:"
+                         (if (exn? exn) (exn-message exn) exn)))
       ((car handlers) exn (cdr handlers))))
 
 (define (throw exn)
@@ -253,6 +279,16 @@ const char *preludeSource() {
   (lambda args
     (throw (#%make-exn (if (pair? args) (car args) "error")
                        (if (pair? args) (cdr args) '())))))
+
+;; #%limit-raise is the VM's safe-point trampoline: when a resource budget
+;; trips (heap/stack/timeout/interrupt) the dispatch loop injects a call to
+;; this closure at the next instruction boundary. It must never return
+;; normally — the interrupted expression has no slot for a result — so an
+;; impossible fall-through ends in #%fatal-limit. Throwing here unwinds
+;; through dynamic-wind after-thunks like any user-level throw.
+(define (#%limit-raise kind msg)
+  (throw (#%make-limit-exn kind msg))
+  (#%fatal-limit kind msg))
 
 ;; ------------------------------------------------------------ parameters ----
 
@@ -342,6 +378,10 @@ const char *preludeSource() {
 ;; current-stack-trace reads them back (used by the stack_tracer example).
 
 (define #%trace-key (gensym "trace"))
+
+;; Uncaught-error reports include the 'trace mark chain as context; tell
+;; the VM which key those frames live under.
+(#%set-snapshot-key! #%trace-key)
 
 (define-syntax-rule (with-stack-frame name body)
   (with-continuation-mark #%trace-key name body))

@@ -2,6 +2,7 @@
 
 #include "runtime/heap.h"
 
+#include "support/faults.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
@@ -89,14 +90,101 @@ void Heap::removeRootSource(GCRootSource *Src) {
   }
 }
 
+void *Heap::checkedMalloc(size_t Bytes, const char *What) {
+  void *Mem = std::malloc(Bytes);
+  if (!Mem && !GCPaused && !InGC) {
+    // Real OOM from the host: a collection may return free chunks to
+    // size-class lists and, more importantly, lets a retry reuse address
+    // space the allocator already holds.
+    collect();
+    Mem = std::malloc(Bytes);
+  }
+  if (!Mem)
+    throw ResourceExhausted{TripKind::HeapLimit, What};
+  return Mem;
+}
+
+void Heap::checkHeapBudget(size_t Rounded) {
+  // Failing fault sites: pretend this allocation exhausted the budget.
+  if (CMK_FAULT(FaultsPtr, Oom))
+    injectHeapTrip();
+
+  if (!LimitsPtr || LimitsPtr->HeapBytes == 0)
+    return;
+  uint64_t Budget = LimitsPtr->HeapBytes;
+  if (BytesInUse + Rounded <= Budget)
+    return;
+
+  if (!HeadroomActive) {
+    // Over budget for the first time: collecting may shed garbage that
+    // BytesInUse still counts.
+    if (!GCPaused && !InGC) {
+      collect();
+      if (BytesInUse + Rounded <= Budget)
+        return;
+    }
+    // Genuinely at the limit. Grant the headroom slab and leave a trip
+    // for the VM's next safe point; this allocation (and the error
+    // handling it feeds) proceeds out of the headroom.
+    HeadroomActive = true;
+    notePendingTrip(TripKind::HeapLimit);
+    return;
+  }
+
+  if (BytesInUse + Rounded <= Budget + LimitsPtr->HeapHeadroomBytes)
+    return;
+  // The headroom itself is nearly gone. One last collection can rescue a
+  // program whose handler dropped references without a GC happening yet.
+  if (!GCPaused && !InGC) {
+    collect();
+    if (BytesInUse + Rounded <= Budget ||
+        (HeadroomActive &&
+         BytesInUse + Rounded <= Budget + LimitsPtr->HeapHeadroomBytes))
+      return;
+  }
+  throw ResourceExhausted{TripKind::HeapLimit,
+                          "heap limit exceeded beyond reserved headroom"};
+}
+
+void Heap::injectHeapTrip() {
+  HeadroomActive = true;
+  notePendingTrip(TripKind::HeapLimit);
+}
+
+void Heap::notePendingTrip(TripKind K) {
+  if (PendingTrip == TripKind::None)
+    PendingTrip = K;
+  if (FuelPoke)
+    *FuelPoke = 0;
+}
+
+void Heap::resetGovernance() {
+  PendingTrip = TripKind::None;
+  if (HeadroomActive || ReserveActive) {
+    if (!GCPaused && !InGC)
+      collect(); // Re-arms the grants below when usage is back under budget.
+    // With no limit configured the grant is vestigial; always retire it.
+    if (!LimitsPtr || LimitsPtr->HeapBytes == 0)
+      HeadroomActive = false;
+    if (!LimitsPtr || LimitsPtr->MaxLiveSegments == 0)
+      ReserveActive = false;
+  }
+}
+
 void *Heap::allocRaw(size_t Bytes, ObjKind Kind) {
   size_t Rounded = (Bytes + 15) & ~size_t(15);
+  // Semantics-preserving fault site: force a collection at an arbitrary
+  // allocation, shaking out missing-root bugs deterministically.
+  if (CMK_FAULT(FaultsPtr, Gc) && !GCPaused && !InGC)
+    collect();
   maybeCollect();
+  // Budget check happens before any memory or accounting changes, so a
+  // ResourceExhausted throw leaves the heap exactly as it was.
+  checkHeapBudget(Rounded);
 
   void *Mem = nullptr;
   if (Rounded > MaxSmallBytes) {
-    Mem = std::malloc(Rounded);
-    CMK_CHECK(Mem, "out of memory (large allocation)");
+    Mem = checkedMalloc(Rounded, "out of memory (large allocation)");
     LargeObjs.push_back(static_cast<ObjHeader *>(Mem));
   } else {
     size_t Class = sizeClassOf(Rounded);
@@ -105,8 +193,8 @@ void *Heap::allocRaw(size_t Bytes, ObjKind Kind) {
       FreeLists[Class] = static_cast<FreeChunk *>(Mem)->Next;
     } else {
       if (Blocks.empty() || Blocks.back().Used + Rounded > Blocks.back().Size) {
-        char *BlockMem = static_cast<char *>(std::malloc(BlockSize));
-        CMK_CHECK(BlockMem, "out of memory (block allocation)");
+        char *BlockMem = static_cast<char *>(
+            checkedMalloc(BlockSize, "out of memory (block allocation)"));
         Blocks.push_back({BlockMem, 0, BlockSize});
       }
       Block &B = Blocks.back();
@@ -121,6 +209,7 @@ void *Heap::allocRaw(size_t Bytes, ObjKind Kind) {
   O->SizeBytes = static_cast<uint32_t>(Rounded);
   BytesSinceGC += Rounded;
   Stats.BytesAllocated += Rounded;
+  BytesInUse += Rounded;
   return Mem;
 }
 
@@ -286,6 +375,9 @@ void Heap::sweep() {
         if (O->Kind == ObjKind::Port && O->Aux == 1)
           delete static_cast<std::string *>(
               reinterpret_cast<PortObj *>(O)->Stream);
+        if (O->Kind == ObjKind::StackSeg && LiveSegments > 0)
+          --LiveSegments;
+        BytesInUse -= Size;
         O->Kind = static_cast<ObjKind>(FreeChunkKind);
         auto *F = reinterpret_cast<FreeChunk *>(O);
         F->Next = FreeLists[sizeClassOf(Size)];
@@ -306,6 +398,9 @@ void Heap::sweep() {
       if (O->Kind == ObjKind::Port && O->Aux == 1)
         delete static_cast<std::string *>(
             reinterpret_cast<PortObj *>(O)->Stream);
+      if (O->Kind == ObjKind::StackSeg && LiveSegments > 0)
+        --LiveSegments;
+      BytesInUse -= O->SizeBytes;
       std::free(O);
     }
   }
@@ -332,6 +427,14 @@ void Heap::collect() {
   BytesSinceGC = 0;
   GCThreshold = std::max<uint64_t>(InitialGCThreshold,
                                    Stats.LiveBytesAfterLastGC * 2);
+  // Re-arm governance: once a collection brings usage back under budget,
+  // retire the emergency grants so the next exhaustion trips again.
+  if (HeadroomActive && (!LimitsPtr || LimitsPtr->HeapBytes == 0 ||
+                         BytesInUse <= LimitsPtr->HeapBytes))
+    HeadroomActive = false;
+  if (ReserveActive && (!LimitsPtr || LimitsPtr->MaxLiveSegments == 0 ||
+                        LiveSegments < LimitsPtr->MaxLiveSegments))
+    ReserveActive = false;
   InGC = false;
 }
 
@@ -436,9 +539,32 @@ Value Heap::makeCode(uint32_t NumArgs, uint32_t NumLocals, uint32_t FrameSize,
 }
 
 Value Heap::makeStackSeg(uint32_t CapacitySlots) {
+  // Segment budget = the continuation-depth limit: deep recursion keeps
+  // every overflowed segment live through the underflow-record chain, so
+  // counting live segments bounds stack growth without caring how the
+  // depth was reached (plain recursion, captured continuations, ...).
+  if (LimitsPtr && LimitsPtr->MaxLiveSegments != 0 &&
+      LiveSegments >= LimitsPtr->MaxLiveSegments) {
+    if (!ReserveActive) {
+      // Dead segments may still be counted; collect before tripping.
+      if (!GCPaused && !InGC)
+        collect();
+      if (LiveSegments >= LimitsPtr->MaxLiveSegments) {
+        // At the limit: grant the reserve so the overflow in progress
+        // completes and the limit exception has stack to run on.
+        ReserveActive = true;
+        notePendingTrip(TripKind::StackLimit);
+      }
+    } else if (LiveSegments >=
+               LimitsPtr->MaxLiveSegments + LimitsPtr->ReserveSegments) {
+      throw ResourceExhausted{TripKind::StackLimit,
+                              "stack segment limit exceeded beyond reserve"};
+    }
+  }
   auto *S = static_cast<StackSegObj *>(allocRaw(
       sizeof(StackSegObj) + sizeof(Value) * CapacitySlots, ObjKind::StackSeg));
   S->Capacity = CapacitySlots;
+  ++LiveSegments;
   if (VmStatsPtr) {
     ++VmStatsPtr->SegmentAllocs;
     VmStatsPtr->SegmentSlotsAllocated += CapacitySlots;

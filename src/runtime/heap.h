@@ -19,6 +19,7 @@
 #define CMARKS_RUNTIME_HEAP_H
 
 #include "runtime/value.h"
+#include "support/limits.h"
 
 #include <cstddef>
 #include <string>
@@ -27,8 +28,9 @@
 namespace cmk {
 
 class Heap;
-struct VMStats;    // support/stats.h
-class TraceBuffer; // support/trace.h
+struct VMStats;      // support/stats.h
+class TraceBuffer;   // support/trace.h
+class FaultInjector; // support/faults.h
 
 /// Interface through which the heap discovers roots held by subsystems
 /// (the VM registers and stacks, the symbol table, compiler temporaries).
@@ -162,6 +164,51 @@ public:
   /// Total bytes allocated since the last collection (test hook).
   uint64_t bytesSinceGC() const { return BytesSinceGC; }
 
+  // --- Resource governance (support/limits.h) ------------------------------
+
+  /// Routes resource budgets into allocation. The pointed-to limits are
+  /// read on every allocation, so an embedder can retune them between
+  /// runs. Null (or zero fields) disables enforcement.
+  void attachLimits(const EngineLimits *L) { LimitsPtr = L; }
+
+  /// Routes fault-injection hooks (support/faults.h) into allocation and
+  /// segment paths. Null disables.
+  void attachFaults(FaultInjector *F) { FaultsPtr = F; }
+  FaultInjector *faults() const { return FaultsPtr; }
+
+  /// Lets a pending trip reach the VM promptly: when a budget grants its
+  /// reserve, the heap zeroes *\p Fuel so the dispatch loop reaches its
+  /// next safe point immediately instead of allocating through the
+  /// headroom for the rest of a full fuel interval.
+  void attachFuel(int64_t *Fuel) { FuelPoke = Fuel; }
+
+  /// Bytes currently committed to objects (live + not-yet-swept garbage);
+  /// the quantity the heap byte budget governs.
+  uint64_t bytesInUse() const { return BytesInUse; }
+  /// Live stack segments; the quantity the segment budget governs.
+  uint32_t liveStackSegments() const { return LiveSegments; }
+
+  /// Returns and clears the pending budget trip. The VM consumes this at
+  /// its next safe point and raises the catchable limit exception.
+  TripKind takePendingTrip() {
+    TripKind T = PendingTrip;
+    PendingTrip = TripKind::None;
+    return T;
+  }
+  bool hasPendingTrip() const { return PendingTrip != TripKind::None; }
+
+  /// Forces a heap-limit trip as if an allocation had exhausted the
+  /// budget (the failing fault-injection sites route through this).
+  void injectHeapTrip();
+
+  /// Re-arms governance for a fresh run: drops any unconsumed trip and,
+  /// when usage is back under budget, retires active headroom/reserve
+  /// grants so the next exhaustion trips again.
+  void resetGovernance();
+
+  bool heapHeadroomActive() const { return HeadroomActive; }
+  bool segmentReserveActive() const { return ReserveActive; }
+
 private:
   friend class GCRoot;
   friend class RootedValues;
@@ -173,6 +220,16 @@ private:
   };
 
   void *allocRaw(size_t Bytes, ObjKind Kind);
+  /// The one malloc wrapper (satellite fix for the unchecked calls): on
+  /// failure collects and retries, then reports exhaustion by throwing
+  /// ResourceExhausted instead of dereferencing null or aborting.
+  void *checkedMalloc(size_t Bytes, const char *What);
+  /// Enforces the heap byte budget for an allocation of \p Rounded bytes;
+  /// may collect, grant headroom + set a pending trip, or throw.
+  void checkHeapBudget(size_t Rounded);
+  /// Records a trip for the VM's next safe point (first kind wins) and
+  /// zeroes the attached fuel so that safe point arrives immediately.
+  void notePendingTrip(TripKind K);
   void maybeCollect();
   void markFromWorklist();
   void traceObject(ObjHeader *O);
@@ -203,6 +260,16 @@ private:
   HeapStats Stats;
   VMStats *VmStatsPtr = nullptr;
   TraceBuffer *TraceBufPtr = nullptr;
+
+  // Resource governance (support/limits.h).
+  const EngineLimits *LimitsPtr = nullptr;
+  FaultInjector *FaultsPtr = nullptr;
+  int64_t *FuelPoke = nullptr; ///< VM fuel, zeroed when a trip is set.
+  uint64_t BytesInUse = 0;   ///< Committed object bytes (incl. garbage).
+  uint32_t LiveSegments = 0; ///< Live StackSeg objects.
+  TripKind PendingTrip = TripKind::None;
+  bool HeadroomActive = false; ///< Heap headroom slab granted.
+  bool ReserveActive = false;  ///< Segment reserve granted.
 };
 
 /// RAII wrapper for Heap::pauseGC/resumeGC.

@@ -6,9 +6,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Assertion helpers shared by every cmarks module. The library does not use
-/// C++ exceptions; unrecoverable internal errors abort with a message, and
-/// user-visible Scheme errors travel through the VM's error plumbing.
+/// Assertion helpers shared by every cmarks module. Unrecoverable internal
+/// errors abort with a message, and user-visible Scheme errors travel
+/// through the VM's error plumbing. The one sanctioned C++ exception is
+/// cmk::ResourceExhausted (support/limits.h), thrown when a resource
+/// budget is exceeded beyond its reserve and caught at the applyProcedure
+/// boundary; nothing else throws.
 ///
 //===----------------------------------------------------------------------===//
 

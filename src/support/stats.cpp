@@ -23,6 +23,12 @@ const StatsCounterDesc Counters[] = {
     {"segment-overflows", &VMStats::SegmentOverflows, false},
     {"segment-allocs", &VMStats::SegmentAllocs, false},
     {"segment-slots-allocated", &VMStats::SegmentSlotsAllocated, false},
+    {"safe-point-polls", &VMStats::SafePointPolls, false},
+    {"limit-heap-trips", &VMStats::LimitHeapTrips, false},
+    {"limit-stack-trips", &VMStats::LimitStackTrips, false},
+    {"limit-timeout-trips", &VMStats::LimitTimeoutTrips, false},
+    {"limit-interrupts", &VMStats::LimitInterrupts, false},
+    {"faults-injected", &VMStats::FaultsInjected, false},
     // Detail tier.
     {"mark-frame-creates", &VMStats::MarkFrameCreates, true},
     {"mark-frame-extends", &VMStats::MarkFrameExtends, true},

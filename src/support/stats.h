@@ -82,6 +82,16 @@ struct VMStats {
   uint64_t SegmentAllocs = 0;    ///< Stack segments allocated.
   uint64_t SegmentSlotsAllocated = 0; ///< Total slots across those segments.
 
+  // --- Cheap tier: resource governance (support/limits.h) -------------------
+
+  uint64_t SafePointPolls = 0;    ///< Fuel-exhaustion polls of the dispatch
+                                  ///< loop (deadline/interrupt/trip checks).
+  uint64_t LimitHeapTrips = 0;    ///< Heap byte budget trips delivered.
+  uint64_t LimitStackTrips = 0;   ///< Segment budget trips delivered.
+  uint64_t LimitTimeoutTrips = 0; ///< Wall-clock deadline trips delivered.
+  uint64_t LimitInterrupts = 0;   ///< requestInterrupt() deliveries.
+  uint64_t FaultsInjected = 0;    ///< Injections fired (support/faults.h).
+
   // --- Detail tier: mark-frame representation transitions (paper 7.5) -------
 
   /// "no attachment" -> one-mark frame.

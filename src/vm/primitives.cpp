@@ -550,6 +550,62 @@ Value nativeFatalError(VM &M, Value *Args, uint32_t NArgs) {
   return M.raiseError(Msg);
 }
 
+/// (#%fatal-limit kind msg ...): like #%fatal-error but classifies the
+/// failure as the named limit trip, so the embedding API (and the REPL's
+/// exit code) can tell an uncaught limit exception from a plain error.
+/// The prelude routes uncaught limit exceptions here.
+Value nativeFatalLimit(VM &M, Value *Args, uint32_t NArgs) {
+  ErrorKind Kind = ErrorKind::Runtime;
+  if (Args[0].isSymbol()) {
+    std::string Name = displayToString(Args[0]);
+    if (Name == "heap-limit")
+      Kind = ErrorKind::HeapLimit;
+    else if (Name == "stack-limit")
+      Kind = ErrorKind::StackLimit;
+    else if (Name == "timeout")
+      Kind = ErrorKind::Timeout;
+    else if (Name == "interrupt")
+      Kind = ErrorKind::Interrupt;
+  }
+  std::string Msg;
+  for (uint32_t I = 1; I < NArgs; ++I) {
+    if (I > 1)
+      Msg += ' ';
+    printValue(Msg, Args[I], /*Display=*/true);
+  }
+  if (Msg.empty())
+    Msg = "limit exceeded";
+  return M.raiseErrorKind(Kind, Msg);
+}
+
+/// (#%set-snapshot-key! key): the prelude hands the VM its trace mark key
+/// so raiseError can attach a stack snapshot to fatal reports.
+Value nativeSetSnapshotKey(VM &M, Value *Args, uint32_t) {
+  M.SnapshotKey = Args[0];
+  return Value::voidValue();
+}
+
+/// (#%fault-stats) -> ((site hits injected) ...) for every fault site.
+Value nativeFaultStats(VM &M, Value *, uint32_t) {
+  RootedValues Rows(M.heap());
+  for (int I = 0; I < NumFaultSites; ++I) {
+    FaultSite S = static_cast<FaultSite>(I);
+    GCRoot Sym(M.heap(), M.heap().intern(faultSiteName(S)));
+    GCRoot Row(M.heap(),
+               M.heap().makePair(
+                   Value::fixnum(static_cast<int64_t>(M.faults().injected(S))),
+                   Value::nil()));
+    Row.set(M.heap().makePair(
+        Value::fixnum(static_cast<int64_t>(M.faults().hits(S))), Row.get()));
+    Row.set(M.heap().makePair(Sym.get(), Row.get()));
+    Rows.push(Row.get());
+  }
+  GCRoot Acc(M.heap(), Value::nil());
+  for (size_t I = Rows.size(); I > 0; --I)
+    Acc.set(M.heap().makePair(Rows[I - 1], Acc.get()));
+  return Acc.get();
+}
+
 Value nativeApply(VM &M, Value *Args, uint32_t NArgs) {
   // (apply f a b ... rest-list)
   GCRoot FnRoot(M.heap(), Args[0]);
@@ -847,6 +903,9 @@ void cmk::installPrimitives(VM &M) {
   M.defineNative("get-output-string", nativeGetOutputString, 1, 1);
   M.defineNative("port?", nativePortP, 1, 1);
   M.defineNative("#%fatal-error", nativeFatalError, 1, -1);
+  M.defineNative("#%fatal-limit", nativeFatalLimit, 1, -1);
+  M.defineNative("#%set-snapshot-key!", nativeSetSnapshotKey, 1, 1);
+  M.defineNative("#%fault-stats", nativeFaultStats, 0, 0);
   M.defineNative("error", nativeFatalError, 1, -1); // Overridden in prelude.
   M.defineNative("apply", nativeApply, 1, -1);
   M.defineNative("gensym", nativeGensym, 0, 1);

@@ -20,6 +20,12 @@ void VM::reifyCurrentFrame() {
   if (S->Slots[Regs.Fp + 1].isUnderflowSentinel())
     return; // Already reified; NextK is this frame's record.
 
+  // Failing fault site: exhaust the heap budget exactly at a reification,
+  // the paper's most delicate allocation point (the record and the frame
+  // split must both complete out of headroom).
+  if (CMK_FAULT(&Faults, ReifyOom))
+    H.injectHeapTrip();
+
   ++Stats.Reifications;
   ++Stats.ReifyTailFrame;
   CMK_TRACE_EV(Trace, ReifyTailFrame);
@@ -53,6 +59,8 @@ Value VM::reifyAtSp(ContShot Shot) {
     // empty slice with a stale resume point.
     return Regs.NextK;
   }
+  if (CMK_FAULT(&Faults, ReifyOom))
+    H.injectHeapTrip();
   ++Stats.Reifications;
   ++Stats.ReifySplit;
   CMK_TRACE_EV(Trace, ReifySplit);
@@ -140,7 +148,7 @@ bool VM::underflow(Value Result) {
     K->setUsed(); // Returning through a one-shot consumes it.
 
   if (K->shot() == ContShot::Opportunistic && K->Seg == Regs.Seg &&
-      K->Hi == Regs.Base) {
+      K->Hi == Regs.Base && !CMK_FAULT(&Faults, NoFuse)) {
     // Paper section 6: the split stack is still contiguous with the current
     // one; fuse them back without copying.
     ++Stats.UnderflowFusions;
@@ -271,8 +279,11 @@ void VM::ensureStackSpace(uint32_t Needed) {
   // continuation and execution continues on a fresh segment. Callers must
   // re-read Regs.Seg/Base/Fp/Sp afterwards.
   StackSegObj *S = asStackSeg(Regs.Seg);
-  if (Regs.Sp + Needed <= S->Capacity)
+  if (Regs.Sp + Needed <= S->Capacity && !forcedOverflow()) {
     return;
+  }
+  // The latch is consumed here when the fault (not capacity) brought us in.
+  ForceOverflowOnce = false;
   ++Stats.SegmentOverflows;
   CMK_TRACE_EV(Trace, SegmentOverflow, Needed);
   reifyAtSp(ContShot::Opportunistic);

@@ -10,6 +10,7 @@
 #include "vm/vm.h"
 
 #include "compiler/bytecode.h"
+#include "marks/marks.h"
 #include "runtime/equal.h"
 #include "runtime/hashtable.h"
 #include "runtime/numbers.h"
@@ -30,6 +31,10 @@ VM::VM(const VMConfig &Config) : Cfg(Config) {
   WK.init(H);
   H.attachVMStats(&Stats);
   H.attachTraceBuffer(&Trace);
+  H.attachLimits(&Cfg.Limits);
+  H.attachFaults(&Faults);
+  H.attachFuel(&FuelLeft);
+  Faults.attachVMStats(&Stats);
   H.addRootSource(this);
   GlobalTable = H.makeHashTable(/*EqualBased=*/false);
   HaltCode = H.makeCode(0, 0, 16, 0, H.intern("#%halt"), {},
@@ -62,6 +67,7 @@ void VM::traceRoots(Heap &Heap) {
     Heap.traceValue(V);
   Heap.traceValue(PendingFn);
   Heap.traceValue(ImitationAtts);
+  Heap.traceValue(SnapshotKey);
   for (Value V : PendingArgs)
     Heap.traceValue(V);
   for (const MarkStackEntry &E : MarkStack) {
@@ -95,12 +101,49 @@ void VM::defineNative(const std::string &Name, NativeFn Fn, int32_t MinArgs,
   asPair(globalCell(NameSym))->Car = N;
 }
 
+/// Appends a mark-based stack snapshot to an error message: the values of
+/// the prelude's trace key (with-stack-frame / profiled annotations), the
+/// same data current-stack-snapshot reads. Best-effort — building the
+/// snapshot allocates, and an error may arrive with the heap already at
+/// its budget, so exhaustion here just drops the context.
+static void appendStackContext(VM &M, std::string &Msg) {
+  if (M.SnapshotKey.isUndefined())
+    return;
+  if (!M.Regs.Seg.isKind(ObjKind::StackSeg))
+    return;
+  try {
+    Value Frames = markListAll(M.heap(), M.currentMarksList(), M.SnapshotKey,
+                               Value::nil());
+    if (!Frames.isPair())
+      return;
+    Msg += "\n  context:";
+    int Shown = 0;
+    for (Value P = Frames; P.isPair() && Shown < 12;
+         P = asPair(P)->Cdr, ++Shown)
+      Msg += " " + displayToString(asPair(P)->Car);
+    if (Frames.isPair() && Shown == 12)
+      Msg += " ...";
+  } catch (const ResourceExhausted &) {
+    // No room to describe the failure; the message stands on its own.
+  }
+}
+
 Value VM::raiseError(const std::string &Msg) {
   if (!Failed) {
     Failed = true;
+    if (ErrKind == ErrorKind::None)
+      ErrKind = ErrorKind::Runtime;
     ErrMsg = Msg;
+    if (Running)
+      appendStackContext(*this, ErrMsg);
   }
   return Value::undefined();
+}
+
+Value VM::raiseErrorKind(ErrorKind Kind, const std::string &Msg) {
+  if (!Failed && ErrKind == ErrorKind::None)
+    ErrKind = Kind;
+  return raiseError(Msg);
 }
 
 void VM::scheduleTailCall(Value Fn, const Value *Args, uint32_t NArgs) {
@@ -186,6 +229,24 @@ bool bindArgs(VM &M, CodeObj *Code, uint32_t ArgBase, uint32_t NArgs,
   return true;
 }
 
+/// Human text for each limit trip; the catchable exception's message and
+/// the fallback error share it.
+const char *tripMessage(TripKind T) {
+  switch (T) {
+  case TripKind::HeapLimit:
+    return "heap limit exceeded";
+  case TripKind::StackLimit:
+    return "stack depth limit exceeded";
+  case TripKind::Timeout:
+    return "evaluation timed out";
+  case TripKind::Interrupt:
+    return "evaluation interrupted";
+  case TripKind::None:
+    break;
+  }
+  return "limit trip";
+}
+
 const char *procName(Value Fn) {
   static std::string Buf;
   Value Name = Value::False();
@@ -238,15 +299,79 @@ void VM::installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs) {
   Regs.Sp = FrameHeaderSlots + NArgs;
 }
 
+void VM::releaseRunState() {
+  // A failed run leaves Regs pointing into whatever stack chain it died
+  // on; detach so the condemned segments (possibly a whole budget's worth)
+  // are garbage for the very next collection, not pinned until the next
+  // run replaces them.
+  Regs.Seg = Value::undefined();
+  Regs.CurCode = Value::undefined();
+  Regs.NextK = Value::undefined();
+  Regs.Marks = Value::nil();
+  Regs.Winders = Value::nil();
+  Regs.Base = Regs.Fp = Regs.Sp = 0;
+  Regs.Pc = 0;
+  MarkStack.clear();
+}
+
+void VM::resetGovernance() {
+  // A previous run may have been abandoned mid-flight (limit trip, hard
+  // exhaustion): drop its pending-call and native-protocol state, consume
+  // any undelivered trip, and re-arm the fuel and deadline.
+  PendingCall = false;
+  NativeTailCall = false;
+  NativeJumped = false;
+  ForceOverflowOnce = false;
+  InterruptRequested.store(false, std::memory_order_relaxed);
+  FuelLeft = Cfg.Limits.FuelInterval ? Cfg.Limits.FuelInterval
+                                     : EngineLimits().FuelInterval;
+  DeadlineArmed = Cfg.Limits.TimeoutMs > 0;
+  if (DeadlineArmed)
+    Deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(Cfg.Limits.TimeoutMs);
+  H.resetGovernance();
+}
+
+TripKind VM::pollSafePoint() {
+  FuelLeft = Cfg.Limits.FuelInterval ? Cfg.Limits.FuelInterval
+                                     : EngineLimits().FuelInterval;
+  ++Stats.SafePointPolls;
+  if (InterruptRequested.exchange(false, std::memory_order_relaxed)) {
+    ++Stats.LimitInterrupts;
+    return TripKind::Interrupt;
+  }
+  if (H.hasPendingTrip()) {
+    TripKind T = H.takePendingTrip();
+    if (T == TripKind::HeapLimit)
+      ++Stats.LimitHeapTrips;
+    else if (T == TripKind::StackLimit)
+      ++Stats.LimitStackTrips;
+    return T;
+  }
+  if (DeadlineArmed && std::chrono::steady_clock::now() >= Deadline) {
+    // One-shot per run: were the deadline to stay armed, the very next
+    // poll would re-trip inside the program's own timeout handler.
+    DeadlineArmed = false;
+    ++Stats.LimitTimeoutTrips;
+    return TripKind::Timeout;
+  }
+  return TripKind::None;
+}
+
 Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
                          bool &Ok) {
   CMK_CHECK(!Running, "applyProcedure is not re-entrant");
   clearError();
+  try {
 
   GCRoot FnRoot(H, Fn);
   RootedValues ArgRoots(H);
   for (uint32_t I = 0; I < NArgs; ++I)
     ArgRoots.push(Args[I]);
+
+  // After the roots: re-arming a tripped heap budget may collect, and Fn
+  // or the arguments might only be reachable through this call.
+  resetGovernance();
 
   // Resolve native/pending chains until a closure (or plain result).
   for (;;) {
@@ -268,6 +393,7 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
           N->Fn(*this, asStackSeg(Regs.Seg)->Slots + FrameHeaderSlots, NArgs);
       Running = false;
       if (Failed) {
+        releaseRunState();
         Ok = false;
         return Value::undefined();
       }
@@ -306,7 +432,27 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
   Value Result = run();
   Running = false;
   Ok = !Failed;
+  if (Failed)
+    releaseRunState();
   return Result;
+
+  } catch (const ResourceExhausted &Ex) {
+    // A resource was exhausted beyond its reserve (or the host is truly
+    // out of memory). The run is abandoned; the engine itself stays
+    // consistent: the heap was left untouched by the throwing allocation,
+    // GCRoot/RootedValues unwound via RAII, and the dead stack segments
+    // are garbage the next collection reclaims.
+    Running = false;
+    PendingCall = false;
+    NativeTailCall = false;
+    NativeJumped = false;
+    releaseRunState();
+    Failed = true;
+    ErrKind = errorKindOf(Ex.Kind);
+    ErrMsg = Ex.What;
+    Ok = false;
+    return Value::undefined();
+  }
 }
 
 // -----------------------------------------------------------------------------
@@ -348,6 +494,26 @@ Value VM::run() {
   } while (0)
 
   for (;;) {
+    // Fuel-based safe point: every FuelInterval instructions, check for a
+    // pending budget trip, an expired deadline, or a host interrupt, and
+    // deliver it as a catchable Scheme exception by injecting a call to
+    // the prelude's #%limit-raise at this (synced) instruction boundary.
+    if (--FuelLeft <= 0) {
+      SYNC();
+      TripKind Trip = pollSafePoint();
+      if (Trip != TripKind::None) {
+        if (!injectLimitRaise(Trip)) {
+          // No prelude hook (bare engine): fail the run, still cleanly.
+          SYNC();
+          raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));
+          return Value::undefined();
+        }
+        if (Failed)
+          return Value::undefined();
+        RELOAD();
+        continue;
+      }
+    }
     Op O = static_cast<Op>(Ins[Pc]);
     switch (O) {
     case Op::PushConst:
@@ -469,7 +635,8 @@ Value VM::run() {
         CodeObj *Code = asCode(asClosure(Fn)->Code);
         if (!(Code->Flags & codeflags::HasRestArg) &&
             NArgs == Code->NumArgs && !Cfg.HeapFrameMode &&
-            Hdr + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity) {
+            Hdr + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
+            !forcedOverflow()) {
           if (!Slots[Hdr + 1].isUnderflowSentinel()) {
             Slots[Hdr + 0] = Value::fixnum(Fp);
             Slots[Hdr + 1] = Regs.CurCode;
@@ -512,7 +679,8 @@ Value VM::run() {
         CodeObj *Code = asCode(asClosure(Fn)->Code);
         if (!(Code->Flags & codeflags::HasRestArg) &&
             NArgs == Code->NumArgs &&
-            Fp + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity) {
+            Fp + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
+            !forcedOverflow()) {
           for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
             Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
           Sp = Fp + FrameHeaderSlots + Code->NumLocals;
@@ -974,6 +1142,26 @@ static uint32_t buildPendingFrame(VM &M) {
   return Hdr;
 }
 
+bool VM::injectLimitRaise(TripKind Trip) {
+  // #%limit-raise is the prelude's contract with the VM: it raises a
+  // catchable limit exception (running dynamic-wind after-thunks on the
+  // way to the handler) and never returns normally — a normal return
+  // would push a stray value onto the interrupted expression stack.
+  Value Fn = getGlobal("#%limit-raise");
+  if (!Fn.isClosure())
+    return false;
+  // PendingFn/PendingArgs are GC roots, so building the second argument
+  // cannot lose the first.
+  PendingFn = Fn;
+  PendingArgs.clear();
+  PendingArgs.push_back(H.intern(tripKindName(Trip)));
+  PendingArgs.push_back(H.makeString(tripMessage(Trip)));
+  uint32_t Hdr = buildPendingFrame(*this);
+  // A closure call only sets up registers; it cannot halt the run here.
+  dispatchSlowCall(Hdr, static_cast<uint32_t>(PendingArgs.size()));
+  return true;
+}
+
 VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
   for (;;) {
     Value *Slots = asStackSeg(Regs.Seg)->Slots;
@@ -988,6 +1176,12 @@ VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
       bool Overflow =
           Cfg.HeapFrameMode ||
           Hdr + Code->FrameSize > asStackSeg(Regs.Seg)->Capacity;
+      if (ForceOverflowOnce) {
+        // Overflow fault site: the frame fits, but take the mid-frame
+        // overflow machinery anyway (semantics-preserving).
+        ForceOverflowOnce = false;
+        Overflow = true;
+      }
       if (Overflow) {
         if (Slots[Hdr + 1].isUnderflowSentinel() && Hdr == Regs.Base) {
           // Already at a stack base (pre-reified CallAttach or pending
@@ -1094,7 +1288,13 @@ VM::Dispatch VM::dispatchSlowTail(uint32_t NArgs) {
       if (!bindArgs(*this, Code, Fp + FrameHeaderSlots, NArgs, procName(Fn)))
         return Dispatch::Done;
       Slots = asStackSeg(Regs.Seg)->Slots;
-      if (Fp + Code->FrameSize > asStackSeg(Regs.Seg)->Capacity) {
+      bool TailOverflow =
+          Fp + Code->FrameSize > asStackSeg(Regs.Seg)->Capacity;
+      if (ForceOverflowOnce) {
+        ForceOverflowOnce = false;
+        TailOverflow = true;
+      }
+      if (TailOverflow) {
         // Overflow on a tail call: reify, then move this frame to a fresh
         // segment (the record keeps the old one alive for the copy-back).
         ++Stats.SegmentOverflows;

@@ -26,9 +26,13 @@
 #include "runtime/heap.h"
 #include "runtime/symbols.h"
 #include "runtime/value.h"
+#include "support/faults.h"
+#include "support/limits.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
+#include <atomic>
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -52,6 +56,9 @@ struct VMConfig {
   /// a side stack synchronized with frames; every return pays a check and
   /// continuation capture copies the whole mark stack.
   bool MarkStackMode = false;
+  /// Resource budgets (support/limits.h); zero fields disable. Mutable
+  /// between runs through VM::config() / SchemeEngine::limits().
+  EngineLimits Limits;
 };
 
 /// Entry of the old-Racket-style mark stack (MarkStackMode only).
@@ -83,13 +90,36 @@ public:
 
   bool failed() const { return Failed; }
   const std::string &errorMessage() const { return ErrMsg; }
+  /// Classification of the current error (limit trips vs. plain errors).
+  ErrorKind errorKind() const { return ErrKind; }
   void clearError() {
     Failed = false;
     ErrMsg.clear();
+    ErrKind = ErrorKind::None;
   }
 
   /// Signals a Scheme-level runtime error; unwinds to applyProcedure.
+  /// Appends a mark-based stack snapshot (the prelude's trace key) to the
+  /// message when one is available.
   Value raiseError(const std::string &Msg);
+  /// raiseError with an explicit classification (limit trips).
+  Value raiseErrorKind(ErrorKind Kind, const std::string &Msg);
+
+  // --- Resource governance (support/limits.h) --------------------------------
+
+  /// Thread-safe, async-signal-safe cancellation: the dispatch loop's next
+  /// safe point raises a catchable interrupt exception.
+  void requestInterrupt() {
+    InterruptRequested.store(true, std::memory_order_relaxed);
+  }
+
+  /// Per-engine fault injector (support/faults.h). Hooks are compiled in
+  /// only under CMARKS_FAULTS, but configuration is always available.
+  FaultInjector &faults() { return Faults; }
+
+  /// The prelude registers its snapshot mark key here (via
+  /// #%set-snapshot-key!) so raiseError can attach a stack snapshot.
+  Value SnapshotKey = Value::undefined();
 
   // --- Globals ---------------------------------------------------------------
 
@@ -214,10 +244,42 @@ public:
   /// (paper 7.2, second category) and marks the pending frame's header.
   void preReifyForAttachCall(uint32_t Hdr);
 
+  /// One-shot "treat the next call as a segment overflow" latch set by the
+  /// Overflow fault site and consumed by the slow-call dispatchers.
+  bool ForceOverflowOnce = false;
+
+  /// Overflow fault-site hook: when armed and firing, latches
+  /// ForceOverflowOnce and diverts the caller off the fast path. Folds to
+  /// a constant false when CMARKS_FAULTS is off.
+  bool forcedOverflow() {
+    if (CMK_FAULT(&Faults, Overflow)) {
+      ForceOverflowOnce = true;
+      return true;
+    }
+    return false;
+  }
+
 private:
   friend class SchemeEngine;
 
   void installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs);
+
+  /// Re-arms fuel, deadline, and pending-trip state for a fresh run.
+  void resetGovernance();
+
+  /// Detaches Regs from a failed run's stack chain so the condemned
+  /// segments are collectible immediately.
+  void releaseRunState();
+
+  /// Fuel-exhaustion safe point: refills fuel and returns the trip to
+  /// deliver (TripKind::None for a plain poll). Registers must be synced.
+  TripKind pollSafePoint();
+
+  /// Delivers a limit trip at a safe point by injecting a call to the
+  /// prelude's #%limit-raise (which raises a catchable Scheme exception).
+  /// Returns false when the prelude hook is unavailable, in which case the
+  /// caller reports the trip through raiseErrorKind instead.
+  bool injectLimitRaise(TripKind Trip);
 
   /// Code object containing a single Halt instruction; the bottom of every
   /// run's continuation chain resumes here.
@@ -237,7 +299,15 @@ private:
 
   bool Failed = false;
   std::string ErrMsg;
+  ErrorKind ErrKind = ErrorKind::None;
   bool Running = false;
+
+  // Resource governance state.
+  FaultInjector Faults;
+  int64_t FuelLeft = 0; ///< Instructions until the next safe-point poll.
+  std::chrono::steady_clock::time_point Deadline{};
+  bool DeadlineArmed = false;
+  std::atomic<bool> InterruptRequested{false};
 };
 
 // --- Native registration (vm/primitives*.cpp, marks/, control/, lib/) --------

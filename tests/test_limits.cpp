@@ -1,0 +1,256 @@
+//===- tests/test_limits.cpp - Resource governance -------------*- C++ -*-===//
+//
+// The EngineLimits layer (support/limits.h): heap byte budgets, stack
+// segment budgets, wall-clock timeouts, and cross-thread interrupts must
+// each surface as a *catchable* Scheme exception, dynamic-wind after
+// thunks must run while the trip unwinds, and the same engine must be
+// fully usable afterwards — no leaked segments, no stuck budgets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace cmk;
+
+namespace {
+
+EngineOptions withLimits(uint64_t HeapBytes, uint32_t MaxSegs,
+                         uint64_t TimeoutMs = 0) {
+  EngineOptions Opts;
+  Opts.VmCfg.Limits.HeapBytes = HeapBytes;
+  Opts.VmCfg.Limits.MaxLiveSegments = MaxSegs;
+  Opts.VmCfg.Limits.TimeoutMs = TimeoutMs;
+  // Small fuel interval so trips are delivered promptly in tiny tests.
+  Opts.VmCfg.Limits.FuelInterval = 256;
+  return Opts;
+}
+
+// ------------------------------------------------------------ heap limit ----
+
+TEST(HeapLimit, UnboundedAllocationRaisesCatchableExn) {
+  SchemeEngine E(withLimits(24u << 20, 0));
+  expectEval(E,
+             "(with-handlers ([exn:heap-limit? (lambda (e) 'caught)])\n"
+             "  (let loop ([acc '()])\n"
+             "    (loop (cons (make-vector 512 0) acc))))",
+             "caught");
+  EXPECT_TRUE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::None);
+}
+
+TEST(HeapLimit, UncaughtTripReportsHeapLimitKind) {
+  SchemeEngine E(withLimits(24u << 20, 0));
+  E.eval("(let loop ([acc '()]) (loop (cons (make-vector 512 0) acc)))");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::HeapLimit);
+  EXPECT_NE(E.lastError().find("heap limit"), std::string::npos)
+      << E.lastError();
+}
+
+TEST(HeapLimit, EngineIsReusableAfterTrip) {
+  SchemeEngine E(withLimits(24u << 20, 0));
+  E.eval("(let loop ([acc '()]) (loop (cons (make-vector 512 0) acc)))");
+  ASSERT_FALSE(E.ok());
+  // The condemned allocation chain is garbage now; the budget must re-arm
+  // and ordinary evaluation must succeed on the same engine.
+  expectEval(E, "(let loop ([i 0] [acc 0])"
+                "  (if (= i 1000) acc (loop (+ i 1) (+ acc i))))",
+             "499500");
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::None);
+}
+
+TEST(HeapLimit, ExnCarriesMessageAndKind) {
+  SchemeEngine E(withLimits(24u << 20, 0));
+  expectEval(E,
+             "(with-handlers ([exn:limit? (lambda (e)\n"
+             "                              (list (exn:limit-kind e)\n"
+             "                                    (string? (exn-message e))\n"
+             "                                    (exn? e)))])\n"
+             "  (let loop ([acc '()])\n"
+             "    (loop (cons (make-vector 512 0) acc))))",
+             "(heap-limit #t #t)");
+}
+
+// ----------------------------------------------------------- stack limit ----
+
+TEST(StackLimit, DeepRecursionRaisesCatchableExn) {
+  SchemeEngine E(withLimits(0, 16));
+  expectEval(E,
+             "(define (deep n) (if (= n 0) 0 (+ 1 (deep (- n 1)))))\n"
+             "(with-handlers ([exn:stack-limit? (lambda (e) 'too-deep)])\n"
+             "  (deep 10000000))",
+             "too-deep");
+}
+
+TEST(StackLimit, SegmentsAreReclaimedAfterTrip) {
+  SchemeEngine E(withLimits(0, 16));
+  E.eval("(define (deep n) (if (= n 0) 0 (+ 1 (deep (- n 1)))))");
+  E.eval("(deep 10000000)");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::StackLimit);
+  // Everything below the toplevel is dead; a collection must bring the
+  // live-segment count back under the budget (the reserve retires too).
+  E.heap().collect();
+  EXPECT_LT(E.heap().liveStackSegments(), 16u + 8u);
+  EXPECT_FALSE(E.heap().segmentReserveActive());
+  // And moderately deep — but legal — recursion still works.
+  expectEval(E, "(deep 2000)", "2000");
+}
+
+TEST(StackLimit, DynamicWindAfterThunksRunDuringUnwind) {
+  SchemeEngine E(withLimits(0, 16));
+  expectEval(E,
+             "(define after-ran #f)\n"
+             "(define (deep n) (if (= n 0) 0 (+ 1 (deep (- n 1)))))\n"
+             "(with-handlers ([exn:limit? (lambda (e) after-ran)])\n"
+             "  (dynamic-wind\n"
+             "    (lambda () #f)\n"
+             "    (lambda () (deep 10000000))\n"
+             "    (lambda () (set! after-ran #t))))",
+             "#t");
+}
+
+TEST(StackLimit, CallccAcrossTripDoesNotResurrectCondemnedStack) {
+  SchemeEngine E(withLimits(0, 16));
+  // Capture a continuation *outside* the doomed recursion, trip the stack
+  // limit, then re-enter the captured continuation. The re-entry must see
+  // a healthy stack, not the condemned chain of segments.
+  expectEval(E,
+             "(define (deep n) (if (= n 0) 0 (+ 1 (deep (- n 1)))))\n"
+             "(let ([k* #f] [hits 0])\n"
+             "  (let ([r (+ 1 (call/cc (lambda (k) (set! k* k) 100)))])\n"
+             "    (set! hits (+ hits 1))\n"
+             "    (if (= hits 1)\n"
+             "        (begin\n"
+             "          (with-handlers ([exn:stack-limit? (lambda (e) 'tripped)])\n"
+             "            (deep 10000000))\n"
+             "          (k* 200))\n"
+             "        (list r hits))))",
+             "(201 2)");
+}
+
+// --------------------------------------------------------------- timeout ----
+
+TEST(Timeout, InfiniteLoopTimesOutCatchably) {
+  SchemeEngine E(withLimits(0, 0, /*TimeoutMs=*/200));
+  auto Start = std::chrono::steady_clock::now();
+  expectEval(E,
+             "(with-handlers ([exn:timeout? (lambda (e) 'timed-out)])\n"
+             "  (let loop () (loop)))",
+             "timed-out");
+  auto Elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - Start)
+                     .count();
+  EXPECT_GE(Elapsed, 150);
+  EXPECT_GT(E.stats().LimitTimeoutTrips, 0u);
+}
+
+TEST(Timeout, UncaughtTimeoutReportsKindAndEngineSurvives) {
+  SchemeEngine E(withLimits(0, 0, /*TimeoutMs=*/100));
+  E.eval("(let loop () (loop))");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::Timeout);
+  // The deadline re-arms per evaluation: a fast program still finishes.
+  expectEval(E, "(+ 1 2)", "3");
+}
+
+TEST(Timeout, FastProgramsAreUnaffected) {
+  SchemeEngine E(withLimits(0, 0, /*TimeoutMs=*/10000));
+  expectEval(E, "(let loop ([i 0]) (if (= i 100000) i (loop (+ i 1))))",
+             "100000");
+}
+
+// ------------------------------------------------------------- interrupt ----
+
+TEST(Interrupt, CrossThreadRequestStopsTheLoop) {
+  SchemeEngine E;
+  std::thread Poker([&E] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    E.requestInterrupt();
+  });
+  expectEval(E,
+             "(with-handlers ([exn:interrupt? (lambda (e) 'stopped)])\n"
+             "  (let loop () (loop)))",
+             "stopped");
+  Poker.join();
+  EXPECT_GT(E.stats().LimitInterrupts, 0u);
+}
+
+TEST(Interrupt, UncaughtInterruptReportsKind) {
+  SchemeEngine E;
+  std::thread Poker([&E] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    E.requestInterrupt();
+  });
+  E.eval("(let loop () (loop))");
+  Poker.join();
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::Interrupt);
+  expectEval(E, "'alive", "alive");
+}
+
+TEST(Interrupt, StaleRequestIsClearedAtNextEval) {
+  SchemeEngine E;
+  // A request that lands between evaluations must not poison the next one.
+  E.requestInterrupt();
+  expectEval(E, "(let loop ([i 0]) (if (= i 100000) 'done (loop (+ i 1))))",
+             "done");
+}
+
+// ------------------------------------------------------- error reporting ----
+
+TEST(ErrorContext, UncaughtErrorsCarryMarkStackSnapshot) {
+  SchemeEngine E;
+  E.eval("(define (inner) (car 5))\n"
+         "(define (middle) (with-stack-frame 'middle (+ 1 (inner))))\n"
+         "(define (outer) (with-stack-frame 'outer (+ 1 (middle))))\n"
+         "(outer)");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::Runtime);
+  EXPECT_NE(E.lastError().find("context:"), std::string::npos)
+      << E.lastError();
+  EXPECT_NE(E.lastError().find("middle"), std::string::npos) << E.lastError();
+  EXPECT_NE(E.lastError().find("outer"), std::string::npos) << E.lastError();
+}
+
+TEST(ErrorContext, CaughtErrorsProduceNoSnapshotNoise) {
+  SchemeEngine E;
+  expectEval(E,
+             "(with-handlers ([exn? (lambda (e) 'handled)]) (error \"boom\"))",
+             "handled");
+}
+
+// ---------------------------------------------------------- housekeeping ----
+
+TEST(Governance, SafePointPollsAreCounted) {
+  EngineOptions Opts;
+  Opts.VmCfg.Limits.FuelInterval = 128;
+  SchemeEngine E(Opts);
+  E.resetStats();
+  expectEval(E, "(let loop ([i 0]) (if (= i 10000) 'done (loop (+ i 1))))",
+             "done");
+  EXPECT_GT(E.stats().SafePointPolls, 0u);
+}
+
+TEST(Governance, LimitsAreMutableBetweenEvals) {
+  SchemeEngine E;
+  expectEval(E, "(make-vector 100000 0) 'big-ok", "big-ok");
+  E.limits().HeapBytes = 24u << 20;
+  E.eval("(let loop ([acc '()]) (loop (cons (make-vector 512 0) acc)))");
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::HeapLimit);
+  E.limits().HeapBytes = 0;
+  expectEval(E, "(vector-length (make-vector 100000 0))", "100000");
+}
+
+TEST(Governance, TripCountersClassifyTrips) {
+  SchemeEngine E(withLimits(24u << 20, 0));
+  E.resetStats();
+  E.eval("(let loop ([acc '()]) (loop (cons (make-vector 512 0) acc)))");
+  EXPECT_GT(E.stats().LimitHeapTrips, 0u);
+  EXPECT_EQ(E.stats().LimitStackTrips, 0u);
+}
+
+} // namespace

@@ -15,7 +15,9 @@
 #include "reader/reader.h"
 #include "runtime/printer.h"
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,10 +33,77 @@ struct CliOptions {
   bool Disasm = false;
   bool ShowHelp = false;
   bool ShowStats = false;
-  std::string TraceFile; ///< --trace=FILE: record and dump on exit.
+  bool FaultReport = false; ///< --fault-report: injector summary on exit.
+  std::string TraceFile;    ///< --trace=FILE: record and dump on exit.
+  EngineLimits Limits;      ///< --heap-limit / --stack-limit / --timeout.
   std::vector<std::string> Files;
   std::vector<std::string> Exprs;
 };
+
+/// Exit codes: 0 success, 1 ordinary error, 2 usage, 3 resource-limit
+/// trip, 130 interrupt (matching the shell convention for SIGINT).
+enum ExitCode {
+  ExitOk = 0,
+  ExitError = 1,
+  ExitUsage = 2,
+  ExitLimit = 3,
+  ExitInterrupt = 130,
+};
+
+int exitCodeFor(const SchemeEngine &E) {
+  switch (E.lastErrorKind()) {
+  case ErrorKind::HeapLimit:
+  case ErrorKind::StackLimit:
+  case ErrorKind::Timeout:
+    return ExitLimit;
+  case ErrorKind::Interrupt:
+    return ExitInterrupt;
+  default:
+    return ExitError;
+  }
+}
+
+/// Parses "8M", "512k", "1G", "65536" into bytes; false on junk.
+bool parseByteSize(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  unsigned long long N = std::strtoull(S.c_str(), &End, 10);
+  if (End == S.c_str())
+    return false;
+  uint64_t Mult = 1;
+  if (*End == 'k' || *End == 'K')
+    Mult = 1ull << 10;
+  else if (*End == 'm' || *End == 'M')
+    Mult = 1ull << 20;
+  else if (*End == 'g' || *End == 'G')
+    Mult = 1ull << 30;
+  else if (*End != '\0')
+    return false;
+  if (Mult > 1)
+    ++End;
+  if (*End != '\0')
+    return false;
+  Out = static_cast<uint64_t>(N) * Mult;
+  return true;
+}
+
+bool parseCount(const std::string &S, uint64_t &Out) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  Out = std::strtoull(S.c_str(), &End, 10);
+  return End != S.c_str() && *End == '\0';
+}
+
+/// The engine the SIGINT handler pokes; requestInterrupt is a single
+/// atomic store, so it is safe from a signal context.
+SchemeEngine *InterruptTarget = nullptr;
+
+void onSigInt(int) {
+  if (InterruptTarget)
+    InterruptTarget->requestInterrupt();
+}
 
 bool parseVariant(const std::string &Name, EngineVariant &Out) {
   struct Entry {
@@ -72,8 +141,20 @@ void printHelp() {
       "  --stats            print runtime event counters to stderr on exit\n"
       "  --trace=FILE       record VM events; write Chrome trace-event\n"
       "                     JSON (load in ui.perfetto.dev) to FILE on exit\n"
+      "  --heap-limit=N     heap budget in bytes (K/M/G suffixes ok);\n"
+      "                     exceeding it raises a catchable exn:heap-limit?\n"
+      "  --stack-limit=N    max live stack segments; deep recursion raises\n"
+      "                     a catchable exn:stack-limit?\n"
+      "  --timeout=MS       per-evaluation wall-clock budget; raises a\n"
+      "                     catchable exn:timeout?\n"
+      "  --fault-report     print fault-injection site summary on exit\n"
+      "                     (sites armed via CMARKS_FAULT_SPEC; probes\n"
+      "                     active in -DCMARKS_FAULTS=ON builds)\n"
       "  -h, --help         this message\n"
-      "With no files or -e options, starts an interactive REPL.\n");
+      "With no files or -e options, starts an interactive REPL.\n"
+      "Ctrl-C interrupts the running evaluation (catchable as\n"
+      "exn:interrupt?). Exit codes: 0 ok, 1 error, 2 usage, 3 resource\n"
+      "limit, 130 interrupted.\n");
 }
 
 /// Counts unclosed parens/brackets outside strings and comments, so the
@@ -145,21 +226,44 @@ int main(int Argc, char **Argv) {
     } else if (Arg.rfind("--variant=", 0) == 0) {
       if (!parseVariant(Arg.substr(10), Opts.Variant)) {
         std::fprintf(stderr, "unknown variant: %s\n", Arg.c_str());
-        return 2;
+        return ExitUsage;
       }
     } else if (Arg == "--disasm") {
       Opts.Disasm = true;
     } else if (Arg == "--stats") {
       Opts.ShowStats = true;
+    } else if (Arg == "--fault-report") {
+      Opts.FaultReport = true;
+    } else if (Arg.rfind("--heap-limit=", 0) == 0) {
+      if (!parseByteSize(Arg.substr(13), Opts.Limits.HeapBytes)) {
+        std::fprintf(stderr, "bad --heap-limit (want BYTES, K/M/G ok): %s\n",
+                     Arg.c_str());
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--stack-limit=", 0) == 0) {
+      uint64_t N = 0;
+      if (!parseCount(Arg.substr(14), N) || N == 0) {
+        std::fprintf(stderr, "bad --stack-limit (want a positive count): %s\n",
+                     Arg.c_str());
+        return ExitUsage;
+      }
+      Opts.Limits.MaxLiveSegments = static_cast<uint32_t>(N);
+    } else if (Arg.rfind("--timeout=", 0) == 0) {
+      if (!parseCount(Arg.substr(10), Opts.Limits.TimeoutMs) ||
+          Opts.Limits.TimeoutMs == 0) {
+        std::fprintf(stderr, "bad --timeout (want milliseconds): %s\n",
+                     Arg.c_str());
+        return ExitUsage;
+      }
     } else if (Arg.rfind("--trace=", 0) == 0) {
       Opts.TraceFile = Arg.substr(8);
       if (Opts.TraceFile.empty()) {
         std::fprintf(stderr, "--trace needs a file name (--trace=FILE)\n");
-        return 2;
+        return ExitUsage;
       }
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", Arg.c_str());
-      return 2;
+      return ExitUsage;
     } else {
       Opts.Files.push_back(Arg);
     }
@@ -169,7 +273,11 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  SchemeEngine Engine(Opts.Variant);
+  EngineOptions EngineOpts = EngineOptions::forVariant(Opts.Variant);
+  EngineOpts.VmCfg.Limits = Opts.Limits;
+  SchemeEngine Engine(EngineOpts);
+  InterruptTarget = &Engine;
+  std::signal(SIGINT, onSigInt);
   // Tracing starts after the prelude loads so the timeline shows the
   // user's program, not engine startup.
   if (!Opts.TraceFile.empty())
@@ -205,11 +313,28 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  auto Epilogue = [&](int Ret) {
+    DumpTrace();
+    if (Opts.ShowStats) {
+      printStatsTable(Engine.stats(), stderr);
+      const HeapStats &HS = Engine.heap().stats();
+      std::fprintf(stderr, "  %-26s %12llu\n", "gc-collections",
+                   static_cast<unsigned long long>(HS.Collections));
+      std::fprintf(stderr, "  %-26s %12llu\n", "gc-one-shot-promotions",
+                   static_cast<unsigned long long>(HS.OneShotPromotions));
+      std::fprintf(stderr, "  %-26s %12llu\n", "gc-bytes-allocated",
+                   static_cast<unsigned long long>(HS.BytesAllocated));
+    }
+    if (Opts.FaultReport)
+      std::fprintf(stderr, "%s", Engine.faults().report().c_str());
+    return Ret;
+  };
+
   for (const std::string &File : Opts.Files) {
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "cannot open %s\n", File.c_str());
-      return 1;
+      return Epilogue(ExitError);
     }
     std::stringstream Buf;
     Buf << In.rdbuf();
@@ -217,8 +342,7 @@ int main(int Argc, char **Argv) {
     if (!Engine.ok()) {
       std::fprintf(stderr, "%s: %s\n", File.c_str(),
                    Engine.lastError().c_str());
-      DumpTrace();
-      return 1;
+      return Epilogue(exitCodeFor(Engine));
     }
   }
 
@@ -226,26 +350,14 @@ int main(int Argc, char **Argv) {
     Value V = Engine.eval(Expr);
     if (!Engine.ok()) {
       std::fprintf(stderr, "error: %s\n", Engine.lastError().c_str());
-      DumpTrace();
-      return 1;
+      return Epilogue(exitCodeFor(Engine));
     }
     std::printf("%s\n", writeToString(V).c_str());
   }
 
-  int Ret = 0;
+  int Ret = ExitOk;
   if (Opts.Files.empty() && Opts.Exprs.empty())
     Ret = runRepl(Engine);
 
-  DumpTrace();
-  if (Opts.ShowStats) {
-    printStatsTable(Engine.stats(), stderr);
-    const HeapStats &HS = Engine.heap().stats();
-    std::fprintf(stderr, "  %-26s %12llu\n", "gc-collections",
-                 static_cast<unsigned long long>(HS.Collections));
-    std::fprintf(stderr, "  %-26s %12llu\n", "gc-one-shot-promotions",
-                 static_cast<unsigned long long>(HS.OneShotPromotions));
-    std::fprintf(stderr, "  %-26s %12llu\n", "gc-bytes-allocated",
-                 static_cast<unsigned long long>(HS.BytesAllocated));
-  }
-  return Ret;
+  return Epilogue(Ret);
 }

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Sweep the test suite across deterministic fault-injection schedules.
+
+Runs the repository's ctest suite repeatedly, each time with a different
+CMARKS_FAULT_SPEC (see src/support/faults.h), so the semantics-preserving
+fault sites — forced collections, forced segment overflows, disabled
+underflow fusion — are exercised at many reproducible points. A build
+configured with -DCMARKS_FAULTS=ON is required; the sweep refuses to run
+against a build whose probes are compiled out, since every spec would
+vacuously pass.
+
+Tests whose names match the exclusion regex are skipped: those suites
+assert performance-path behavior (event counters, trace contents, the
+governance layer itself) that injection legitimately perturbs. Everything
+else must pass at every scheduled site and seed.
+
+Output: a human-readable summary plus a JSON report (schema
+cmarks-fault-sweep-v1) suitable for CI artifacts. Exit status is 0 only
+if every scheduled run passed.
+
+Usage:
+  tools/fault_sweep.py --build-dir build-faults
+  tools/fault_sweep.py --build-dir build-faults --smoke   # CI-sized
+"""
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "cmarks-fault-sweep-v1"
+
+# Suites that assert counter values, trace contents, or limit behavior
+# that fault injection legitimately changes. "Fusion" is excluded for
+# every site: forced collections promote opportunistic one-shots and
+# forced overflows split segments, so fusion-count assertions cannot
+# hold (correctness of the same programs is still checked elsewhere).
+BASE_EXCLUDE = (r"Stats|Trace|Fault|Limit|Timeout|Interrupt|Governance"
+                r"|ErrorContext|Fusion")
+
+# Disabling underflow fusion additionally breaks suites that assert the
+# fusion fast path is *taken* (it still must compute correct answers,
+# which the remaining suites check).
+NOFUSE_EXCLUDE = BASE_EXCLUDE + r"|Continuations\.|OneShot"
+
+
+def schedule(smoke, seeds):
+    """Yields (spec, exclude_regex) pairs for the sweep.
+
+    Intervals are tuned so a run costs low single-digit multiples of the
+    clean suite: a forced collection is O(heap) and a forced overflow
+    walks the whole segment-switch path, so firing either every few dozen
+    events makes the sweep quadratic. The gc site only gets interval
+    triggers — p=1 is the finest probabilistic grain (integer percent)
+    and fires a full collection every ~100 allocations, which is far too
+    hot; seeded probabilistic coverage rides on the cheaper sites.
+    """
+    runs = []
+    if smoke:
+        runs.append(("gc:every=997", BASE_EXCLUDE))
+        runs.append(("overflow:every=127", BASE_EXCLUDE))
+        runs.append(("nofuse:every=1", NOFUSE_EXCLUDE))
+        runs.append(("overflow:p=1,seed=1;nofuse:p=50,seed=1", NOFUSE_EXCLUDE))
+        return runs
+    for every in (499, 997, 2003):
+        runs.append((f"gc:every={every}", BASE_EXCLUDE))
+    for every in (127, 251, 509):
+        runs.append((f"overflow:every={every}", BASE_EXCLUDE))
+    runs.append(("nofuse:every=1", NOFUSE_EXCLUDE))
+    runs.append(("nofuse:every=2", NOFUSE_EXCLUDE))
+    for seed in seeds:
+        runs.append((f"overflow:p=1,seed={seed}", BASE_EXCLUDE))
+        runs.append(
+            (f"overflow:p=1,seed={seed};nofuse:p=50,seed={seed}",
+             NOFUSE_EXCLUDE))
+    return runs
+
+
+def faults_enabled(build_dir):
+    cache = Path(build_dir) / "CMakeCache.txt"
+    if not cache.is_file():
+        return False
+    for line in cache.read_text().splitlines():
+        if line.startswith("CMARKS_FAULTS:") and line.rstrip().endswith("=ON"):
+            return True
+    return False
+
+
+def run_ctest(build_dir, spec, exclude, jobs, env_base):
+    env = dict(env_base)
+    env["CMARKS_FAULT_SPEC"] = spec
+    cmd = [
+        "ctest", "--test-dir", str(build_dir), "-E", exclude,
+        "-j", str(jobs), "--output-on-failure",
+    ]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    duration = time.monotonic() - start
+    out = proc.stdout + proc.stderr
+
+    passed = failed = 0
+    m = re.search(r"(\d+) tests passed.*out of (\d+)", out)
+    if m:
+        passed = int(m.group(1))
+        failed = int(m.group(2)) - passed
+    else:
+        m = re.search(r"tests passed, (\d+) tests failed out of (\d+)", out)
+        if m:
+            failed = int(m.group(1))
+            passed = int(m.group(2)) - failed
+    failed_tests = re.findall(r"^\s*\d+ - (\S+) \(", out, re.MULTILINE)
+    return {
+        "spec": spec,
+        "exclude": exclude,
+        "returncode": proc.returncode,
+        "passed": passed,
+        "failed": failed,
+        "failed_tests": sorted(set(failed_tests)) if proc.returncode else [],
+        "duration_s": round(duration, 2),
+    }, out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--build-dir", default="build-faults",
+                    help="CMake build tree configured with -DCMARKS_FAULTS=ON")
+    ap.add_argument("--smoke", action="store_true",
+                    help="small CI-sized schedule (4 runs)")
+    ap.add_argument("--seeds", default="1,2",
+                    help="comma-separated seeds for probabilistic specs")
+    ap.add_argument("--jobs", "-j", type=int, default=2)
+    ap.add_argument("--report", default=None,
+                    help="JSON report path (default: <build-dir>/fault-sweep.json)")
+    ap.add_argument("--verbose", action="store_true",
+                    help="print ctest output for failing runs")
+    args = ap.parse_args()
+
+    build_dir = Path(args.build_dir)
+    if not faults_enabled(build_dir):
+        print(f"error: {build_dir} is not configured with -DCMARKS_FAULTS=ON;"
+              " the sweep would vacuously pass", file=sys.stderr)
+        return 2
+
+    seeds = [int(s) for s in args.seeds.split(",") if s]
+    runs = schedule(args.smoke, seeds)
+    report_path = Path(args.report) if args.report else build_dir / "fault-sweep.json"
+
+    import os
+    env_base = dict(os.environ)
+    results = []
+    ok = True
+    for i, (spec, exclude) in enumerate(runs, 1):
+        print(f"[{i}/{len(runs)}] CMARKS_FAULT_SPEC={spec!r} ... ",
+              end="", flush=True)
+        result, out = run_ctest(build_dir, spec, exclude, args.jobs, env_base)
+        results.append(result)
+        if result["returncode"] == 0:
+            print(f"ok ({result['passed']} tests, {result['duration_s']}s)",
+                  flush=True)
+        else:
+            ok = False
+            print(f"FAILED ({result['failed']} of "
+                  f"{result['passed'] + result['failed']} tests)")
+            for name in result["failed_tests"]:
+                print(f"    failed: {name}")
+            if args.verbose:
+                print(out)
+            sys.stdout.flush()
+
+    report = {
+        "schema": SCHEMA,
+        "build_dir": str(build_dir),
+        "smoke": args.smoke,
+        "ok": ok,
+        "runs": results,
+    }
+    report_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"{'PASS' if ok else 'FAIL'}: {len(runs)} scheduled specs;"
+          f" report written to {report_path}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
