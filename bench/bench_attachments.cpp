@@ -27,6 +27,7 @@ int main() {
   int Count = 0;
   const AttachmentMicro *Micros = attachmentMicros(Count);
   bool AllOk = true;
+  JsonReport Json("attachments");
 
   for (int I = 0; I < Count; ++I) {
     const AttachmentMicro &B = Micros[I];
@@ -50,9 +51,11 @@ int main() {
       }
     }
 
-    Timing TB = timeExpr(Builtin, Run);
-    Timing TI = timeExpr(Imitate, Run);
-    printSpeedupRow(B.Name, TB, TI);
+    Measurement MB = measureExpr(Builtin, Run);
+    Measurement MI = measureExpr(Imitate, Run);
+    printSpeedupRow(B.Name, MB.T, MI.T);
+    Json.add(B.Name, "builtin", MB);
+    Json.add(B.Name, "imitate", MI);
   }
   return AllOk ? 0 : 1;
 }

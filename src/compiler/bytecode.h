@@ -94,12 +94,38 @@ enum class Op : uint8_t {
   VectorSet,
 
   Halt, ///< Used only by the toplevel driver.
+
+  // Superinstructions (compiler/peephole.cpp). The code generator never
+  // emits these directly; the peephole pass fuses the dominant opcode
+  // sequences of the bench suite after codegen, and both dispatchers
+  // decode them. Fusion never crosses a jump target or a category-(a)/(b)
+  // attachment boundary (Reify/AttachSet/AttachGet/AttachConsume/
+  // CallAttach), so fused code is observationally identical to unfused.
+  LocalLocal,    ///< u16 a, u16 b: push local a, then local b.
+  LocalConst,    ///< u16 slot, u16 const: push local, then constant.
+  AddLocalConst, ///< u16 slot, u16 const: push (+ local const).
+  SubLocalConst, ///< u16 slot, u16 const: push (- local const).
+  LocalPrim,     ///< u16 slot, u8 prim opcode: push local, run the
+                 ///< embedded inlined primitive in the same dispatch.
+  ConstCall,     ///< u16 const, u16 argc: push constant (the callee's last
+                 ///< argument), then Call argc.
+  JumpIfNotZeroLocal, ///< u16 slot, u32 target: the (zero? local) branch
+                      ///< of a loop header; jumps when local is non-zero.
+  MarksEnterElided,   ///< Pops v, discards it: a MarksPush whose extent
+                      ///< provably contains no call, jump, or attachment
+                      ///< operation, so the cons is elided (paper 7.2
+                      ///< category (c) driven to zero allocations). Still
+                      ///< records the MarksPush trace event.
+  MarksExitElided,    ///< The matching MarksPop: no register change.
+
+  OpCount, ///< Sentinel: number of opcodes (dispatch-table size).
 };
 
 /// Returns a human-readable opcode name for the disassembler.
 const char *opName(Op O);
 
-/// Operand byte counts for decoding: 0, 2 (u16), 4 (u32 or 2xu16).
+/// Operand byte counts for decoding: 0, 2 (u16), 3 (u16+u8), 4 (u32 or
+/// 2xu16), or 6 (u16+u32).
 int opOperandBytes(Op O);
 
 /// Append-only instruction buffer used by the code generator.

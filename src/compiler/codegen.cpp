@@ -150,9 +150,12 @@ Value FnEmitter::emitFunction(LambdaNode *Fn) {
 
   uint32_t Flags = Fn->HasRest ? codeflags::HasRestArg : 0;
   uint32_t FrameSize = FrameHeaderSlots + NumLocals + MaxDepth + 8;
+  std::vector<uint8_t> Bytes = Buf.bytes();
+  if (Opts.EnablePeephole)
+    Bytes = runPeephole(Bytes);
   return H.makeCode(static_cast<uint32_t>(Fn->Params.size()),
                     static_cast<uint32_t>(NumLocals), FrameSize, Flags,
-                    Fn->Name, Consts, Buf.bytes());
+                    Fn->Name, Consts, Bytes);
 }
 
 void FnEmitter::compileVarRef(Var *V) {

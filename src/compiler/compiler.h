@@ -43,6 +43,11 @@ struct CompilerOptions {
   /// columns of figure 4 and section 8.4). The engine loads the library
   /// and points the marks layer at its attachment stack.
   bool UseImitationAttachments = false;
+  /// Run the post-codegen peephole pass (compiler/peephole.cpp): fuses
+  /// dominant opcode pairs into superinstructions and elides the marks
+  /// cons for straight-line category-(c) extents. Off = the exact
+  /// codegen output, used by the differential tests.
+  bool EnablePeephole = true;
 };
 
 /// Resolves toplevel names to mutable global cells (boxes). Implemented by
@@ -127,6 +132,18 @@ Value runCodegen(Heap &H, GlobalEnv &Globals, const WellKnown &WK,
 /// True if \p Sym names a primitive the code generator can inline and that
 /// is known not to inspect or change continuation attachments (paper 7.2).
 bool isInlinablePrim(const WellKnown &WK, Value Sym);
+
+/// Counters the peephole pass reports (exposed for tests).
+struct PeepholeStats {
+  int PairsFused = 0;
+  int MarkExtentsElided = 0;
+};
+
+/// Post-codegen peephole pass: superinstruction fusion and category-(c)
+/// mark-extent elision over one function's bytecode. Pure function of the
+/// input bytes; jump operands are remapped to the rewritten layout.
+std::vector<uint8_t> runPeephole(const std::vector<uint8_t> &In,
+                                 PeepholeStats *StatsOut = nullptr);
 
 } // namespace cmk
 

@@ -31,6 +31,20 @@ static void disasmCode(std::string &Out, Value CodeVal, int Indent) {
       uint16_t NFree = readU16(Instrs + Pc + 3);
       std::snprintf(Buf, sizeof(Buf), " code@%u nfree=%u", Idx, NFree);
       Out += Buf;
+    } else if (O == Op::LocalLocal || O == Op::LocalConst ||
+               O == Op::AddLocalConst || O == Op::SubLocalConst ||
+               O == Op::ConstCall) {
+      std::snprintf(Buf, sizeof(Buf), " %u %u", readU16(Instrs + Pc + 1),
+                    readU16(Instrs + Pc + 3));
+      Out += Buf;
+    } else if (O == Op::LocalPrim) {
+      std::snprintf(Buf, sizeof(Buf), " %u %s", readU16(Instrs + Pc + 1),
+                    opName(static_cast<Op>(Instrs[Pc + 3])));
+      Out += Buf;
+    } else if (O == Op::JumpIfNotZeroLocal) {
+      std::snprintf(Buf, sizeof(Buf), " %u %u", readU16(Instrs + Pc + 1),
+                    readU32(Instrs + Pc + 3));
+      Out += Buf;
     } else if (Operands == 2) {
       uint16_t V = readU16(Instrs + Pc + 1);
       std::snprintf(Buf, sizeof(Buf), " %u", V);

@@ -49,9 +49,14 @@ struct EngineLimits {
   uint32_t ReserveSegments = 8;
   /// Wall-clock budget per applyProcedure run, in milliseconds. 0 = none.
   uint64_t TimeoutMs = 0;
-  /// Instructions between dispatch-loop safe-point polls (fuel). Polls
-  /// check the deadline, the host interrupt flag, and pending budget
-  /// trips; smaller = more responsive, larger = cheaper.
+  /// Safe-point sites (calls and taken backward branches; see
+  /// src/vm/vm.cpp) between dispatch-loop polls (fuel). Polls check the
+  /// deadline, the host interrupt flag, and pending budget trips;
+  /// smaller = more responsive, larger = cheaper. Fuel only governs an
+  /// engine with some limit armed (a heap/segment/timeout budget, or a
+  /// non-default FuelInterval): ungoverned engines never fuel-expire and
+  /// take zero polls, though host interrupts and heap fuel pokes still
+  /// reach the next safe-point site promptly.
   uint32_t FuelInterval = 10000;
 };
 

@@ -17,6 +17,7 @@
 #include "runtime/printer.h"
 
 #include <cstring>
+#include <limits>
 
 using namespace cmk;
 
@@ -314,6 +315,19 @@ void VM::releaseRunState() {
   MarkStack.clear();
 }
 
+bool VM::pollingGoverned() const {
+  return Cfg.Limits.HeapBytes != 0 || Cfg.Limits.MaxLiveSegments != 0 ||
+         Cfg.Limits.TimeoutMs != 0 ||
+         Cfg.Limits.FuelInterval != EngineLimits().FuelInterval;
+}
+
+int64_t VM::refillFuel() const {
+  if (!pollingGoverned())
+    return std::numeric_limits<int64_t>::max();
+  return Cfg.Limits.FuelInterval ? Cfg.Limits.FuelInterval
+                                 : EngineLimits().FuelInterval;
+}
+
 void VM::resetGovernance() {
   // A previous run may have been abandoned mid-flight (limit trip, hard
   // exhaustion): drop its pending-call and native-protocol state, consume
@@ -323,8 +337,7 @@ void VM::resetGovernance() {
   NativeJumped = false;
   ForceOverflowOnce = false;
   InterruptRequested.store(false, std::memory_order_relaxed);
-  FuelLeft = Cfg.Limits.FuelInterval ? Cfg.Limits.FuelInterval
-                                     : EngineLimits().FuelInterval;
+  FuelLeft = refillFuel();
   DeadlineArmed = Cfg.Limits.TimeoutMs > 0;
   if (DeadlineArmed)
     Deadline = std::chrono::steady_clock::now() +
@@ -333,8 +346,7 @@ void VM::resetGovernance() {
 }
 
 TripKind VM::pollSafePoint() {
-  FuelLeft = Cfg.Limits.FuelInterval ? Cfg.Limits.FuelInterval
-                                     : EngineLimits().FuelInterval;
+  FuelLeft = refillFuel();
   ++Stats.SafePointPolls;
   if (InterruptRequested.exchange(false, std::memory_order_relaxed)) {
     ++Stats.LimitInterrupts;
@@ -458,6 +470,34 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
 // -----------------------------------------------------------------------------
 // The interpreter loop.
 // -----------------------------------------------------------------------------
+//
+// Two dispatch strategies share the same handler bodies:
+//
+//  - CMARKS_THREADED on a GCC/Clang compiler: computed-goto threading.
+//    Every handler ends by jumping through a &&label table indexed by the
+//    next opcode byte, so the indirect branch is replicated per handler
+//    and the branch predictor can learn per-opcode successor patterns.
+//  - otherwise: a portable switch. VM_NEXT() jumps back to a dispatch
+//    label placed in front of the switch, so handler bodies are written
+//    identically for both modes (VM_NEXT() is always a goto, never a
+//    `break`/`continue`, and is therefore safe at any nesting depth).
+//
+// Safe points are hoisted out of the per-instruction path: fuel is
+// decremented only at calls (Call/CallAttach/ConstCall/TailCall) and at
+// taken backward branches — every loop passes one of those (this
+// compiler's loops are tail calls; emitted jumps are forward If joins) —
+// plus an end-of-run check so a budget trip raised by the final
+// allocation is still delivered. Ungoverned engines (no EngineLimits
+// armed) run with effectively infinite fuel and take zero safe-point
+// polls; the per-site relaxed InterruptRequested load still delivers
+// cross-thread requestInterrupt() promptly, and the heap zeroing
+// FuelLeft (FuelPoke) still forces the next site to poll a budget trip.
+
+#if defined(CMARKS_THREADED) && (defined(__GNUC__) || defined(__clang__))
+#define CMK_THREADED_DISPATCH 1
+#else
+#define CMK_THREADED_DISPATCH 0
+#endif
 
 Value VM::run() {
   // Cached registers. Slots can be cached because the collector never moves
@@ -469,6 +509,7 @@ Value VM::run() {
   uint32_t Pc = Regs.Pc;
   uint32_t Fp = Regs.Fp;
   uint32_t Sp = Regs.Sp;
+  uint32_t NArgs = 0; // Shared by the call handlers that enter DoCall.
 
 #define SYNC()                                                                 \
   do {                                                                         \
@@ -493,558 +534,874 @@ Value VM::run() {
     return Value::undefined();                                                 \
   } while (0)
 
-  for (;;) {
-    // Fuel-based safe point: every FuelInterval instructions, check for a
-    // pending budget trip, an expired deadline, or a host interrupt, and
-    // deliver it as a catchable Scheme exception by injecting a call to
-    // the prelude's #%limit-raise at this (synced) instruction boundary.
-    if (--FuelLeft <= 0) {
-      SYNC();
-      TripKind Trip = pollSafePoint();
-      if (Trip != TripKind::None) {
-        if (!injectLimitRaise(Trip)) {
-          // No prelude hook (bare engine): fail the run, still cleanly.
-          SYNC();
-          raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));
-          return Value::undefined();
-        }
-        if (Failed)
-          return Value::undefined();
-        RELOAD();
-        continue;
-      }
-    }
-    Op O = static_cast<Op>(Ins[Pc]);
-    switch (O) {
-    case Op::PushConst:
-      Slots[Sp++] = Consts[readU16(Ins + Pc + 1)];
-      Pc += 3;
-      break;
-    case Op::PushLocal:
-      Slots[Sp++] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
-      Pc += 3;
-      break;
-    case Op::SetLocal:
-      Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)] = Slots[--Sp];
-      Pc += 3;
-      break;
-    case Op::PushLocalBox: {
-      Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
-      Slots[Sp++] = asBox(B)->Val;
-      Pc += 3;
-      break;
-    }
-    case Op::SetLocalBox: {
-      Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
-      asBox(B)->Val = Slots[--Sp];
-      Pc += 3;
-      break;
-    }
-    case Op::PushFree: {
-      ClosureObj *C = asClosure(Slots[Fp + 3]);
-      Slots[Sp++] = C->Free[readU16(Ins + Pc + 1)];
-      Pc += 3;
-      break;
-    }
-    case Op::PushFreeBox: {
-      ClosureObj *C = asClosure(Slots[Fp + 3]);
-      Slots[Sp++] = asBox(C->Free[readU16(Ins + Pc + 1)])->Val;
-      Pc += 3;
-      break;
-    }
-    case Op::SetFreeBox: {
-      ClosureObj *C = asClosure(Slots[Fp + 3]);
-      asBox(C->Free[readU16(Ins + Pc + 1)])->Val = Slots[--Sp];
-      Pc += 3;
-      break;
-    }
-    case Op::BoxLocal: {
-      uint32_t Slot = Fp + FrameHeaderSlots + readU16(Ins + Pc + 1);
-      SYNC();
-      Value B = H.makeBox(Slots[Slot]);
-      Slots[Slot] = B;
-      Pc += 3;
-      break;
-    }
-    case Op::PushGlobal: {
-      Pair *Cell = asPair(Consts[readU16(Ins + Pc + 1)]);
-      if (Cell->Car.isUndefined())
-        VMERROR("unbound variable: " + displayToString(Cell->Cdr));
-      Slots[Sp++] = Cell->Car;
-      Pc += 3;
-      break;
-    }
-    case Op::SetGlobal:
-    case Op::DefineGlobal:
-      asPair(Consts[readU16(Ins + Pc + 1)])->Car = Slots[--Sp];
-      Pc += 3;
-      break;
-    case Op::Pop:
-      --Sp;
-      ++Pc;
-      break;
-    case Op::Dup:
-      Slots[Sp] = Slots[Sp - 1];
-      ++Sp;
-      ++Pc;
-      break;
-    case Op::MakeClosure: {
-      Value Code = Consts[readU16(Ins + Pc + 1)];
-      uint32_t NFree = readU16(Ins + Pc + 3);
-      SYNC();
-      Value Clos = H.makeClosure(Code, NFree);
-      ClosureObj *C = asClosure(Clos);
-      for (uint32_t I = 0; I < NFree; ++I)
-        C->Free[I] = Slots[Sp - NFree + I];
-      Sp -= NFree;
-      Slots[Sp++] = Clos;
+#if CMK_THREADED_DISPATCH
+#define VM_CASE(OPC) L_##OPC:
+#define VM_NEXT() goto *DispatchTable[Ins[Pc]]
+#else
+#define VM_CASE(OPC) case Op::OPC:
+#define VM_NEXT() goto L_Dispatch
+#endif
+
+// Hoisted safe point: taken at calls and backward branches. A trip is
+// delivered by injecting a call to the prelude's #%limit-raise at this
+// (synced) boundary, exactly as the old per-instruction poll did.
+#define VM_SAFEPOINT()                                                         \
+  do {                                                                         \
+    if (__builtin_expect(--FuelLeft <= 0, 0) ||                                \
+        __builtin_expect(InterruptRequested.load(std::memory_order_relaxed),   \
+                         0)) {                                                 \
+      SYNC();                                                                  \
+      TripKind Trip = pollSafePoint();                                         \
+      if (Trip != TripKind::None) {                                            \
+        if (!injectLimitRaise(Trip)) {                                         \
+          raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));                \
+          return Value::undefined();                                           \
+        }                                                                      \
+        if (Failed)                                                            \
+          return Value::undefined();                                           \
+        RELOAD();                                                              \
+        VM_NEXT();                                                             \
+      }                                                                        \
+    }                                                                          \
+  } while (0)
+
+  // Inlined-primitive bodies, shared between the standalone opcodes
+  // (ADV = 1) and the LocalPrim superinstruction (ADV = 4). Every body
+  // ends in VM_NEXT() or VMERROR, so the macros are safe under either
+  // dispatcher and inside the LocalPrim inner switch.
+
+#define VM_PRIM_ADD(ADV)                                                       \
+  {                                                                            \
+    Value A = Slots[Sp - 2], B = Slots[Sp - 1];                                \
+    if (A.isFixnum() && B.isFixnum()) {                                        \
+      int64_t R;                                                               \
+      if (!__builtin_add_overflow(A.asFixnum(), B.asFixnum(), &R) &&           \
+          fitsFixnum(R)) {                                                     \
+        Slots[Sp - 2] = Value::fixnum(R);                                      \
+        --Sp;                                                                  \
+        Pc += (ADV);                                                           \
+        VM_NEXT();                                                             \
+      }                                                                        \
+    }                                                                          \
+    SYNC();                                                                    \
+    NumResult R = numAdd(H, A, B);                                             \
+    if (!R.Ok)                                                                 \
+      VMERROR("+: expected numbers");                                          \
+    Slots[Sp - 2] = R.V;                                                       \
+    --Sp;                                                                      \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_SUB(ADV)                                                       \
+  {                                                                            \
+    Value A = Slots[Sp - 2], B = Slots[Sp - 1];                                \
+    if (A.isFixnum() && B.isFixnum()) {                                        \
+      int64_t R;                                                               \
+      if (!__builtin_sub_overflow(A.asFixnum(), B.asFixnum(), &R) &&           \
+          fitsFixnum(R)) {                                                     \
+        Slots[Sp - 2] = Value::fixnum(R);                                      \
+        --Sp;                                                                  \
+        Pc += (ADV);                                                           \
+        VM_NEXT();                                                             \
+      }                                                                        \
+    }                                                                          \
+    SYNC();                                                                    \
+    NumResult R = numSub(H, A, B);                                             \
+    if (!R.Ok)                                                                 \
+      VMERROR("-: expected numbers");                                          \
+    Slots[Sp - 2] = R.V;                                                       \
+    --Sp;                                                                      \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_MUL(ADV)                                                       \
+  {                                                                            \
+    Value A = Slots[Sp - 2], B = Slots[Sp - 1];                                \
+    SYNC();                                                                    \
+    NumResult R = numMul(H, A, B);                                             \
+    if (!R.Ok)                                                                 \
+      VMERROR("*: expected numbers");                                          \
+    Slots[Sp - 2] = R.V;                                                       \
+    --Sp;                                                                      \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_CMP(OPV, ADV)                                                  \
+  {                                                                            \
+    Value A = Slots[Sp - 2], B = Slots[Sp - 1];                                \
+    int Cmp;                                                                   \
+    if (!numCompare(A, B, Cmp))                                                \
+      VMERROR("comparison: expected numbers");                                 \
+    bool R = false;                                                            \
+    switch (OPV) {                                                             \
+    case Op::NumLt:                                                            \
+      R = Cmp < 0;                                                             \
+      break;                                                                   \
+    case Op::NumLe:                                                            \
+      R = Cmp <= 0;                                                            \
+      break;                                                                   \
+    case Op::NumGt:                                                            \
+      R = Cmp > 0;                                                             \
+      break;                                                                   \
+    case Op::NumGe:                                                            \
+      R = Cmp >= 0;                                                            \
+      break;                                                                   \
+    default:                                                                   \
+      R = Cmp == 0;                                                            \
+      break;                                                                   \
+    }                                                                          \
+    Slots[Sp - 2] = Value::boolean(R);                                         \
+    --Sp;                                                                      \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_CONS(ADV)                                                      \
+  {                                                                            \
+    SYNC();                                                                    \
+    Value P = H.makePair(Slots[Sp - 2], Slots[Sp - 1]);                        \
+    Slots[Sp - 2] = P;                                                         \
+    --Sp;                                                                      \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_CAR(ADV)                                                       \
+  {                                                                            \
+    Value P = Slots[Sp - 1];                                                   \
+    if (!P.isPair())                                                           \
+      VMERROR("car: expected pair, got " + writeToString(P));                  \
+    Slots[Sp - 1] = asPair(P)->Car;                                            \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_CDR(ADV)                                                       \
+  {                                                                            \
+    Value P = Slots[Sp - 1];                                                   \
+    if (!P.isPair())                                                           \
+      VMERROR("cdr: expected pair, got " + writeToString(P));                  \
+    Slots[Sp - 1] = asPair(P)->Cdr;                                            \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_NULLP(ADV)                                                     \
+  {                                                                            \
+    Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isNil());                     \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_PAIRP(ADV)                                                     \
+  {                                                                            \
+    Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isPair());                    \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_NOT(ADV)                                                       \
+  {                                                                            \
+    Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isFalse());                   \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_EQP(ADV)                                                       \
+  {                                                                            \
+    Value B = Slots[--Sp];                                                     \
+    Slots[Sp - 1] = Value::boolean(Slots[Sp - 1] == B);                        \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_ZEROP(ADV)                                                     \
+  {                                                                            \
+    Value A = Slots[Sp - 1];                                                   \
+    if (A.isFixnum())                                                          \
+      Slots[Sp - 1] = Value::boolean(A.asFixnum() == 0);                       \
+    else if (A.isFlonum())                                                     \
+      Slots[Sp - 1] = Value::boolean(asFlonum(A)->Val == 0.0);                 \
+    else                                                                       \
+      VMERROR("zero?: expected number");                                       \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#define VM_PRIM_INCDEC(D, ADV)                                                 \
+  {                                                                            \
+    Value A = Slots[Sp - 1];                                                   \
+    if (A.isFixnum() && fitsFixnum(A.asFixnum() + (D))) {                      \
+      Slots[Sp - 1] = Value::fixnum(A.asFixnum() + (D));                       \
+    } else if (A.isFlonum()) {                                                 \
+      SYNC();                                                                  \
+      Slots[Sp - 1] = H.makeFlonum(asFlonum(A)->Val + (D));                    \
+    } else {                                                                   \
+      VMERROR("add1/sub1: expected number");                                   \
+    }                                                                          \
+    Pc += (ADV);                                                               \
+    VM_NEXT();                                                                 \
+  }
+
+#if CMK_THREADED_DISPATCH
+  // One entry per opcode, in exact Op enum order.
+  static const void *const DispatchTable[] = {
+      &&L_PushConst,     &&L_PushLocal,     &&L_SetLocal,
+      &&L_PushLocalBox,  &&L_SetLocalBox,   &&L_PushFree,
+      &&L_PushFreeBox,   &&L_SetFreeBox,    &&L_BoxLocal,
+      &&L_PushGlobal,    &&L_SetGlobal,     &&L_DefineGlobal,
+      &&L_Pop,           &&L_Dup,           &&L_MakeClosure,
+      &&L_Jump,          &&L_JumpIfFalse,   &&L_Frame,
+      &&L_Call,          &&L_TailCall,      &&L_CallAttach,
+      &&L_Return,        &&L_Reify,         &&L_AttachSet,
+      &&L_AttachGet,     &&L_AttachConsume, &&L_MarksPush,
+      &&L_MarksPop,      &&L_MarksSetTop,   &&L_MarksTop,
+      &&L_PushMarks,     &&L_MstkSet,       &&L_MstkPush,
+      &&L_MstkPop,       &&L_Add,           &&L_Sub,
+      &&L_Mul,           &&L_NumLt,         &&L_NumLe,
+      &&L_NumGt,         &&L_NumGe,         &&L_NumEq,
+      &&L_Cons,          &&L_Car,           &&L_Cdr,
+      &&L_SetCarBang,    &&L_SetCdrBang,    &&L_NullP,
+      &&L_PairP,         &&L_Not,           &&L_EqP,
+      &&L_ZeroP,         &&L_Add1,          &&L_Sub1,
+      &&L_VectorRef,     &&L_VectorSet,     &&L_Halt,
+      &&L_LocalLocal,    &&L_LocalConst,    &&L_AddLocalConst,
+      &&L_SubLocalConst, &&L_LocalPrim,     &&L_ConstCall,
+      &&L_JumpIfNotZeroLocal, &&L_MarksEnterElided, &&L_MarksExitElided,
+  };
+  static_assert(sizeof(DispatchTable) / sizeof(void *) ==
+                    static_cast<size_t>(Op::OpCount),
+                "dispatch table must cover every opcode");
+  VM_NEXT();
+#else
+L_Dispatch:
+  switch (static_cast<Op>(Ins[Pc])) {
+#endif
+
+  VM_CASE(PushConst) {
+    Slots[Sp++] = Consts[readU16(Ins + Pc + 1)];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(PushLocal) {
+    Slots[Sp++] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(SetLocal) {
+    Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)] = Slots[--Sp];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(PushLocalBox) {
+    Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Slots[Sp++] = asBox(B)->Val;
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(SetLocalBox) {
+    Value B = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    asBox(B)->Val = Slots[--Sp];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(PushFree) {
+    ClosureObj *C = asClosure(Slots[Fp + 3]);
+    Slots[Sp++] = C->Free[readU16(Ins + Pc + 1)];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(PushFreeBox) {
+    ClosureObj *C = asClosure(Slots[Fp + 3]);
+    Slots[Sp++] = asBox(C->Free[readU16(Ins + Pc + 1)])->Val;
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(SetFreeBox) {
+    ClosureObj *C = asClosure(Slots[Fp + 3]);
+    asBox(C->Free[readU16(Ins + Pc + 1)])->Val = Slots[--Sp];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(BoxLocal) {
+    uint32_t Slot = Fp + FrameHeaderSlots + readU16(Ins + Pc + 1);
+    SYNC();
+    Value B = H.makeBox(Slots[Slot]);
+    Slots[Slot] = B;
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(PushGlobal) {
+    Pair *Cell = asPair(Consts[readU16(Ins + Pc + 1)]);
+    if (Cell->Car.isUndefined())
+      VMERROR("unbound variable: " + displayToString(Cell->Cdr));
+    Slots[Sp++] = Cell->Car;
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(SetGlobal)
+  VM_CASE(DefineGlobal) {
+    asPair(Consts[readU16(Ins + Pc + 1)])->Car = Slots[--Sp];
+    Pc += 3;
+    VM_NEXT();
+  }
+  VM_CASE(Pop) {
+    --Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(Dup) {
+    Slots[Sp] = Slots[Sp - 1];
+    ++Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MakeClosure) {
+    Value Code = Consts[readU16(Ins + Pc + 1)];
+    uint32_t NFree = readU16(Ins + Pc + 3);
+    SYNC();
+    Value Clos = H.makeClosure(Code, NFree);
+    ClosureObj *C = asClosure(Clos);
+    for (uint32_t I = 0; I < NFree; ++I)
+      C->Free[I] = Slots[Sp - NFree + I];
+    Sp -= NFree;
+    Slots[Sp++] = Clos;
+    Pc += 5;
+    VM_NEXT();
+  }
+  VM_CASE(Jump) {
+    uint32_t T = readU32(Ins + Pc + 1);
+    if (__builtin_expect(T <= Pc, 0))
+      VM_SAFEPOINT();
+    Pc = T;
+    VM_NEXT();
+  }
+  VM_CASE(JumpIfFalse) {
+    Value V = Slots[--Sp];
+    if (V.isFalse()) {
+      uint32_t T = readU32(Ins + Pc + 1);
+      if (__builtin_expect(T <= Pc, 0))
+        VM_SAFEPOINT();
+      Pc = T;
+    } else {
       Pc += 5;
-      break;
     }
-    case Op::Jump:
-      Pc = readU32(Ins + Pc + 1);
-      break;
-    case Op::JumpIfFalse: {
-      Value V = Slots[--Sp];
-      Pc = V.isFalse() ? readU32(Ins + Pc + 1) : Pc + 5;
-      break;
-    }
-    case Op::Frame:
-      Slots[Sp] = Value::undefined();
-      Slots[Sp + 1] = Value::undefined();
-      Slots[Sp + 2] = Value::undefined();
-      Sp += 3;
-      ++Pc;
-      break;
+    VM_NEXT();
+  }
+  VM_CASE(Frame) {
+    Slots[Sp] = Value::undefined();
+    Slots[Sp + 1] = Value::undefined();
+    Slots[Sp + 2] = Value::undefined();
+    Sp += 3;
+    ++Pc;
+    VM_NEXT();
+  }
 
-    case Op::Call:
-    case Op::CallAttach: {
-      uint32_t NArgs = readU16(Ins + Pc + 1);
-      Pc += 3;
-      uint32_t Hdr = Sp - NArgs - FrameHeaderSlots;
-      Value Fn = Slots[Hdr + 3];
+  VM_CASE(Call) {
+    VM_SAFEPOINT();
+    NArgs = readU16(Ins + Pc + 1);
+    Pc += 3;
+    goto DoCall;
+  }
+  VM_CASE(CallAttach) {
+    VM_SAFEPOINT();
+    NArgs = readU16(Ins + Pc + 1);
+    Pc += 3;
+    uint32_t Hdr = Sp - NArgs - FrameHeaderSlots;
+    SYNC();
+    preReifyForAttachCall(Hdr);
+    Slots = asStackSeg(Regs.Seg)->Slots;
+    goto DoCall;
+  }
+  VM_CASE(ConstCall) {
+    VM_SAFEPOINT();
+    Slots[Sp++] = Consts[readU16(Ins + Pc + 1)];
+    NArgs = readU16(Ins + Pc + 3);
+    Pc += 5;
+    goto DoCall;
+  }
+DoCall : {
+  uint32_t Hdr = Sp - NArgs - FrameHeaderSlots;
+  Value Fn = Slots[Hdr + 3];
 
-      if (O == Op::CallAttach) {
-        SYNC();
-        preReifyForAttachCall(Hdr);
-        Slots = asStackSeg(Regs.Seg)->Slots;
+  // Fast path: a fitting closure call.
+  if (Fn.isClosure()) {
+    CodeObj *Code = asCode(asClosure(Fn)->Code);
+    if (!(Code->Flags & codeflags::HasRestArg) && NArgs == Code->NumArgs &&
+        !Cfg.HeapFrameMode &&
+        Hdr + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
+        !forcedOverflow()) {
+      if (!Slots[Hdr + 1].isUnderflowSentinel()) {
+        Slots[Hdr + 0] = Value::fixnum(Fp);
+        Slots[Hdr + 1] = Regs.CurCode;
+        Slots[Hdr + 2] = Value::fixnum(Pc);
       }
-
-      // Fast path: a fitting closure call.
-      if (Fn.isClosure()) {
-        CodeObj *Code = asCode(asClosure(Fn)->Code);
-        if (!(Code->Flags & codeflags::HasRestArg) &&
-            NArgs == Code->NumArgs && !Cfg.HeapFrameMode &&
-            Hdr + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
-            !forcedOverflow()) {
-          if (!Slots[Hdr + 1].isUnderflowSentinel()) {
-            Slots[Hdr + 0] = Value::fixnum(Fp);
-            Slots[Hdr + 1] = Regs.CurCode;
-            Slots[Hdr + 2] = Value::fixnum(Pc);
-          }
-          Fp = Hdr;
-          for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
-            Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
-          Sp = Fp + FrameHeaderSlots + Code->NumLocals;
-          Regs.CurCode = asClosure(Fn)->Code;
-          Pc = 0;
-          CC = asCode(Regs.CurCode);
-          Ins = CC->instrs();
-          Consts = CC->consts();
-          break;
-        }
-      }
-
-      SYNC();
-      Dispatch D = dispatchSlowCall(Hdr, NArgs);
-      if (Failed)
-        return Value::undefined();
-      if (D == Dispatch::Halt)
-        return slot(Regs.Sp - 1);
-      RELOAD();
-      break;
-    }
-
-    case Op::TailCall: {
-      uint32_t NArgs = readU16(Ins + Pc + 1);
-      uint32_t FnBase = Sp - NArgs - 1;
-      // Move callee + args into the current frame (footnote 2: tail calls
-      // reuse the caller's frame).
-      for (uint32_t I = 0; I <= NArgs; ++I)
-        Slots[Fp + 3 + I] = Slots[FnBase + I];
-      Sp = Fp + FrameHeaderSlots + NArgs;
-      Value Fn = Slots[Fp + 3];
-
-      if (Fn.isClosure()) {
-        CodeObj *Code = asCode(asClosure(Fn)->Code);
-        if (!(Code->Flags & codeflags::HasRestArg) &&
-            NArgs == Code->NumArgs &&
-            Fp + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
-            !forcedOverflow()) {
-          for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
-            Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
-          Sp = Fp + FrameHeaderSlots + Code->NumLocals;
-          Regs.CurCode = asClosure(Fn)->Code;
-          Pc = 0;
-          CC = asCode(Regs.CurCode);
-          Ins = CC->instrs();
-          Consts = CC->consts();
-          break;
-        }
-      }
-
-      SYNC();
-      Dispatch D = dispatchSlowTail(NArgs);
-      if (Failed)
-        return Value::undefined();
-      if (D == Dispatch::Halt)
-        return slot(Regs.Sp - 1);
-      RELOAD();
-      break;
-    }
-
-    case Op::Return: {
-      Value Result = Slots[Sp - 1];
-      if (Cfg.MarkStackMode) {
-        while (!MarkStack.empty() && MarkStack.back().Seg == Regs.Seg &&
-               MarkStack.back().Fp >= Fp)
-          MarkStack.pop_back();
-      }
-      Value RetCode = Slots[Fp + 1];
-      if (RetCode.isUnderflowSentinel()) {
-        Regs.Sp = Fp; // Discard the dead frame before underflow.
-        Regs.Fp = Fp;
-        Regs.Pc = Pc;
-        if (!underflow(Result)) {
-          Value Final = slot(Regs.Sp - 1);
-          return Final;
-        }
-        RELOAD();
-        break;
-      }
-      uint32_t CallerFp = static_cast<uint32_t>(Slots[Fp + 0].asFixnum());
-      uint32_t NewSp = Fp;
-      Slots[NewSp++] = Result;
-      Sp = NewSp;
-      Pc = static_cast<uint32_t>(Slots[Fp + 2].asFixnum());
-      Fp = CallerFp;
-      Regs.CurCode = RetCode;
-      CC = asCode(RetCode);
+      Fp = Hdr;
+      for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+        Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
+      Sp = Fp + FrameHeaderSlots + Code->NumLocals;
+      Regs.CurCode = asClosure(Fn)->Code;
+      Pc = 0;
+      CC = asCode(Regs.CurCode);
       Ins = CC->instrs();
       Consts = CC->consts();
-      break;
-    }
-
-    // --- Continuation attachments (paper 7.1/7.2) --------------------------
-    case Op::Reify:
-      SYNC();
-      reifyCurrentFrame();
-      ++Pc;
-      break;
-    case Op::AttachSet: {
-      SYNC();
-      CMK_TRACE_EV(Trace, AttachSet);
-      Value V = Slots[Sp - 1];
-      Regs.Marks = H.makePair(V, asCont(Regs.NextK)->Marks);
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::AttachGet:
-    case Op::AttachConsume: {
-      // The frame has an attachment iff it is reified and the marks
-      // register differs from the record's marks (paper 7.2).
-      bool Reified = Slots[Fp + 1].isUnderflowSentinel();
-      if (Reified && !Regs.NextK.isNil() &&
-          Regs.Marks != asCont(Regs.NextK)->Marks) {
-        Slots[Sp - 1] = car(Regs.Marks);
-        if (O == Op::AttachConsume) {
-          CMK_TRACE_EV(Trace, AttachConsume);
-          Regs.Marks = asCont(Regs.NextK)->Marks;
-        }
-      } else if (Reified && Regs.NextK.isNil() && !Regs.Marks.isNil()) {
-        // Bottom frame of the whole continuation.
-        Slots[Sp - 1] = car(Regs.Marks);
-        if (O == Op::AttachConsume) {
-          CMK_TRACE_EV(Trace, AttachConsume);
-          Regs.Marks = Value::nil();
-        }
-      }
-      ++Pc;
-      break;
-    }
-    case Op::MarksPush: {
-      SYNC();
-      CMK_TRACE_EV(Trace, MarksPush);
-      Regs.Marks = H.makePair(Slots[Sp - 1], Regs.Marks);
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::MarksPop:
-      CMK_TRACE_EV(Trace, MarksPop);
-      Regs.Marks = cdr(Regs.Marks);
-      ++Pc;
-      break;
-    case Op::MarksSetTop: {
-      SYNC();
-      Regs.Marks = H.makePair(Slots[Sp - 1], cdr(Regs.Marks));
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::MarksTop:
-      Slots[Sp++] = car(Regs.Marks);
-      ++Pc;
-      break;
-    case Op::PushMarks:
-      Slots[Sp++] = Regs.Marks;
-      ++Pc;
-      break;
-
-    // --- Old-Racket-style mark stack ----------------------------------------
-    case Op::MstkSet: {
-      Value Val = Slots[--Sp];
-      Value Key = Slots[--Sp];
-      bool Replaced = false;
-      for (size_t I = MarkStack.size(); I > 0; --I) {
-        MarkStackEntry &E = MarkStack[I - 1];
-        if (!(E.Seg == Regs.Seg) || E.Fp != Fp)
-          break;
-        if (E.Key == Key) {
-          E.Val = Val;
-          Replaced = true;
-          break;
-        }
-      }
-      if (!Replaced)
-        MarkStack.push_back({Regs.Seg, Fp, Key, Val});
-      ++Pc;
-      break;
-    }
-    case Op::MstkPush: {
-      Value Val = Slots[--Sp];
-      Value Key = Slots[--Sp];
-      MarkStack.push_back({Regs.Seg, Fp, Key, Val});
-      ++Pc;
-      break;
-    }
-    case Op::MstkPop:
-      MarkStack.pop_back();
-      ++Pc;
-      break;
-
-    // --- Inlined primitives -------------------------------------------------
-    case Op::Add: {
-      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
-      if (A.isFixnum() && B.isFixnum()) {
-        int64_t R;
-        if (!__builtin_add_overflow(A.asFixnum(), B.asFixnum(), &R) &&
-            fitsFixnum(R)) {
-          Slots[Sp - 2] = Value::fixnum(R);
-          --Sp;
-          ++Pc;
-          break;
-        }
-      }
-      SYNC();
-      NumResult R = numAdd(H, A, B);
-      if (!R.Ok)
-        VMERROR("+: expected numbers");
-      Slots[Sp - 2] = R.V;
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::Sub: {
-      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
-      if (A.isFixnum() && B.isFixnum()) {
-        int64_t R;
-        if (!__builtin_sub_overflow(A.asFixnum(), B.asFixnum(), &R) &&
-            fitsFixnum(R)) {
-          Slots[Sp - 2] = Value::fixnum(R);
-          --Sp;
-          ++Pc;
-          break;
-        }
-      }
-      SYNC();
-      NumResult R = numSub(H, A, B);
-      if (!R.Ok)
-        VMERROR("-: expected numbers");
-      Slots[Sp - 2] = R.V;
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::Mul: {
-      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
-      SYNC();
-      NumResult R = numMul(H, A, B);
-      if (!R.Ok)
-        VMERROR("*: expected numbers");
-      Slots[Sp - 2] = R.V;
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::NumLt:
-    case Op::NumLe:
-    case Op::NumGt:
-    case Op::NumGe:
-    case Op::NumEq: {
-      Value A = Slots[Sp - 2], B = Slots[Sp - 1];
-      int Cmp;
-      if (!numCompare(A, B, Cmp))
-        VMERROR("comparison: expected numbers");
-      bool R = false;
-      switch (O) {
-      case Op::NumLt:
-        R = Cmp < 0;
-        break;
-      case Op::NumLe:
-        R = Cmp <= 0;
-        break;
-      case Op::NumGt:
-        R = Cmp > 0;
-        break;
-      case Op::NumGe:
-        R = Cmp >= 0;
-        break;
-      default:
-        R = Cmp == 0;
-        break;
-      }
-      Slots[Sp - 2] = Value::boolean(R);
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::Cons: {
-      SYNC();
-      Value P = H.makePair(Slots[Sp - 2], Slots[Sp - 1]);
-      Slots[Sp - 2] = P;
-      --Sp;
-      ++Pc;
-      break;
-    }
-    case Op::Car: {
-      Value P = Slots[Sp - 1];
-      if (!P.isPair())
-        VMERROR("car: expected pair, got " + writeToString(P));
-      Slots[Sp - 1] = asPair(P)->Car;
-      ++Pc;
-      break;
-    }
-    case Op::Cdr: {
-      Value P = Slots[Sp - 1];
-      if (!P.isPair())
-        VMERROR("cdr: expected pair, got " + writeToString(P));
-      Slots[Sp - 1] = asPair(P)->Cdr;
-      ++Pc;
-      break;
-    }
-    case Op::SetCarBang: {
-      Value V = Slots[--Sp];
-      Value P = Slots[Sp - 1];
-      if (!P.isPair())
-        VMERROR("set-car!: expected pair");
-      asPair(P)->Car = V;
-      Slots[Sp - 1] = Value::voidValue();
-      ++Pc;
-      break;
-    }
-    case Op::SetCdrBang: {
-      Value V = Slots[--Sp];
-      Value P = Slots[Sp - 1];
-      if (!P.isPair())
-        VMERROR("set-cdr!: expected pair");
-      asPair(P)->Cdr = V;
-      Slots[Sp - 1] = Value::voidValue();
-      ++Pc;
-      break;
-    }
-    case Op::NullP:
-      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isNil());
-      ++Pc;
-      break;
-    case Op::PairP:
-      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isPair());
-      ++Pc;
-      break;
-    case Op::Not:
-      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1].isFalse());
-      ++Pc;
-      break;
-    case Op::EqP: {
-      Value B = Slots[--Sp];
-      Slots[Sp - 1] = Value::boolean(Slots[Sp - 1] == B);
-      ++Pc;
-      break;
-    }
-    case Op::ZeroP: {
-      Value A = Slots[Sp - 1];
-      if (A.isFixnum())
-        Slots[Sp - 1] = Value::boolean(A.asFixnum() == 0);
-      else if (A.isFlonum())
-        Slots[Sp - 1] = Value::boolean(asFlonum(A)->Val == 0.0);
-      else
-        VMERROR("zero?: expected number");
-      ++Pc;
-      break;
-    }
-    case Op::Add1:
-    case Op::Sub1: {
-      Value A = Slots[Sp - 1];
-      int64_t D = O == Op::Add1 ? 1 : -1;
-      if (A.isFixnum() && fitsFixnum(A.asFixnum() + D)) {
-        Slots[Sp - 1] = Value::fixnum(A.asFixnum() + D);
-      } else if (A.isFlonum()) {
-        SYNC();
-        Slots[Sp - 1] = H.makeFlonum(asFlonum(A)->Val + D);
-      } else {
-        VMERROR("add1/sub1: expected number");
-      }
-      ++Pc;
-      break;
-    }
-    case Op::VectorRef: {
-      Value Idx = Slots[--Sp];
-      Value Vec = Slots[Sp - 1];
-      if (!Vec.isVector() || !Idx.isFixnum())
-        VMERROR("vector-ref: expected vector and index");
-      VectorObj *V = asVector(Vec);
-      int64_t I = Idx.asFixnum();
-      if (I < 0 || I >= V->Len)
-        VMERROR("vector-ref: index out of range");
-      Slots[Sp - 1] = V->Elems[I];
-      ++Pc;
-      break;
-    }
-    case Op::VectorSet: {
-      Value Val = Slots[--Sp];
-      Value Idx = Slots[--Sp];
-      Value Vec = Slots[Sp - 1];
-      if (!Vec.isVector() || !Idx.isFixnum())
-        VMERROR("vector-set!: expected vector and index");
-      VectorObj *V = asVector(Vec);
-      int64_t I = Idx.asFixnum();
-      if (I < 0 || I >= V->Len)
-        VMERROR("vector-set!: index out of range");
-      V->Elems[I] = Val;
-      Slots[Sp - 1] = Value::voidValue();
-      ++Pc;
-      break;
-    }
-    case Op::Halt:
-      SYNC();
-      return Slots[Sp - 1];
+      VM_NEXT();
     }
   }
+
+  SYNC();
+  Dispatch D = dispatchSlowCall(Hdr, NArgs);
+  if (Failed)
+    return Value::undefined();
+  if (D == Dispatch::Halt) {
+    if (__builtin_expect(H.hasPendingTrip(), 0))
+      goto DeliverExitTrip;
+    return slot(Regs.Sp - 1);
+  }
+  RELOAD();
+  VM_NEXT();
+}
+
+  VM_CASE(TailCall) {
+    VM_SAFEPOINT();
+    uint32_t TN = readU16(Ins + Pc + 1);
+    uint32_t FnBase = Sp - TN - 1;
+    // Move callee + args into the current frame (footnote 2: tail calls
+    // reuse the caller's frame).
+    for (uint32_t I = 0; I <= TN; ++I)
+      Slots[Fp + 3 + I] = Slots[FnBase + I];
+    Sp = Fp + FrameHeaderSlots + TN;
+    Value Fn = Slots[Fp + 3];
+
+    if (Fn.isClosure()) {
+      CodeObj *Code = asCode(asClosure(Fn)->Code);
+      if (!(Code->Flags & codeflags::HasRestArg) && TN == Code->NumArgs &&
+          Fp + Code->FrameSize <= asStackSeg(Regs.Seg)->Capacity &&
+          !forcedOverflow()) {
+        for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
+          Slots[Fp + FrameHeaderSlots + I] = Value::undefined();
+        Sp = Fp + FrameHeaderSlots + Code->NumLocals;
+        Regs.CurCode = asClosure(Fn)->Code;
+        Pc = 0;
+        CC = asCode(Regs.CurCode);
+        Ins = CC->instrs();
+        Consts = CC->consts();
+        VM_NEXT();
+      }
+    }
+
+    SYNC();
+    Dispatch D = dispatchSlowTail(TN);
+    if (Failed)
+      return Value::undefined();
+    if (D == Dispatch::Halt) {
+      if (__builtin_expect(H.hasPendingTrip(), 0))
+        goto DeliverExitTrip;
+      return slot(Regs.Sp - 1);
+    }
+    RELOAD();
+    VM_NEXT();
+  }
+
+  VM_CASE(Return) {
+    Value Result = Slots[Sp - 1];
+    if (Cfg.MarkStackMode) {
+      while (!MarkStack.empty() && MarkStack.back().Seg == Regs.Seg &&
+             MarkStack.back().Fp >= Fp)
+        MarkStack.pop_back();
+    }
+    Value RetCode = Slots[Fp + 1];
+    if (RetCode.isUnderflowSentinel()) {
+      Regs.Sp = Fp; // Discard the dead frame before underflow.
+      Regs.Fp = Fp;
+      Regs.Pc = Pc;
+      if (!underflow(Result)) {
+        if (__builtin_expect(H.hasPendingTrip(), 0))
+          goto DeliverExitTrip;
+        return slot(Regs.Sp - 1);
+      }
+      RELOAD();
+      VM_NEXT();
+    }
+    uint32_t CallerFp = static_cast<uint32_t>(Slots[Fp + 0].asFixnum());
+    uint32_t NewSp = Fp;
+    Slots[NewSp++] = Result;
+    Sp = NewSp;
+    Pc = static_cast<uint32_t>(Slots[Fp + 2].asFixnum());
+    Fp = CallerFp;
+    Regs.CurCode = RetCode;
+    CC = asCode(RetCode);
+    Ins = CC->instrs();
+    Consts = CC->consts();
+    VM_NEXT();
+  }
+
+  // --- Continuation attachments (paper 7.1/7.2) --------------------------
+  VM_CASE(Reify) {
+    SYNC();
+    reifyCurrentFrame();
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(AttachSet) {
+    SYNC();
+    CMK_TRACE_EV(Trace, AttachSet);
+    Value V = Slots[Sp - 1];
+    Regs.Marks = H.makePair(V, asCont(Regs.NextK)->Marks);
+    --Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(AttachGet) {
+    // The frame has an attachment iff it is reified and the marks
+    // register differs from the record's marks (paper 7.2).
+    bool Reified = Slots[Fp + 1].isUnderflowSentinel();
+    if (Reified && !Regs.NextK.isNil() &&
+        Regs.Marks != asCont(Regs.NextK)->Marks)
+      Slots[Sp - 1] = car(Regs.Marks);
+    else if (Reified && Regs.NextK.isNil() && !Regs.Marks.isNil())
+      Slots[Sp - 1] = car(Regs.Marks); // Bottom frame of the continuation.
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(AttachConsume) {
+    bool Reified = Slots[Fp + 1].isUnderflowSentinel();
+    if (Reified && !Regs.NextK.isNil() &&
+        Regs.Marks != asCont(Regs.NextK)->Marks) {
+      Slots[Sp - 1] = car(Regs.Marks);
+      CMK_TRACE_EV(Trace, AttachConsume);
+      Regs.Marks = asCont(Regs.NextK)->Marks;
+    } else if (Reified && Regs.NextK.isNil() && !Regs.Marks.isNil()) {
+      Slots[Sp - 1] = car(Regs.Marks); // Bottom frame of the continuation.
+      CMK_TRACE_EV(Trace, AttachConsume);
+      Regs.Marks = Value::nil();
+    }
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MarksPush) {
+    SYNC();
+    CMK_TRACE_EV(Trace, MarksPush);
+    Regs.Marks = H.makePair(Slots[Sp - 1], Regs.Marks);
+    --Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MarksPop) {
+    CMK_TRACE_EV(Trace, MarksPop);
+    Regs.Marks = cdr(Regs.Marks);
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MarksSetTop) {
+    SYNC();
+    Regs.Marks = H.makePair(Slots[Sp - 1], cdr(Regs.Marks));
+    --Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MarksTop) {
+    Slots[Sp++] = car(Regs.Marks);
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(PushMarks) {
+    Slots[Sp++] = Regs.Marks;
+    ++Pc;
+    VM_NEXT();
+  }
+
+  // --- Old-Racket-style mark stack ----------------------------------------
+  VM_CASE(MstkSet) {
+    Value Val = Slots[--Sp];
+    Value Key = Slots[--Sp];
+    bool Replaced = false;
+    for (size_t I = MarkStack.size(); I > 0; --I) {
+      MarkStackEntry &E = MarkStack[I - 1];
+      if (!(E.Seg == Regs.Seg) || E.Fp != Fp)
+        break;
+      if (E.Key == Key) {
+        E.Val = Val;
+        Replaced = true;
+        break;
+      }
+    }
+    if (!Replaced)
+      MarkStack.push_back({Regs.Seg, Fp, Key, Val});
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MstkPush) {
+    Value Val = Slots[--Sp];
+    Value Key = Slots[--Sp];
+    MarkStack.push_back({Regs.Seg, Fp, Key, Val});
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MstkPop) {
+    MarkStack.pop_back();
+    ++Pc;
+    VM_NEXT();
+  }
+
+  // --- Inlined primitives -------------------------------------------------
+  VM_CASE(Add) VM_PRIM_ADD(1)
+  VM_CASE(Sub) VM_PRIM_SUB(1)
+  VM_CASE(Mul) VM_PRIM_MUL(1)
+  VM_CASE(NumLt) VM_PRIM_CMP(Op::NumLt, 1)
+  VM_CASE(NumLe) VM_PRIM_CMP(Op::NumLe, 1)
+  VM_CASE(NumGt) VM_PRIM_CMP(Op::NumGt, 1)
+  VM_CASE(NumGe) VM_PRIM_CMP(Op::NumGe, 1)
+  VM_CASE(NumEq) VM_PRIM_CMP(Op::NumEq, 1)
+  VM_CASE(Cons) VM_PRIM_CONS(1)
+  VM_CASE(Car) VM_PRIM_CAR(1)
+  VM_CASE(Cdr) VM_PRIM_CDR(1)
+  VM_CASE(SetCarBang) {
+    Value V = Slots[--Sp];
+    Value P = Slots[Sp - 1];
+    if (!P.isPair())
+      VMERROR("set-car!: expected pair");
+    asPair(P)->Car = V;
+    Slots[Sp - 1] = Value::voidValue();
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(SetCdrBang) {
+    Value V = Slots[--Sp];
+    Value P = Slots[Sp - 1];
+    if (!P.isPair())
+      VMERROR("set-cdr!: expected pair");
+    asPair(P)->Cdr = V;
+    Slots[Sp - 1] = Value::voidValue();
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(NullP) VM_PRIM_NULLP(1)
+  VM_CASE(PairP) VM_PRIM_PAIRP(1)
+  VM_CASE(Not) VM_PRIM_NOT(1)
+  VM_CASE(EqP) VM_PRIM_EQP(1)
+  VM_CASE(ZeroP) VM_PRIM_ZEROP(1)
+  VM_CASE(Add1) VM_PRIM_INCDEC(1, 1)
+  VM_CASE(Sub1) VM_PRIM_INCDEC(-1, 1)
+  VM_CASE(VectorRef) {
+    Value Idx = Slots[--Sp];
+    Value Vec = Slots[Sp - 1];
+    if (!Vec.isVector() || !Idx.isFixnum())
+      VMERROR("vector-ref: expected vector and index");
+    VectorObj *V = asVector(Vec);
+    int64_t I = Idx.asFixnum();
+    if (I < 0 || I >= V->Len)
+      VMERROR("vector-ref: index out of range");
+    Slots[Sp - 1] = V->Elems[I];
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(VectorSet) {
+    Value Val = Slots[--Sp];
+    Value Idx = Slots[--Sp];
+    Value Vec = Slots[Sp - 1];
+    if (!Vec.isVector() || !Idx.isFixnum())
+      VMERROR("vector-set!: expected vector and index");
+    VectorObj *V = asVector(Vec);
+    int64_t I = Idx.asFixnum();
+    if (I < 0 || I >= V->Len)
+      VMERROR("vector-set!: index out of range");
+    V->Elems[I] = Val;
+    Slots[Sp - 1] = Value::voidValue();
+    ++Pc;
+    VM_NEXT();
+  }
+
+  VM_CASE(Halt) {
+    SYNC();
+    if (__builtin_expect(H.hasPendingTrip(), 0))
+      goto DeliverExitTrip;
+    return Slots[Sp - 1];
+  }
+
+  // --- Superinstructions (compiler/peephole.cpp) ---------------------------
+  VM_CASE(LocalLocal) {
+    Slots[Sp] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Slots[Sp + 1] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 3)];
+    Sp += 2;
+    Pc += 5;
+    VM_NEXT();
+  }
+  VM_CASE(LocalConst) {
+    Slots[Sp] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Slots[Sp + 1] = Consts[readU16(Ins + Pc + 3)];
+    Sp += 2;
+    Pc += 5;
+    VM_NEXT();
+  }
+  VM_CASE(AddLocalConst) {
+    Value A = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Value B = Consts[readU16(Ins + Pc + 3)];
+    if (A.isFixnum() && B.isFixnum()) {
+      int64_t R;
+      if (!__builtin_add_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+          fitsFixnum(R)) {
+        Slots[Sp++] = Value::fixnum(R);
+        Pc += 5;
+        VM_NEXT();
+      }
+    }
+    SYNC();
+    NumResult R = numAdd(H, A, B);
+    if (!R.Ok)
+      VMERROR("+: expected numbers");
+    Slots[Sp++] = R.V;
+    Pc += 5;
+    VM_NEXT();
+  }
+  VM_CASE(SubLocalConst) {
+    Value A = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    Value B = Consts[readU16(Ins + Pc + 3)];
+    if (A.isFixnum() && B.isFixnum()) {
+      int64_t R;
+      if (!__builtin_sub_overflow(A.asFixnum(), B.asFixnum(), &R) &&
+          fitsFixnum(R)) {
+        Slots[Sp++] = Value::fixnum(R);
+        Pc += 5;
+        VM_NEXT();
+      }
+    }
+    SYNC();
+    NumResult R = numSub(H, A, B);
+    if (!R.Ok)
+      VMERROR("-: expected numbers");
+    Slots[Sp++] = R.V;
+    Pc += 5;
+    VM_NEXT();
+  }
+  VM_CASE(LocalPrim) {
+    Slots[Sp++] = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    switch (static_cast<Op>(Ins[Pc + 3])) {
+    case Op::Add:
+      VM_PRIM_ADD(4)
+    case Op::Sub:
+      VM_PRIM_SUB(4)
+    case Op::Mul:
+      VM_PRIM_MUL(4)
+    case Op::NumLt:
+      VM_PRIM_CMP(Op::NumLt, 4)
+    case Op::NumLe:
+      VM_PRIM_CMP(Op::NumLe, 4)
+    case Op::NumGt:
+      VM_PRIM_CMP(Op::NumGt, 4)
+    case Op::NumGe:
+      VM_PRIM_CMP(Op::NumGe, 4)
+    case Op::NumEq:
+      VM_PRIM_CMP(Op::NumEq, 4)
+    case Op::Cons:
+      VM_PRIM_CONS(4)
+    case Op::Car:
+      VM_PRIM_CAR(4)
+    case Op::Cdr:
+      VM_PRIM_CDR(4)
+    case Op::NullP:
+      VM_PRIM_NULLP(4)
+    case Op::PairP:
+      VM_PRIM_PAIRP(4)
+    case Op::Not:
+      VM_PRIM_NOT(4)
+    case Op::EqP:
+      VM_PRIM_EQP(4)
+    case Op::ZeroP:
+      VM_PRIM_ZEROP(4)
+    case Op::Add1:
+      VM_PRIM_INCDEC(1, 4)
+    case Op::Sub1:
+      VM_PRIM_INCDEC(-1, 4)
+    default:
+      VMERROR("push-local-prim: corrupt embedded opcode");
+    }
+  }
+  VM_CASE(JumpIfNotZeroLocal) {
+    Value A = Slots[Fp + FrameHeaderSlots + readU16(Ins + Pc + 1)];
+    bool IsZero;
+    if (A.isFixnum())
+      IsZero = A.asFixnum() == 0;
+    else if (A.isFlonum())
+      IsZero = asFlonum(A)->Val == 0.0;
+    else
+      VMERROR("zero?: expected number");
+    if (IsZero) {
+      Pc += 7;
+    } else {
+      uint32_t T = readU32(Ins + Pc + 3);
+      if (__builtin_expect(T <= Pc, 0))
+        VM_SAFEPOINT();
+      Pc = T;
+    }
+    VM_NEXT();
+  }
+  VM_CASE(MarksEnterElided) {
+    // A MarksPush whose extent provably cannot observe the mark (no call,
+    // jump, capture, or attachment operation before the matching pop):
+    // the cons is elided, the value discarded. The trace event survives so
+    // traced programs see identical MarksPush/MarksPop sequences.
+    CMK_TRACE_EV(Trace, MarksPush);
+    --Sp;
+    ++Pc;
+    VM_NEXT();
+  }
+  VM_CASE(MarksExitElided) {
+    CMK_TRACE_EV(Trace, MarksPop);
+    ++Pc;
+    VM_NEXT();
+  }
+
+  // Reached (by goto only) when a run completed while a budget trip was
+  // still pending — e.g. the final allocation tripped the heap budget and
+  // no safe-point site ran before the continuation chain emptied. Regs
+  // are authoritative here. Deliver the trip instead of the final value,
+  // exactly as the old per-instruction poll would have.
+DeliverExitTrip : {
+  TripKind Trip = pollSafePoint();
+  if (Trip == TripKind::None)
+    return slot(Regs.Sp - 1);
+  if (!injectLimitRaise(Trip)) {
+    raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));
+    return Value::undefined();
+  }
+  if (Failed)
+    return Value::undefined();
+  RELOAD();
+  VM_NEXT();
+}
+
+#if !CMK_THREADED_DISPATCH
+  case Op::OpCount:
+    break;
+  }
+  CMK_UNREACHABLE("corrupt bytecode");
+#else
+  CMK_UNREACHABLE("fell out of the threaded dispatch chain");
+#endif
 
 #undef SYNC
 #undef RELOAD
 #undef VMERROR
+#undef VM_CASE
+#undef VM_NEXT
+#undef VM_SAFEPOINT
+#undef VM_PRIM_ADD
+#undef VM_PRIM_SUB
+#undef VM_PRIM_MUL
+#undef VM_PRIM_CMP
+#undef VM_PRIM_CONS
+#undef VM_PRIM_CAR
+#undef VM_PRIM_CDR
+#undef VM_PRIM_NULLP
+#undef VM_PRIM_PAIRP
+#undef VM_PRIM_NOT
+#undef VM_PRIM_EQP
+#undef VM_PRIM_ZEROP
+#undef VM_PRIM_INCDEC
 }
 
 // -----------------------------------------------------------------------------

@@ -267,6 +267,17 @@ private:
   /// Re-arms fuel, deadline, and pending-trip state for a fresh run.
   void resetGovernance();
 
+  /// True when any EngineLimits field is armed (including a non-default
+  /// FuelInterval), i.e. the dispatch loop must actually count fuel. An
+  /// ungoverned engine runs with effectively infinite fuel, so it takes
+  /// zero safe-point polls; cross-thread interrupts are still delivered
+  /// by the per-site InterruptRequested load.
+  bool pollingGoverned() const;
+
+  /// The fuel value a refill installs: the configured interval for
+  /// governed engines, effectively infinite otherwise.
+  int64_t refillFuel() const;
+
   /// Detaches Regs from a failed run's stack chain so the condemned
   /// segments are collectible immediately.
   void releaseRunState();
@@ -304,7 +315,10 @@ private:
 
   // Resource governance state.
   FaultInjector Faults;
-  int64_t FuelLeft = 0; ///< Instructions until the next safe-point poll.
+  /// Safe-point sites (calls and taken backward branches) until the next
+  /// poll. The heap zeroes it through its FuelPoke pointer to force the
+  /// next site to poll when a budget trips mid-allocation.
+  int64_t FuelLeft = 0;
   std::chrono::steady_clock::time_point Deadline{};
   bool DeadlineArmed = false;
   std::atomic<bool> InterruptRequested{false};

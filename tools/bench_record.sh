@@ -1,0 +1,41 @@
+#!/bin/sh
+# Record a full bench trajectory snapshot: runs bench_ctak, bench_marks,
+# and bench_attachments from a build directory and writes their
+# BENCH_*.json (schema cmarks-bench-v1) to a chosen directory -- by
+# default the repository root, which is the PR-over-PR perf trajectory
+# that CI archives and check_bench.py compares against bench/baselines/.
+#
+# Usage: tools/bench_record.sh [BUILD_DIR] [OUT_DIR]
+#   BUILD_DIR  cmake build tree containing bench/ binaries (default: build)
+#   OUT_DIR    where the BENCH_*.json land (default: the repo root)
+#
+# Honors CMARKS_BENCH_RUNS / CMARKS_BENCH_SCALE; defaults pin the scale so
+# recorded trajectories stay comparable run-over-run.
+set -eu
+
+REPO_ROOT=$(cd "$(dirname "$0")/.." && pwd)
+BUILD_DIR=${1:-"$REPO_ROOT/build"}
+OUT_DIR=${2:-"$REPO_ROOT"}
+
+# Absolutize: the benches run with cwd inside the build tree, so a
+# relative OUT_DIR must not silently resolve against $BUILD_DIR/bench.
+BUILD_DIR=$(cd "$BUILD_DIR" && pwd)
+mkdir -p "$OUT_DIR"
+OUT_DIR=$(cd "$OUT_DIR" && pwd)
+
+: "${CMARKS_BENCH_RUNS:=3}"
+: "${CMARKS_BENCH_SCALE:=0.5}"
+export CMARKS_BENCH_RUNS CMARKS_BENCH_SCALE
+export CMARKS_BENCH_JSON_DIR="$OUT_DIR"
+
+for B in bench_ctak bench_marks bench_attachments; do
+  BIN="$BUILD_DIR/bench/$B"
+  if [ ! -x "$BIN" ]; then
+    echo "bench_record: $BIN not built (cmake --build $BUILD_DIR)" >&2
+    exit 1
+  fi
+  echo "== $B (runs=$CMARKS_BENCH_RUNS scale=$CMARKS_BENCH_SCALE) =="
+  (cd "$BUILD_DIR/bench" && "$BIN")
+done
+
+echo "recorded: $OUT_DIR/BENCH_ctak.json $OUT_DIR/BENCH_marks.json $OUT_DIR/BENCH_attachments.json"

@@ -9,7 +9,10 @@ Fails (exit 1) when any benchmark's tracked-variant average time regresses
 by more than --threshold (default 25%) relative to the baseline. Benchmarks
 present in only one file are reported but do not fail the check. When the
 two files were produced at different CMARKS_BENCH_SCALE settings, timings
-are not comparable and the check exits 0 with a warning.
+are not comparable and the check exits 0 with a warning -- unless
+--strict-scale is given, in which case the mismatch itself is a failure
+(use this in CI, where the scale is pinned and a mismatch means the
+baseline was recorded wrong).
 
 With --counters, deterministic event counters (reifications, fusions,
 copies) are also compared; counter drift beyond the threshold is reported
@@ -60,6 +63,9 @@ def main():
                     help="variant whose timing is gated (default builtin)")
     ap.add_argument("--counters", action="store_true",
                     help="also report event-counter drift (warnings only)")
+    ap.add_argument("--strict-scale", action="store_true",
+                    help="fail (exit 1) on a scale mismatch instead of "
+                         "skipping the check")
     args = ap.parse_args()
 
     base = load(args.baseline)
@@ -70,6 +76,11 @@ def main():
               f"({base.get('bench')} vs {fresh.get('bench')})")
 
     if base.get("scale") != fresh.get("scale"):
+        if args.strict_scale:
+            print(f"error: scale mismatch (baseline {base.get('scale')}, "
+                  f"fresh {fresh.get('scale')}); timings not comparable "
+                  f"and --strict-scale is set")
+            return 1
         print(f"warning: scale mismatch (baseline {base.get('scale')}, "
               f"fresh {fresh.get('scale')}); timings not comparable, "
               f"skipping check")
