@@ -1,0 +1,160 @@
+//===- bench/bench_pool.cpp - EnginePool serving throughput ---------------===//
+///
+/// \file
+/// Throughput of the concurrent serving pool (support/pool.h): jobs/sec
+/// at 1/2/4/8 workers over three request mixes.
+///
+///   ctak-cpu    pure-CPU continuation captures (the paper's ctak), no
+///               wait time. Scales only with physical cores.
+///   marks-cpu   pure-CPU continuation-mark churn (wcm + lookups).
+///               Scales only with physical cores.
+///   marks-heavy the serving mix: the same mark churn plus a short
+///               simulated backend wait ((sleep-ms 3), standing in for a
+///               database or upstream RPC). This is the deployment shape
+///               EnginePool exists for, and the one where worker overlap
+///               pays even on a single core: while one engine's request
+///               waits, the other workers' requests run.
+///
+/// Each (mix, worker-count) cell builds a fresh pool, pushes a fixed
+/// batch of jobs, and times submit-to-last-future-resolved wall clock.
+/// The JSON blob (BENCH_pool.json, schema cmarks-bench-v1) keys cells as
+/// benchmark = mix, variant = "workers-N", with the pool's aggregated
+/// engine counters attached; jobs/sec and the 4-vs-1 speedup per mix are
+/// also printed for eyeballing.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "support/pool.h"
+#include "support/timing.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace cmk;
+using namespace cmkbench;
+
+namespace {
+
+struct Mix {
+  const char *Name;
+  const char *Source; ///< One request's program text.
+  long Jobs;          ///< Batch size before scaling.
+};
+
+const Mix Mixes[] = {
+    {"ctak-cpu",
+     "(ctak 15 10 5)",
+     60},
+    {"marks-cpu",
+     "(let loop ((i 0) (acc 0))"
+     "  (if (= i 120) acc"
+     "      (with-continuation-mark 'k i"
+     "        (loop (+ i 1)"
+     "              (+ acc (car (continuation-mark-set->list"
+     "                           (current-continuation-marks) 'k)))))))",
+     150},
+    {"marks-heavy",
+     "(begin"
+     "  (sleep-ms 3)" // Simulated backend wait (DB/upstream call).
+     "  (let loop ((i 0) (acc 0))"
+     "    (if (= i 60) acc"
+     "        (with-continuation-mark 'k i"
+     "          (loop (+ i 1)"
+     "                (+ acc (car (continuation-mark-set->list"
+     "                             (current-continuation-marks) 'k))))))))",
+     200},
+};
+
+/// ctak needs a definition in every worker engine; submitted as a plain
+/// job to each worker would be racy (no affinity), so it rides along in
+/// every request instead. Cheap: define is a couple of instructions.
+const char *CtakPrelude =
+    "(define (ctak x y z)"
+    "  (call/cc (lambda (k) (ctak-aux k x y z))))"
+    "(define (ctak-aux k x y z)"
+    "  (if (not (< y x))"
+    "      (k z)"
+    "      (ctak-aux k"
+    "                (call/cc (lambda (k) (ctak-aux k (- x 1) y z)))"
+    "                (call/cc (lambda (k) (ctak-aux k (- y 1) z x)))"
+    "                (call/cc (lambda (k) (ctak-aux k (- z 1) x y))))))";
+
+/// Times one batch of Jobs identical requests on a pool of W workers.
+/// Returns the wall-clock of submit..last-resolve and the pool's final
+/// aggregated engine counters.
+Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
+  RunStats Wall;
+  VMStats Counters;
+  std::string Source = M.Source;
+  if (std::string(M.Name) == "ctak-cpu")
+    Source = std::string(CtakPrelude) + Source;
+  for (int R = 0; R < runCount(); ++R) {
+    PoolOptions Opts;
+    Opts.Workers = W;
+    Opts.QueueCapacity = static_cast<size_t>(Jobs) + 8;
+    EnginePool Pool(Opts);
+    // Warm-up barrier: engines are constructed lazily on their worker
+    // threads (prelude load included), which must not be billed to the
+    // batch. One sleep job per worker spreads across all of them (a
+    // worker is pinned to its job for the whole sleep), so every engine
+    // is built and warm before the clock starts.
+    {
+      std::vector<std::future<JobResult>> Warm;
+      for (unsigned I = 0; I < W; ++I)
+        Warm.push_back(Pool.submit("(sleep-ms 15)"));
+      for (auto &F : Warm)
+        F.get();
+    }
+    std::vector<std::future<JobResult>> Futures;
+    Futures.reserve(static_cast<size_t>(Jobs));
+    uint64_t T0 = nowNanos();
+    for (long I = 0; I < Jobs; ++I)
+      Futures.push_back(Pool.submit(Source));
+    for (auto &F : Futures) {
+      JobResult JR = F.get();
+      if (!JR.Ok) {
+        std::fprintf(stderr, "bench_pool: job failed: %s\n",
+                     JR.Error.c_str());
+        std::exit(1);
+      }
+    }
+    uint64_t T1 = nowNanos();
+    Wall.addSampleNanos(T1 - T0);
+    Pool.shutdown();
+    Counters = Pool.stats().Engines; // Last run's counters represent the cell.
+  }
+  return {{Wall.averageMillis(), Wall.stddevMillis()}, Counters};
+}
+
+} // namespace
+
+int main() {
+  const unsigned WorkerCounts[] = {1, 2, 4, 8};
+  JsonReport Json("pool");
+
+  printTitle("EnginePool serving throughput (jobs/sec)");
+  printNote("one private engine per worker; batch timed submit->resolve");
+  printNote("marks-heavy includes a 3ms simulated backend wait per request,");
+  printNote("so it scales with worker overlap even on a single core; the");
+  printNote("-cpu mixes scale only with physical cores");
+
+  for (const Mix &M : Mixes) {
+    long Jobs = scaled(M.Jobs);
+    std::printf("\n  %s (%ld jobs/batch)\n", M.Name, Jobs);
+    double OneWorkerMs = 0;
+    for (unsigned W : WorkerCounts) {
+      Measurement R = runBatch(M, W, Jobs);
+      if (W == 1)
+        OneWorkerMs = R.T.AvgMs;
+      double JobsPerSec =
+          R.T.AvgMs > 0 ? 1000.0 * static_cast<double>(Jobs) / R.T.AvgMs : 0;
+      double Speedup = R.T.AvgMs > 0 ? OneWorkerMs / R.T.AvgMs : 0;
+      std::printf("    workers=%u %9.1f ms  +/-%-6.1f %9.0f jobs/s  x%.2f\n",
+                  W, R.T.AvgMs, R.T.StdevMs, JobsPerSec, Speedup);
+      Json.add(M.Name, "workers-" + std::to_string(W), R);
+    }
+  }
+  return 0;
+}

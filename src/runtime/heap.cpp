@@ -6,6 +6,7 @@
 #include "support/stats.h"
 #include "support/trace.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 
@@ -125,13 +126,19 @@ void Heap::checkHeapBudget(size_t Rounded) {
     }
     // Genuinely at the limit. Grant the headroom slab and leave a trip
     // for the VM's next safe point; this allocation (and the error
-    // handling it feeds) proceeds out of the headroom.
+    // handling it feeds) proceeds out of the headroom. The slab is
+    // anchored at the usage observed right now, not at the budget:
+    // when the grant happens while GC is paused (reader/compiler), the
+    // uncollectable garbage may already put usage far past the budget,
+    // and a budget-anchored slab would be spent before the first
+    // allocation it was meant to cover.
     HeadroomActive = true;
+    HeadroomBase = std::max(Budget, BytesInUse);
     notePendingTrip(TripKind::HeapLimit);
     return;
   }
 
-  if (BytesInUse + Rounded <= Budget + LimitsPtr->HeapHeadroomBytes)
+  if (BytesInUse + Rounded <= HeadroomBase + LimitsPtr->HeapHeadroomBytes)
     return;
   // The headroom itself is nearly gone. One last collection can rescue a
   // program whose handler dropped references without a GC happening yet.
@@ -139,7 +146,7 @@ void Heap::checkHeapBudget(size_t Rounded) {
     collect();
     if (BytesInUse + Rounded <= Budget ||
         (HeadroomActive &&
-         BytesInUse + Rounded <= Budget + LimitsPtr->HeapHeadroomBytes))
+         BytesInUse + Rounded <= HeadroomBase + LimitsPtr->HeapHeadroomBytes))
       return;
   }
   throw ResourceExhausted{TripKind::HeapLimit,
@@ -148,6 +155,8 @@ void Heap::checkHeapBudget(size_t Rounded) {
 
 void Heap::injectHeapTrip() {
   HeadroomActive = true;
+  HeadroomBase =
+      std::max(LimitsPtr ? LimitsPtr->HeapBytes : uint64_t(0), BytesInUse);
   notePendingTrip(TripKind::HeapLimit);
 }
 

@@ -269,6 +269,11 @@ private:
   uint32_t LiveSegments = 0; ///< Live StackSeg objects.
   TripKind PendingTrip = TripKind::None;
   bool HeadroomActive = false; ///< Heap headroom slab granted.
+  /// Usage level the active headroom slab was granted at (>= the byte
+  /// budget). The slab covers HeadroomBase + HeapHeadroomBytes so it is
+  /// real slack even when granted with GC paused and garbage-inflated
+  /// usage already far past the budget.
+  uint64_t HeadroomBase = 0;
   bool ReserveActive = false;  ///< Segment reserve granted.
 };
 

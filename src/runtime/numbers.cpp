@@ -19,6 +19,17 @@ static NumResult makeNum(Heap &H, double D) { return {H.makeFlonum(D), true}; }
 
 static NumResult typeError() { return {Value::undefined(), false}; }
 
+static NumResult divisionByZero() {
+  return {Value::undefined(), false, "division by zero"};
+}
+
+/// True when \p V is an exact or inexact zero.
+static bool isZero(Value V) {
+  if (V.isFixnum())
+    return V.asFixnum() == 0;
+  return asFlonum(V)->Val == 0.0;
+}
+
 NumResult cmk::numAdd(Heap &H, Value A, Value B) {
   if (A.isFixnum() && B.isFixnum()) {
     int64_t R;
@@ -64,41 +75,75 @@ NumResult cmk::numMul(Heap &H, Value A, Value B) {
 NumResult cmk::numDiv(Heap &H, Value A, Value B) {
   if (!A.isNumber() || !B.isNumber())
     return typeError();
+  // R7RS: flonum division is total -- (/ 1 0.0) is +inf.0, (/ 0.0 0.0) is
+  // +nan.0. Only division by an *exact* zero is an error.
+  if (B.isFixnum() && B.asFixnum() == 0)
+    return divisionByZero();
   if (A.isFixnum() && B.isFixnum()) {
-    int64_t BV = B.asFixnum();
-    if (BV != 0 && A.asFixnum() % BV == 0)
-      return {Value::fixnum(A.asFixnum() / BV), true};
+    int64_t AV = A.asFixnum(), BV = B.asFixnum();
+    // most-negative-fixnum / -1 overflows the fixnum range; take the
+    // flonum path below for the widened value.
+    if (AV % BV == 0 && !(BV == -1 && AV == FixnumMin))
+      return {Value::fixnum(AV / BV), true};
   }
-  double D = toDouble(B);
-  if (D == 0.0)
-    return typeError();
-  return makeNum(H, toDouble(A) / D);
+  return makeNum(H, toDouble(A) / toDouble(B));
 }
 
 NumResult cmk::numQuotient(Heap &H, Value A, Value B) {
-  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0)
-    return {Value::fixnum(A.asFixnum() / B.asFixnum()), true};
-  if (A.isNumber() && B.isNumber() && toDouble(B) != 0.0)
-    return makeNum(H, std::trunc(toDouble(A) / toDouble(B)));
-  return typeError();
+  if (!A.isNumber() || !B.isNumber())
+    return typeError();
+  if (isZero(B))
+    return divisionByZero();
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t AV = A.asFixnum(), BV = B.asFixnum();
+    // Guard the overflow case most-negative-fixnum / -1: its quotient
+    // exceeds FixnumMax, so return the widened (flonum) value instead of
+    // letting Value::fixnum silently wrap.
+    if (!(BV == -1 && AV == FixnumMin))
+      return {Value::fixnum(AV / BV), true};
+  }
+  return makeNum(H, std::trunc(toDouble(A) / toDouble(B)));
 }
 
 NumResult cmk::numRemainder(Heap &H, Value A, Value B) {
-  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0)
-    return {Value::fixnum(A.asFixnum() % B.asFixnum()), true};
-  if (A.isNumber() && B.isNumber() && toDouble(B) != 0.0)
-    return makeNum(H, std::fmod(toDouble(A), toDouble(B)));
-  return typeError();
+  if (!A.isNumber() || !B.isNumber())
+    return typeError();
+  if (isZero(B))
+    return divisionByZero();
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t AV = A.asFixnum(), BV = B.asFixnum();
+    // A % -1 is 0 for every A; answering directly also sidesteps the
+    // most-negative-fixnum % -1 overflow corner of C++ '%'.
+    if (BV == -1)
+      return {Value::fixnum(0), true};
+    return {Value::fixnum(AV % BV), true};
+  }
+  // Flonum remainder keeps the dividend's sign, like fmod.
+  return makeNum(H, std::fmod(toDouble(A), toDouble(B)));
 }
 
 NumResult cmk::numModulo(Heap &H, Value A, Value B) {
-  if (A.isFixnum() && B.isFixnum() && B.asFixnum() != 0) {
-    int64_t R = A.asFixnum() % B.asFixnum();
-    if (R != 0 && ((R < 0) != (B.asFixnum() < 0)))
-      R += B.asFixnum();
+  if (!A.isNumber() || !B.isNumber())
+    return typeError();
+  if (isZero(B))
+    return divisionByZero();
+  if (A.isFixnum() && B.isFixnum()) {
+    int64_t AV = A.asFixnum(), BV = B.asFixnum();
+    if (BV == -1) // See numRemainder; the adjustment below never applies.
+      return {Value::fixnum(0), true};
+    int64_t R = AV % BV;
+    if (R != 0 && ((R < 0) != (BV < 0)))
+      R += BV;
     return {Value::fixnum(R), true};
   }
-  return numRemainder(H, A, B);
+  // Sign-of-divisor flonum modulo: fmod keeps the dividend's sign, so
+  // shift by the divisor when the signs disagree -- (modulo 7.0 -2.0)
+  // is -1.0, not the 1.0 that remainder gives.
+  double AD = toDouble(A), BD = toDouble(B);
+  double R = std::fmod(AD, BD);
+  if (R != 0.0 && ((R < 0.0) != (BD < 0.0)))
+    R += BD;
+  return makeNum(H, R);
 }
 
 bool cmk::numCompare(Value A, Value B, int &CmpOut) {
@@ -110,6 +155,10 @@ bool cmk::numCompare(Value A, Value B, int &CmpOut) {
   if (!A.isNumber() || !B.isNumber())
     return false;
   double AD = toDouble(A), BD = toDouble(B);
+  if (std::isnan(AD) || std::isnan(BD)) {
+    CmpOut = CmpUnordered; // NaN compares false under every operator.
+    return true;
+  }
   CmpOut = AD < BD ? -1 : (AD > BD ? 1 : 0);
   return true;
 }

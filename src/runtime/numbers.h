@@ -16,10 +16,13 @@ namespace cmk {
 
 class Heap;
 
-/// Result of a generic numeric operation; Ok is false on a type error.
+/// Result of a generic numeric operation; Ok is false on an error. Err
+/// distinguishes non-type failures (a static string like "division by
+/// zero"); nullptr means the generic "expected numbers" complaint.
 struct NumResult {
   Value V;
   bool Ok;
+  const char *Err = nullptr;
 };
 
 NumResult numAdd(Heap &H, Value A, Value B);
@@ -30,7 +33,14 @@ NumResult numQuotient(Heap &H, Value A, Value B); ///< Integer quotient.
 NumResult numRemainder(Heap &H, Value A, Value B);
 NumResult numModulo(Heap &H, Value A, Value B);
 
-/// Three-way comparison: -1, 0, 1 in *CmpOut; Ok false on type error.
+/// CmpOut value for IEEE-unordered comparisons (either side NaN). Every
+/// numeric comparison operator is false for an unordered pair, so
+/// consumers must treat this as "none of <, =, >" rather than matching
+/// it against a sign test.
+constexpr int CmpUnordered = 2;
+
+/// Three-way comparison: -1, 0, 1 in *CmpOut, or CmpUnordered when
+/// either operand is NaN; returns false on type error.
 bool numCompare(Value A, Value B, int &CmpOut);
 
 double toDouble(Value V);

@@ -3,6 +3,7 @@
 #include "runtime/printer.h"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 using namespace cmk;
@@ -120,6 +121,16 @@ static void printRec(std::string &Out, Value V, bool Display, int Depth) {
   }
   case ObjKind::Flonum: {
     double D = asFlonum(V)->Val;
+    // Specials print in the R7RS spelling the reader accepts, not the
+    // platform's "inf"/"nan" strings.
+    if (std::isinf(D)) {
+      Out += D > 0 ? "+inf.0" : "-inf.0";
+      return;
+    }
+    if (std::isnan(D)) {
+      Out += "+nan.0";
+      return;
+    }
     std::snprintf(Buf, sizeof(Buf), "%.17g", D);
     Out += Buf;
     // Ensure flonums read back as flonums (e.g. "3" becomes "3.0").

@@ -1,0 +1,213 @@
+//===- support/pool.cpp - Concurrent multi-engine serving pool ------------===//
+
+#include "support/pool.h"
+
+using namespace cmk;
+
+namespace {
+
+/// Fieldwise Agg += Delta over every counter in the stats table.
+void accumulateStats(VMStats &Agg, const VMStats &Delta) {
+  int N = 0;
+  const StatsCounterDesc *Table = statsCounters(N);
+  for (int I = 0; I < N; ++I)
+    Agg.*(Table[I].Field) += Delta.*(Table[I].Field);
+}
+
+} // namespace
+
+EnginePool::EnginePool(const PoolOptions &O) : Opts(O) {
+  unsigned N = Opts.Workers;
+  if (N == 0) {
+    N = std::thread::hardware_concurrency();
+    if (N == 0)
+      N = 1;
+  }
+  if (Opts.QueueCapacity == 0)
+    Opts.QueueCapacity = 1;
+  Engines.assign(N, nullptr);
+  Threads.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+EnginePool::~EnginePool() { shutdown(/*Drain=*/true); }
+
+void EnginePool::workerMain(unsigned Idx) {
+  // The engine is constructed on the worker thread so its heap, stacks,
+  // and prelude bootstrap never touch another thread.
+  SchemeEngine Engine(Opts.Engine);
+  {
+    std::lock_guard<std::mutex> L(EnginesMu);
+    Engines[Idx] = &Engine;
+  }
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> L(QueueMu);
+      NotEmpty.wait(L, [&] { return Stopping || !Queue.empty(); });
+      if (Queue.empty())
+        break; // Stopping with nothing left to do.
+      if (Stopping && !DrainOnStop)
+        break; // Leave queued jobs for shutdown() to reject.
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    NotFull.notify_one();
+    runJob(Engine, J, Idx);
+  }
+  {
+    std::lock_guard<std::mutex> L(EnginesMu);
+    Engines[Idx] = nullptr;
+  }
+}
+
+void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
+  VMStats Before = Engine.stats();
+  Engine.limits() = J.Limits;
+
+  JobResult R;
+  R.Worker = Idx;
+  R.Output = Engine.evalToString(J.Source);
+  if (Engine.ok()) {
+    R.Ok = true;
+  } else {
+    R.Output.clear();
+    R.Error = Engine.lastError();
+    R.Kind = Engine.lastErrorKind();
+  }
+
+  VMStats Delta = Engine.stats().delta(Before);
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    accumulateStats(Agg.Engines, Delta);
+    if (R.Ok)
+      ++Agg.JobsCompleted;
+    else if (R.Kind == ErrorKind::Runtime || R.Kind == ErrorKind::None)
+      ++Agg.JobsFailed;
+    else
+      ++Agg.JobsTripped;
+  }
+  J.Promise.set_value(std::move(R));
+}
+
+void EnginePool::rejectJob(Job &J) {
+  JobResult R;
+  R.Ok = false;
+  R.Error = "engine pool is shut down";
+  R.Kind = ErrorKind::Runtime;
+  J.Promise.set_value(std::move(R));
+}
+
+std::future<JobResult> EnginePool::submit(std::string Source) {
+  return submit(std::move(Source), Opts.DefaultJobLimits);
+}
+
+std::future<JobResult> EnginePool::submit(std::string Source,
+                                          const EngineLimits &L) {
+  Job J{std::move(Source), L, {}};
+  std::future<JobResult> F = J.Promise.get_future();
+  bool Rejected = false;
+  {
+    std::unique_lock<std::mutex> Lk(QueueMu);
+    NotFull.wait(Lk, [&] {
+      return Stopping || Queue.size() < Opts.QueueCapacity;
+    });
+    if (Stopping) {
+      Rejected = true;
+    } else {
+      Queue.push_back(std::move(J));
+      if (Queue.size() > HighWater)
+        HighWater = Queue.size();
+    }
+  }
+  if (Rejected) {
+    rejectJob(J);
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Agg.JobsRejected;
+    return F;
+  }
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Agg.JobsSubmitted;
+  }
+  NotEmpty.notify_one();
+  return F;
+}
+
+bool EnginePool::trySubmit(std::string Source, const EngineLimits &L,
+                           std::future<JobResult> &Out) {
+  Job J{std::move(Source), L, {}};
+  {
+    std::lock_guard<std::mutex> Lk(QueueMu);
+    if (Stopping || Queue.size() >= Opts.QueueCapacity)
+      return false;
+    Out = J.Promise.get_future();
+    Queue.push_back(std::move(J));
+    if (Queue.size() > HighWater)
+      HighWater = Queue.size();
+  }
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    ++Agg.JobsSubmitted;
+  }
+  NotEmpty.notify_one();
+  return true;
+}
+
+void EnginePool::shutdown(bool Drain) {
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    if (!Stopping) {
+      Stopping = true;
+      DrainOnStop = Drain;
+    }
+  }
+  NotEmpty.notify_all();
+  NotFull.notify_all();
+  {
+    // JoinMu serializes concurrent shutdown callers on the join itself:
+    // the first performs it, later callers block here until the workers
+    // are really gone, then see Joined and skip.
+    std::lock_guard<std::mutex> L(JoinMu);
+    if (!Joined) {
+      for (std::thread &T : Threads)
+        T.join();
+      Joined = true;
+    }
+  }
+  // Whatever is still queued (non-drain shutdown, or jobs that raced in
+  // before Stopping was visible) gets rejected, never dropped: every
+  // future the pool handed out resolves.
+  std::deque<Job> Leftover;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Leftover.swap(Queue);
+  }
+  for (Job &J : Leftover)
+    rejectJob(J);
+  if (!Leftover.empty()) {
+    std::lock_guard<std::mutex> L(StatsMu);
+    Agg.JobsRejected += Leftover.size();
+  }
+}
+
+void EnginePool::interruptAll() {
+  std::lock_guard<std::mutex> L(EnginesMu);
+  for (SchemeEngine *E : Engines)
+    if (E)
+      E->requestInterrupt();
+}
+
+PoolStats EnginePool::stats() const {
+  PoolStats S;
+  {
+    std::lock_guard<std::mutex> L(StatsMu);
+    S = Agg;
+  }
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    S.QueueHighWater = HighWater;
+  }
+  return S;
+}

@@ -1,0 +1,181 @@
+//===- support/pool.h - Concurrent multi-engine serving pool ---*- C++ -*-===//
+///
+/// \file
+/// EnginePool serves eval jobs from N worker threads, each owning a
+/// private SchemeEngine — its own heap, stack segments, mark state,
+/// stats, and trace buffer. Engines share nothing mutable (see DESIGN.md
+/// §11 for the audit), so the pool needs no locking around evaluation
+/// itself: the only synchronized state is the bounded MPMC job queue,
+/// the aggregated statistics, and the engine registry used for
+/// cross-thread interrupts.
+///
+/// Jobs are source strings and results are external representations
+/// (strings): Values are owned by a worker's heap and must not escape
+/// its thread, so the API exchanges only plain data. Each job carries
+/// its own EngineLimits (defaulted from PoolOptions), which is how a
+/// serving deployment evicts stuck requests — a job that trips its
+/// timeout/heap/stack budget fails alone; the worker engine recovers
+/// and keeps serving (support/limits.h).
+///
+/// Typical use:
+/// \code
+///   cmk::PoolOptions Opts;
+///   Opts.Workers = 4;
+///   Opts.DefaultJobLimits.TimeoutMs = 100;
+///   cmk::EnginePool Pool(Opts);
+///   auto F = Pool.submit("(+ 1 2)");
+///   cmk::JobResult R = F.get();   // R.Ok, R.Output == "3"
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_SUPPORT_POOL_H
+#define CMARKS_SUPPORT_POOL_H
+
+#include "api/scheme.h"
+#include "support/limits.h"
+#include "support/stats.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cmk {
+
+/// Outcome of one pool job, delivered through its future. Always
+/// delivered: shutdown fulfills (rejects) queued jobs rather than
+/// breaking their promises.
+struct JobResult {
+  bool Ok = false;
+  /// write-style external representation of the result ("" on failure).
+  std::string Output;
+  /// Error message when !Ok ("engine pool is shut down" for rejections).
+  std::string Error;
+  /// Classification when !Ok: Runtime for ordinary errors, or the limit
+  /// trip kind (heap/stack/timeout/interrupt) for evicted jobs.
+  ErrorKind Kind = ErrorKind::None;
+  /// Index of the worker that ran the job (0 for rejected jobs).
+  uint32_t Worker = 0;
+};
+
+/// Pool construction parameters.
+struct PoolOptions {
+  /// Worker threads (= engines). 0 picks std::thread::hardware_concurrency.
+  unsigned Workers = 0;
+  /// Bounded job-queue capacity; submit() blocks while the queue is full
+  /// (backpressure), trySubmit() fails fast instead.
+  size_t QueueCapacity = 256;
+  /// Engine template: every worker constructs its engine from this
+  /// (variant, compiler options, prelude).
+  EngineOptions Engine;
+  /// Budgets installed for jobs submitted without explicit limits. The
+  /// zero default means ungoverned; serving deployments should at least
+  /// arm TimeoutMs so a stuck request cannot retire a worker.
+  EngineLimits DefaultJobLimits;
+};
+
+/// Pool-wide statistics snapshot (stats()).
+struct PoolStats {
+  uint64_t JobsSubmitted = 0; ///< Accepted into the queue.
+  uint64_t JobsCompleted = 0; ///< Ran and returned a value.
+  uint64_t JobsFailed = 0;    ///< Ran and raised an ordinary error.
+  uint64_t JobsTripped = 0;   ///< Ran and hit a resource limit (subset of
+                              ///< JobsFailed's complement: counted apart).
+  uint64_t JobsRejected = 0;  ///< Never ran (shutdown or trySubmit race).
+  uint64_t QueueHighWater = 0; ///< Max queue depth observed.
+  /// Aggregated runtime event counters (support/stats.h) across every
+  /// worker engine, accumulated as jobs retire. In-flight jobs appear
+  /// once they finish.
+  VMStats Engines;
+};
+
+/// A fixed-size pool of worker threads with one private SchemeEngine
+/// each, fed by a bounded MPMC queue. Thread-safe: submit/trySubmit/
+/// stats/interruptAll may be called concurrently from any thread.
+class EnginePool {
+public:
+  explicit EnginePool(const PoolOptions &Opts = PoolOptions());
+  ~EnginePool(); ///< shutdown(/*Drain=*/true).
+  EnginePool(const EnginePool &) = delete;
+  EnginePool &operator=(const EnginePool &) = delete;
+
+  /// Enqueues \p Source under the default job limits. Blocks while the
+  /// queue is full; returns an already-rejected future after shutdown.
+  std::future<JobResult> submit(std::string Source);
+
+  /// Enqueues \p Source with job-specific budgets (overrides, not merges,
+  /// the defaults).
+  std::future<JobResult> submit(std::string Source, const EngineLimits &L);
+
+  /// Non-blocking submit: false (and no future) when the queue is full
+  /// or the pool is shutting down.
+  bool trySubmit(std::string Source, const EngineLimits &L,
+                 std::future<JobResult> &Out);
+
+  /// Stops the pool and joins the workers. Drain=true finishes queued
+  /// jobs first; Drain=false rejects them (their futures resolve with
+  /// "engine pool is shut down"). Running jobs always finish — combine
+  /// with interruptAll() to evict them promptly. Idempotent; the first
+  /// call's Drain wins.
+  void shutdown(bool Drain = true);
+
+  /// Asks every currently-running evaluation to stop at its next safe
+  /// point (delivered as a catchable exn:interrupt?, see support/
+  /// limits.h). Idle engines are unaffected: a pending interrupt is
+  /// cleared when the next run re-arms governance.
+  void interruptAll();
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Threads.size());
+  }
+
+  /// Thread-safe snapshot of the pool-wide counters and the aggregated
+  /// per-engine runtime stats.
+  PoolStats stats() const;
+
+private:
+  struct Job {
+    std::string Source;
+    EngineLimits Limits;
+    std::promise<JobResult> Promise;
+  };
+
+  void workerMain(unsigned Idx);
+  void runJob(SchemeEngine &Engine, Job &J, unsigned Idx);
+  static void rejectJob(Job &J);
+
+  PoolOptions Opts;
+  std::vector<std::thread> Threads;
+
+  // Bounded MPMC queue.
+  mutable std::mutex QueueMu;
+  std::condition_variable NotEmpty; ///< Waited on by workers.
+  std::condition_variable NotFull;  ///< Waited on by blocked submitters.
+  std::deque<Job> Queue;
+  bool Stopping = false;   ///< Guarded by QueueMu.
+  bool DrainOnStop = true; ///< Guarded by QueueMu.
+  uint64_t HighWater = 0;  ///< Guarded by QueueMu.
+
+  // Shutdown join serialization (never held while touching QueueMu).
+  std::mutex JoinMu;
+  bool Joined = false; ///< Guarded by JoinMu.
+
+  // Engine registry for cross-thread interrupts. Slot Idx is published
+  // by worker Idx after construction and cleared before destruction.
+  mutable std::mutex EnginesMu;
+  std::vector<SchemeEngine *> Engines;
+
+  // Aggregated statistics (everything except the queue high-water).
+  mutable std::mutex StatsMu;
+  PoolStats Agg;
+};
+
+} // namespace cmk
+
+#endif // CMARKS_SUPPORT_POOL_H

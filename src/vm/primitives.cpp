@@ -18,12 +18,20 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 using namespace cmk;
 
 namespace {
 
 // --- Numeric primitives ------------------------------------------------------
+
+/// Reports a failed NumResult: the operation's specific complaint when it
+/// has one (e.g. "division by zero"), the generic type error otherwise.
+Value numError(VM &M, const char *Who, const NumResult &R) {
+  return M.raiseError(std::string(Who) + ": " +
+                      (R.Err ? R.Err : "expected numbers"));
+}
 
 template <NumResult (*Fn)(Heap &, Value, Value)>
 Value foldNumeric(VM &M, const char *Who, Value Init, Value *Args,
@@ -32,7 +40,7 @@ Value foldNumeric(VM &M, const char *Who, Value Init, Value *Args,
   for (uint32_t I = 1; I < NArgs; ++I) {
     NumResult R = Fn(M.heap(), Acc.get(), Args[I]);
     if (!R.Ok)
-      return M.raiseError(std::string(Who) + ": expected numbers");
+      return numError(M, Who, R);
     Acc.set(R.V);
   }
   return Acc.get();
@@ -60,7 +68,7 @@ Value nativeDiv(VM &M, Value *Args, uint32_t NArgs) {
   if (NArgs == 1) {
     NumResult R = numDiv(M.heap(), Value::fixnum(1), Args[0]);
     if (!R.Ok)
-      return M.raiseError("/: bad arguments");
+      return numError(M, "/", R);
     return R.V;
   }
   return foldNumeric<numDiv>(M, "/", Value::fixnum(1), Args, NArgs);
@@ -97,21 +105,21 @@ Value nativeNumEq(VM &M, Value *A, uint32_t N) {
 Value nativeQuotient(VM &M, Value *Args, uint32_t NArgs) {
   NumResult R = numQuotient(M.heap(), Args[0], Args[1]);
   if (!R.Ok)
-    return M.raiseError("quotient: bad arguments");
+    return numError(M, "quotient", R);
   return R.V;
 }
 
 Value nativeRemainder(VM &M, Value *Args, uint32_t NArgs) {
   NumResult R = numRemainder(M.heap(), Args[0], Args[1]);
   if (!R.Ok)
-    return M.raiseError("remainder: bad arguments");
+    return numError(M, "remainder", R);
   return R.V;
 }
 
 Value nativeModulo(VM &M, Value *Args, uint32_t NArgs) {
   NumResult R = numModulo(M.heap(), Args[0], Args[1]);
   if (!R.Ok)
-    return M.raiseError("modulo: bad arguments");
+    return numError(M, "modulo", R);
   return R.V;
 }
 
@@ -275,7 +283,7 @@ Value nativePositiveP(VM &M, Value *Args, uint32_t) {
   int Cmp;
   if (!numCompare(Args[0], Value::fixnum(0), Cmp))
     return typeError(M, "positive?", "number", Args[0]);
-  return Value::boolean(Cmp > 0);
+  return Value::boolean(Cmp != CmpUnordered && Cmp > 0);
 }
 Value nativeNegativeP(VM &M, Value *Args, uint32_t) {
   int Cmp;
@@ -648,6 +656,23 @@ Value nativeCurrentMillis(VM &M, Value *, uint32_t) {
       1000.0);
 }
 
+/// (sleep-ms n) blocks the calling engine's thread for n milliseconds
+/// (clamped to [0, 60000]). Models a request handler waiting on a
+/// backend; in an EnginePool only the one worker blocks, so sibling
+/// workers keep serving (see bench/bench_pool.cpp's service mix).
+Value nativeSleepMs(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isNumber())
+    return typeError(M, "sleep-ms", "number", Args[0]);
+  double Ms = toDouble(Args[0]);
+  if (Ms < 0)
+    Ms = 0;
+  if (Ms > 60000)
+    Ms = 60000;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(Ms * 1000.0)));
+  return Value::voidValue();
+}
+
 /// (#%vm-stat 'name) exposes runtime counters to tests and benchmarks.
 /// Accepts the short legacy names plus every name in the stats counter
 /// table (support/stats.h).
@@ -911,6 +936,7 @@ void cmk::installPrimitives(VM &M) {
   M.defineNative("gensym", nativeGensym, 0, 1);
   M.defineNative("collect-garbage", nativeCollectGarbage, 0, 0);
   M.defineNative("current-inexact-milliseconds", nativeCurrentMillis, 0, 0);
+  M.defineNative("sleep-ms", nativeSleepMs, 1, 1);
   M.defineNative("#%vm-stat", nativeVmStat, 1, 1);
   M.defineNative("runtime-stats", nativeRuntimeStats, 0, 0);
   M.defineNative("runtime-stats-reset!", nativeRuntimeStatsReset, 0, 0);

@@ -248,8 +248,9 @@ const char *tripMessage(TripKind T) {
   return "limit trip";
 }
 
-const char *procName(Value Fn) {
-  static std::string Buf;
+/// Returned by value: engines run concurrently (support/pool.h), so a
+/// function-local static buffer here would be a cross-engine data race.
+std::string procName(Value Fn) {
   Value Name = Value::False();
   if (Fn.isClosure())
     Name = asCode(asClosure(Fn)->Code)->Name;
@@ -257,8 +258,7 @@ const char *procName(Value Fn) {
     Name = asNative(Fn)->Name;
   if (!Name.isSymbol())
     return "procedure";
-  Buf = displayToString(Name);
-  return Buf.c_str();
+  return displayToString(Name);
 }
 
 } // namespace
@@ -392,7 +392,8 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
       break;
     if (F.isNative()) {
       NativeObj *N = asNative(F);
-      if (!checkArity(*this, procName(F), NArgs, N->MinArgs, N->MaxArgs)) {
+      if (!checkArity(*this, procName(F).c_str(), NArgs, N->MinArgs,
+                      N->MaxArgs)) {
         Ok = false;
         return Value::undefined();
       }
@@ -429,7 +430,8 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
   Value F = FnRoot.get();
   CodeObj *Code = asCode(asClosure(F)->Code);
   installBaseFrame(F, ArgRoots.values().data(), NArgs);
-  if (!bindArgs(*this, Code, FrameHeaderSlots, NArgs, procName(F))) {
+  if (!bindArgs(*this, Code, FrameHeaderSlots, NArgs,
+                procName(F).c_str())) {
     Ok = false;
     return Value::undefined();
   }
@@ -636,22 +638,26 @@ Value VM::run() {
     if (!numCompare(A, B, Cmp))                                                \
       VMERROR("comparison: expected numbers");                                 \
     bool R = false;                                                            \
-    switch (OPV) {                                                             \
-    case Op::NumLt:                                                            \
-      R = Cmp < 0;                                                             \
-      break;                                                                   \
-    case Op::NumLe:                                                            \
-      R = Cmp <= 0;                                                            \
-      break;                                                                   \
-    case Op::NumGt:                                                            \
-      R = Cmp > 0;                                                             \
-      break;                                                                   \
-    case Op::NumGe:                                                            \
-      R = Cmp >= 0;                                                            \
-      break;                                                                   \
-    default:                                                                   \
-      R = Cmp == 0;                                                            \
-      break;                                                                   \
+    /* CmpUnordered (NaN) is false under every operator; the sign tests  */    \
+    /* below would wrongly satisfy > and >= for the sentinel.            */    \
+    if (Cmp != CmpUnordered) {                                                 \
+      switch (OPV) {                                                           \
+      case Op::NumLt:                                                          \
+        R = Cmp < 0;                                                           \
+        break;                                                                 \
+      case Op::NumLe:                                                          \
+        R = Cmp <= 0;                                                          \
+        break;                                                                 \
+      case Op::NumGt:                                                          \
+        R = Cmp > 0;                                                           \
+        break;                                                                 \
+      case Op::NumGe:                                                          \
+        R = Cmp >= 0;                                                          \
+        break;                                                                 \
+      default:                                                                 \
+        R = Cmp == 0;                                                          \
+        break;                                                                 \
+      }                                                                        \
     }                                                                          \
     Slots[Sp - 2] = Value::boolean(R);                                         \
     --Sp;                                                                      \
@@ -1526,7 +1532,8 @@ VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
 
     if (Fn.isClosure()) {
       CodeObj *Code = asCode(asClosure(Fn)->Code);
-      if (!bindArgs(*this, Code, Hdr + FrameHeaderSlots, NArgs, procName(Fn)))
+      if (!bindArgs(*this, Code, Hdr + FrameHeaderSlots, NArgs,
+                    procName(Fn).c_str()))
         return Dispatch::Done;
       Slots = asStackSeg(Regs.Seg)->Slots;
       Regs.Sp = Hdr + FrameHeaderSlots + Code->NumArgs;
@@ -1578,7 +1585,8 @@ VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
     if (Fn.isNative()) {
       NativeObj *N = asNative(Fn);
       Regs.Sp = Hdr; // The call frame is logically popped.
-      if (!checkArity(*this, procName(Fn), NArgs, N->MinArgs, N->MaxArgs))
+      if (!checkArity(*this, procName(Fn).c_str(), NArgs, N->MinArgs,
+                      N->MaxArgs))
         return Dispatch::Done;
       NativeJumped = false;
       Value Res = N->Fn(*this, Slots + Hdr + FrameHeaderSlots, NArgs);
@@ -1642,7 +1650,8 @@ VM::Dispatch VM::dispatchSlowTail(uint32_t NArgs) {
 
     if (Fn.isClosure()) {
       CodeObj *Code = asCode(asClosure(Fn)->Code);
-      if (!bindArgs(*this, Code, Fp + FrameHeaderSlots, NArgs, procName(Fn)))
+      if (!bindArgs(*this, Code, Fp + FrameHeaderSlots, NArgs,
+                    procName(Fn).c_str()))
         return Dispatch::Done;
       Slots = asStackSeg(Regs.Seg)->Slots;
       bool TailOverflow =
@@ -1679,7 +1688,8 @@ VM::Dispatch VM::dispatchSlowTail(uint32_t NArgs) {
     if (Fn.isNative()) {
       NativeObj *N = asNative(Fn);
       Regs.Sp = Fp + FrameHeaderSlots + NArgs;
-      if (!checkArity(*this, procName(Fn), NArgs, N->MinArgs, N->MaxArgs))
+      if (!checkArity(*this, procName(Fn).c_str(), NArgs, N->MinArgs,
+                      N->MaxArgs))
         return Dispatch::Done;
       NativeTailCall = true;
       NativeJumped = false;

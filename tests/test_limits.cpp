@@ -74,6 +74,30 @@ TEST(HeapLimit, ExnCarriesMessageAndKind) {
              "(heap-limit #t #t)");
 }
 
+TEST(HeapLimit, BudgetBelowCurrentGarbageStillTripsCatchably) {
+  // A budget armed after the heap has accumulated garbage (a fresh
+  // engine carries megabytes of prelude-load garbage) used to burn the
+  // whole headroom slab during reading, while GC is paused: the slab
+  // was anchored at the budget, usage was already far past it, and the
+  // run escalated straight to the uncatchable reserve error with zero
+  // delivered trips. The slab is now anchored at the usage observed at
+  // grant time, so the trip is delivered and counted like any other.
+  SchemeEngine E;
+  E.limits().HeapBytes = 4u << 20; // Far below the prelude's garbage.
+  VMStats Before = E.stats();
+  E.eval("(let loop ([acc '()]) (loop (cons (make-vector 1024 0) acc)))");
+  ASSERT_FALSE(E.ok());
+  EXPECT_EQ(E.lastErrorKind(), ErrorKind::HeapLimit);
+  EXPECT_EQ(E.lastError(), "heap limit exceeded");
+  EXPECT_EQ(E.stats().delta(Before).LimitHeapTrips, 1u);
+  // And catchably, on the same engine.
+  expectEval(E,
+             "(with-handlers ([exn:heap-limit? (lambda (e) 'caught)])\n"
+             "  (let loop ([acc '()])\n"
+             "    (loop (cons (make-vector 1024 0) acc))))",
+             "caught");
+}
+
 // ----------------------------------------------------------- stack limit ----
 
 TEST(StackLimit, DeepRecursionRaisesCatchableExn) {

@@ -1,0 +1,158 @@
+//===- tests/test_numbers.cpp - Numeric-tower edge cases ------------------===//
+//
+// Edge-case table for the fixnum/flonum tower: the flonum modulo/remainder
+// sign matrix, division by exact vs. inexact zero, and the fixnum-boundary
+// quotient/remainder corners (most-negative-fixnum / -1). Each section
+// began life as a failing reproduction of a shipped bug; see ISSUE 5.
+//
+//===----------------------------------------------------------------------===//
+
+#include "test_helpers.h"
+
+#include "runtime/value.h"
+
+#include <string>
+
+using namespace cmk;
+
+namespace {
+
+class NumbersTest : public ::testing::Test {
+protected:
+  SchemeEngine E;
+};
+
+/// The most negative fixnum, as source text. FixnumMin is -(2^60); the
+/// reader accepts the literal directly.
+const std::string MostNegative = "-1152921504606846976";
+
+TEST_F(NumbersTest, FlonumModuloFollowsDivisorSign) {
+  // modulo takes the divisor's sign -- the original bug fell through to
+  // remainder for flonums, so (modulo 7.0 -2.0) came back 1.0.
+  expectEval(E, "(modulo 7.0 2.0)", "1.0");
+  expectEval(E, "(modulo -7.0 2.0)", "1.0");
+  expectEval(E, "(modulo 7.0 -2.0)", "-1.0");
+  expectEval(E, "(modulo -7.0 -2.0)", "-1.0");
+  // Mixed exactness lands on the flonum path too.
+  expectEval(E, "(modulo 7 -2.0)", "-1.0");
+  expectEval(E, "(modulo 7.0 -2)", "-1.0");
+  // Exact counterparts for contrast (these were always right).
+  expectEval(E, "(modulo 7 -2)", "-1");
+  expectEval(E, "(modulo -7 2)", "1");
+  // An exact multiple must not pick up the divisor's sign.
+  expectEval(E, "(modulo 6.0 -2.0)", "0.0");
+}
+
+TEST_F(NumbersTest, FlonumRemainderFollowsDividendSign) {
+  expectEval(E, "(remainder 7.0 2.0)", "1.0");
+  expectEval(E, "(remainder -7.0 2.0)", "-1.0");
+  expectEval(E, "(remainder 7.0 -2.0)", "1.0");
+  expectEval(E, "(remainder -7.0 -2.0)", "-1.0");
+  expectEval(E, "(remainder -7 2)", "-1");
+}
+
+TEST_F(NumbersTest, DivisionByExactZeroErrors) {
+  // Only exact zero divisors are errors, and they say so -- not
+  // "expected numbers".
+  expectError(E, "(/ 1 0)", "division by zero");
+  expectError(E, "(/ 1.0 0)", "division by zero");
+  expectError(E, "(/ 1 2 0 4)", "division by zero");
+}
+
+TEST_F(NumbersTest, DivisionByInexactZeroIsTotal) {
+  // R7RS flonum division is total: inexact zero divisors produce
+  // infinities and NaNs, never errors.
+  expectEval(E, "(/ 1 0.0)", "+inf.0");
+  expectEval(E, "(/ -1 0.0)", "-inf.0");
+  expectEval(E, "(/ 1.0 0.0)", "+inf.0");
+  expectEval(E, "(/ 0.0 0.0)", "+nan.0");
+  expectEval(E, "(/ 0.0)", "+inf.0"); // unary reciprocal
+  expectEval(E, "(/ 1 -0.0)", "-inf.0");
+}
+
+TEST_F(NumbersTest, InfinityAndNanPrintInSchemeSpelling) {
+  // The reader always accepted +inf.0/-inf.0/+nan.0; the printer must
+  // round-trip them instead of leaking the platform's "inf"/"nan".
+  expectEval(E, "(+ +inf.0 1.0)", "+inf.0");
+  expectEval(E, "(* -1.0 +inf.0)", "-inf.0");
+  expectEval(E, "(+ +inf.0 -inf.0)", "+nan.0");
+  expectEval(E, "(= +nan.0 +nan.0)", "#f");
+  expectEval(E, "(< 0.0 +inf.0)", "#t");
+}
+
+TEST_F(NumbersTest, NanComparesFalseUnderEveryOperator) {
+  // IEEE unordered: every comparison against NaN is #f, including the
+  // compiled fast-path operators and the sign predicates (a naive
+  // three-way compare reports NaN as "equal", making (= +nan.0 x) true
+  // and (positive? +nan.0) depend on the sentinel's sign).
+  expectEval(E, "(< +nan.0 1.0)", "#f");
+  expectEval(E, "(> +nan.0 1.0)", "#f");
+  expectEval(E, "(<= +nan.0 1.0)", "#f");
+  expectEval(E, "(>= +nan.0 1.0)", "#f");
+  expectEval(E, "(= +nan.0 1.0)", "#f");
+  expectEval(E, "(< 1.0 +nan.0)", "#f");
+  expectEval(E, "(> 1.0 +nan.0)", "#f");
+  expectEval(E, "(positive? +nan.0)", "#f");
+  expectEval(E, "(negative? +nan.0)", "#f");
+  expectEval(E, "(zero? +nan.0)", "#f");
+  // Operators reach the VM fast path only in compiled loops; force one.
+  expectEval(E, "(let loop ((i 0)) (if (> +nan.0 i) 'bad (if (< i 3) "
+                "(loop (+ i 1)) 'good)))",
+             "good");
+}
+
+TEST_F(NumbersTest, IntegerDivisionByZeroErrorsMentionZero) {
+  // quotient/remainder/modulo reject every zero divisor (they have no
+  // useful IEEE answer), with the division message for both exactness
+  // flavours -- these used to claim "bad arguments"/"expected numbers".
+  expectError(E, "(quotient 1 0)", "division by zero");
+  expectError(E, "(remainder 1 0)", "division by zero");
+  expectError(E, "(modulo 1 0)", "division by zero");
+  expectError(E, "(quotient 1 0.0)", "division by zero");
+  expectError(E, "(remainder 1 0.0)", "division by zero");
+  expectError(E, "(modulo 1 0.0)", "division by zero");
+  expectError(E, "(modulo 1.5 0.0)", "division by zero");
+}
+
+TEST_F(NumbersTest, NonNumbersStillReportTypeErrors) {
+  expectError(E, "(/ 1 'a)", "expected numbers");
+  expectError(E, "(quotient 'a 1)", "expected numbers");
+  expectError(E, "(remainder \"x\" 2)", "expected numbers");
+  expectError(E, "(modulo 'a 2)", "expected numbers");
+}
+
+TEST_F(NumbersTest, MostNegativeFixnumQuotientWidens) {
+  // most-negative-fixnum / -1 exceeds FixnumMax; the fast path used to
+  // wrap it straight back to most-negative-fixnum. It now widens to the
+  // flonum value, like every other fixnum overflow in this tower.
+  expectEval(E, "(quotient " + MostNegative + " -1)",
+             "1.152921504606847e+18");
+  expectEval(E, "(/ " + MostNegative + " -1)", "1.152921504606847e+18");
+  // The boundary itself is representable and divides cleanly otherwise.
+  expectEval(E, "(quotient " + MostNegative + " 1)", MostNegative);
+  expectEval(E, "(quotient " + MostNegative + " 2)", "-576460752303423488");
+  expectEval(E, "(quotient 1152921504606846975 -1)", "-1152921504606846975");
+}
+
+TEST_F(NumbersTest, MostNegativeFixnumRemainderAndModulo) {
+  // A % -1 and A mod -1 are 0 for every A, including the boundary (the
+  // C++ '%' corner the fast path must not reach).
+  expectEval(E, "(remainder " + MostNegative + " -1)", "0");
+  expectEval(E, "(modulo " + MostNegative + " -1)", "0");
+  expectEval(E, "(remainder " + MostNegative + " 3)", "-1");
+  expectEval(E, "(modulo " + MostNegative + " 3)", "2");
+}
+
+TEST_F(NumbersTest, FlonumQuotientTruncates) {
+  expectEval(E, "(quotient 7.0 2.0)", "3.0");
+  expectEval(E, "(quotient -7.0 2.0)", "-3.0");
+  expectEval(E, "(quotient 7 2.0)", "3.0");
+}
+
+TEST_F(NumbersTest, ExactDivisionStillExactWhenItDivides) {
+  expectEval(E, "(/ 6 3)", "2");
+  expectEval(E, "(/ 7 2)", "3.5");
+  expectEval(E, "(/ -6 -3)", "2");
+}
+
+} // namespace
