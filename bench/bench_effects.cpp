@@ -1,0 +1,105 @@
+//===- bench/bench_effects.cpp - Delimited-control workloads ---------------===//
+///
+/// \file
+/// The delimited-control workload suite: effect handlers, generator
+/// pipelines, and backtracking search built on tagged prompts and
+/// composable continuations (bench/programs/effects.h). Where the E1/E2
+/// benchmarks isolate capture cost, these measure the application shapes
+/// the control operators exist for, across the engine variants that
+/// stress the machinery differently:
+///
+///   builtin          full optimization (reference)
+///   no-opt           generic 7.1 attachment paths, no compiler help
+///   no-1cc           opportunistic one-shot fast paths disabled
+///   heap-frames      continuation frames allocated on the heap
+///   copy-on-capture  eager stack copying at every capture
+///
+/// Each workload asserts its expected result once per variant before the
+/// timed runs, so a miscompiled variant fails loudly instead of timing
+/// garbage. Results land in BENCH_effects.json (schema cmarks-bench-v1);
+/// tools/bench_record.sh includes the blob in the repo-root trajectory
+/// and check_bench.py gates its counters against bench/baselines/.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+#include "programs/effects.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cmkbench;
+using cmk::EngineVariant;
+
+namespace {
+
+const EngineVariant Variants[] = {
+    EngineVariant::Builtin,       EngineVariant::NoOpt,
+    EngineVariant::No1cc,         EngineVariant::HeapFrames,
+    EngineVariant::CopyOnCapture,
+};
+
+struct Workload {
+  const char *Name;
+  const char *Setup;
+  std::string CheckExpr; ///< Small instance with a known value.
+  std::string CheckWant;
+  std::string RunExpr; ///< The timed expression.
+};
+
+} // namespace
+
+int main() {
+  long CounterN = scaled(20000);
+  long PipelineN = scaled(12000);
+  long QueensRounds = scaled(8);
+
+  // queens(7) has 40 solutions; the timed run re-solves it in a loop.
+  std::string QueensRun = "(let loop ([i " + std::to_string(QueensRounds) +
+                          "] [acc 0]) (if (zero? i) acc "
+                          "(loop (- i 1) (+ acc (queens 7)))))";
+
+  Workload Workloads[] = {
+      {"effect-handlers", effectHandlersSource(),
+       "(eff-counter 32)", "(32 32 2)",
+       "(eff-counter " + std::to_string(CounterN) + ")"},
+      {"generator-pipeline", generatorPipelineSource(),
+       // evens below 10 squared: 0 + 4 + 16 + 36 + 64.
+       "(pipeline 10)", "120",
+       "(pipeline " + std::to_string(PipelineN) + ")"},
+      {"backtracking-queens", backtrackingSource(),
+       "(list (queens 5) (queens 6))", "(10 4)", QueensRun},
+  };
+
+  printTitle("Delimited-control workloads (effects suite)");
+  JsonReport Report("effects");
+
+  for (const Workload &W : Workloads) {
+    Timing Base;
+    std::vector<std::pair<std::string, Timing>> Rel;
+    for (EngineVariant V : Variants) {
+      cmk::SchemeEngine E(V);
+      E.evalOrDie(W.Setup);
+      std::string Got = E.evalToString(W.CheckExpr);
+      if (!E.ok() || Got != W.CheckWant) {
+        std::fprintf(stderr,
+                     "bench_effects: %s sanity check failed on %s: "
+                     "got %s, want %s\n",
+                     W.Name, variantName(V),
+                     E.ok() ? Got.c_str() : E.lastError().c_str(),
+                     W.CheckWant.c_str());
+        return 1;
+      }
+      Measurement M = measureExpr(E, W.RunExpr);
+      Report.add(W.Name, V, M);
+      if (V == EngineVariant::Builtin)
+        Base = M.T;
+      else
+        Rel.push_back({variantName(V), M.T});
+    }
+    printRelRow(W.Name, Base, Rel);
+  }
+
+  printNote("columns are time relative to builtin (x1.00)");
+  return 0;
+}

@@ -1,0 +1,188 @@
+//===- bench/programs/effects.h - Delimited-control workloads --*- C++ -*-===//
+///
+/// \file
+/// Scheme sources for the delimited-control workload suite
+/// (bench_effects.cpp): programs that use prompts and composable
+/// continuations the way applications do, rather than as microbenchmarks.
+///
+///   * Effect handlers: a deep-handler encoding in the libseff/Eff style
+///     -- `perform` captures the continuation up to the handler's prompt
+///     and aborts with (op arg k); the handler interprets the operation
+///     and resumes k under a re-installed prompt. A state effect (counter
+///     loop of get/put pairs) and a writer effect layered over it.
+///
+///   * Generator pipelines: prompt-based generators (yield = composable
+///     capture + abort) chained producer -> filter -> map -> fold, the
+///     shape iterator libraries compile to. All stages share one tag;
+///     delimiting is by the innermost prompt, so nesting needs no
+///     per-stage tags.
+///
+///   * Backtracking search: n-queens counting via a `choose` operator
+///     that captures the rest of the search composably and sums it over
+///     every alternative -- each alternative resumes the continuation
+///     under a fresh prompt, so the search tree is explored by repeated
+///     composable re-entry (the triple benchmark's discipline at
+///     application scale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CMARKS_BENCH_PROGRAMS_EFFECTS_H
+#define CMARKS_BENCH_PROGRAMS_EFFECTS_H
+
+namespace cmkbench {
+
+/// Deep effect handlers over native prompts. `eff-run` interprets 'get /
+/// 'put against threaded state and 'tell against an accumulated log
+/// count, so one handler exercises both read-resume and write-resume.
+inline const char *effectHandlersSource() {
+  return R"(
+(define eff-tag (make-continuation-prompt-tag 'eff))
+
+(define (perform op arg)
+  (call-with-composable-continuation
+   (lambda (k)
+     (abort-current-continuation eff-tag
+       (lambda () (list op arg k))))
+   eff-tag))
+
+;; Deep handler: state threaded through the handler loop, writer counted.
+;; The body's normal return is tagged 'done so operations and completion
+;; come back through the same prompt.
+(define (eff-handle st told thunk)
+  (let ([r (call-with-continuation-prompt thunk eff-tag (lambda (t) (t)))])
+    (cond
+      [(eq? (car r) 'done) (list (cadr r) st told)]
+      [(eq? (car r) 'get)
+       (let ([k (caddr r)])
+         (eff-handle st told (lambda () (k st))))]
+      [(eq? (car r) 'put)
+       (let ([k (caddr r)])
+         (eff-handle (cadr r) told (lambda () (k 'ok))))]
+      [else ; 'tell
+       (let ([k (caddr r)])
+         (eff-handle st (+ told 1) (lambda () (k 'ok))))])))
+
+(define (eff-run st body)
+  (eff-handle st 0 (lambda () (list 'done (body) #f))))
+
+;; Counter loop: n rounds of get/put, telling every 16th round. Result is
+;; (final-value final-state tells).
+(define (eff-counter n)
+  (eff-run 0
+    (lambda ()
+      (let loop ([i n])
+        (if (zero? i)
+            (perform 'get 0)
+            (begin
+              (perform 'put (+ 1 (perform 'get 0)))
+              (when (zero? (modulo i 16)) (perform 'tell i))
+              (loop (- i 1))))))))
+)";
+}
+
+/// Prompt-based generator pipeline: ints -> filter even -> map square ->
+/// sum. One shared tag; each `(g)` call installs its own prompt, so the
+/// innermost-prompt rule delimits every stage correctly.
+inline const char *generatorPipelineSource() {
+  return R"(
+(define gen-tag (make-continuation-prompt-tag 'gen))
+
+(define (make-gen producer)
+  (let ([resume 'start])
+    (lambda ()
+      (call-with-continuation-prompt
+       (lambda ()
+         (if (eq? resume 'start)
+             (begin
+               (producer
+                (lambda (v)
+                  (call-with-composable-continuation
+                   (lambda (k)
+                     (abort-current-continuation gen-tag
+                       (lambda () (set! resume k) v)))
+                   gen-tag)))
+               'gen-done)
+             (resume 'go)))
+       gen-tag (lambda (t) (t))))))
+
+(define (ints-gen n)
+  (make-gen (lambda (yield)
+              (let loop ([i 0])
+                (when (< i n) (yield i) (loop (+ i 1)))))))
+
+(define (filter-gen g pred)
+  (make-gen (lambda (yield)
+              (let loop ([v (g)])
+                (if (eq? v 'gen-done)
+                    'end
+                    (begin (when (pred v) (yield v)) (loop (g))))))))
+
+(define (map-gen g f)
+  (make-gen (lambda (yield)
+              (let loop ([v (g)])
+                (if (eq? v 'gen-done)
+                    'end
+                    (begin (yield (f v)) (loop (g))))))))
+
+(define (sum-gen g)
+  (let loop ([acc 0] [v (g)])
+    (if (eq? v 'gen-done) acc (loop (+ acc v) (g)))))
+
+(define (pipeline n)
+  (sum-gen (map-gen (filter-gen (ints-gen n) even?)
+                    (lambda (x) (* x x)))))
+)";
+}
+
+/// Backtracking n-queens count: `count-choose` captures the rest of the
+/// search up to the enclosing amb prompt and sums it over each column
+/// choice, re-entering the composable continuation under a fresh prompt
+/// per alternative. Solutions contribute 1, dead branches 0.
+inline const char *backtrackingSource() {
+  return R"(
+(define amb-tag (make-continuation-prompt-tag 'amb))
+
+(define (count-choose lst)
+  (call-with-composable-continuation
+   (lambda (k)
+     (abort-current-continuation amb-tag
+       (lambda ()
+         (let loop ([l lst] [acc 0])
+           (if (null? l)
+               acc
+               (loop (cdr l)
+                     (+ acc (call-with-continuation-prompt
+                             (lambda () (k (car l)))
+                             amb-tag (lambda (t) (t))))))))))
+   amb-tag))
+
+(define (iota-list lo hi)
+  (if (>= lo hi) '() (cons lo (iota-list (+ lo 1) hi))))
+
+(define (queen-safe? c cols)
+  (let loop ([cs cols] [d 1])
+    (if (null? cs)
+        #t
+        (if (or (= (car cs) c)
+                (= (car cs) (+ c d))
+                (= (car cs) (- c d)))
+            #f
+            (loop (cdr cs) (+ d 1))))))
+
+(define (queens n)
+  (call-with-continuation-prompt
+   (lambda ()
+     (let place ([row 0] [cols '()])
+       (if (= row n)
+           1
+           (let ([c (count-choose (iota-list 0 n))])
+             (if (queen-safe? c cols)
+                 (place (+ row 1) (cons c cols))
+                 0)))))
+   amb-tag (lambda (t) (t))))
+)";
+}
+
+} // namespace cmkbench
+
+#endif // CMARKS_BENCH_PROGRAMS_EFFECTS_H

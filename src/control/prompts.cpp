@@ -168,10 +168,32 @@ Value nativeCallWithComposable(VM &M, Value *Args, uint32_t NArgs) {
   for (size_t I = 0; I < Records.size(); ++I)
     asCompositeCont(Comp)->Records[I] = Records[I];
   asCompositeCont(Comp)->BoundaryMarks = asCont(BoundaryRoot.get())->Marks;
+  // Record the winder-chain slice the captured extent sits inside, so the
+  // prelude's composable wrapper can re-enter those dynamic-winds (run
+  // before thunks, push fresh winders) on every application.
+  asCompositeCont(Comp)->Winders = M.Regs.Winders;
+  asCompositeCont(Comp)->BoundaryWinders = asCont(BoundaryRoot.get())->Winders;
 
   Value CallArgs[1] = {Comp};
   M.scheduleTailCall(Proc.get(), CallArgs, 1);
   return Value::voidValue();
+}
+
+/// (#%composite-winders k) / (#%composite-boundary-winders k): the winder
+/// chain at the capture point and at the prompt boundary. The slice
+/// between them is what the prelude's composable wrapper re-enters.
+Value nativeCompositeWinders(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isCompositeCont())
+    return typeError(M, "#%composite-winders", "composable continuation",
+                     Args[0]);
+  return asCompositeCont(Args[0])->Winders;
+}
+
+Value nativeCompositeBoundaryWinders(VM &M, Value *Args, uint32_t) {
+  if (!Args[0].isCompositeCont())
+    return typeError(M, "#%composite-boundary-winders",
+                     "composable continuation", Args[0]);
+  return asCompositeCont(Args[0])->BoundaryWinders;
 }
 
 /// Re-conses the cells of \p List down to (but excluding) \p Boundary onto
@@ -262,8 +284,13 @@ void cmk::installPromptPrimitives(VM &M) {
   M.defineNative("#%prompt-winders", nativePromptWinders, 1, 1);
   M.defineNative("continuation-prompt-available?", nativePromptAvailableP, 1,
                  1);
-  M.defineNative("call-with-composable-continuation",
+  // Raw capture; the prelude wraps it as call-with-composable-continuation
+  // so applications re-enter dynamic-wind extents captured in the slice.
+  M.defineNative("#%call-with-composable-continuation",
                  nativeCallWithComposable, 1, 2);
+  M.defineNative("#%composite-winders", nativeCompositeWinders, 1, 1);
+  M.defineNative("#%composite-boundary-winders",
+                 nativeCompositeBoundaryWinders, 1, 1);
 
   Value Tag = M.heap().makeRecord(M.heap().intern("#%prompt-tag"), 1,
                                   M.heap().intern("default"));

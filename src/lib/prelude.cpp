@@ -183,6 +183,51 @@ const char *preludeSource() {
     (#%unwind-to cur tail)
     (#%abort-to-prompt tag val)))
 
+;; Re-enter the dynamic-wind extents a composable capture sits inside:
+;; run the before thunks outside-in (each with the marks of its original
+;; dynamic-wind call) and return a fresh winder chain [ws .. tail) rebased
+;; onto base. The chain is built functionally and *returned* rather than
+;; pushed: a #%push-winder inside this helper would not survive its own
+;; return, because underflowing through a reified record restores the
+;; caller's winder snapshot (heap-frame mode reifies at every call, so the
+;; loss is guaranteed there). The caller installs the result in the frame
+;; that applies the continuation.
+(define (#%rewind-composite ws tail base)
+  (if (eq? ws tail)
+      base
+      (let ([next (#%rewind-composite (#%winder-next ws) tail base)])
+        (#%call-with-marks (#%winder-marks ws) (#%winder-before ws))
+        (#%make-winder (#%winder-before ws) (#%winder-after ws)
+                       (#%winder-marks ws) next))))
+
+;; The user-facing composable capture: like the call/cc wrapper above, an
+;; indirection so that applying the continuation handles winders -- here
+;; by re-entering the captured slice's dynamic-winds on every application.
+;; The rebased chain is installed in this frame (so records reified while
+;; the spliced extent runs snapshot it) and the application site's own
+;; chain is restored once the extent returns; the extent's epilogues pop
+;; exactly the winders that were rebased, and an abort out of the
+;; re-entered extent unwinds them like any other. When the captured slice
+;; contains no winders the application stays a tail call: the restore
+;; bracket would otherwise grow the continuation by one frame per
+;; application, which breaks loop-shaped users (generator pipelines
+;; resuming thousands of times).
+(define (call-with-composable-continuation f . rest)
+  (let ([tag (if (null? rest) (default-continuation-prompt-tag) (car rest))])
+    (#%call-with-composable-continuation
+     (lambda (k)
+       (f (lambda (v)
+            (let ([ws (#%composite-winders k)]
+                  [tail (#%composite-boundary-winders k)])
+              (if (eq? ws tail)
+                  (k v)
+                  (let ([saved (#%winders)])
+                    (#%set-winders! (#%rewind-composite ws tail saved))
+                    (let ([r (k v)])
+                      (#%set-winders! saved)
+                      r)))))))
+     tag)))
+
 ;; ------------------------------------------------------------ exceptions ----
 ;; The catch/throw of paper section 2.3: the handler stack lives in
 ;; continuation marks under a private key; catch keeps its body in tail

@@ -339,6 +339,8 @@ void Heap::traceObject(ObjHeader *O) {
   case ObjKind::CompositeCont: {
     auto *C = reinterpret_cast<CompositeContObj *>(O);
     traceValue(C->BoundaryMarks);
+    traceValue(C->Winders);
+    traceValue(C->BoundaryWinders);
     for (uint32_t I = 0; I < C->NumRecords; ++I)
       traceValue(C->Records[I]);
     break;
@@ -666,6 +668,8 @@ Value Heap::makeCompositeCont(uint32_t NumRecords) {
                ObjKind::CompositeCont));
   C->NumRecords = NumRecords;
   C->BoundaryMarks = Value::nil();
+  C->Winders = Value::nil();
+  C->BoundaryWinders = Value::nil();
   for (uint32_t I = 0; I < NumRecords; ++I)
     C->Records[I] = Value::undefined();
   return Value::fromObj(&C->H);

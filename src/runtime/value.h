@@ -381,6 +381,12 @@ struct CompositeContObj {
   uint32_t NumRecords;
   uint32_t Pad;
   Value BoundaryMarks; ///< Marks register value at the prompt boundary.
+  /// Winder chain at the capture point. The slice down to (but excluding)
+  /// BoundaryWinders is the dynamic-wind extents the captured slice sits
+  /// inside; re-applying the continuation re-enters them (the prelude's
+  /// composable wrapper runs the before thunks and pushes fresh winders).
+  Value Winders;
+  Value BoundaryWinders; ///< Winder chain at the prompt boundary.
   Value Records[];
 };
 

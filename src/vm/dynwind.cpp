@@ -43,6 +43,20 @@ Value nativeSetWinders(VM &M, Value *Args, uint32_t NArgs) {
   return Value::voidValue();
 }
 
+Value nativeMakeWinder(VM &M, Value *Args, uint32_t NArgs) {
+  // (#%make-winder before after marks next): a fresh winder record that is
+  // NOT installed in the winder register. The composable-continuation
+  // wrapper builds its rebased chain functionally with this, because a
+  // #%push-winder inside a helper would not survive the helper's return:
+  // underflowing through a reified record restores the caller's winder
+  // snapshot (and heap-frame mode reifies at every call).
+  if (!Args[0].isProcedure() || !Args[1].isProcedure())
+    return typeError(M, "#%make-winder", "procedure", Args[0]);
+  if (!Args[3].isNil() && !Args[3].isKind(ObjKind::Winder))
+    return typeError(M, "#%make-winder", "winder chain", Args[3]);
+  return M.heap().makeWinder(Args[0], Args[1], Args[2], Args[3]);
+}
+
 Value winderField(VM &M, Value W, int Field) {
   if (!W.isKind(ObjKind::Winder)) {
     typeError(M, "winder accessor", "winder", W);
@@ -98,6 +112,7 @@ void cmk::installWinderPrimitives(VM &M) {
   M.defineNative("#%pop-winder", nativePopWinder, 0, 0);
   M.defineNative("#%winders", nativeWinders, 0, 0);
   M.defineNative("#%set-winders!", nativeSetWinders, 1, 1);
+  M.defineNative("#%make-winder", nativeMakeWinder, 4, 4);
   M.defineNative("#%winder-before", nativeWinderBefore, 1, 1);
   M.defineNative("#%winder-after", nativeWinderAfter, 1, 1);
   M.defineNative("#%winder-marks", nativeWinderMarks, 1, 1);

@@ -236,4 +236,68 @@ TEST_F(Prompts, NestedPromptsSameTagInnermostWins) {
              "(outer (inner v))");
 }
 
+// A composable continuation captured inside a dynamic-wind extent must
+// re-enter that extent (run the before thunk, push the winder, run the
+// after thunk on exit) on every application — not just replay the frames.
+// This was a real bug found by the differential fuzzer: applying such a
+// continuation used to fail with "#%pop-winder: no winders" because the
+// spliced frames referenced winders that were never re-established.
+TEST_F(Prompts, ComposableReentryRunsDynamicWindExtents) {
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(define trace '())"
+             "(define (note x) (set! trace (cons x trace)))"
+             "(define k"
+             "  (call-with-continuation-prompt"
+             "    (lambda ()"
+             "      (dynamic-wind"
+             "        (lambda () (note 'before))"
+             "        (lambda ()"
+             "          (+ 1 (call-with-composable-continuation"
+             "                 (lambda (c) (abort-current-continuation t c))"
+             "                 t)))"
+             "        (lambda () (note 'after))))"
+             "    t (lambda (v) v)))"
+             "(list (k 1) (k 10) (reverse trace))",
+             "(2 11 (before after before after before after))");
+}
+
+// Marks captured in a composable continuation splice onto the marks in
+// force at the application point: the observer inside the re-instated
+// extent sees its own mark first, then the application site's mark
+// (paper section 2.3).
+TEST_F(Prompts, ComposableSpliceRebasesMarksAtApplication) {
+  expectEval(E,
+             "(define t (make-continuation-prompt-tag))"
+             "(define k"
+             "  (call-with-continuation-prompt"
+             "    (lambda ()"
+             "      (with-continuation-mark 'key 'in-extent"
+             "        (car (list"
+             "          (begin"
+             "            (call-with-composable-continuation"
+             "              (lambda (c) (abort-current-continuation t c))"
+             "              t)"
+             "            (continuation-mark-set->list"
+             "             (current-continuation-marks) 'key))))))"
+             "    t (lambda (v) v)))"
+             "(with-continuation-mark 'key 'outer"
+             "  (car (list (k 'ignored))))",
+             "(in-extent outer)");
+}
+
+// A prompt with a non-default tag does not hide marks from an observer
+// that walks the default tag's extent: continuation-mark-set-first still
+// finds the mark established outside the prompt.
+TEST_F(Prompts, MarkFirstSeesOuterMarkAcrossPromptBoundary) {
+  expectEval(E,
+             "(define t2 (make-continuation-prompt-tag))"
+             "(with-continuation-mark 'key 'outer"
+             "  (car (list"
+             "    (call-with-continuation-prompt"
+             "      (lambda () (continuation-mark-set-first #f 'key 'none))"
+             "      t2))))",
+             "outer");
+}
+
 } // namespace

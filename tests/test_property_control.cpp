@@ -130,4 +130,66 @@ TEST_P(ControlFuzz, VariantsAgreeOnControlFlow) {
 INSTANTIATE_TEST_SUITE_P(Property, ControlFuzz,
                          ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
 
+// Deterministic regressions for prompt/mark corners that the randomized
+// grammar only hits occasionally. Each program is a distilled repro from
+// the differential fuzzer (tools/cmarks_fuzz); every variant must agree
+// with the builtin engine, including winder side-effect order.
+TEST(ControlRegression, PromptMarkCornersAgreeAcrossVariants) {
+  static const char *const Programs[] = {
+      // Composable continuation re-enters a dynamic-wind extent on each
+      // application (winder trace is part of the observed value).
+      "(define t (make-continuation-prompt-tag))"
+      "(define trace '())"
+      "(define (note x) (set! trace (cons x trace)))"
+      "(define k"
+      "  (call-with-continuation-prompt"
+      "    (lambda ()"
+      "      (dynamic-wind"
+      "        (lambda () (note 'before))"
+      "        (lambda ()"
+      "          (+ 1 (call-with-composable-continuation"
+      "                 (lambda (c) (abort-current-continuation t c)) t)))"
+      "        (lambda () (note 'after))))"
+      "    t (lambda (v) v)))"
+      "(list (k 1) (k 10) (reverse trace))",
+      // Spliced marks rebase onto the application site's marks.
+      "(define t (make-continuation-prompt-tag))"
+      "(define k"
+      "  (call-with-continuation-prompt"
+      "    (lambda ()"
+      "      (with-continuation-mark 'key 'in-extent"
+      "        (car (list"
+      "          (begin"
+      "            (call-with-composable-continuation"
+      "              (lambda (c) (abort-current-continuation t c)) t)"
+      "            (continuation-mark-set->list"
+      "             (current-continuation-marks) 'key))))))"
+      "    t (lambda (v) v)))"
+      "(with-continuation-mark 'key 'outer (car (list (k 'ignored))))",
+      // A non-default-tag prompt does not hide outer marks from a
+      // default-tag mark-first observation.
+      "(define t2 (make-continuation-prompt-tag))"
+      "(with-continuation-mark 'key 'outer"
+      "  (car (list"
+      "    (call-with-continuation-prompt"
+      "      (lambda () (continuation-mark-set-first #f 'key 'none))"
+      "      t2))))",
+  };
+
+  for (const char *Prog : Programs) {
+    SchemeEngine Reference(EngineVariant::Builtin);
+    std::string Expected = Reference.evalToString(Prog);
+    ASSERT_TRUE(Reference.ok()) << Reference.lastError() << "\n" << Prog;
+
+    for (EngineVariant V :
+         {EngineVariant::NoOpt, EngineVariant::NoPrim, EngineVariant::No1cc,
+          EngineVariant::HeapFrames, EngineVariant::CopyOnCapture}) {
+      SchemeEngine Variant(V);
+      std::string Got = Variant.evalToString(Prog);
+      ASSERT_TRUE(Variant.ok()) << Variant.lastError() << "\n" << Prog;
+      EXPECT_EQ(Got, Expected) << "divergence on:\n" << Prog;
+    }
+  }
+}
+
 } // namespace

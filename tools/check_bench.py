@@ -20,6 +20,15 @@ as a warning only, since counters legitimately change when the runtime is
 intentionally modified -- the committed baseline should be refreshed in
 the same PR.
 
+With --gate-counters[=LIST], the wall-clock-insensitive counters (by
+default segment-allocs, segment-slots-allocated, safe-point-polls --
+all site-driven, so they are exactly reproducible run-over-run at a
+pinned scale) are GATED: drift beyond --counter-threshold (default:
+--threshold) is a failure, not a warning. PR CI uses this to catch
+silent allocation or safe-point regressions that a 25% wall-clock gate
+would let slide; an intentional change refreshes the committed baseline
+in the same PR.
+
 The JSON schema is `cmarks-bench-v1`, documented in DESIGN.md and emitted
 by bench/bench_harness.h's JsonReport.
 """
@@ -30,6 +39,12 @@ import sys
 
 TRACKED_COUNTERS = ("reifications", "underflow-fusions", "underflow-copies",
                     "segment-overflows")
+
+# Counters that are a pure function of the executed instruction stream at
+# a pinned scale (allocation sites and poll sites, never timers), so they
+# can be gated hard rather than warned about.
+GATEABLE_COUNTERS = ("segment-allocs", "segment-slots-allocated",
+                     "safe-point-polls")
 
 
 def load(path):
@@ -63,6 +78,14 @@ def main():
                     help="variant whose timing is gated (default builtin)")
     ap.add_argument("--counters", action="store_true",
                     help="also report event-counter drift (warnings only)")
+    ap.add_argument("--gate-counters", nargs="?", const=",".join(
+                        GATEABLE_COUNTERS), default=None, metavar="LIST",
+                    help="comma list of counters whose drift beyond "
+                         "--counter-threshold fails the check (default "
+                         "list: %s)" % ", ".join(GATEABLE_COUNTERS))
+    ap.add_argument("--counter-threshold", type=float, default=None,
+                    help="allowed relative drift for gated counters "
+                         "(default: --threshold)")
     ap.add_argument("--strict-scale", action="store_true",
                     help="fail (exit 1) on a scale mismatch instead of "
                          "skipping the check")
@@ -89,7 +112,15 @@ def main():
     base_results = {r["name"]: r for r in base.get("results", [])}
     fresh_results = {r["name"]: r for r in fresh.get("results", [])}
 
+    gated = []
+    if args.gate_counters:
+        gated = [c.strip() for c in args.gate_counters.split(",") if c.strip()]
+    counter_threshold = (args.counter_threshold
+                         if args.counter_threshold is not None
+                         else args.threshold)
+
     failures = []
+    counter_failures = []
     for name in base_results:
         if name not in fresh_results:
             print(f"note: benchmark {name!r} missing from fresh run")
@@ -121,6 +152,19 @@ def main():
                     print(f"  warning: {name} counter {key} drifted "
                           f"{bc} -> {fc} ({drift:+.1%})")
 
+        for key in gated:
+            bc = b.get("counters", {}).get(key)
+            fc = f.get("counters", {}).get(key)
+            if bc is None or fc is None or bc == fc:
+                continue
+            drift = (fc - bc) / bc if bc else float("inf")
+            status = "ok"
+            if abs(drift) > counter_threshold:
+                status = "COUNTER REGRESSION"
+                counter_failures.append((name, key, bc, fc, drift))
+            print(f"  {name} counter {key}: {bc} -> {fc} "
+                  f"({drift:+.1%})  {status}")
+
     for name in fresh_results:
         if name not in base_results:
             print(f"note: benchmark {name!r} not in baseline "
@@ -131,6 +175,13 @@ def main():
               f"{args.threshold:.0%} in the {args.variant!r} variant:")
         for name, b_ms, f_ms, rel in failures:
             print(f"  {name}: {b_ms:.3f} ms -> {f_ms:.3f} ms ({rel:+.1%})")
+    if counter_failures:
+        print(f"\n{len(counter_failures)} gated counter(s) drifted more "
+              f"than {counter_threshold:.0%} in the {args.variant!r} "
+              f"variant (refresh bench/baselines/ if intentional):")
+        for name, key, bc, fc, drift in counter_failures:
+            print(f"  {name} {key}: {bc} -> {fc} ({drift:+.1%})")
+    if failures or counter_failures:
         return 1
     print("\nbench check passed")
     return 0
