@@ -8,10 +8,14 @@
 /// standard deviations.
 ///
 /// Environment knobs:
-///   CMARKS_BENCH_RUNS      runs per measurement (default 3; the paper used 5)
-///   CMARKS_BENCH_SCALE     workload multiplier (default 1.0)
-///   CMARKS_BENCH_JSON      "0" disables the BENCH_<name>.json blob
-///   CMARKS_BENCH_JSON_DIR  output directory for the blob (default ".")
+///   CMARKS_BENCH_RUNS       runs per measurement (default 3; the paper used 5)
+///   CMARKS_BENCH_SCALE      workload multiplier (default 1.0)
+///   CMARKS_BENCH_JSON       "0" disables the BENCH_<name>.json blob
+///   CMARKS_BENCH_JSON_DIR   output directory for the blob (default ".")
+///   CMARKS_BENCH_PROFILE_HZ run the safe-point sampling profiler at this
+///                           rate during the timed runs (0/unset = off);
+///                           EXPERIMENTS.md E11 uses it to measure the
+///                           sampler's overhead
 ///
 /// Besides the human tables, every binary that routes its measurements
 /// through a JsonReport emits a machine-readable `BENCH_<name>.json`
@@ -83,16 +87,28 @@ inline const char *variantName(cmk::EngineVariant V) {
   return "unknown";
 }
 
+/// CMARKS_BENCH_PROFILE_HZ: sampling-profiler rate armed around the timed
+/// runs (0 = profiler off, the default).
+inline uint32_t profileHz() {
+  if (const char *S = std::getenv("CMARKS_BENCH_PROFILE_HZ"))
+    return static_cast<uint32_t>(std::max(0, std::atoi(S)));
+  return 0;
+}
+
 /// Times `RunExpr` (usually a call to a pre-defined benchmark entry) over
 /// runCount() runs in an already-set-up engine.
 inline Timing timeExpr(cmk::SchemeEngine &E, const std::string &RunExpr) {
   cmk::RunStats Stats;
+  if (uint32_t Hz = profileHz())
+    E.startProfiler(Hz);
   for (int I = 0; I < runCount(); ++I) {
     uint64_t T0 = cmk::nowNanos();
     E.evalOrDie(RunExpr);
     uint64_t T1 = cmk::nowNanos();
     Stats.addSampleNanos(T1 - T0);
   }
+  if (profileHz())
+    E.stopProfiler();
   return {Stats.averageMillis(), Stats.stddevMillis()};
 }
 
@@ -106,10 +122,13 @@ inline Timing timeOnVariant(cmk::EngineVariant V, const std::string &Setup,
 }
 
 /// A timing plus the runtime event-counter deltas accumulated across the
-/// timed runs (setup excluded).
+/// timed runs (setup excluded). Extras carries benchmark-specific numeric
+/// fields (e.g. bench_pool's latency percentiles) into the JSON blob;
+/// tools/check_bench.py ignores fields it does not gate on.
 struct Measurement {
   Timing T;
   cmk::VMStats Counters;
+  std::vector<std::pair<std::string, double>> Extras;
 };
 
 /// Like timeExpr, but also captures the counter deltas of the timed runs.
@@ -192,9 +211,12 @@ public:
       for (size_t I = 0; I < Vs.size(); ++I) {
         std::fprintf(Out,
                      "%s\n      {\"variant\": \"%s\", \"avg_ms\": %.6f, "
-                     "\"stdev_ms\": %.6f, \"counters\": {",
+                     "\"stdev_ms\": %.6f, ",
                      I ? "," : "", Vs[I].Label.c_str(), Vs[I].M.T.AvgMs,
                      Vs[I].M.T.StdevMs);
+        for (const auto &[Key, Val] : Vs[I].M.Extras)
+          std::fprintf(Out, "\"%s\": %.6f, ", Key.c_str(), Val);
+        std::fprintf(Out, "\"counters\": {");
         int N = 0;
         const cmk::StatsCounterDesc *Table = cmk::statsCounters(N);
         for (int C = 0; C < N; ++C)

@@ -82,11 +82,14 @@ const char *CtakPrelude =
     "                (call/cc (lambda (k) (ctak-aux k (- z 1) x y))))))";
 
 /// Times one batch of Jobs identical requests on a pool of W workers.
-/// Returns the wall-clock of submit..last-resolve and the pool's final
-/// aggregated engine counters.
+/// Returns the wall-clock of submit..last-resolve, the pool's final
+/// aggregated engine counters, and per-job latency percentiles
+/// (job_p50_ms / job_p99_ms / queue_wait_p50_ms / queue_wait_p99_ms)
+/// from the pool's telemetry histograms.
 Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
   RunStats Wall;
   VMStats Counters;
+  PoolTelemetry Telemetry;
   std::string Source = M.Source;
   if (std::string(M.Name) == "ctak-cpu")
     Source = std::string(CtakPrelude) + Source;
@@ -123,9 +126,66 @@ Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
     uint64_t T1 = nowNanos();
     Wall.addSampleNanos(T1 - T0);
     Pool.shutdown();
-    Counters = Pool.stats().Engines; // Last run's counters represent the cell.
+    Telemetry = Pool.telemetry(); // Last run's telemetry represents the cell.
+    Counters = Telemetry.Stats.Engines;
   }
-  return {{Wall.averageMillis(), Wall.stddevMillis()}, Counters};
+  Measurement Out{{Wall.averageMillis(), Wall.stddevMillis()}, Counters, {}};
+  // Histogram samples are microseconds; export milliseconds to match the
+  // blob's other timing fields. The warm-up jobs are included — they are
+  // a negligible, constant W samples against the batch.
+  Out.Extras = {
+      {"job_p50_ms", Telemetry.RunUs.percentile(50) / 1000.0},
+      {"job_p99_ms", Telemetry.RunUs.percentile(99) / 1000.0},
+      {"queue_wait_p50_ms", Telemetry.QueueWaitUs.percentile(50) / 1000.0},
+      {"queue_wait_p99_ms", Telemetry.QueueWaitUs.percentile(99) / 1000.0},
+  };
+  return Out;
+}
+
+/// CI artifact hook: when CMARKS_BENCH_METRICS_JSON / _METRICS_PROM /
+/// _PROFILE name files, run one fully-instrumented marks-heavy batch
+/// (trace ring + 97 Hz sampler on every worker) and write the pool's
+/// metrics / profile artifacts there for tools/metrics_report.py and
+/// tools/profile_report.py to validate.
+void emitArtifacts() {
+  const char *JsonPath = std::getenv("CMARKS_BENCH_METRICS_JSON");
+  const char *PromPath = std::getenv("CMARKS_BENCH_METRICS_PROM");
+  const char *ProfPath = std::getenv("CMARKS_BENCH_PROFILE");
+  if (!JsonPath && !PromPath && !ProfPath)
+    return;
+
+  const Mix &M = Mixes[2]; // marks-heavy: the serving-shaped mix.
+  long Jobs = scaled(M.Jobs);
+  PoolOptions Opts;
+  Opts.Workers = 4;
+  Opts.QueueCapacity = static_cast<size_t>(Jobs) + 8;
+  Opts.TraceCapacity = 32 * 1024;
+  if (ProfPath)
+    Opts.ProfileHz = 97;
+  EnginePool Pool(Opts);
+  std::vector<std::future<JobResult>> Futures;
+  Futures.reserve(static_cast<size_t>(Jobs));
+  for (long I = 0; I < Jobs; ++I)
+    Futures.push_back(Pool.submit(M.Source));
+  for (auto &F : Futures)
+    F.get();
+  Pool.shutdown();
+
+  auto WriteTo = [](const char *Path, const std::string &Body) {
+    std::FILE *F = std::fopen(Path, "w");
+    if (!F || std::fwrite(Body.data(), 1, Body.size(), F) != Body.size()) {
+      std::fprintf(stderr, "bench_pool: cannot write %s\n", Path);
+      std::exit(1);
+    }
+    std::fclose(F);
+    std::printf("  [artifact: %s]\n", Path);
+  };
+  if (JsonPath)
+    WriteTo(JsonPath, Pool.metricsJson());
+  if (PromPath)
+    WriteTo(PromPath, Pool.metricsText());
+  if (ProfPath)
+    WriteTo(ProfPath, Pool.profileCollapsed());
 }
 
 } // namespace
@@ -156,5 +216,6 @@ int main() {
       Json.add(M.Name, "workers-" + std::to_string(W), R);
     }
   }
+  emitArtifacts();
   return 0;
 }

@@ -15,7 +15,14 @@
 ///     serving ordinary requests;
 ///   * per-request continuation-mark state (parameterize) never leaks
 ///     between requests, because every worker evaluates in its own
-///     engine and marks are rewound between jobs.
+///     engine and marks are rewound between jobs;
+///   * the serving telemetry holds up: latency histograms cover every
+///     retired job and both metrics exports validate.
+///
+/// `--metrics=FILE` writes the pool's cmarks-metrics-v1 JSON (.prom for
+/// Prometheus text) and `--profile=FILE` writes a pool-wide collapsed
+/// profile, so the demo doubles as the CI smoke test for the
+/// observability pipeline.
 ///
 /// Exits 0 when every expectation holds, 1 otherwise (it doubles as a
 /// ctest smoke test, like the other examples).
@@ -26,6 +33,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <thread>
 #include <vector>
@@ -60,14 +68,43 @@ void client(EnginePool &Pool, int Id, int Rounds) {
   }
 }
 
+bool writeFile(const std::string &Path, const std::string &Body) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = std::fwrite(Body.data(), 1, Body.size(), F) == Body.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  std::string MetricsFile, ProfileFile, TraceFile;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--metrics=", 0) == 0) {
+      MetricsFile = Arg.substr(10);
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      ProfileFile = Arg.substr(10);
+    } else if (Arg.rfind("--trace=", 0) == 0) {
+      TraceFile = Arg.substr(8);
+    } else {
+      std::fprintf(stderr, "usage: server [--metrics=FILE] [--profile=FILE] "
+                           "[--trace=FILE]\n");
+      return 1;
+    }
+  }
+
   PoolOptions Opts;
   Opts.Workers = 4;
   // Every request runs under a 250 ms deadline: a stuck request is
   // evicted at the next safe point and only its own future fails.
   Opts.DefaultJobLimits.TimeoutMs = 250;
+  // Full observability: per-worker trace rings (merged into one Perfetto
+  // timeline with named job spans) and the sampling profiler.
+  Opts.TraceCapacity = 32 * 1024;
+  if (!ProfileFile.empty())
+    Opts.ProfileHz = 97;
   EnginePool Pool(Opts);
 
   // A hostile request alongside the regular traffic. Submitted first so
@@ -92,7 +129,8 @@ int main() {
 
   Pool.shutdown();
 
-  PoolStats S = Pool.stats();
+  PoolTelemetry T = Pool.telemetry();
+  const PoolStats &S = T.Stats;
   std::printf("served %llu jobs on %u workers: completed=%llu "
               "tripped=%llu queue-high-water=%llu mark-creates=%llu\n",
               static_cast<unsigned long long>(S.JobsSubmitted),
@@ -103,6 +141,51 @@ int main() {
               static_cast<unsigned long long>(S.Engines.MarkFrameCreates));
   if (S.JobsCompleted != 100 || S.JobsTripped != 1)
     ++Failures;
+
+  // Telemetry sanity: the histograms must cover every retired job, the
+  // retirement path must agree with the outcome counters, and both export
+  // formats must carry the schema markers tooling keys on.
+  uint64_t Retired = S.JobsCompleted + S.JobsFailed + S.JobsTripped;
+  std::printf("latency: run p50=%lluus p99=%lluus  queue-wait p99=%lluus\n",
+              static_cast<unsigned long long>(T.RunUs.percentile(50)),
+              static_cast<unsigned long long>(T.RunUs.percentile(99)),
+              static_cast<unsigned long long>(T.QueueWaitUs.percentile(99)));
+  if (T.RunUs.count() != Retired || T.QueueWaitUs.count() != Retired) {
+    std::printf("FAIL histogram coverage: run=%llu wait=%llu retired=%llu\n",
+                static_cast<unsigned long long>(T.RunUs.count()),
+                static_cast<unsigned long long>(T.QueueWaitUs.count()),
+                static_cast<unsigned long long>(Retired));
+    ++Failures;
+  }
+  std::string Json = Pool.metricsJson();
+  std::string Prom = Pool.metricsText();
+  if (Json.find("\"schema\": \"cmarks-metrics-v1\"") == std::string::npos ||
+      Json.find("cmarks_pool_job_run_seconds") == std::string::npos) {
+    std::printf("FAIL metrics JSON missing schema or histogram\n");
+    ++Failures;
+  }
+  if (Prom.find("# TYPE cmarks_pool_job_run_seconds summary") ==
+      std::string::npos) {
+    std::printf("FAIL metrics text missing summary type\n");
+    ++Failures;
+  }
+
+  if (!MetricsFile.empty()) {
+    bool IsProm = MetricsFile.size() >= 5 &&
+                  MetricsFile.compare(MetricsFile.size() - 5, 5, ".prom") == 0;
+    if (!writeFile(MetricsFile, IsProm ? Prom : Json)) {
+      std::printf("FAIL cannot write metrics to %s\n", MetricsFile.c_str());
+      ++Failures;
+    }
+  }
+  if (!ProfileFile.empty() && !Pool.dumpProfile(ProfileFile)) {
+    std::printf("FAIL cannot write profile to %s\n", ProfileFile.c_str());
+    ++Failures;
+  }
+  if (!TraceFile.empty() && !Pool.dumpTrace(TraceFile)) {
+    std::printf("FAIL cannot write trace to %s\n", TraceFile.c_str());
+    ++Failures;
+  }
 
   return Failures.load() == 0 ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 #include "lib/prelude.h"
 #include "reader/reader.h"
 #include "runtime/printer.h"
+#include "support/metrics.h"
 
 #include <cstdio>
 
@@ -165,6 +166,27 @@ bool SchemeEngine::dumpTrace(const std::string &Path) {
   bool Ok = Machine.trace().writeJson(F);
   std::fclose(F);
   return Ok;
+}
+
+bool SchemeEngine::dumpProfile(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  bool Ok = Machine.profiler().writeCollapsed(F);
+  std::fclose(F);
+  return Ok;
+}
+
+std::string SchemeEngine::metricsText() const {
+  MetricsRegistry R;
+  Machine.fillMetrics(R);
+  return R.prometheusText();
+}
+
+std::string SchemeEngine::metricsJson() const {
+  MetricsRegistry R;
+  Machine.fillMetrics(R);
+  return R.json("engine");
 }
 
 Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {

@@ -119,6 +119,33 @@ public:
   bool dumpTrace(const std::string &Path);
   const TraceBuffer &trace() const { return Machine.trace(); }
 
+  /// Safe-point sampling profiler (see support/profiler.h): a sampler
+  /// thread pokes the engine at \p Hz; the VM captures the current
+  /// procedure plus its `#%trace-key` mark stack at the next safe point.
+  /// Near-zero overhead (no extra safe-point polls; counters are
+  /// unperturbed). The same controls are reachable from Scheme via
+  /// (profiler-start!) / (profiler-stop!) / (profiler-dump).
+  void startProfiler(uint32_t Hz = SamplingProfiler::DefaultHz,
+                     uint32_t Capacity = 0) {
+    Machine.profiler().start(Machine, Hz, Capacity);
+  }
+  void stopProfiler() { Machine.profiler().stop(); }
+  /// Collapsed-stack ("folded") profile text, one `frames count` line per
+  /// distinct stack — flamegraph.pl / speedscope compatible.
+  std::string profileCollapsed() const {
+    return Machine.profiler().toCollapsed();
+  }
+  /// Writes the collapsed profile to \p Path; false on an I/O failure.
+  bool dumpProfile(const std::string &Path);
+  SamplingProfiler &profiler() { return Machine.profiler(); }
+
+  /// Engine-level metrics snapshot (counters from (runtime-stats), heap
+  /// gauges, trace/profile meta-telemetry) as Prometheus text or a
+  /// `cmarks-metrics-v1` JSON document. EnginePool exports the pool-wide
+  /// superset of the same schema.
+  std::string metricsText() const;
+  std::string metricsJson() const;
+
   /// Protects a value from collection for the engine's lifetime.
   void protect(Value V) { Machine.addPermanentRoot(V); }
 

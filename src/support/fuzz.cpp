@@ -610,6 +610,10 @@ LegOutcome FuzzHarness::runLeg(const FuzzLeg &Leg, const std::string &Source) {
     }
   }
   E.resetStats();
+  // Optional sampling soak: the profiler must be invisible to the
+  // differential comparison (same results, same counters).
+  if (Opts.ProfileHz)
+    E.startProfiler(Opts.ProfileHz);
   std::string Src = Leg.MutateSource ? Leg.MutateSource(Source) : Source;
   std::string R = E.evalToString(Src);
   Out.Counters = E.stats();

@@ -208,6 +208,12 @@ struct HarnessOptions {
   int ShrinkBudget = 250;
   /// When non-empty, divergence repro files are written here.
   std::string ReproDir;
+  /// When nonzero, every VM leg runs the safe-point sampling profiler at
+  /// this rate (support/profiler.h). Sampling consumes its async-signal
+  /// bit without polling, so results AND counters must stay bit-for-bit
+  /// identical with the sampler on — the nightly soak leg exists to catch
+  /// any perturbation.
+  uint32_t ProfileHz = 0;
 };
 
 /// A confirmed divergence (or invariant/determinism violation), shrunk

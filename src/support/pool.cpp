@@ -1,6 +1,12 @@
 //===- support/pool.cpp - Concurrent multi-engine serving pool ------------===//
 
 #include "support/pool.h"
+#include "support/profiler.h"
+#include "support/timing.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
 
 using namespace cmk;
 
@@ -26,6 +32,9 @@ EnginePool::EnginePool(const PoolOptions &O) : Opts(O) {
   if (Opts.QueueCapacity == 0)
     Opts.QueueCapacity = 1;
   Engines.assign(N, nullptr);
+  Shards.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Shards.emplace_back(std::make_unique<WorkerShard>());
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Threads.emplace_back([this, I] { workerMain(I); });
@@ -37,6 +46,11 @@ void EnginePool::workerMain(unsigned Idx) {
   // The engine is constructed on the worker thread so its heap, stacks,
   // and prelude bootstrap never touch another thread.
   SchemeEngine Engine(Opts.Engine);
+  if (Opts.TraceCapacity)
+    Engine.startTrace(Opts.TraceCapacity);
+  if (Opts.ProfileHz)
+    Engine.vm().profiler().start(Engine.vm(), Opts.ProfileHz,
+                                 Opts.ProfileCapacity);
   {
     std::lock_guard<std::mutex> L(EnginesMu);
     Engines[Idx] = &Engine;
@@ -60,14 +74,45 @@ void EnginePool::workerMain(unsigned Idx) {
     std::lock_guard<std::mutex> L(EnginesMu);
     Engines[Idx] = nullptr;
   }
+  // The engine dies with this stack frame: snapshot its observability
+  // state into the pool-owned shard first so traceJson()/
+  // profileCollapsed() stay valid after shutdown. The profiler's sampler
+  // thread must stop before the fold (and before the VM is destroyed).
+  SamplingProfiler &Prof = Engine.vm().profiler();
+  Prof.stop();
+  {
+    WorkerShard &S = *Shards[Idx];
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.TraceDropped = Engine.trace().dropped();
+    S.ProfileSamples = Prof.total();
+    S.ProfileDropped = Prof.dropped();
+    if (Opts.TraceCapacity) {
+      S.TraceSnap = Engine.trace();
+      S.TraceSnapValid = true;
+    }
+    if (Opts.ProfileHz)
+      Prof.foldInto(S.ProfileFold);
+  }
 }
 
 void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
+  InFlight.fetch_add(1, std::memory_order_relaxed);
+  uint64_t DequeueNs = nowNanos();
+  uint64_t WaitNs = DequeueNs > J.EnqueueNs ? DequeueNs - J.EnqueueNs : 0;
+
   VMStats Before = Engine.stats();
   Engine.limits() = J.Limits;
 
+  TraceBuffer &TB = Engine.vm().trace();
+  char SpanLabel[24];
+  if (TB.Enabled) {
+    int Len = std::snprintf(SpanLabel, sizeof(SpanLabel), "job-%" PRIu64, J.Id);
+    TB.record(TraceEv::JobBegin, SpanLabel, static_cast<size_t>(Len), J.Id);
+  }
+
   JobResult R;
   R.Worker = Idx;
+  R.Id = J.Id;
   R.Output = Engine.evalToString(J.Source);
   if (Engine.ok()) {
     R.Ok = true;
@@ -77,17 +122,44 @@ void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
     R.Kind = Engine.lastErrorKind();
   }
 
+  if (TB.Enabled)
+    TB.record(TraceEv::JobEnd, J.Id);
+  uint64_t RunNs = nowNanos() - DequeueNs;
+
   VMStats Delta = Engine.stats().delta(Before);
+  SamplingProfiler &Prof = Engine.vm().profiler();
   {
-    std::lock_guard<std::mutex> L(StatsMu);
-    accumulateStats(Agg.Engines, Delta);
+    // The whole job delta retires in one critical section (see the
+    // consistency model in pool.h).
+    WorkerShard &S = *Shards[Idx];
+    std::lock_guard<std::mutex> L(S.Mu);
+    S.QueueWaitUs.record(WaitNs / 1000);
+    S.RunUs.record(RunNs / 1000);
     if (R.Ok)
-      ++Agg.JobsCompleted;
-    else if (R.Kind == ErrorKind::Runtime || R.Kind == ErrorKind::None)
-      ++Agg.JobsFailed;
+      ++S.JobsOk;
     else
-      ++Agg.JobsTripped;
+      switch (R.Kind) {
+      case ErrorKind::HeapLimit:
+        ++S.TrippedHeap;
+        break;
+      case ErrorKind::StackLimit:
+        ++S.TrippedStack;
+        break;
+      case ErrorKind::Timeout:
+        ++S.TrippedTimeout;
+        break;
+      case ErrorKind::Interrupt:
+        ++S.TrippedInterrupt;
+        break;
+      default:
+        ++S.JobsError;
+      }
+    accumulateStats(S.Engines, Delta);
+    S.TraceDropped = TB.dropped();
+    S.ProfileSamples = Prof.total();
+    S.ProfileDropped = Prof.dropped();
   }
+  InFlight.fetch_sub(1, std::memory_order_relaxed);
   J.Promise.set_value(std::move(R));
 }
 
@@ -96,6 +168,7 @@ void EnginePool::rejectJob(Job &J) {
   R.Ok = false;
   R.Error = "engine pool is shut down";
   R.Kind = ErrorKind::Runtime;
+  R.Id = J.Id;
   J.Promise.set_value(std::move(R));
 }
 
@@ -105,7 +178,9 @@ std::future<JobResult> EnginePool::submit(std::string Source) {
 
 std::future<JobResult> EnginePool::submit(std::string Source,
                                           const EngineLimits &L) {
-  Job J{std::move(Source), L, {}};
+  Job J;
+  J.Source = std::move(Source);
+  J.Limits = L;
   std::future<JobResult> F = J.Promise.get_future();
   bool Rejected = false;
   {
@@ -116,6 +191,8 @@ std::future<JobResult> EnginePool::submit(std::string Source,
     if (Stopping) {
       Rejected = true;
     } else {
+      J.Id = NextJobId++;
+      J.EnqueueNs = nowNanos();
       Queue.push_back(std::move(J));
       if (Queue.size() > HighWater)
         HighWater = Queue.size();
@@ -124,12 +201,12 @@ std::future<JobResult> EnginePool::submit(std::string Source,
   if (Rejected) {
     rejectJob(J);
     std::lock_guard<std::mutex> L(StatsMu);
-    ++Agg.JobsRejected;
+    ++JobsRejected;
     return F;
   }
   {
     std::lock_guard<std::mutex> L(StatsMu);
-    ++Agg.JobsSubmitted;
+    ++JobsSubmitted;
   }
   NotEmpty.notify_one();
   return F;
@@ -137,19 +214,23 @@ std::future<JobResult> EnginePool::submit(std::string Source,
 
 bool EnginePool::trySubmit(std::string Source, const EngineLimits &L,
                            std::future<JobResult> &Out) {
-  Job J{std::move(Source), L, {}};
+  Job J;
+  J.Source = std::move(Source);
+  J.Limits = L;
   {
     std::lock_guard<std::mutex> Lk(QueueMu);
     if (Stopping || Queue.size() >= Opts.QueueCapacity)
       return false;
     Out = J.Promise.get_future();
+    J.Id = NextJobId++;
+    J.EnqueueNs = nowNanos();
     Queue.push_back(std::move(J));
     if (Queue.size() > HighWater)
       HighWater = Queue.size();
   }
   {
     std::lock_guard<std::mutex> L(StatsMu);
-    ++Agg.JobsSubmitted;
+    ++JobsSubmitted;
   }
   NotEmpty.notify_one();
   return true;
@@ -188,7 +269,7 @@ void EnginePool::shutdown(bool Drain) {
     rejectJob(J);
   if (!Leftover.empty()) {
     std::lock_guard<std::mutex> L(StatsMu);
-    Agg.JobsRejected += Leftover.size();
+    JobsRejected += Leftover.size();
   }
 }
 
@@ -199,15 +280,153 @@ void EnginePool::interruptAll() {
       E->requestInterrupt();
 }
 
-PoolStats EnginePool::stats() const {
-  PoolStats S;
+PoolStats EnginePool::stats() const { return telemetry().Stats; }
+
+PoolTelemetry EnginePool::telemetry() const {
+  PoolTelemetry T;
   {
     std::lock_guard<std::mutex> L(StatsMu);
-    S = Agg;
+    T.Stats.JobsSubmitted = JobsSubmitted;
+    T.Stats.JobsRejected = JobsRejected;
   }
   {
     std::lock_guard<std::mutex> L(QueueMu);
-    S.QueueHighWater = HighWater;
+    T.Stats.QueueHighWater = HighWater;
+    T.QueueDepth = Queue.size();
   }
-  return S;
+  T.InFlight = InFlight.load(std::memory_order_relaxed);
+  for (const std::unique_ptr<WorkerShard> &SP : Shards) {
+    const WorkerShard &S = *SP;
+    std::lock_guard<std::mutex> L(S.Mu);
+    T.QueueWaitUs.merge(S.QueueWaitUs);
+    T.RunUs.merge(S.RunUs);
+    T.JobsOk += S.JobsOk;
+    T.JobsError += S.JobsError;
+    T.TrippedHeap += S.TrippedHeap;
+    T.TrippedStack += S.TrippedStack;
+    T.TrippedTimeout += S.TrippedTimeout;
+    T.TrippedInterrupt += S.TrippedInterrupt;
+    T.TraceDropped += S.TraceDropped;
+    T.ProfileSamples += S.ProfileSamples;
+    T.ProfileDropped += S.ProfileDropped;
+    accumulateStats(T.Stats.Engines, S.Engines);
+  }
+  T.Stats.JobsCompleted = T.JobsOk;
+  T.Stats.JobsFailed = T.JobsError;
+  T.Stats.JobsTripped =
+      T.TrippedHeap + T.TrippedStack + T.TrippedTimeout + T.TrippedInterrupt;
+  return T;
+}
+
+MetricsRegistry EnginePool::buildMetrics() const {
+  PoolTelemetry T = telemetry();
+  MetricsRegistry R;
+
+  R.gauge("cmarks_pool_workers", "Worker threads (= engines) in the pool", {},
+          static_cast<double>(Threads.size()));
+  R.gauge("cmarks_pool_queue_depth", "Jobs waiting in the queue right now",
+          {}, static_cast<double>(T.QueueDepth));
+  R.gauge("cmarks_pool_queue_capacity", "Bounded job-queue capacity", {},
+          static_cast<double>(Opts.QueueCapacity));
+  R.gauge("cmarks_pool_queue_high_water", "Maximum queue depth observed", {},
+          static_cast<double>(T.Stats.QueueHighWater));
+  R.gauge("cmarks_pool_inflight_jobs", "Jobs evaluating right now", {},
+          static_cast<double>(T.InFlight));
+
+  R.counter("cmarks_pool_jobs_submitted_total",
+            "Jobs accepted into the queue", {}, T.Stats.JobsSubmitted);
+  R.counter("cmarks_pool_jobs_rejected_total",
+            "Jobs rejected (shutdown or trySubmit backpressure)", {},
+            T.Stats.JobsRejected);
+
+  const char *JobsHelp = "Retired jobs by outcome";
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "ok"}}, T.JobsOk);
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "error"}},
+            T.JobsError);
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "tripped-heap"}},
+            T.TrippedHeap);
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "tripped-stack"}},
+            T.TrippedStack);
+  R.counter("cmarks_pool_jobs_total", JobsHelp,
+            {{"outcome", "tripped-timeout"}}, T.TrippedTimeout);
+  R.counter("cmarks_pool_jobs_total", JobsHelp,
+            {{"outcome", "tripped-interrupt"}}, T.TrippedInterrupt);
+
+  R.histogram("cmarks_pool_queue_wait_seconds",
+              "Per-job submit-to-dequeue wait", {}, T.QueueWaitUs, 1e-6);
+  R.histogram("cmarks_pool_job_run_seconds", "Per-job evaluation time", {},
+              T.RunUs, 1e-6);
+
+  R.counter("cmarks_pool_trace_dropped_events_total",
+            "Trace-ring events lost to wraparound across workers", {},
+            T.TraceDropped);
+  R.counter("cmarks_pool_profile_samples_total",
+            "Profile samples captured across workers", {}, T.ProfileSamples);
+  R.counter("cmarks_pool_profile_dropped_samples_total",
+            "Profile samples lost to ring wraparound across workers", {},
+            T.ProfileDropped);
+
+  int N = 0;
+  const StatsCounterDesc *Table = statsCounters(N);
+  for (int I = 0; I < N; ++I)
+    R.counter("cmarks_engine_events_total",
+              "Runtime event counters summed across worker engines",
+              {{"event", Table[I].Name}}, T.Stats.Engines.*(Table[I].Field));
+  return R;
+}
+
+std::string EnginePool::metricsText() const {
+  return buildMetrics().prometheusText();
+}
+
+std::string EnginePool::metricsJson() const {
+  return buildMetrics().json("pool");
+}
+
+std::string EnginePool::traceJson() const {
+  std::vector<const TraceBuffer *> Buffers(Shards.size(), nullptr);
+  std::vector<std::string> Names;
+  Names.reserve(Shards.size());
+  for (size_t I = 0; I < Shards.size(); ++I) {
+    const WorkerShard &S = *Shards[I];
+    char Name[32];
+    std::snprintf(Name, sizeof(Name), "worker-%zu", I);
+    Names.push_back(Name);
+    // TraceSnapValid is set exactly once, at worker exit, under S.Mu;
+    // after that the worker never writes the shard again, so the pointer
+    // stays valid outside the lock.
+    std::lock_guard<std::mutex> L(S.Mu);
+    if (S.TraceSnapValid)
+      Buffers[I] = &S.TraceSnap;
+  }
+  return mergedTraceJson(Buffers, Names);
+}
+
+bool EnginePool::dumpTrace(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string S = traceJson();
+  bool Ok = std::fwrite(S.data(), 1, S.size(), F) == S.size();
+  return std::fclose(F) == 0 && Ok;
+}
+
+std::string EnginePool::profileCollapsed() const {
+  std::map<std::string, uint64_t> Merged;
+  for (const std::unique_ptr<WorkerShard> &SP : Shards) {
+    const WorkerShard &S = *SP;
+    std::lock_guard<std::mutex> L(S.Mu);
+    for (const auto &KV : S.ProfileFold)
+      Merged[KV.first] += KV.second;
+  }
+  return SamplingProfiler::collapsedText(Merged);
+}
+
+bool EnginePool::dumpProfile(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string S = profileCollapsed();
+  bool Ok = std::fwrite(S.data(), 1, S.size(), F) == S.size();
+  return std::fclose(F) == 0 && Ok;
 }

@@ -6,7 +6,7 @@
 /// stats, and trace buffer. Engines share nothing mutable (see DESIGN.md
 /// §11 for the audit), so the pool needs no locking around evaluation
 /// itself: the only synchronized state is the bounded MPMC job queue,
-/// the aggregated statistics, and the engine registry used for
+/// the per-worker telemetry shards, and the engine registry used for
 /// cross-thread interrupts.
 ///
 /// Jobs are source strings and results are external representations
@@ -17,6 +17,26 @@
 /// timeout/heap/stack budget fails alone; the worker engine recovers
 /// and keeps serving (support/limits.h).
 ///
+/// Serving telemetry (DESIGN.md §13): every job records its queue wait,
+/// run time, and outcome into log-bucketed histograms; metricsText()/
+/// metricsJson() export a Prometheus / `cmarks-metrics-v1` snapshot.
+/// With PoolOptions::TraceCapacity set, jobs render as named "job-<id>"
+/// spans in a merged per-worker Perfetto timeline (traceJson()); with
+/// PoolOptions::ProfileHz set, every worker runs the safe-point sampling
+/// profiler and profileCollapsed() aggregates a pool-wide flamegraph.
+///
+/// Consistency model of stats()/telemetry(): a job retires by publishing
+/// its whole delta — outcome counter, engine-stats delta, and histogram
+/// samples — in one critical section on its worker's shard mutex, and
+/// readers visit each shard under the same mutex. A read during load can
+/// therefore never observe a torn, half-retired job (e.g. a completion
+/// counted whose engine stats are missing). The shard mutex is
+/// per-worker and only ever contended by a reader, so the retirement
+/// path stays effectively uncontended at any worker count. Cross-worker
+/// skew remains: jobs retiring while a reader walks the shards appear in
+/// later shards but not earlier ones — totals are monotone
+/// between-jobs-consistent snapshots, not a global stop-the-world cut.
+///
 /// Typical use:
 /// \code
 ///   cmk::PoolOptions Opts;
@@ -25,6 +45,7 @@
 ///   cmk::EnginePool Pool(Opts);
 ///   auto F = Pool.submit("(+ 1 2)");
 ///   cmk::JobResult R = F.get();   // R.Ok, R.Output == "3"
+///   std::string Prom = Pool.metricsText();   // scrape-style export
 /// \endcode
 ///
 //===----------------------------------------------------------------------===//
@@ -34,13 +55,17 @@
 
 #include "api/scheme.h"
 #include "support/limits.h"
+#include "support/metrics.h"
 #include "support/stats.h"
+#include "support/trace.h"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -62,6 +87,11 @@ struct JobResult {
   ErrorKind Kind = ErrorKind::None;
   /// Index of the worker that ran the job (0 for rejected jobs).
   uint32_t Worker = 0;
+  /// Monotonic pool-wide job id (assigned at submit; 0 for jobs rejected
+  /// before entering the queue). The same id labels the job's "job-<id>"
+  /// trace span, so a slow request in a Perfetto timeline can be joined
+  /// back to its result.
+  uint64_t Id = 0;
 };
 
 /// Pool construction parameters.
@@ -78,6 +108,17 @@ struct PoolOptions {
   /// zero default means ungoverned; serving deployments should at least
   /// arm TimeoutMs so a stuck request cannot retire a worker.
   EngineLimits DefaultJobLimits;
+  /// When nonzero, every worker engine records its trace ring (this many
+  /// events) and jobs are bracketed by named "job-<id>" spans;
+  /// traceJson() merges the per-worker rings into one Perfetto timeline
+  /// (complete after shutdown()).
+  uint32_t TraceCapacity = 0;
+  /// When nonzero, every worker runs the safe-point sampling profiler at
+  /// this rate (Hz); profileCollapsed() aggregates a pool-wide collapsed
+  /// flamegraph (complete after shutdown()).
+  uint32_t ProfileHz = 0;
+  /// Per-worker profile sample ring (0 = SamplingProfiler::DefaultCapacity).
+  uint32_t ProfileCapacity = 0;
 };
 
 /// Pool-wide statistics snapshot (stats()).
@@ -95,9 +136,32 @@ struct PoolStats {
   VMStats Engines;
 };
 
+/// Full telemetry snapshot (telemetry()): PoolStats plus latency
+/// histograms, outcome-by-trip counters, queue gauges, and trace/profile
+/// meta-telemetry. Same consistency model as stats().
+struct PoolTelemetry {
+  PoolStats Stats;
+  LogHistogram QueueWaitUs; ///< Per-job submit -> dequeue wait (µs).
+  LogHistogram RunUs;       ///< Per-job evaluation time (µs).
+  uint64_t JobsOk = 0;
+  uint64_t JobsError = 0; ///< Ordinary runtime errors.
+  uint64_t TrippedHeap = 0;
+  uint64_t TrippedStack = 0;
+  uint64_t TrippedTimeout = 0;
+  uint64_t TrippedInterrupt = 0;
+  uint64_t TraceDropped = 0; ///< Trace-ring events lost to wraparound,
+                             ///< summed across workers (detects truncated
+                             ///< Perfetto exports).
+  uint64_t ProfileSamples = 0; ///< Samples captured across workers.
+  uint64_t ProfileDropped = 0; ///< Samples lost to ring wraparound.
+  uint64_t QueueDepth = 0;     ///< Jobs waiting right now.
+  uint64_t InFlight = 0;       ///< Jobs evaluating right now.
+};
+
 /// A fixed-size pool of worker threads with one private SchemeEngine
 /// each, fed by a bounded MPMC queue. Thread-safe: submit/trySubmit/
-/// stats/interruptAll may be called concurrently from any thread.
+/// stats/telemetry/metrics*/interruptAll may be called concurrently from
+/// any thread.
 class EnginePool {
 public:
   explicit EnginePool(const PoolOptions &Opts = PoolOptions());
@@ -136,31 +200,82 @@ public:
   }
 
   /// Thread-safe snapshot of the pool-wide counters and the aggregated
-  /// per-engine runtime stats.
+  /// per-engine runtime stats (see the consistency model above).
   PoolStats stats() const;
+
+  /// Thread-safe full telemetry snapshot: stats() plus merged latency
+  /// histograms, outcome counters, and queue gauges.
+  PoolTelemetry telemetry() const;
+
+  /// Prometheus text exposition of the current telemetry snapshot.
+  std::string metricsText() const;
+  /// The same snapshot as a `cmarks-metrics-v1` JSON document
+  /// (tools/metrics_report.py validates it).
+  std::string metricsJson() const;
+
+  /// Merged per-worker Perfetto timeline (PoolOptions::TraceCapacity).
+  /// Worker rings are snapshotted as workers exit, so the export is
+  /// complete only after shutdown(); called earlier it contains the
+  /// workers that have already exited.
+  std::string traceJson() const;
+  bool dumpTrace(const std::string &Path) const;
+
+  /// Pool-wide collapsed-stack profile (PoolOptions::ProfileHz),
+  /// flamegraph.pl/speedscope-compatible. Complete after shutdown().
+  std::string profileCollapsed() const;
+  bool dumpProfile(const std::string &Path) const;
 
 private:
   struct Job {
+    uint64_t Id = 0;
     std::string Source;
     EngineLimits Limits;
     std::promise<JobResult> Promise;
+    uint64_t EnqueueNs = 0;
+  };
+
+  /// Per-worker telemetry shard. The worker retires every job under Mu
+  /// (uncontended unless a reader is merging); readers take Mu per shard.
+  struct WorkerShard {
+    mutable std::mutex Mu;
+    LogHistogram QueueWaitUs;
+    LogHistogram RunUs;
+    uint64_t JobsOk = 0;
+    uint64_t JobsError = 0;
+    uint64_t TrippedHeap = 0;
+    uint64_t TrippedStack = 0;
+    uint64_t TrippedTimeout = 0;
+    uint64_t TrippedInterrupt = 0;
+    VMStats Engines;
+    uint64_t TraceDropped = 0;
+    uint64_t ProfileSamples = 0;
+    uint64_t ProfileDropped = 0;
+    /// Snapshot of the worker's trace ring, copied before the engine
+    /// dies (TraceCapacity mode).
+    TraceBuffer TraceSnap;
+    bool TraceSnapValid = false;
+    /// Folded collapsed-stack counts (ProfileHz mode).
+    std::map<std::string, uint64_t> ProfileFold;
   };
 
   void workerMain(unsigned Idx);
   void runJob(SchemeEngine &Engine, Job &J, unsigned Idx);
   static void rejectJob(Job &J);
+  MetricsRegistry buildMetrics() const;
 
   PoolOptions Opts;
   std::vector<std::thread> Threads;
+  std::vector<std::unique_ptr<WorkerShard>> Shards;
 
   // Bounded MPMC queue.
   mutable std::mutex QueueMu;
   std::condition_variable NotEmpty; ///< Waited on by workers.
   std::condition_variable NotFull;  ///< Waited on by blocked submitters.
   std::deque<Job> Queue;
-  bool Stopping = false;   ///< Guarded by QueueMu.
-  bool DrainOnStop = true; ///< Guarded by QueueMu.
-  uint64_t HighWater = 0;  ///< Guarded by QueueMu.
+  bool Stopping = false;    ///< Guarded by QueueMu.
+  bool DrainOnStop = true;  ///< Guarded by QueueMu.
+  uint64_t HighWater = 0;   ///< Guarded by QueueMu.
+  uint64_t NextJobId = 1;   ///< Guarded by QueueMu.
 
   // Shutdown join serialization (never held while touching QueueMu).
   std::mutex JoinMu;
@@ -171,9 +286,12 @@ private:
   mutable std::mutex EnginesMu;
   std::vector<SchemeEngine *> Engines;
 
-  // Aggregated statistics (everything except the queue high-water).
+  // Submit-side counters (the retire side lives in the shards).
   mutable std::mutex StatsMu;
-  PoolStats Agg;
+  uint64_t JobsSubmitted = 0; ///< Guarded by StatsMu.
+  uint64_t JobsRejected = 0;  ///< Guarded by StatsMu.
+
+  std::atomic<uint64_t> InFlight{0};
 };
 
 } // namespace cmk

@@ -37,6 +37,8 @@ static const TraceEventDesc Descs[] = {
     {"span", "scheme", 'B', false},
     {"span", "scheme", 'E', false},
     {"snapshot", "scheme", 'i', false},
+    {"job", "job", 'B', false},
+    {"job", "job", 'E', false},
     {"mark-frame-create", "marks-detail", 'i', true},
     {"mark-frame-extend", "marks-detail", 'i', true},
     {"mark-frame-rebind", "marks-detail", 'i', true},
@@ -135,7 +137,8 @@ void appendEscaped(std::string &Out, const char *S) {
 /// Appends one Chrome trace-event object. \p Ts is microseconds relative
 /// to the trace epoch; \p Name overrides the descriptor name when given.
 void appendEvent(std::string &Out, const TraceEventDesc &D, char Phase,
-                 double Ts, const char *Name, uint64_t Arg, bool First) {
+                 double Ts, const char *Name, uint64_t Arg, bool First,
+                 int Tid = 1) {
   if (!First)
     Out += ",\n";
   char Buf[96];
@@ -144,7 +147,8 @@ void appendEvent(std::string &Out, const TraceEventDesc &D, char Phase,
   Out += "\",\"cat\":\"";
   Out += D.Category;
   std::snprintf(Buf, sizeof(Buf),
-                "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1", Phase, Ts);
+                "\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":%d", Phase, Ts,
+                Tid);
   Out += Buf;
   if (Phase != 'E') {
     std::snprintf(Buf, sizeof(Buf),
@@ -155,35 +159,33 @@ void appendEvent(std::string &Out, const TraceEventDesc &D, char Phase,
   Out += "}";
 }
 
-} // namespace
-
-std::string TraceBuffer::toJson() const {
-  std::string Out;
-  Out.reserve(size() * 96 + 512);
-  Out += "{\n  \"traceEvents\": [\n";
-  Out += "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
-         "\"args\":{\"name\":\"cmarks\"}}";
-
-  // A span open on the export-side stack: index of its descriptor plus the
-  // name it was emitted with, so the matching End reuses both.
+/// Emits one buffer's events as tid \p Tid, timestamps relative to
+/// \p EpochNs, repairing Begin/End balance exactly as toJson always has:
+/// orphaned Ends are dropped, unclosed Begins are closed at the final
+/// timestamp. The export-side stack is per buffer — spans never cross
+/// engines.
+void appendBufferEvents(std::string &Out, const TraceBuffer &TB,
+                        uint64_t EpochNs, int Tid) {
   struct OpenSpan {
     const TraceEventDesc *D;
     std::string Name;
   };
   std::vector<OpenSpan> Open;
 
-  uint64_t N = size();
+  int NumDescs = 0;
+  const TraceEventDesc *DTable = traceEventDescs(NumDescs);
+  uint64_t N = TB.size();
   double LastTs = 0.0;
   for (uint64_t I = 0; I < N; ++I) {
-    const TraceEvent &E = at(I);
-    const TraceEventDesc &D = Descs[static_cast<size_t>(E.Kind)];
+    const TraceEvent &E = TB.at(I);
+    const TraceEventDesc &D = DTable[static_cast<size_t>(E.Kind)];
     // Events recorded before start() reset the epoch cannot exist (start
     // clears the ring), so TimeNs >= EpochNs always holds.
     double Ts = static_cast<double>(E.TimeNs - EpochNs) / 1e3;
     LastTs = Ts;
     if (D.Phase == 'B') {
       const char *Name = E.Label[0] ? E.Label : D.Name;
-      appendEvent(Out, D, 'B', Ts, Name, E.Arg, false);
+      appendEvent(Out, D, 'B', Ts, Name, E.Arg, false, Tid);
       Open.push_back({&D, Name});
     } else if (D.Phase == 'E') {
       // An End with no matching Begin in the retained window (ring
@@ -192,28 +194,87 @@ std::string TraceBuffer::toJson() const {
       if (Open.empty())
         continue;
       appendEvent(Out, *Open.back().D, 'E', Ts, Open.back().Name.c_str(),
-                  E.Arg, false);
+                  E.Arg, false, Tid);
       Open.pop_back();
     } else {
-      appendEvent(Out, D, D.Phase, Ts, E.Label, E.Arg, false);
+      appendEvent(Out, D, D.Phase, Ts, E.Label, E.Arg, false, Tid);
     }
   }
   // Close spans left open (still running at stop, or exited by a
   // continuation jump whose resumption was never traced).
   while (!Open.empty()) {
     appendEvent(Out, *Open.back().D, 'E', LastTs, Open.back().Name.c_str(), 0,
-                false);
+                false, Tid);
     Open.pop_back();
   }
+}
+
+} // namespace
+
+std::string TraceBuffer::toJson() const {
+  std::string Out;
+  Out.reserve(size() * 96 + 512);
+  Out += "{\n  \"traceEvents\": [\n";
+  Out += "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"cmarks\"}}";
+  appendBufferEvents(Out, *this, EpochNs, /*Tid=*/1);
 
   char Buf[160];
   std::snprintf(Buf, sizeof(Buf),
                 "\n  ],\n  \"displayTimeUnit\": \"ms\",\n"
                 "  \"otherData\": {\"schema\": \"cmarks-trace-v1\", "
                 "\"events\": %llu, \"dropped\": %llu, \"detailTier\": %s}\n}\n",
-                static_cast<unsigned long long>(N),
+                static_cast<unsigned long long>(size()),
                 static_cast<unsigned long long>(dropped()),
                 traceDetailEnabled() ? "true" : "false");
+  Out += Buf;
+  return Out;
+}
+
+std::string
+cmk::mergedTraceJson(const std::vector<const TraceBuffer *> &Buffers,
+                     const std::vector<std::string> &ThreadNames) {
+  std::string Out;
+  uint64_t Events = 0, Dropped = 0;
+  uint64_t Epoch = UINT64_MAX;
+  for (const TraceBuffer *TB : Buffers)
+    if (TB && TB->epochNs() && TB->epochNs() < Epoch)
+      Epoch = TB->epochNs();
+  if (Epoch == UINT64_MAX)
+    Epoch = 0;
+
+  Out += "{\n  \"traceEvents\": [\n";
+  Out += "    {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+         "\"args\":{\"name\":\"cmarks-pool\"}}";
+  for (size_t I = 0; I < Buffers.size(); ++I) {
+    const TraceBuffer *TB = Buffers[I];
+    if (!TB || !TB->epochNs())
+      continue;
+    int Tid = static_cast<int>(I) + 1;
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  ",\n    {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  Tid);
+    Out += Buf;
+    appendEscaped(Out, I < ThreadNames.size() ? ThreadNames[I].c_str()
+                                              : "worker");
+    Out += "\"}}";
+    appendBufferEvents(Out, *TB, Epoch, Tid);
+    Events += TB->size();
+    Dropped += TB->dropped();
+  }
+
+  char Buf[192];
+  std::snprintf(Buf, sizeof(Buf),
+                "\n  ],\n  \"displayTimeUnit\": \"ms\",\n"
+                "  \"otherData\": {\"schema\": \"cmarks-trace-v1\", "
+                "\"events\": %llu, \"dropped\": %llu, \"detailTier\": %s, "
+                "\"threads\": %llu}\n}\n",
+                static_cast<unsigned long long>(Events),
+                static_cast<unsigned long long>(Dropped),
+                traceDetailEnabled() ? "true" : "false",
+                static_cast<unsigned long long>(Buffers.size()));
   Out += Buf;
   return Out;
 }

@@ -81,6 +81,10 @@ enum class TraceEv : uint8_t {
   SpanBegin,       ///< Labeled user span opened.
   SpanEnd,         ///< Labeled user span closed.
   Instant,         ///< Labeled user instant (stack snapshots).
+  // --- Cheap tier: serving-job correlation (support/pool.h) -----------------
+  JobBegin,        ///< Pool job started on this engine (label "job-<id>",
+                   ///< arg = job id; Begin).
+  JobEnd,          ///< Pool job finished (End).
   // --- Detail tier (CMARKS_TRACE-gated): marks layer (paper 7.5) -----------
   MarkFrameCreate, ///< "no attachment" -> one-mark frame.
   MarkFrameExtend, ///< N-entry frame -> (N+1)-entry frame.
@@ -157,6 +161,9 @@ public:
   /// Events overwritten by ring wraparound.
   uint64_t dropped() const;
   uint32_t capacity() const { return Cap; }
+  /// TimeNs of the last start(); 0 before the first. Used to place this
+  /// buffer on a common timeline when merging multi-engine traces.
+  uint64_t epochNs() const { return EpochNs; }
 
   /// The \p I-th held event, oldest first (0 <= I < size()).
   const TraceEvent &at(uint64_t I) const;
@@ -171,12 +178,24 @@ public:
   /// toJson() to a stream. Returns false on a write error.
   bool writeJson(std::FILE *Out) const;
 
+  /// Copyable: EnginePool workers snapshot their ring into pool-owned
+  /// storage before the engine dies, so a pool-wide timeline can be
+  /// exported after shutdown.
+
 private:
   std::vector<TraceEvent> Events;
   uint32_t Cap = 0;    ///< Allocated lazily on first start()/reset().
   uint64_t Head = 0;   ///< Monotonic count of events ever recorded.
   uint64_t EpochNs = 0;///< TimeNs of start(); JSON ts are relative to it.
 };
+
+/// Merges several engines' trace buffers into one Chrome trace-event JSON
+/// document: buffer I renders as tid I+1 named \p ThreadNames[I], all on
+/// a common timeline anchored at the earliest buffer epoch. Used by
+/// EnginePool to show named per-job spans across workers. Buffers that
+/// never started are skipped.
+std::string mergedTraceJson(const std::vector<const TraceBuffer *> &Buffers,
+                            const std::vector<std::string> &ThreadNames);
 
 } // namespace cmk
 

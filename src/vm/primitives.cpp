@@ -14,6 +14,7 @@
 #include "runtime/hashtable.h"
 #include "runtime/numbers.h"
 #include "runtime/printer.h"
+#include "support/metrics.h"
 
 #include <chrono>
 #include <cmath>
@@ -726,6 +727,9 @@ Value nativeRuntimeStats(VM &M, Value *, uint32_t) {
   AddCounter("gc-collections", HS.Collections);
   AddCounter("gc-one-shot-promotions", HS.OneShotPromotions);
   AddCounter("gc-bytes-allocated", HS.BytesAllocated);
+  // Observability meta-telemetry: a nonzero drop count means the trace
+  // ring wrapped and a Perfetto export holds only the newest window.
+  AddCounter("trace-events-dropped", M.trace().dropped());
   GCRoot Acc(M.heap(), Value::nil());
   for (size_t I = Cells.size(); I > 0; --I)
     Acc.set(M.heap().makePair(Cells[I - 1], Acc.get()));
@@ -775,6 +779,75 @@ Value nativeTraceDump(VM &M, Value *Args, uint32_t NArgs) {
   bool Ok = M.trace().writeJson(F);
   std::fclose(F);
   return Value::boolean(Ok);
+}
+
+/// (profiler-start!) / (profiler-start! hz) / (profiler-start! hz capacity):
+/// starts the safe-point sampling profiler on this engine (see
+/// support/profiler.h). Samples attribute to the current procedure plus
+/// the `#%trace-key` mark stack kept by with-stack-frame, so flamegraphs
+/// show named Scheme procedures without any frame walking.
+Value nativeProfilerStart(VM &M, Value *Args, uint32_t NArgs) {
+  uint32_t Hz = SamplingProfiler::DefaultHz;
+  uint32_t Cap = 0;
+  if (NArgs > 0) {
+    if (!Args[0].isFixnum() || Args[0].asFixnum() <= 0)
+      return typeError(M, "profiler-start!", "positive fixnum", Args[0]);
+    Hz = static_cast<uint32_t>(Args[0].asFixnum());
+  }
+  if (NArgs > 1) {
+    if (!Args[1].isFixnum() || Args[1].asFixnum() <= 0)
+      return typeError(M, "profiler-start!", "positive fixnum", Args[1]);
+    Cap = static_cast<uint32_t>(Args[1].asFixnum());
+  }
+  M.profiler().start(M, Hz, Cap);
+  return Value::voidValue();
+}
+
+/// (profiler-stop!) stops the sampler thread; captured samples stay
+/// exportable. Returns the number of samples held.
+Value nativeProfilerStop(VM &M, Value *, uint32_t) {
+  M.profiler().stop();
+  return Value::fixnum(static_cast<int64_t>(M.profiler().sampleCount()));
+}
+
+/// (profiler-dump) returns the collapsed-stack profile as a string;
+/// (profiler-dump "file") writes it to the file and returns #t (#f on an
+/// I/O failure). One "frames count" line per distinct stack —
+/// flamegraph.pl / speedscope compatible.
+Value nativeProfilerDump(VM &M, Value *Args, uint32_t NArgs) {
+  if (NArgs == 0) {
+    std::string S = M.profiler().toCollapsed();
+    return M.heap().makeString(S.data(), static_cast<uint32_t>(S.size()));
+  }
+  if (!Args[0].isString())
+    return typeError(M, "profiler-dump", "string", Args[0]);
+  StringObj *S = asString(Args[0]);
+  std::string Path(S->Data, S->Len);
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return Value::False();
+  bool Ok = M.profiler().writeCollapsed(F);
+  std::fclose(F);
+  return Value::boolean(Ok);
+}
+
+/// (runtime-metrics) -> the engine's `cmarks-metrics-v1` JSON document as
+/// a string: every (runtime-stats) counter plus heap gauges and
+/// trace/profile meta-telemetry, in the same schema EnginePool exports.
+Value nativeRuntimeMetrics(VM &M, Value *, uint32_t) {
+  MetricsRegistry R;
+  M.fillMetrics(R);
+  std::string S = R.json("engine");
+  return M.heap().makeString(S.data(), static_cast<uint32_t>(S.size()));
+}
+
+/// (runtime-metrics-text) -> the same snapshot in Prometheus text
+/// exposition format (scrape-ready).
+Value nativeRuntimeMetricsText(VM &M, Value *, uint32_t) {
+  MetricsRegistry R;
+  M.fillMetrics(R);
+  std::string S = R.prometheusText();
+  return M.heap().makeString(S.data(), static_cast<uint32_t>(S.size()));
 }
 
 /// Label text for a user trace event: symbols and strings contribute
@@ -946,6 +1019,11 @@ void cmk::installPrimitives(VM &M) {
   M.defineNative("#%trace-span-begin", nativeTraceSpanBegin, 0, 1);
   M.defineNative("#%trace-span-end", nativeTraceSpanEnd, 0, 0);
   M.defineNative("#%trace-instant", nativeTraceInstant, 0, 1);
+  M.defineNative("profiler-start!", nativeProfilerStart, 0, 2);
+  M.defineNative("profiler-stop!", nativeProfilerStop, 0, 0);
+  M.defineNative("profiler-dump", nativeProfilerDump, 0, 1);
+  M.defineNative("runtime-metrics", nativeRuntimeMetrics, 0, 0);
+  M.defineNative("runtime-metrics-text", nativeRuntimeMetricsText, 0, 0);
   M.defineNative("symbol->string", nativeSymbolToString, 1, 1);
   M.defineNative("string->symbol", nativeStringToSymbol, 1, 1);
 }

@@ -15,6 +15,7 @@
 #include "runtime/hashtable.h"
 #include "runtime/numbers.h"
 #include "runtime/printer.h"
+#include "support/metrics.h"
 
 #include <cstring>
 #include <limits>
@@ -55,7 +56,12 @@ VM::VM(const VMConfig &Config) : Cfg(Config) {
   installParameterPrimitives(*this);
 }
 
-VM::~VM() { H.removeRootSource(this); }
+VM::~VM() {
+  // The sampler thread pokes this VM's signal word; join it before any
+  // member is destroyed.
+  Prof.stop();
+  H.removeRootSource(this);
+}
 
 void VM::traceRoots(Heap &Heap) {
   Heap.traceValue(Regs.Seg);
@@ -336,7 +342,11 @@ void VM::resetGovernance() {
   NativeTailCall = false;
   NativeJumped = false;
   ForceOverflowOnce = false;
-  InterruptRequested.store(false, std::memory_order_relaxed);
+  // Interrupts aimed at an idle engine are dropped by design (pool
+  // semantics: interruptAll targets running jobs); stale sample pokes
+  // from between runs are dropped with them so idle time never shows up
+  // in a profile.
+  AsyncSignals.store(0, std::memory_order_relaxed);
   FuelLeft = refillFuel();
   DeadlineArmed = Cfg.Limits.TimeoutMs > 0;
   if (DeadlineArmed)
@@ -348,7 +358,10 @@ void VM::resetGovernance() {
 TripKind VM::pollSafePoint() {
   FuelLeft = refillFuel();
   ++Stats.SafePointPolls;
-  if (InterruptRequested.exchange(false, std::memory_order_relaxed)) {
+  // Consume only the interrupt bit: a concurrent sample poke stays
+  // pending for the next safe-point site.
+  if (AsyncSignals.fetch_and(~SigInterrupt, std::memory_order_relaxed) &
+      SigInterrupt) {
     ++Stats.LimitInterrupts;
     return TripKind::Interrupt;
   }
@@ -368,6 +381,29 @@ TripKind VM::pollSafePoint() {
     return TripKind::Timeout;
   }
   return TripKind::None;
+}
+
+void VM::fillMetrics(MetricsRegistry &R) const {
+  int N = 0;
+  const StatsCounterDesc *Table = statsCounters(N);
+  for (int I = 0; I < N; ++I)
+    R.counter("cmarks_engine_events_total", "VM runtime event counters",
+              {{"event", Table[I].Name}}, Stats.*(Table[I].Field));
+  const HeapStats &HS = H.stats();
+  R.counter("cmarks_engine_events_total", "VM runtime event counters",
+            {{"event", "gc-collections"}}, HS.Collections);
+  R.counter("cmarks_engine_events_total", "VM runtime event counters",
+            {{"event", "gc-bytes-allocated"}}, HS.BytesAllocated);
+  R.counter("cmarks_engine_trace_dropped_events_total",
+            "Trace-ring events lost to wraparound", {}, Trace.dropped());
+  R.counter("cmarks_engine_profile_samples_total",
+            "Profile samples captured at safe points", {}, Prof.total());
+  R.counter("cmarks_engine_profile_dropped_total",
+            "Profile samples lost to ring wraparound", {}, Prof.dropped());
+  R.gauge("cmarks_engine_heap_bytes", "Committed heap bytes (incl. garbage)",
+          {}, static_cast<double>(H.bytesInUse()));
+  R.gauge("cmarks_engine_live_segments", "Live stack segments", {},
+          static_cast<double>(H.liveStackSegments()));
 }
 
 Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
@@ -491,9 +527,10 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
 // plus an end-of-run check so a budget trip raised by the final
 // allocation is still delivered. Ungoverned engines (no EngineLimits
 // armed) run with effectively infinite fuel and take zero safe-point
-// polls; the per-site relaxed InterruptRequested load still delivers
-// cross-thread requestInterrupt() promptly, and the heap zeroing
-// FuelLeft (FuelPoke) still forces the next site to poll a budget trip.
+// polls; the per-site relaxed AsyncSignals load still delivers
+// cross-thread requestInterrupt() and profiler sample pokes promptly,
+// and the heap zeroing FuelLeft (FuelPoke) still forces the next site
+// to poll a budget trip.
 
 #if defined(CMARKS_THREADED) && (defined(__GNUC__) || defined(__clang__))
 #define CMK_THREADED_DISPATCH 1
@@ -547,22 +584,40 @@ Value VM::run() {
 // Hoisted safe point: taken at calls and backward branches. A trip is
 // delivered by injecting a call to the prelude's #%limit-raise at this
 // (synced) boundary, exactly as the old per-instruction poll did.
+//
+// The entry test is the same two instructions whether or not the sampling
+// profiler exists: one fuel decrement+test and one relaxed load+test of
+// the AsyncSignals word (which used to be the lone interrupt flag).
+// Inside the cold block, a pending sample is captured FIRST and does not
+// poll: fuel is untouched and pollSafePoint runs only for the same
+// reasons it always did (fuel exhausted, or interrupt bit set), so
+// SafePointPolls and the governed poll schedule are bit-for-bit
+// identical with sampling on or off — the property the fuzzer's counter
+// determinism check and the CI safe-point-polls gate both enforce.
 #define VM_SAFEPOINT()                                                         \
   do {                                                                         \
     if (__builtin_expect(--FuelLeft <= 0, 0) ||                                \
-        __builtin_expect(InterruptRequested.load(std::memory_order_relaxed),   \
-                         0)) {                                                 \
+        __builtin_expect(                                                      \
+            AsyncSignals.load(std::memory_order_relaxed) != 0, 0)) {           \
       SYNC();                                                                  \
-      TripKind Trip = pollSafePoint();                                         \
-      if (Trip != TripKind::None) {                                            \
-        if (!injectLimitRaise(Trip)) {                                         \
-          raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));                \
-          return Value::undefined();                                           \
+      if (__builtin_expect(AsyncSignals.load(std::memory_order_relaxed) &     \
+                               SigSample, 0)) {                               \
+        AsyncSignals.fetch_and(~SigSample, std::memory_order_relaxed);        \
+        Prof.captureSample(*this);                                            \
+      }                                                                        \
+      if (FuelLeft <= 0 ||                                                     \
+          (AsyncSignals.load(std::memory_order_relaxed) & SigInterrupt)) {     \
+        TripKind Trip = pollSafePoint();                                       \
+        if (Trip != TripKind::None) {                                          \
+          if (!injectLimitRaise(Trip)) {                                       \
+            raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));              \
+            return Value::undefined();                                         \
+          }                                                                    \
+          if (Failed)                                                          \
+            return Value::undefined();                                         \
+          RELOAD();                                                            \
+          VM_NEXT();                                                           \
         }                                                                      \
-        if (Failed)                                                            \
-          return Value::undefined();                                           \
-        RELOAD();                                                              \
-        VM_NEXT();                                                             \
       }                                                                        \
     }                                                                          \
   } while (0)

@@ -28,6 +28,7 @@
 #include "runtime/value.h"
 #include "support/faults.h"
 #include "support/limits.h"
+#include "support/profiler.h"
 #include "support/stats.h"
 #include "support/trace.h"
 
@@ -37,6 +38,8 @@
 #include <vector>
 
 namespace cmk {
+
+class MetricsRegistry;
 
 /// Strategy switches for the benchmark variants (DESIGN.md experiment
 /// index). The default configuration is the paper's "builtin" system.
@@ -107,11 +110,34 @@ public:
 
   // --- Resource governance (support/limits.h) --------------------------------
 
+  /// Bits of the asynchronous host->engine signal word. Every safe-point
+  /// site loads the word (relaxed) alongside its fuel decrement, so both
+  /// signals are delivered at the very next site with zero extra
+  /// hot-path cost over the old single interrupt flag.
+  static constexpr uint32_t SigInterrupt = 1u << 0;
+  static constexpr uint32_t SigSample = 1u << 1;
+
   /// Thread-safe, async-signal-safe cancellation: the dispatch loop's next
   /// safe point raises a catchable interrupt exception.
   void requestInterrupt() {
-    InterruptRequested.store(true, std::memory_order_relaxed);
+    AsyncSignals.fetch_or(SigInterrupt, std::memory_order_relaxed);
   }
+
+  /// Thread-safe sampling poke (support/profiler.h): the next safe point
+  /// captures one profile sample. Consuming the bit does NOT poll — fuel,
+  /// SafePointPolls, and trip delivery are bit-for-bit unchanged whether
+  /// the sampler runs or not.
+  void pokeSample() {
+    AsyncSignals.fetch_or(SigSample, std::memory_order_relaxed);
+  }
+
+  /// The safe-point sampling profiler attached to this engine.
+  SamplingProfiler &profiler() { return Prof; }
+  const SamplingProfiler &profiler() const { return Prof; }
+
+  /// Pours an engine-level metrics snapshot (event counters, heap gauges,
+  /// trace/profile meta-telemetry) into \p R; see support/metrics.h.
+  void fillMetrics(MetricsRegistry &R) const;
 
   /// Per-engine fault injector (support/faults.h). Hooks are compiled in
   /// only under CMARKS_FAULTS, but configuration is always available.
@@ -321,7 +347,12 @@ private:
   int64_t FuelLeft = 0;
   std::chrono::steady_clock::time_point Deadline{};
   bool DeadlineArmed = false;
-  std::atomic<bool> InterruptRequested{false};
+  /// SigInterrupt | SigSample bits, set cross-thread, consumed at safe
+  /// points. One word so the hot path pays a single relaxed load.
+  std::atomic<uint32_t> AsyncSignals{0};
+  /// Sampling profiler (support/profiler.h); its thread only touches
+  /// AsyncSignals. Stopped in ~VM before anything else is torn down.
+  SamplingProfiler Prof;
 };
 
 // --- Native registration (vm/primitives*.cpp, marks/, control/, lib/) --------

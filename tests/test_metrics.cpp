@@ -1,0 +1,272 @@
+//===- tests/test_metrics.cpp - Metrics registry and histograms -----------===//
+///
+/// \file
+/// Unit tests for support/metrics.h: LogHistogram bucket math (boundary
+/// values, percentile accuracy against exact reference quantiles, the
+/// empty and one-sample edges, merge algebra) and the MetricsRegistry
+/// export formats (Prometheus text and cmarks-metrics-v1 JSON).
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+using namespace cmk;
+
+namespace {
+
+// --- Bucket math ------------------------------------------------------------
+
+TEST(LogHistogramTest, SmallValuesAreExact) {
+  // Values below SubBuckets land in their own bucket: both bounds equal
+  // the value itself.
+  for (uint64_t V = 0; V < LogHistogram::SubBuckets; ++V) {
+    size_t Idx = LogHistogram::bucketIndex(V);
+    EXPECT_EQ(LogHistogram::bucketLow(Idx), V);
+    EXPECT_EQ(LogHistogram::bucketHigh(Idx), V);
+  }
+}
+
+TEST(LogHistogramTest, BucketBoundsContainTheirValues) {
+  // Every probed value must fall inside its bucket's [low, high] range,
+  // across the whole 64-bit domain.
+  std::vector<uint64_t> Probes;
+  for (int Shift = 0; Shift < 63; ++Shift) {
+    uint64_t Base = 1ull << Shift;
+    Probes.push_back(Base - 1);
+    Probes.push_back(Base);
+    Probes.push_back(Base + 1);
+    Probes.push_back(Base + Base / 2);
+  }
+  Probes.push_back(UINT64_MAX);
+  for (uint64_t V : Probes) {
+    size_t Idx = LogHistogram::bucketIndex(V);
+    ASSERT_LT(Idx, LogHistogram::NumBuckets) << "value " << V;
+    EXPECT_LE(LogHistogram::bucketLow(Idx), V) << "value " << V;
+    EXPECT_GE(LogHistogram::bucketHigh(Idx), V) << "value " << V;
+  }
+}
+
+TEST(LogHistogramTest, BucketIndexIsMonotone) {
+  uint64_t Prev = 0;
+  size_t PrevIdx = LogHistogram::bucketIndex(0);
+  for (int Shift = 1; Shift < 62; ++Shift) {
+    for (uint64_t V :
+         {(1ull << Shift) - 1, 1ull << Shift, (1ull << Shift) + 1}) {
+      size_t Idx = LogHistogram::bucketIndex(V);
+      ASSERT_GE(V, Prev);
+      EXPECT_GE(Idx, PrevIdx) << "index not monotone at " << V;
+      Prev = V;
+      PrevIdx = Idx;
+    }
+  }
+}
+
+TEST(LogHistogramTest, RelativeBucketErrorIsBounded) {
+  // The sub-bucketing guarantees bucketHigh/bucketLow - 1 <= 1/16 for
+  // values past the first octave.
+  for (int Shift = 5; Shift < 62; ++Shift) {
+    uint64_t V = (1ull << Shift) + (1ull << (Shift - 2));
+    size_t Idx = LogHistogram::bucketIndex(V);
+    double Low = static_cast<double>(LogHistogram::bucketLow(Idx));
+    double High = static_cast<double>(LogHistogram::bucketHigh(Idx));
+    EXPECT_LE((High - Low) / Low, 1.0 / LogHistogram::SubBuckets + 1e-9);
+  }
+}
+
+// --- Recording and percentiles ----------------------------------------------
+
+TEST(LogHistogramTest, EmptyHistogram) {
+  LogHistogram H;
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.sum(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  EXPECT_EQ(H.percentile(99.9), 0u);
+}
+
+TEST(LogHistogramTest, OneSample) {
+  LogHistogram H;
+  H.record(12345);
+  EXPECT_EQ(H.count(), 1u);
+  EXPECT_EQ(H.sum(), 12345u);
+  EXPECT_EQ(H.min(), 12345u);
+  EXPECT_EQ(H.max(), 12345u);
+  // Every percentile of a single sample is that sample (the exact-max
+  // clamp applies).
+  EXPECT_EQ(H.percentile(0), H.percentile(100));
+  EXPECT_EQ(H.percentile(50), 12345u);
+  EXPECT_EQ(H.percentile(99.9), 12345u);
+}
+
+TEST(LogHistogramTest, PercentilesTrackExactQuantiles) {
+  // Log-normal-ish latency distribution; the histogram's percentile must
+  // stay within the documented 1/16 relative error of the exact
+  // order-statistic (plus the bucket-rounding at the top).
+  std::mt19937_64 Rng(42);
+  std::lognormal_distribution<double> Dist(8.0, 1.5);
+  LogHistogram H;
+  std::vector<uint64_t> Exact;
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t V = static_cast<uint64_t>(Dist(Rng));
+    H.record(V);
+    Exact.push_back(V);
+  }
+  std::sort(Exact.begin(), Exact.end());
+  for (double P : {50.0, 90.0, 99.0, 99.9}) {
+    size_t Rank = static_cast<size_t>(
+        std::ceil(P / 100.0 * static_cast<double>(Exact.size())));
+    uint64_t Want = Exact[std::min(Exact.size() - 1, Rank ? Rank - 1 : 0)];
+    uint64_t Got = H.percentile(P);
+    double Rel = std::fabs(static_cast<double>(Got) -
+                           static_cast<double>(Want)) /
+                 static_cast<double>(Want);
+    EXPECT_LE(Rel, 1.0 / LogHistogram::SubBuckets + 1e-9)
+        << "p" << P << ": got " << Got << " want " << Want;
+  }
+  // The extreme percentile clamps to the exact maximum.
+  EXPECT_EQ(H.percentile(100), Exact.back());
+}
+
+TEST(LogHistogramTest, MinMaxAreExact) {
+  LogHistogram H;
+  H.record(999);
+  H.record(3);
+  H.record(77777);
+  EXPECT_EQ(H.min(), 3u);
+  EXPECT_EQ(H.max(), 77777u);
+}
+
+// --- Merge algebra ----------------------------------------------------------
+
+LogHistogram fromValues(const std::vector<uint64_t> &Vs) {
+  LogHistogram H;
+  for (uint64_t V : Vs)
+    H.record(V);
+  return H;
+}
+
+void expectSame(const LogHistogram &A, const LogHistogram &B) {
+  EXPECT_EQ(A.count(), B.count());
+  EXPECT_EQ(A.sum(), B.sum());
+  EXPECT_EQ(A.min(), B.min());
+  EXPECT_EQ(A.max(), B.max());
+  for (double P : {50.0, 90.0, 99.0, 99.9})
+    EXPECT_EQ(A.percentile(P), B.percentile(P)) << "p" << P;
+}
+
+TEST(LogHistogramTest, MergeEqualsRecordingEverything) {
+  LogHistogram A = fromValues({1, 5, 900, 12, 44}),
+               B = fromValues({100000, 2, 2, 7}),
+               All = fromValues({1, 5, 900, 12, 44, 100000, 2, 2, 7});
+  LogHistogram M = A;
+  M.merge(B);
+  expectSame(M, All);
+}
+
+TEST(LogHistogramTest, MergeIsCommutative) {
+  LogHistogram A = fromValues({10, 20, 30}), B = fromValues({5, 500000});
+  LogHistogram AB = A, BA = B;
+  AB.merge(B);
+  BA.merge(A);
+  expectSame(AB, BA);
+}
+
+TEST(LogHistogramTest, MergeIsAssociative) {
+  LogHistogram A = fromValues({1, 2, 3}), B = fromValues({1000, 2000}),
+               C = fromValues({7, 7, 7, 900000});
+  LogHistogram L = A; // (A + B) + C
+  L.merge(B);
+  L.merge(C);
+  LogHistogram BC = B; // A + (B + C)
+  BC.merge(C);
+  LogHistogram R = A;
+  R.merge(BC);
+  expectSame(L, R);
+}
+
+TEST(LogHistogramTest, MergeWithEmptyIsIdentity) {
+  LogHistogram A = fromValues({42, 42000});
+  LogHistogram Empty;
+  LogHistogram M = A;
+  M.merge(Empty);
+  expectSame(M, A);
+  LogHistogram M2 = Empty;
+  M2.merge(A);
+  expectSame(M2, A);
+}
+
+TEST(LogHistogramTest, ResetClears) {
+  LogHistogram H = fromValues({1, 2, 3});
+  H.reset();
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(99), 0u);
+}
+
+// --- Registry export formats ------------------------------------------------
+
+TEST(MetricsRegistryTest, PrometheusTextShape) {
+  MetricsRegistry R;
+  R.counter("cmarks_test_jobs_total", "Jobs by outcome", {{"outcome", "ok"}},
+            7);
+  R.counter("cmarks_test_jobs_total", "Jobs by outcome",
+            {{"outcome", "error"}}, 1);
+  R.gauge("cmarks_test_depth", "Current depth", {}, 3);
+  LogHistogram H = fromValues({1000, 2000, 4000});
+  R.histogram("cmarks_test_wait_seconds", "Queue wait", {}, H, 1e-6);
+  std::string Out = R.prometheusText();
+
+  // HELP/TYPE headers appear once per metric name.
+  EXPECT_NE(Out.find("# HELP cmarks_test_jobs_total Jobs by outcome\n"),
+            std::string::npos);
+  EXPECT_EQ(Out.find("# TYPE cmarks_test_jobs_total counter"),
+            Out.rfind("# TYPE cmarks_test_jobs_total counter"));
+  EXPECT_NE(Out.find("cmarks_test_jobs_total{outcome=\"ok\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("cmarks_test_jobs_total{outcome=\"error\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(Out.find("# TYPE cmarks_test_depth gauge"), std::string::npos);
+  // Histograms export as summaries with the four quantiles + sum/count.
+  EXPECT_NE(Out.find("# TYPE cmarks_test_wait_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(Out.find("cmarks_test_wait_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(Out.find("cmarks_test_wait_seconds{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(Out.find("cmarks_test_wait_seconds_count 3\n"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonShapeAndScaling) {
+  MetricsRegistry R;
+  R.counter("cmarks_test_total", "A counter", {}, 41);
+  LogHistogram H = fromValues({2000000}); // 2 s in µs.
+  R.histogram("cmarks_test_run_seconds", "Run time", {}, H, 1e-6);
+  std::string Out = R.json("engine");
+
+  EXPECT_NE(Out.find("\"schema\": \"cmarks-metrics-v1\""), std::string::npos);
+  EXPECT_NE(Out.find("\"component\": \"engine\""), std::string::npos);
+  EXPECT_NE(Out.find("\"cmarks_test_total\""), std::string::npos);
+  // Count is unscaled; sum/min/max/percentiles are scaled to seconds.
+  EXPECT_NE(Out.find("\"count\":1"), std::string::npos);
+  EXPECT_EQ(Out.find("\"sum\":2000000"), std::string::npos);
+  EXPECT_NE(Out.find("\"sum\":2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LabelValuesAreEscaped) {
+  MetricsRegistry R;
+  R.counter("cmarks_test_total", "Help", {{"k", "a\"b\\c\nd"}}, 1);
+  std::string Prom = R.prometheusText();
+  EXPECT_NE(Prom.find("k=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+  std::string Json = R.json("engine");
+  EXPECT_NE(Json.find("\"k\":\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+} // namespace

@@ -270,6 +270,122 @@ TEST(PoolTest, AggregatedStatsCoverAllWorkers) {
   EXPECT_GE(S.Engines.ContinuationCaptures, 16u);
 }
 
+// --- Serving telemetry ----------------------------------------------------
+
+TEST(PoolTest, TelemetryHistogramsCoverEveryRetiredJob) {
+  PoolOptions O;
+  O.Workers = 2;
+  EnginePool Pool(O);
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 20; ++I)
+    Futures.push_back(Pool.submit("(+ 1 " + std::to_string(I) + ")"));
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  Pool.shutdown();
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_EQ(T.JobsOk, 20u);
+  EXPECT_EQ(T.QueueWaitUs.count(), 20u);
+  EXPECT_EQ(T.RunUs.count(), 20u);
+  // Outcome counters partition the retired jobs.
+  EXPECT_EQ(T.JobsOk + T.JobsError + T.TrippedHeap + T.TrippedStack +
+                T.TrippedTimeout + T.TrippedInterrupt,
+            20u);
+  EXPECT_EQ(T.Stats.JobsCompleted, 20u);
+}
+
+TEST(PoolTest, QueueWaitP99GrowsUnderBackpressure) {
+  // One worker, a burst of jobs that each run for a measurable time: job
+  // N queues behind N-1 full runs, so the queue-wait p99 (the last job's
+  // wait) must exceed the median run time by a wide margin. This is the
+  // signal an operator alerts on: run latency flat, queue wait climbing.
+  PoolOptions O;
+  O.Workers = 1;
+  EnginePool Pool(O);
+  const std::string Slow =
+      "(let loop ((i 400000) (a 0)) (if (= i 0) a (loop (- i 1) (+ a 1))))";
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(Pool.submit(Slow));
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  Pool.shutdown();
+  PoolTelemetry T = Pool.telemetry();
+  ASSERT_EQ(T.RunUs.count(), 8u);
+  EXPECT_GT(T.RunUs.percentile(50), 0u);
+  EXPECT_GT(T.QueueWaitUs.percentile(99), T.RunUs.percentile(50));
+  // The head-of-line job never waited; the tail did: the wait
+  // distribution must actually spread.
+  EXPECT_GT(T.QueueWaitUs.percentile(99), T.QueueWaitUs.percentile(10));
+}
+
+TEST(PoolTest, MetricsExportBothFormats) {
+  PoolOptions O;
+  O.Workers = 2;
+  EnginePool Pool(O);
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 10; ++I)
+    Futures.push_back(Pool.submit("(* 6 7)"));
+  for (auto &F : Futures)
+    EXPECT_EQ(F.get().Output, "42");
+  Pool.shutdown();
+  std::string Json = Pool.metricsJson();
+  EXPECT_NE(Json.find("\"schema\": \"cmarks-metrics-v1\""), std::string::npos);
+  EXPECT_NE(Json.find("\"component\": \"pool\""), std::string::npos);
+  EXPECT_NE(Json.find("cmarks_pool_jobs_total"), std::string::npos);
+  EXPECT_NE(Json.find("\"outcome\":\"ok\""), std::string::npos);
+  EXPECT_NE(Json.find("cmarks_pool_job_run_seconds"), std::string::npos);
+  std::string Prom = Pool.metricsText();
+  EXPECT_NE(Prom.find("# TYPE cmarks_pool_job_run_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_workers 2"), std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_jobs_submitted_total 10"),
+            std::string::npos);
+}
+
+TEST(PoolTest, JobSpansCarryIdsAcrossWorkersInMergedTrace) {
+  PoolOptions O;
+  O.Workers = 2;
+  O.TraceCapacity = 4096;
+  EnginePool Pool(O);
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 6; ++I)
+    Futures.push_back(Pool.submit("(list " + std::to_string(I) + ")"));
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  Pool.shutdown();
+  std::string Trace = Pool.traceJson();
+  // One merged timeline: pool process name, one named thread per worker,
+  // and every job's span labeled with its pool-assigned id.
+  EXPECT_NE(Trace.find("\"name\":\"cmarks-pool\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"worker-0\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"worker-1\""), std::string::npos);
+  for (int I = 1; I <= 6; ++I)
+    EXPECT_NE(Trace.find("\"name\":\"job-" + std::to_string(I) + "\""),
+              std::string::npos)
+        << "missing span for job " << I;
+  EXPECT_NE(Trace.find("\"cat\":\"job\""), std::string::npos);
+}
+
+TEST(PoolTest, PoolProfilerAggregatesAcrossWorkers) {
+  PoolOptions O;
+  O.Workers = 2;
+  O.ProfileHz = 2000;
+  EnginePool Pool(O);
+  const std::string Hot =
+      "(define (spin n a) (if (= n 0) a (spin (- n 1) (+ a 1))))"
+      "(spin 2000000 0)";
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(Pool.submit(Hot));
+  for (auto &F : Futures)
+    EXPECT_TRUE(F.get().Ok);
+  Pool.shutdown();
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_GT(T.ProfileSamples, 0u);
+  std::string Collapsed = Pool.profileCollapsed();
+  EXPECT_NE(Collapsed.find("spin"), std::string::npos) << Collapsed;
+}
+
 // --- Raw concurrent engines (the ThreadSanitizer smoke) -------------------
 //
 // Two-plus engines on two-plus threads with no pool in between: every

@@ -35,6 +35,10 @@ struct CliOptions {
   bool ShowStats = false;
   bool FaultReport = false; ///< --fault-report: injector summary on exit.
   std::string TraceFile;    ///< --trace=FILE: record and dump on exit.
+  std::string MetricsFile;  ///< --metrics=FILE: export on exit (.prom =>
+                            ///< Prometheus text, else cmarks-metrics-v1 JSON).
+  std::string ProfileFile;  ///< --profile=FILE: collapsed stacks on exit.
+  uint32_t ProfileHz = 0;   ///< --profile-hz=N (0 = profiler default).
   EngineLimits Limits;      ///< --heap-limit / --stack-limit / --timeout.
   std::vector<std::string> Files;
   std::vector<std::string> Exprs;
@@ -141,6 +145,13 @@ void printHelp() {
       "  --stats            print runtime event counters to stderr on exit\n"
       "  --trace=FILE       record VM events; write Chrome trace-event\n"
       "                     JSON (load in ui.perfetto.dev) to FILE on exit\n"
+      "  --metrics=FILE     write a metrics snapshot on exit: Prometheus\n"
+      "                     text when FILE ends in .prom, else\n"
+      "                     cmarks-metrics-v1 JSON\n"
+      "  --profile=FILE     run the safe-point sampling profiler; write\n"
+      "                     collapsed stacks (flamegraph.pl/speedscope)\n"
+      "                     to FILE on exit\n"
+      "  --profile-hz=N     sampling rate for --profile (default 97)\n"
       "  --heap-limit=N     heap budget in bytes (K/M/G suffixes ok);\n"
       "                     exceeding it raises a catchable exn:heap-limit?\n"
       "  --stack-limit=N    max live stack segments; deep recursion raises\n"
@@ -261,6 +272,26 @@ int main(int Argc, char **Argv) {
         std::fprintf(stderr, "--trace needs a file name (--trace=FILE)\n");
         return ExitUsage;
       }
+    } else if (Arg.rfind("--metrics=", 0) == 0) {
+      Opts.MetricsFile = Arg.substr(10);
+      if (Opts.MetricsFile.empty()) {
+        std::fprintf(stderr, "--metrics needs a file name (--metrics=FILE)\n");
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--profile=", 0) == 0) {
+      Opts.ProfileFile = Arg.substr(10);
+      if (Opts.ProfileFile.empty()) {
+        std::fprintf(stderr, "--profile needs a file name (--profile=FILE)\n");
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--profile-hz=", 0) == 0) {
+      uint64_t N = 0;
+      if (!parseCount(Arg.substr(13), N) || N == 0 || N > 100000) {
+        std::fprintf(stderr, "bad --profile-hz (want 1..100000): %s\n",
+                     Arg.c_str());
+        return ExitUsage;
+      }
+      Opts.ProfileHz = static_cast<uint32_t>(N);
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "unknown option: %s (try --help)\n", Arg.c_str());
       return ExitUsage;
@@ -279,9 +310,12 @@ int main(int Argc, char **Argv) {
   InterruptTarget = &Engine;
   std::signal(SIGINT, onSigInt);
   // Tracing starts after the prelude loads so the timeline shows the
-  // user's program, not engine startup.
+  // user's program, not engine startup. Same for the sampling profiler.
   if (!Opts.TraceFile.empty())
     Engine.startTrace();
+  if (!Opts.ProfileFile.empty())
+    Engine.startProfiler(Opts.ProfileHz ? Opts.ProfileHz
+                                        : SamplingProfiler::DefaultHz);
   // Dump even when a program fails: a trace of the run up to the error is
   // exactly what a profiling user wants to look at.
   auto DumpTrace = [&]() {
@@ -315,6 +349,29 @@ int main(int Argc, char **Argv) {
 
   auto Epilogue = [&](int Ret) {
     DumpTrace();
+    if (!Opts.ProfileFile.empty()) {
+      Engine.stopProfiler();
+      if (!Engine.dumpProfile(Opts.ProfileFile))
+        std::fprintf(stderr, "cannot write profile to %s\n",
+                     Opts.ProfileFile.c_str());
+      else
+        std::fprintf(stderr, "profile (%llu samples) written to %s\n",
+                     static_cast<unsigned long long>(
+                         Engine.profiler().sampleCount()),
+                     Opts.ProfileFile.c_str());
+    }
+    if (!Opts.MetricsFile.empty()) {
+      bool Prom = Opts.MetricsFile.size() >= 5 &&
+                  Opts.MetricsFile.compare(Opts.MetricsFile.size() - 5, 5,
+                                           ".prom") == 0;
+      std::string Body = Prom ? Engine.metricsText() : Engine.metricsJson();
+      std::FILE *F = std::fopen(Opts.MetricsFile.c_str(), "w");
+      if (!F || std::fwrite(Body.data(), 1, Body.size(), F) != Body.size())
+        std::fprintf(stderr, "cannot write metrics to %s\n",
+                     Opts.MetricsFile.c_str());
+      if (F)
+        std::fclose(F);
+    }
     if (Opts.ShowStats) {
       printStatsTable(Engine.stats(), stderr);
       const HeapStats &HS = Engine.heap().stats();

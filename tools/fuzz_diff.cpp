@@ -29,6 +29,10 @@
 ///   --failing-faults=SPEC  same, for failing schedules (oom/reify-oom):
 ///                       outcomes are not compared, only classified
 ///   --timeout-ms=N      per-leg backstop (default 10000)
+///   --profile-hz=N      run the safe-point sampling profiler at N Hz on
+///                       every VM leg; the sampler must be invisible
+///                       (identical results and counters), so the nightly
+///                       soak runs a leg with this armed
 ///   --repro-dir=DIR     where divergence repros are written
 ///                       (default fuzz_repro)
 ///   --no-shrink         keep the original failing program
@@ -121,6 +125,9 @@ int main(int argc, char **argv) {
       FailingFaults.push_back(V);
     else if (argValue(argv[I], "--timeout-ms", V))
       HOpts.TimeoutMs = std::strtoull(V.c_str(), nullptr, 10);
+    else if (argValue(argv[I], "--profile-hz", V))
+      HOpts.ProfileHz = static_cast<uint32_t>(
+          std::strtoul(V.c_str(), nullptr, 10));
     else if (argValue(argv[I], "--repro-dir", V))
       HOpts.ReproDir = V;
     else if (std::strcmp(argv[I], "--no-shrink") == 0)

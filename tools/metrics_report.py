@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) a cmarks metrics JSON document.
+
+The input is the `cmarks-metrics-v1` JSON written by `cmarks_repl
+--metrics=FILE`, `(runtime-metrics)`, `EnginePool::metricsJson()`, or
+bench_pool's CMARKS_BENCH_METRICS_JSON hook.
+
+  metrics_report.py FILE            human summary (gauges, counters,
+                                    histogram percentiles)
+  metrics_report.py --check FILE    validate the schema; exit 0/1 (CI)
+
+Schema:
+
+  { "schema": "cmarks-metrics-v1", "component": "engine" | "pool",
+    "counters":   [ {"name": .., "labels": {..}, "value": N}, .. ],
+    "gauges":     [ {"name": .., "labels": {..}, "value": X}, .. ],
+    "histograms": [ {"name": .., "labels": {..}, "count": N, "sum": X,
+                     "min": X, "max": X,
+                     "p50": X, "p90": X, "p99": X, "p999": X}, .. ] }
+"""
+import argparse
+import json
+import sys
+
+SCHEMA = "cmarks-metrics-v1"
+HIST_FIELDS = ("count", "sum", "min", "max", "p50", "p90", "p99", "p999")
+
+
+def fail(msg):
+    print(f"metrics_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail(f"{path} is not valid JSON: {e}")
+
+
+def check_entry(path, kind, i, e):
+    if not isinstance(e, dict):
+        fail(f"{path}: {kind}[{i}] is not an object")
+    name = e.get("name")
+    if not isinstance(name, str) or not name:
+        fail(f"{path}: {kind}[{i}] lacks a name")
+    if not name.startswith("cmarks_"):
+        fail(f"{path}: {kind}[{i}] name {name!r} lacks the cmarks_ prefix")
+    labels = e.get("labels")
+    if not isinstance(labels, dict):
+        fail(f"{path}: {kind}[{i}] ({name}) lacks a labels object")
+    for k, v in labels.items():
+        if not isinstance(k, str) or not isinstance(v, str):
+            fail(f"{path}: {kind}[{i}] ({name}) has a non-string label")
+    return name
+
+
+def check(doc, path):
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level must be an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is not {SCHEMA!r}")
+    component = doc.get("component")
+    if not isinstance(component, str) or not component:
+        fail(f"{path}: component missing")
+    seen = set()
+    n = {"counters": 0, "gauges": 0, "histograms": 0}
+    for kind in ("counters", "gauges", "histograms"):
+        entries = doc.get(kind)
+        if not isinstance(entries, list):
+            fail(f"{path}: {kind} must be a list")
+        n[kind] = len(entries)
+        for i, e in enumerate(entries):
+            name = check_entry(path, kind, i, e)
+            key = (name, tuple(sorted(e["labels"].items())))
+            if key in seen:
+                fail(f"{path}: duplicate series {key}")
+            seen.add(key)
+            if kind == "histograms":
+                for f in HIST_FIELDS:
+                    v = e.get(f)
+                    if not isinstance(v, (int, float)) or v < 0:
+                        fail(f"{path}: histogram {name} has bad {f!r}: {v!r}")
+                if e["count"] > 0:
+                    if not (e["min"] <= e["p50"] <= e["p90"] <= e["p99"]
+                            <= e["p999"] <= e["max"] * 1.0000001):
+                        fail(f"{path}: histogram {name} percentiles are not "
+                             f"monotone")
+            else:
+                v = e.get("value")
+                if not isinstance(v, (int, float)):
+                    fail(f"{path}: {kind[:-1]} {name} has bad value {v!r}")
+                if kind == "counters" and v < 0:
+                    fail(f"{path}: counter {name} is negative")
+    print(f"{path}: OK (component {component}, {n['counters']} counters, "
+          f"{n['gauges']} gauges, {n['histograms']} histograms)")
+
+
+def fmt_labels(labels):
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def report(doc, path):
+    print(f"{path}: component {doc.get('component', '?')}")
+    gauges = doc.get("gauges", [])
+    if gauges:
+        print("\n  gauges")
+        for e in gauges:
+            print(f"    {e['name'] + fmt_labels(e['labels']):<48} "
+                  f"{e['value']:g}")
+    counters = [e for e in doc.get("counters", []) if e.get("value")]
+    if counters:
+        print("\n  counters (nonzero)")
+        for e in counters:
+            print(f"    {e['name'] + fmt_labels(e['labels']):<48} "
+                  f"{e['value']:g}")
+    hists = doc.get("histograms", [])
+    if hists:
+        print("\n  histograms")
+        for e in hists:
+            print(f"    {e['name'] + fmt_labels(e['labels'])}")
+            print(f"      count {e['count']:g}  sum {e['sum']:g}  "
+                  f"min {e['min']:g}  max {e['max']:g}")
+            print(f"      p50 {e['p50']:g}  p90 {e['p90']:g}  "
+                  f"p99 {e['p99']:g}  p999 {e['p999']:g}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="metrics JSON file")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the schema instead of summarizing")
+    args = ap.parse_args()
+    doc = load(args.file)
+    if args.check:
+        check(doc, args.file)
+    else:
+        report(doc, args.file)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Summarize (or validate) a cmarks collapsed-stack profile.
+
+The input is the collapsed ("folded") stack format written by
+`cmarks_repl --profile=FILE`, `(profiler-dump "FILE")`, or
+`EnginePool::dumpProfile()`: one `frame;frame;...;leaf count` line per
+distinct stack, directly consumable by flamegraph.pl and speedscope.
+
+  profile_report.py FILE                 top stacks and leaf procedures
+  profile_report.py --check FILE         validate the format; exit 0/1
+  profile_report.py --check --min-named 0.9 FILE
+                                         additionally require >= 90% of
+                                         samples to attribute to a named
+                                         frame (not "(anonymous)"/"?");
+                                         the CI gate for mark-based
+                                         attribution quality
+
+A frame is "named" when it is neither "(anonymous)" nor "?". The
+"toplevel" pseudo-frame (code run outside any defined procedure) counts
+as named: it is an accurate attribution, not a failure to resolve one.
+"""
+import argparse
+import sys
+from collections import Counter
+
+UNNAMED = {"(anonymous)", "?", ""}
+
+
+def fail(msg):
+    print(f"profile_report: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    """Returns a list of (frames, count) tuples."""
+    stacks = []
+    try:
+        with open(path) as f:
+            for lineno, line in enumerate(f, 1):
+                line = line.rstrip("\n")
+                if not line:
+                    continue
+                head, sep, count = line.rpartition(" ")
+                if not sep or not count.isdigit():
+                    fail(f"{path}:{lineno}: not 'frames count': {line!r}")
+                if not head:
+                    fail(f"{path}:{lineno}: empty stack")
+                stacks.append((head.split(";"), int(count)))
+    except OSError as e:
+        fail(f"cannot read {path}: {e}")
+    return stacks
+
+
+def check(stacks, path, min_named):
+    total = sum(c for _, c in stacks)
+    named = 0
+    for frames, count in stacks:
+        for f in frames:
+            if " " in f:
+                fail(f"{path}: frame {f!r} contains a space "
+                     f"(breaks the collapsed format)")
+        if frames[-1] not in UNNAMED:
+            named += count
+    if total == 0:
+        # An empty profile is well-formed (sampler never fired); the
+        # named-fraction gate cannot apply.
+        if min_named > 0:
+            fail(f"{path}: no samples, cannot check --min-named")
+        print(f"{path}: OK (0 samples)")
+        return
+    frac = named / total
+    print(f"{path}: OK ({total} samples, {len(stacks)} distinct stacks, "
+          f"{100.0 * frac:.1f}% named leaf attribution)")
+    if frac < min_named:
+        fail(f"{path}: only {100.0 * frac:.1f}% of samples attribute to a "
+             f"named procedure (need >= {100.0 * min_named:.0f}%)")
+
+
+def report(stacks, path, top):
+    total = sum(c for _, c in stacks)
+    print(f"{path}: {total} samples, {len(stacks)} distinct stacks")
+    if not total:
+        return
+    print(f"\n  top stacks")
+    for frames, count in sorted(stacks, key=lambda s: -s[1])[:top]:
+        print(f"    {count:>8}  {';'.join(frames)}")
+    leaves = Counter()
+    for frames, count in stacks:
+        leaves[frames[-1]] += count
+    print(f"\n  top leaf procedures")
+    for name, count in leaves.most_common(top):
+        print(f"    {count:>8}  {100.0 * count / total:5.1f}%  {name}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="collapsed-stack profile file")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the format instead of summarizing")
+    ap.add_argument("--min-named", type=float, default=0.0,
+                    help="with --check: minimum fraction of samples that "
+                         "must attribute to a named leaf (e.g. 0.9)")
+    ap.add_argument("--top", type=int, default=15,
+                    help="rows in the summary tables (default 15)")
+    args = ap.parse_args()
+    stacks = load(args.file)
+    if args.check:
+        check(stacks, args.file, args.min_named)
+    else:
+        report(stacks, args.file, args.top)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:
+        sys.exit(0)
