@@ -26,6 +26,7 @@
 
 #include "bench_harness.h"
 #include "support/pool.h"
+#include "support/rng.h"
 #include "support/timing.h"
 
 #include <cstdio>
@@ -142,6 +143,113 @@ Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
   return Out;
 }
 
+/// Chaos mix: the resilience-shaped cell. A seeded hostile blend —
+/// mostly healthy mark-churn requests (retries armed) plus timeout
+/// spinners, catchable heap eaters, and reserve escalators that poison
+/// their worker engine and force a supervised restart — timed exactly
+/// like the other cells. Hostile failures are the point of the mix, so
+/// a failed job is never fatal to the benchmark; what the cell reports
+/// is throughput *under* chaos plus goodput_pct / worker_restarts /
+/// shed / expired extras.
+Measurement runChaosBatch(unsigned W, long Jobs) {
+  RunStats Wall;
+  VMStats Counters;
+  PoolTelemetry Telemetry;
+  uint64_t Healthy = 0, HealthyOk = 0;
+  for (int R = 0; R < runCount(); ++R) {
+    PoolOptions Opts;
+    Opts.Workers = W;
+    Opts.QueueCapacity = static_cast<size_t>(Jobs) + 8;
+    EnginePool Pool(Opts);
+    {
+      std::vector<std::future<JobResult>> Warm;
+      for (unsigned I = 0; I < W; ++I)
+        Warm.push_back(Pool.submit("(sleep-ms 15)"));
+      for (auto &F : Warm)
+        F.get();
+    }
+    std::vector<std::pair<bool, std::future<JobResult>>> Futures;
+    Futures.reserve(static_cast<size_t>(Jobs));
+    uint64_t T0 = nowNanos();
+    for (long I = 0; I < Jobs; ++I) {
+      // The mix is a pure function of (run, index): reruns replay it.
+      Rng Roll(static_cast<uint64_t>(R) * 0x9e3779b97f4a7c15ULL +
+               static_cast<uint64_t>(I));
+      uint64_t P = Roll.nextBelow(1000);
+      SubmitOptions SO;
+      std::string Source;
+      bool IsHealthy = false;
+      if (P < 40) { // Spinner: evicted by its timeout.
+        Source = "(let loop () (loop))";
+        EngineLimits L;
+        L.TimeoutMs = 25;
+        SO.limits(L);
+      } else if (P < 90) { // Heap eater: catchable budget trip.
+        Source = "(let loop ((a '())) (loop (cons (make-vector 1024 0) a)))";
+        EngineLimits L;
+        L.HeapBytes = 4u << 20;
+        L.TimeoutMs = 2000;
+        SO.limits(L);
+      } else if (P < 120) { // Escalator: fatal; forces a worker restart.
+        Source =
+            "(define sink '())"
+            "(with-handlers ([exn:heap-limit? (lambda (e)"
+            "                   (let loop ()"
+            "                     (set! sink (cons (make-vector 4096 0) sink))"
+            "                     (loop)))])"
+            "  (let loop ()"
+            "    (set! sink (cons (make-vector 4096 0) sink))"
+            "    (loop)))";
+        EngineLimits L;
+        L.HeapBytes = 4u << 20;
+        L.HeapHeadroomBytes = 256u << 10;
+        L.TimeoutMs = 5000;
+        SO.limits(L);
+      } else { // Healthy mark churn, retries armed for transients.
+        IsHealthy = true;
+        Source = Mixes[1].Source;
+        EngineLimits L;
+        L.TimeoutMs = 2000;
+        SO.limits(L);
+        RetryPolicy RP;
+        RP.MaxAttempts = 3;
+        RP.BaseBackoffMs = 1;
+        RP.MaxBackoffMs = 8;
+        SO.retry(RP);
+      }
+      Futures.emplace_back(IsHealthy, Pool.submit(std::move(Source), SO));
+    }
+    for (auto &KV : Futures) {
+      JobResult JR = KV.second.get();
+      if (KV.first) {
+        ++Healthy;
+        if (JR.Ok)
+          ++HealthyOk;
+      }
+    }
+    uint64_t T1 = nowNanos();
+    Wall.addSampleNanos(T1 - T0);
+    Pool.shutdown();
+    Telemetry = Pool.telemetry(); // Last run's telemetry represents the cell.
+    Counters = Telemetry.Stats.Engines;
+  }
+  Measurement Out{{Wall.averageMillis(), Wall.stddevMillis()}, Counters, {}};
+  Out.Extras = {
+      {"job_p50_ms", Telemetry.RunUs.percentile(50) / 1000.0},
+      {"job_p99_ms", Telemetry.RunUs.percentile(99) / 1000.0},
+      {"queue_wait_p99_ms", Telemetry.QueueWaitUs.percentile(99) / 1000.0},
+      {"goodput_pct",
+       Healthy ? 100.0 * static_cast<double>(HealthyOk) /
+                     static_cast<double>(Healthy)
+               : 100.0},
+      {"worker_restarts", static_cast<double>(Telemetry.WorkerRestarts)},
+      {"jobs_shed", static_cast<double>(Telemetry.JobsShed)},
+      {"jobs_expired", static_cast<double>(Telemetry.JobsExpired)},
+      {"retries", static_cast<double>(Telemetry.RetriesAttempted)},
+  };
+  return Out;
+}
+
 /// CI artifact hook: when CMARKS_BENCH_METRICS_JSON / _METRICS_PROM /
 /// _PROFILE name files, run one fully-instrumented marks-heavy batch
 /// (trace ring + 97 Hz sampler on every worker) and write the pool's
@@ -214,6 +322,25 @@ int main() {
       std::printf("    workers=%u %9.1f ms  +/-%-6.1f %9.0f jobs/s  x%.2f\n",
                   W, R.T.AvgMs, R.T.StdevMs, JobsPerSec, Speedup);
       Json.add(M.Name, "workers-" + std::to_string(W), R);
+    }
+  }
+  {
+    long Jobs = scaled(120);
+    std::printf("\n  chaos-mix (%ld jobs/batch; hostile blend, see header)\n",
+                Jobs);
+    double OneWorkerMs = 0;
+    for (unsigned W : WorkerCounts) {
+      Measurement R = runChaosBatch(W, Jobs);
+      if (W == 1)
+        OneWorkerMs = R.T.AvgMs;
+      double JobsPerSec =
+          R.T.AvgMs > 0 ? 1000.0 * static_cast<double>(Jobs) / R.T.AvgMs : 0;
+      double Speedup = R.T.AvgMs > 0 ? OneWorkerMs / R.T.AvgMs : 0;
+      std::printf("    workers=%u %9.1f ms  +/-%-6.1f %9.0f jobs/s  x%.2f  "
+                  "goodput=%.1f%% restarts=%.0f\n",
+                  W, R.T.AvgMs, R.T.StdevMs, JobsPerSec, Speedup,
+                  R.Extras[3].second, R.Extras[4].second);
+      Json.add("chaos-mix", "workers-" + std::to_string(W), R);
     }
   }
   emitArtifacts();

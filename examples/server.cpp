@@ -13,6 +13,11 @@
 ///   * a hostile request (an infinite loop) trips its timeout budget
 ///     and fails alone — the worker that ran it recovers and keeps
 ///     serving ordinary requests;
+///   * a request whose deadline expires in the queue is shed without
+///     running, and a request refused by admission control under
+///     overload is shed at the door — each resolving to its own typed
+///     JobOutcome (and distinct client exit code), not a string match
+///     on the error message;
 ///   * per-request continuation-mark state (parameterize) never leaks
 ///     between requests, because every worker evaluates in its own
 ///     engine and marks are rewound between jobs;
@@ -117,32 +122,91 @@ int main(int Argc, char **Argv) {
   for (std::thread &T : Clients)
     T.join();
 
+  // Outcomes are typed: dispatch on JobOutcome (and map to the shared
+  // exit-code table), never on error-message strings.
   JobResult HR = Hostile.get();
-  if (HR.Ok || HR.Kind != ErrorKind::Timeout) {
-    std::printf("FAIL hostile request: ok=%d kind=%d (%s)\n", HR.Ok,
-                static_cast<int>(HR.Kind), HR.Error.c_str());
+  if (HR.Outcome != JobOutcome::TrippedTimeout) {
+    std::printf("FAIL hostile request: outcome=%s (%s)\n",
+                jobOutcomeName(HR.Outcome), HR.Error.c_str());
     ++Failures;
   } else {
-    std::printf("hostile request evicted by its timeout: %s\n",
+    std::printf("hostile request evicted by its timeout: outcome=%s "
+                "exit-code=%d (%s)\n",
+                jobOutcomeName(HR.Outcome), jobOutcomeExitCode(HR.Outcome),
                 HR.Error.c_str());
   }
 
+  // Deadline expiry: park four spinners on the four workers, then submit
+  // a request that is only willing to wait 30 ms. The first worker frees
+  // up at the ~250 ms timeout, long past the deadline, so the request is
+  // shed from the queue without ever running.
+  std::vector<std::future<JobResult>> Hogs;
+  for (int I = 0; I < 4; ++I)
+    Hogs.push_back(Pool.submit("(let loop () (loop))"));
+  JobResult ER =
+      Pool.submit("'too-patient", SubmitOptions().deadlineMs(30)).get();
+  if (ER.Outcome != JobOutcome::Expired || ER.Attempts != 0) {
+    std::printf("FAIL deadline request: outcome=%s attempts=%u (%s)\n",
+                jobOutcomeName(ER.Outcome), ER.Attempts, ER.Error.c_str());
+    ++Failures;
+  } else {
+    std::printf("deadline request expired in queue: outcome=%s "
+                "exit-code=%d (%s)\n",
+                jobOutcomeName(ER.Outcome), jobOutcomeExitCode(ER.Outcome),
+                ER.Error.c_str());
+  }
+  for (auto &H : Hogs)
+    if (H.get().Outcome != JobOutcome::TrippedTimeout)
+      ++Failures;
+
   Pool.shutdown();
+
+  // Load shedding: a one-worker pool with a 10 ms queue-wait budget.
+  // A burst of 25 ms requests drives the observed queue-wait p99 far
+  // over budget, and the next request is refused at the door.
+  {
+    PoolOptions ShedOpts;
+    ShedOpts.Workers = 1;
+    ShedOpts.QueueWaitBudgetMs = 10;
+    ShedOpts.AdmissionWindow = 16;
+    EnginePool ShedPool(ShedOpts);
+    ShedPool.submit("'warm").get();
+    std::vector<std::future<JobResult>> Burst;
+    for (int I = 0; I < 10; ++I)
+      Burst.push_back(ShedPool.submit("(begin (sleep-ms 25) 'slow)"));
+    for (auto &F : Burst)
+      F.get();
+    JobResult SR = ShedPool.submit("'one-too-many").get();
+    if (SR.Outcome != JobOutcome::Shed) {
+      std::printf("FAIL overload request: outcome=%s (%s)\n",
+                  jobOutcomeName(SR.Outcome), SR.Error.c_str());
+      ++Failures;
+    } else {
+      std::printf("overload request shed by admission control: outcome=%s "
+                  "exit-code=%d\n",
+                  jobOutcomeName(SR.Outcome), jobOutcomeExitCode(SR.Outcome));
+    }
+  }
 
   PoolTelemetry T = Pool.telemetry();
   const PoolStats &S = T.Stats;
   std::printf("served %llu jobs on %u workers: completed=%llu "
-              "tripped=%llu queue-high-water=%llu mark-creates=%llu\n",
+              "tripped=%llu expired=%llu queue-high-water=%llu "
+              "mark-creates=%llu\n",
               static_cast<unsigned long long>(S.JobsSubmitted),
               Pool.workerCount(),
               static_cast<unsigned long long>(S.JobsCompleted),
               static_cast<unsigned long long>(S.JobsTripped),
+              static_cast<unsigned long long>(S.JobsExpired),
               static_cast<unsigned long long>(S.QueueHighWater),
               static_cast<unsigned long long>(S.Engines.MarkFrameCreates));
-  if (S.JobsCompleted != 100 || S.JobsTripped != 1)
+  // 100 client requests completed; the hostile request and the four hogs
+  // tripped their timeouts; the 30 ms-deadline request expired unrun.
+  if (S.JobsCompleted != 100 || S.JobsTripped != 5 || S.JobsExpired != 1)
     ++Failures;
 
-  // Telemetry sanity: the histograms must cover every retired job, the
+  // Telemetry sanity: the histograms must cover every retired job (the
+  // queue-wait histogram also covers jobs that expired in the queue), the
   // retirement path must agree with the outcome counters, and both export
   // formats must carry the schema markers tooling keys on.
   uint64_t Retired = S.JobsCompleted + S.JobsFailed + S.JobsTripped;
@@ -150,7 +214,8 @@ int main(int Argc, char **Argv) {
               static_cast<unsigned long long>(T.RunUs.percentile(50)),
               static_cast<unsigned long long>(T.RunUs.percentile(99)),
               static_cast<unsigned long long>(T.QueueWaitUs.percentile(99)));
-  if (T.RunUs.count() != Retired || T.QueueWaitUs.count() != Retired) {
+  if (T.RunUs.count() != Retired ||
+      T.QueueWaitUs.count() != Retired + S.JobsExpired) {
     std::printf("FAIL histogram coverage: run=%llu wait=%llu retired=%llu\n",
                 static_cast<unsigned long long>(T.RunUs.count()),
                 static_cast<unsigned long long>(T.QueueWaitUs.count()),

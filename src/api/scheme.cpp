@@ -88,6 +88,7 @@ SchemeEngine::~SchemeEngine() = default;
 Value SchemeEngine::eval(const std::string &Source) {
   LastError.clear();
   LastErrKind = ErrorKind::None;
+  LastErrFatal = false;
   Heap &H = Machine.heap();
 
   // The reader and compiler allocate outside applyProcedure's recovery
@@ -129,6 +130,7 @@ Value SchemeEngine::eval(const std::string &Source) {
       if (!Ok) {
         LastError = Machine.errorMessage();
         LastErrKind = Machine.errorKind();
+        LastErrFatal = Machine.errorFatal();
         Machine.clearError();
         return Value::undefined();
       }
@@ -138,6 +140,7 @@ Value SchemeEngine::eval(const std::string &Source) {
   } catch (const ResourceExhausted &Ex) {
     LastError = Ex.What;
     LastErrKind = errorKindOf(Ex.Kind);
+    LastErrFatal = true;
     Machine.clearError();
     return Value::undefined();
   }
@@ -192,12 +195,14 @@ std::string SchemeEngine::metricsJson() const {
 Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {
   LastError.clear();
   LastErrKind = ErrorKind::None;
+  LastErrFatal = false;
   bool Ok = false;
   Value V = Machine.applyProcedure(Fn, Args.data(),
                                    static_cast<uint32_t>(Args.size()), Ok);
   if (!Ok) {
     LastError = Machine.errorMessage();
     LastErrKind = Machine.errorKind();
+    LastErrFatal = Machine.errorFatal();
     Machine.clearError();
     return Value::undefined();
   }

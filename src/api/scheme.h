@@ -80,6 +80,14 @@ public:
   /// ErrorKind::None by the next successful eval()/apply().
   ErrorKind lastErrorKind() const { return LastErrKind; }
 
+  /// True when the last failure escalated past a reserve (the one
+  /// sanctioned C++ exception, ResourceExhausted) instead of being
+  /// delivered as a catchable trip. The engine is still internally
+  /// consistent, but a supervisor should treat it as wounded: the
+  /// program burned through the recovery slab, so per-run governance
+  /// can no longer vouch for it (EnginePool rebuilds such workers).
+  bool lastErrorFatal() const { return LastErrFatal; }
+
   /// Resource budgets enforced by the VM (see support/limits.h). Mutable
   /// between evaluations: raising or clearing a limit takes effect at the
   /// next eval()/apply().
@@ -154,6 +162,7 @@ private:
   Compiler Comp;
   std::string LastError;
   ErrorKind LastErrKind = ErrorKind::None;
+  bool LastErrFatal = false;
 };
 
 } // namespace cmk

@@ -174,6 +174,12 @@ void FaultInjector::arm(FaultSite S, Mode M, uint64_t N, uint64_t Seed) {
   St.R = Rng(Seed * 0x100 + static_cast<uint64_t>(idx(S)) + 1);
 }
 
+void FaultInjector::reseed(uint64_t Salt) {
+  for (Site &St : Sites)
+    St.R = Rng((St.Seed * 0x100 + static_cast<uint64_t>(&St - Sites) + 1) ^
+               (Salt * 0x9e3779b97f4a7c15ULL));
+}
+
 void FaultInjector::disarmAll() {
   for (Site &St : Sites) {
     St.M = Mode::Off;

@@ -93,6 +93,13 @@ public:
 
   /// Arms one site directly (tests use this instead of spec strings).
   void arm(FaultSite S, Mode M, uint64_t N, uint64_t Seed = 0);
+  /// Mixes \p Salt into every probabilistic site's stream (keeping the
+  /// configured seeds, so the whole schedule is still a pure function of
+  /// spec + salt). EnginePool salts each worker engine with its worker
+  /// index and restart count: a fleet of engines sharing one
+  /// CMARKS_FAULT_SPEC then draws distinct — but reproducible — fault
+  /// schedules instead of injecting in lockstep.
+  void reseed(uint64_t Salt);
   /// Disarms every site; counters keep their values.
   void disarmAll();
   /// Zeroes all hit/injected counters; schedules restart from hit 0.

@@ -2,8 +2,11 @@
 
 #include "support/pool.h"
 #include "support/profiler.h"
+#include "support/rng.h"
 #include "support/timing.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +25,89 @@ void accumulateStats(VMStats &Agg, const VMStats &Delta) {
 
 } // namespace
 
+const char *cmk::jobOutcomeName(JobOutcome O) {
+  switch (O) {
+  case JobOutcome::Ok:
+    return "ok";
+  case JobOutcome::Error:
+    return "error";
+  case JobOutcome::TrippedHeap:
+    return "tripped-heap";
+  case JobOutcome::TrippedStack:
+    return "tripped-stack";
+  case JobOutcome::TrippedTimeout:
+    return "tripped-timeout";
+  case JobOutcome::TrippedInterrupt:
+    return "tripped-interrupt";
+  case JobOutcome::Expired:
+    return "expired";
+  case JobOutcome::Shed:
+    return "shed";
+  case JobOutcome::Rejected:
+    return "rejected";
+  }
+  return "?";
+}
+
+int cmk::jobOutcomeExitCode(JobOutcome O) {
+  switch (O) {
+  case JobOutcome::Ok:
+    return 0;
+  case JobOutcome::Error:
+    return 1;
+  case JobOutcome::TrippedHeap:
+  case JobOutcome::TrippedStack:
+  case JobOutcome::TrippedTimeout:
+    return 3;
+  case JobOutcome::TrippedInterrupt:
+    return 130;
+  case JobOutcome::Shed:
+    return 4;
+  case JobOutcome::Expired:
+    return 5;
+  case JobOutcome::Rejected:
+    return 6;
+  }
+  return 1;
+}
+
+JobOutcome cmk::jobOutcomeOfErrorKind(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::HeapLimit:
+    return JobOutcome::TrippedHeap;
+  case ErrorKind::StackLimit:
+    return JobOutcome::TrippedStack;
+  case ErrorKind::Timeout:
+    return JobOutcome::TrippedTimeout;
+  case ErrorKind::Interrupt:
+    return JobOutcome::TrippedInterrupt;
+  case ErrorKind::None:
+  case ErrorKind::Runtime:
+    break;
+  }
+  return JobOutcome::Error;
+}
+
+uint64_t cmk::retryBackoffMs(const RetryPolicy &P, uint64_t JobId,
+                             uint32_t Attempt) {
+  if (Attempt == 0)
+    Attempt = 1;
+  uint64_t Cap = P.MaxBackoffMs ? P.MaxBackoffMs : P.BaseBackoffMs;
+  uint64_t Backoff = P.BaseBackoffMs;
+  // Saturating base << (attempt-1), capped.
+  for (uint32_t I = 1; I < Attempt && Backoff < Cap; ++I)
+    Backoff = Backoff > (Cap >> 1) ? Cap : Backoff * 2;
+  if (Backoff > Cap)
+    Backoff = Cap;
+  if (!P.Jitter || Backoff == 0)
+    return Backoff;
+  // Deterministic per (job, attempt): replays of a chaos schedule see the
+  // exact same sleep sequence.
+  Rng R(JobId * 0x9e3779b97f4a7c15ULL + Attempt);
+  uint64_t Half = Backoff / 2;
+  return Half + R.nextBelow(Backoff - Half + 1);
+}
+
 EnginePool::EnginePool(const PoolOptions &O) : Opts(O) {
   unsigned N = Opts.Workers;
   if (N == 0) {
@@ -31,10 +117,16 @@ EnginePool::EnginePool(const PoolOptions &O) : Opts(O) {
   }
   if (Opts.QueueCapacity == 0)
     Opts.QueueCapacity = 1;
+  if (Opts.QueueWaitBudgetMs) {
+    uint32_t W = Opts.AdmissionWindow;
+    W = std::max<uint32_t>(8, std::min<uint32_t>(W ? W : 64, 1024));
+    AdmissionWaitsUs.assign(W, 0);
+  }
   Engines.assign(N, nullptr);
   Shards.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Shards.emplace_back(std::make_unique<WorkerShard>());
+  LiveWorkers = N;
   Threads.reserve(N);
   for (unsigned I = 0; I < N; ++I)
     Threads.emplace_back([this, I] { workerMain(I); });
@@ -42,19 +134,52 @@ EnginePool::EnginePool(const PoolOptions &O) : Opts(O) {
 
 EnginePool::~EnginePool() { shutdown(/*Drain=*/true); }
 
-void EnginePool::workerMain(unsigned Idx) {
+std::unique_ptr<SchemeEngine> EnginePool::buildWorkerEngine(
+    unsigned Idx, uint32_t Incarnation) {
   // The engine is constructed on the worker thread so its heap, stacks,
   // and prelude bootstrap never touch another thread.
-  SchemeEngine Engine(Opts.Engine);
+  auto E = std::make_unique<SchemeEngine>(Opts.Engine);
+  // A fleet of engines sharing one CMARKS_FAULT_SPEC would otherwise
+  // inject in lockstep; the salt keeps schedules distinct but still a
+  // pure function of (spec, worker, incarnation).
+  E->faults().reseed(static_cast<uint64_t>(Idx) * 1000003u + Incarnation);
   if (Opts.TraceCapacity)
-    Engine.startTrace(Opts.TraceCapacity);
+    E->startTrace(Opts.TraceCapacity);
   if (Opts.ProfileHz)
-    Engine.vm().profiler().start(Engine.vm(), Opts.ProfileHz,
-                                 Opts.ProfileCapacity);
+    E->vm().profiler().start(E->vm(), Opts.ProfileHz, Opts.ProfileCapacity);
   {
     std::lock_guard<std::mutex> L(EnginesMu);
-    Engines[Idx] = &Engine;
+    Engines[Idx] = E.get();
   }
+  return E;
+}
+
+void EnginePool::retireEngine(SchemeEngine &Engine, unsigned Idx) {
+  // Snapshot the engine's observability state into the pool-owned shard
+  // before it dies so traceJson()/profileCollapsed() stay valid across
+  // supervised restarts and after shutdown. The profiler's sampler
+  // thread must stop before the fold (and before the VM is destroyed).
+  SamplingProfiler &Prof = Engine.vm().profiler();
+  Prof.stop();
+  WorkerShard &S = *Shards[Idx];
+  std::lock_guard<std::mutex> L(S.Mu);
+  S.TraceDroppedPrior += Engine.trace().dropped();
+  S.ProfileSamplesPrior += Prof.total();
+  S.ProfileDroppedPrior += Prof.dropped();
+  S.TraceDropped = S.TraceDroppedPrior;
+  S.ProfileSamples = S.ProfileSamplesPrior;
+  S.ProfileDropped = S.ProfileDroppedPrior;
+  if (Opts.TraceCapacity)
+    S.TraceSnaps.push_back(Engine.trace());
+  if (Opts.ProfileHz)
+    Prof.foldInto(S.ProfileFold);
+}
+
+void EnginePool::workerMain(unsigned Idx) {
+  uint32_t Incarnation = 0;
+  std::unique_ptr<SchemeEngine> Engine = buildWorkerEngine(Idx, Incarnation);
+  uint32_t ConsecutiveFatal = 0;
+  bool BreakerOpened = false;
   for (;;) {
     Job J;
     {
@@ -68,40 +193,84 @@ void EnginePool::workerMain(unsigned Idx) {
       Queue.pop_front();
     }
     NotFull.notify_one();
-    runJob(Engine, J, Idx);
+
+    uint64_t DequeueNs = nowNanos();
+    uint64_t WaitNs = DequeueNs > J.EnqueueNs ? DequeueNs - J.EnqueueNs : 0;
+    if (Opts.QueueWaitBudgetMs)
+      noteQueueWait(WaitNs / 1000);
+    if (J.DeadlineNs && DequeueNs >= J.DeadlineNs) {
+      // Shed from the queue without running: the deadline already passed,
+      // so any work done now is wasted and delays live jobs behind it.
+      expireJob(J, Idx, WaitNs);
+      ConsecutiveFatal = 0;
+      continue;
+    }
+
+    if (!runJob(*Engine, J, Idx, WaitNs)) {
+      ConsecutiveFatal = 0;
+      continue;
+    }
+
+    // Fatal failure: the job burned through its reserve, so per-run
+    // governance can no longer vouch for this engine. Supervise.
+    ++ConsecutiveFatal;
+    WorkerShard &S = *Shards[Idx];
+    if (Opts.BreakerThreshold && ConsecutiveFatal >= Opts.BreakerThreshold) {
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.BreakerOpens;
+      BreakerOpened = true;
+      break;
+    }
+    uint64_t T0 = nowNanos();
+    {
+      std::lock_guard<std::mutex> L(EnginesMu);
+      Engines[Idx] = nullptr;
+    }
+    retireEngine(*Engine, Idx);
+    Engine.reset();
+    ++Incarnation;
+    Engine = buildWorkerEngine(Idx, Incarnation);
+    TraceBuffer &TB = Engine->vm().trace();
+    if (TB.Enabled) {
+      // The rebuild predates the replacement ring's epoch, so the span
+      // renders at the epoch with the true duration carried in Arg.
+      TB.record(TraceEv::WorkerRestartBegin, Idx);
+      TB.record(TraceEv::WorkerRestartEnd, nowNanos() - T0);
+    }
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      ++S.WorkerRestarts;
+    }
   }
   {
     std::lock_guard<std::mutex> L(EnginesMu);
     Engines[Idx] = nullptr;
   }
-  // The engine dies with this stack frame: snapshot its observability
-  // state into the pool-owned shard first so traceJson()/
-  // profileCollapsed() stay valid after shutdown. The profiler's sampler
-  // thread must stop before the fold (and before the VM is destroyed).
-  SamplingProfiler &Prof = Engine.vm().profiler();
-  Prof.stop();
+  retireEngine(*Engine, Idx);
+  Engine.reset();
+  bool LastOut = false;
   {
-    WorkerShard &S = *Shards[Idx];
-    std::lock_guard<std::mutex> L(S.Mu);
-    S.TraceDropped = Engine.trace().dropped();
-    S.ProfileSamples = Prof.total();
-    S.ProfileDropped = Prof.dropped();
-    if (Opts.TraceCapacity) {
-      S.TraceSnap = Engine.trace();
-      S.TraceSnapValid = true;
+    std::lock_guard<std::mutex> L(QueueMu);
+    --LiveWorkers;
+    // The last live worker retiring through its breaker turns the pool
+    // off: nothing is left to serve, so queued jobs and blocked
+    // submitters must be rejected, not stranded.
+    if (BreakerOpened && LiveWorkers == 0 && !Stopping) {
+      Stopping = true;
+      DrainOnStop = false;
+      LastOut = true;
     }
-    if (Opts.ProfileHz)
-      Prof.foldInto(S.ProfileFold);
+  }
+  if (LastOut) {
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+    rejectQueuedJobs();
   }
 }
 
-void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
+bool EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx,
+                        uint64_t WaitNs) {
   InFlight.fetch_add(1, std::memory_order_relaxed);
-  uint64_t DequeueNs = nowNanos();
-  uint64_t WaitNs = DequeueNs > J.EnqueueNs ? DequeueNs - J.EnqueueNs : 0;
-
-  VMStats Before = Engine.stats();
-  Engine.limits() = J.Limits;
 
   TraceBuffer &TB = Engine.vm().trace();
   char SpanLabel[24];
@@ -113,20 +282,74 @@ void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
   JobResult R;
   R.Worker = Idx;
   R.Id = J.Id;
-  R.Output = Engine.evalToString(J.Source);
-  if (Engine.ok()) {
-    R.Ok = true;
-  } else {
+  bool Fatal = false;
+  uint64_t RunNs = 0;
+  uint64_t Retries = 0;
+  VMStats JobDelta;
+  uint32_t MaxAttempts = J.Retry.MaxAttempts ? J.Retry.MaxAttempts : 1;
+  uint32_t Attempt = 0;
+  for (;;) {
+    ++Attempt;
+    EngineLimits L = J.Limits;
+    if (J.DeadlineNs) {
+      // Fold the remaining deadline into the attempt's timeout so the job
+      // cannot run past its deadline by more than a safe-point interval.
+      uint64_t Now = nowNanos();
+      uint64_t RemainingMs =
+          J.DeadlineNs > Now ? (J.DeadlineNs - Now) / 1000000 : 0;
+      if (RemainingMs == 0)
+        RemainingMs = 1; // Dequeued at the edge: minimal budget.
+      L.TimeoutMs = L.TimeoutMs ? std::min(L.TimeoutMs, RemainingMs)
+                                : RemainingMs;
+    }
+    Engine.limits() = L;
+    VMStats Before = Engine.stats();
+    uint64_t A0 = nowNanos();
+    R.Output = Engine.evalToString(J.Source);
+    RunNs += nowNanos() - A0;
+    VMStats Delta = Engine.stats().delta(Before);
+    accumulateStats(JobDelta, Delta);
+    if (Engine.ok()) {
+      R.Ok = true;
+      R.Outcome = JobOutcome::Ok;
+      R.Error.clear();
+      R.Kind = ErrorKind::None;
+      break;
+    }
     R.Output.clear();
     R.Error = Engine.lastError();
     R.Kind = Engine.lastErrorKind();
+    R.Outcome = jobOutcomeOfErrorKind(R.Kind);
+    Fatal = Engine.lastErrorFatal();
+    if (Fatal)
+      break; // Supervision territory, never a retry.
+    // Transient := interrupt eviction or an attempt that saw injected
+    // faults. Ordinary errors and limit trips are deterministic
+    // properties of the job; re-running them is wasted work.
+    bool Transient =
+        R.Kind == ErrorKind::Interrupt || Delta.FaultsInjected > 0;
+    if (!Transient || Attempt >= MaxAttempts)
+      break;
+    uint64_t BackoffMs = retryBackoffMs(J.Retry, J.Id, Attempt);
+    uint64_t Now = nowNanos();
+    if (J.DeadlineNs && Now + BackoffMs * 1000000 >= J.DeadlineNs)
+      break; // The retry could not finish in time anyway.
+    bool Abort;
+    {
+      std::lock_guard<std::mutex> Lk(QueueMu);
+      Abort = Stopping && !DrainOnStop;
+    }
+    if (Abort)
+      break;
+    ++Retries;
+    if (BackoffMs)
+      std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs));
   }
+  R.Attempts = Attempt;
 
   if (TB.Enabled)
     TB.record(TraceEv::JobEnd, J.Id);
-  uint64_t RunNs = nowNanos() - DequeueNs;
 
-  VMStats Delta = Engine.stats().delta(Before);
   SamplingProfiler &Prof = Engine.vm().profiler();
   {
     // The whole job delta retires in one critical section (see the
@@ -135,53 +358,185 @@ void EnginePool::runJob(SchemeEngine &Engine, Job &J, unsigned Idx) {
     std::lock_guard<std::mutex> L(S.Mu);
     S.QueueWaitUs.record(WaitNs / 1000);
     S.RunUs.record(RunNs / 1000);
-    if (R.Ok)
+    switch (R.Outcome) {
+    case JobOutcome::Ok:
       ++S.JobsOk;
-    else
-      switch (R.Kind) {
-      case ErrorKind::HeapLimit:
-        ++S.TrippedHeap;
-        break;
-      case ErrorKind::StackLimit:
-        ++S.TrippedStack;
-        break;
-      case ErrorKind::Timeout:
-        ++S.TrippedTimeout;
-        break;
-      case ErrorKind::Interrupt:
-        ++S.TrippedInterrupt;
-        break;
-      default:
-        ++S.JobsError;
-      }
-    accumulateStats(S.Engines, Delta);
-    S.TraceDropped = TB.dropped();
-    S.ProfileSamples = Prof.total();
-    S.ProfileDropped = Prof.dropped();
+      break;
+    case JobOutcome::TrippedHeap:
+      ++S.TrippedHeap;
+      break;
+    case JobOutcome::TrippedStack:
+      ++S.TrippedStack;
+      break;
+    case JobOutcome::TrippedTimeout:
+      ++S.TrippedTimeout;
+      break;
+    case JobOutcome::TrippedInterrupt:
+      ++S.TrippedInterrupt;
+      break;
+    default:
+      ++S.JobsError;
+    }
+    S.RetriesAttempted += Retries;
+    if (J.Degraded)
+      ++S.JobsDegraded;
+    accumulateStats(S.Engines, JobDelta);
+    S.TraceDropped = S.TraceDroppedPrior + TB.dropped();
+    S.ProfileSamples = S.ProfileSamplesPrior + Prof.total();
+    S.ProfileDropped = S.ProfileDroppedPrior + Prof.dropped();
   }
   InFlight.fetch_sub(1, std::memory_order_relaxed);
+  J.Promise.set_value(std::move(R));
+  return Fatal;
+}
+
+void EnginePool::expireJob(Job &J, unsigned Idx, uint64_t WaitNs) {
+  JobResult R;
+  R.Ok = false;
+  R.Outcome = JobOutcome::Expired;
+  R.Error = "job deadline expired before it ran";
+  R.Kind = ErrorKind::None;
+  R.Worker = Idx;
+  R.Id = J.Id;
+  {
+    WorkerShard &S = *Shards[Idx];
+    std::lock_guard<std::mutex> L(S.Mu);
+    // The wait still happened (and is exactly why the job expired); the
+    // run did not, so only the wait histogram records it.
+    S.QueueWaitUs.record(WaitNs / 1000);
+    ++S.JobsExpired;
+  }
   J.Promise.set_value(std::move(R));
 }
 
 void EnginePool::rejectJob(Job &J) {
   JobResult R;
   R.Ok = false;
+  R.Outcome = JobOutcome::Rejected;
   R.Error = "engine pool is shut down";
   R.Kind = ErrorKind::Runtime;
   R.Id = J.Id;
   J.Promise.set_value(std::move(R));
 }
 
+void EnginePool::shedJob(Job &J, uint64_t WindowP99Us) {
+  JobResult R;
+  R.Ok = false;
+  R.Outcome = JobOutcome::Shed;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "admission control: queue-wait p99 %" PRIu64
+                "us exceeds the %" PRIu64 "ms budget; job shed",
+                WindowP99Us, Opts.QueueWaitBudgetMs);
+  R.Error = Buf;
+  J.Promise.set_value(std::move(R));
+}
+
+void EnginePool::rejectQueuedJobs() {
+  // Whatever is still queued (non-drain shutdown, jobs that raced in
+  // before Stopping was visible, or a pool whose last worker retired)
+  // gets rejected, never dropped: every future the pool handed out
+  // resolves.
+  std::deque<Job> Leftover;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    Leftover.swap(Queue);
+  }
+  for (Job &J : Leftover)
+    rejectJob(J);
+  if (!Leftover.empty()) {
+    std::lock_guard<std::mutex> L(StatsMu);
+    JobsRejected += Leftover.size();
+  }
+}
+
+void EnginePool::noteQueueWait(uint64_t WaitUs) {
+  std::lock_guard<std::mutex> L(AdmissionMu);
+  if (AdmissionWaitsUs.empty())
+    return;
+  uint32_t V = WaitUs > UINT32_MAX ? UINT32_MAX
+                                   : static_cast<uint32_t>(WaitUs);
+  AdmissionWaitsUs[AdmissionNext] = V;
+  AdmissionNext = (AdmissionNext + 1) % AdmissionWaitsUs.size();
+  if (AdmissionCount < AdmissionWaitsUs.size())
+    ++AdmissionCount;
+}
+
+uint64_t EnginePool::admissionP99Us() const {
+  std::lock_guard<std::mutex> L(AdmissionMu);
+  if (AdmissionCount < MinAdmissionSamples)
+    return 0;
+  // Entries [0, AdmissionCount) are exactly the valid ones, wrapped or
+  // not (AdmissionCount saturates at the ring size).
+  std::vector<uint32_t> W(AdmissionWaitsUs.begin(),
+                          AdmissionWaitsUs.begin() +
+                              static_cast<ptrdiff_t>(AdmissionCount));
+  size_t Idx = (W.size() * 99 + 99) / 100; // ceil(0.99 N)
+  if (Idx > 0)
+    --Idx;
+  std::nth_element(W.begin(), W.begin() + static_cast<ptrdiff_t>(Idx),
+                   W.end());
+  return W[Idx];
+}
+
+uint64_t EnginePool::pressureThresholdUs() const {
+  uint64_t Ms = Opts.PressureQueueWaitMs ? Opts.PressureQueueWaitMs
+                                         : Opts.QueueWaitBudgetMs / 2;
+  return Ms * 1000;
+}
+
+bool EnginePool::pressureActive() const {
+  if (!Opts.EnablePressureLimits || !Opts.QueueWaitBudgetMs)
+    return false;
+  uint64_t T = pressureThresholdUs();
+  return T != 0 && admissionP99Us() > T;
+}
+
 std::future<JobResult> EnginePool::submit(std::string Source) {
-  return submit(std::move(Source), Opts.DefaultJobLimits);
+  return submit(std::move(Source), SubmitOptions());
 }
 
 std::future<JobResult> EnginePool::submit(std::string Source,
                                           const EngineLimits &L) {
+  SubmitOptions SO;
+  SO.limits(L);
+  return submit(std::move(Source), SO);
+}
+
+std::future<JobResult> EnginePool::submit(std::string Source,
+                                          const SubmitOptions &SO) {
   Job J;
   J.Source = std::move(Source);
-  J.Limits = L;
+  bool UsesDefaults = !SO.HasLimits;
+  J.Limits = SO.HasLimits ? SO.Limits : Opts.DefaultJobLimits;
+  J.Retry = SO.HasRetry ? SO.Retry : Opts.DefaultRetry;
+  uint64_t DeadlineMs = SO.DeadlineMs ? SO.DeadlineMs : Opts.DefaultDeadlineMs;
   std::future<JobResult> F = J.Promise.get_future();
+
+  if (Opts.QueueWaitBudgetMs) {
+    uint64_t P99Us = admissionP99Us();
+    if (P99Us > Opts.QueueWaitBudgetMs * 1000) {
+      // Shed at the door: recent jobs waited longer than the budget, so
+      // this one would too. Resolving immediately beats queueing work
+      // that is doomed to expire.
+      {
+        std::lock_guard<std::mutex> L(StatsMu);
+        ++JobsShed;
+      }
+      shedJob(J, P99Us);
+      return F;
+    }
+    if (UsesDefaults && Opts.EnablePressureLimits) {
+      uint64_t ThreshUs = pressureThresholdUs();
+      if (ThreshUs && P99Us > ThreshUs) {
+        // Graceful degradation: tighten the defaults before shedding has
+        // to start. Explicit per-job limits are never overridden.
+        J.Limits = Opts.PressureLimits;
+        J.Degraded = true;
+      }
+    }
+  }
+
   bool Rejected = false;
   {
     std::unique_lock<std::mutex> Lk(QueueMu);
@@ -193,6 +548,7 @@ std::future<JobResult> EnginePool::submit(std::string Source,
     } else {
       J.Id = NextJobId++;
       J.EnqueueNs = nowNanos();
+      J.DeadlineNs = DeadlineMs ? J.EnqueueNs + DeadlineMs * 1000000 : 0;
       Queue.push_back(std::move(J));
       if (Queue.size() > HighWater)
         HighWater = Queue.size();
@@ -214,9 +570,18 @@ std::future<JobResult> EnginePool::submit(std::string Source,
 
 bool EnginePool::trySubmit(std::string Source, const EngineLimits &L,
                            std::future<JobResult> &Out) {
+  if (Opts.QueueWaitBudgetMs) {
+    uint64_t P99Us = admissionP99Us();
+    if (P99Us > Opts.QueueWaitBudgetMs * 1000) {
+      std::lock_guard<std::mutex> Lk(StatsMu);
+      ++JobsShed;
+      return false;
+    }
+  }
   Job J;
   J.Source = std::move(Source);
   J.Limits = L;
+  J.Retry = Opts.DefaultRetry;
   {
     std::lock_guard<std::mutex> Lk(QueueMu);
     if (Stopping || Queue.size() >= Opts.QueueCapacity)
@@ -224,6 +589,9 @@ bool EnginePool::trySubmit(std::string Source, const EngineLimits &L,
     Out = J.Promise.get_future();
     J.Id = NextJobId++;
     J.EnqueueNs = nowNanos();
+    J.DeadlineNs = Opts.DefaultDeadlineMs
+                       ? J.EnqueueNs + Opts.DefaultDeadlineMs * 1000000
+                       : 0;
     Queue.push_back(std::move(J));
     if (Queue.size() > HighWater)
       HighWater = Queue.size();
@@ -244,6 +612,9 @@ void EnginePool::shutdown(bool Drain) {
       DrainOnStop = Drain;
     }
   }
+  // Wake the workers *and* any submitter blocked on backpressure: with
+  // Stopping set, blocked submits resolve as rejections in both drain
+  // modes instead of waiting for queue space that may never come.
   NotEmpty.notify_all();
   NotFull.notify_all();
   {
@@ -257,20 +628,7 @@ void EnginePool::shutdown(bool Drain) {
       Joined = true;
     }
   }
-  // Whatever is still queued (non-drain shutdown, or jobs that raced in
-  // before Stopping was visible) gets rejected, never dropped: every
-  // future the pool handed out resolves.
-  std::deque<Job> Leftover;
-  {
-    std::lock_guard<std::mutex> L(QueueMu);
-    Leftover.swap(Queue);
-  }
-  for (Job &J : Leftover)
-    rejectJob(J);
-  if (!Leftover.empty()) {
-    std::lock_guard<std::mutex> L(StatsMu);
-    JobsRejected += Leftover.size();
-  }
+  rejectQueuedJobs();
 }
 
 void EnginePool::interruptAll() {
@@ -288,11 +646,13 @@ PoolTelemetry EnginePool::telemetry() const {
     std::lock_guard<std::mutex> L(StatsMu);
     T.Stats.JobsSubmitted = JobsSubmitted;
     T.Stats.JobsRejected = JobsRejected;
+    T.Stats.JobsShed = JobsShed;
   }
   {
     std::lock_guard<std::mutex> L(QueueMu);
     T.Stats.QueueHighWater = HighWater;
     T.QueueDepth = Queue.size();
+    T.LiveWorkers = LiveWorkers;
   }
   T.InFlight = InFlight.load(std::memory_order_relaxed);
   for (const std::unique_ptr<WorkerShard> &SP : Shards) {
@@ -306,6 +666,11 @@ PoolTelemetry EnginePool::telemetry() const {
     T.TrippedStack += S.TrippedStack;
     T.TrippedTimeout += S.TrippedTimeout;
     T.TrippedInterrupt += S.TrippedInterrupt;
+    T.JobsExpired += S.JobsExpired;
+    T.WorkerRestarts += S.WorkerRestarts;
+    T.BreakerOpens += S.BreakerOpens;
+    T.RetriesAttempted += S.RetriesAttempted;
+    T.JobsDegraded += S.JobsDegraded;
     T.TraceDropped += S.TraceDropped;
     T.ProfileSamples += S.ProfileSamples;
     T.ProfileDropped += S.ProfileDropped;
@@ -315,6 +680,13 @@ PoolTelemetry EnginePool::telemetry() const {
   T.Stats.JobsFailed = T.JobsError;
   T.Stats.JobsTripped =
       T.TrippedHeap + T.TrippedStack + T.TrippedTimeout + T.TrippedInterrupt;
+  T.Stats.JobsExpired = T.JobsExpired;
+  T.Stats.WorkerRestarts = T.WorkerRestarts;
+  T.Stats.BreakerOpens = T.BreakerOpens;
+  T.Stats.RetriesAttempted = T.RetriesAttempted;
+  T.Stats.JobsDegraded = T.JobsDegraded;
+  T.JobsShed = T.Stats.JobsShed;
+  T.PressureActive = pressureActive();
   return T;
 }
 
@@ -324,6 +696,9 @@ MetricsRegistry EnginePool::buildMetrics() const {
 
   R.gauge("cmarks_pool_workers", "Worker threads (= engines) in the pool", {},
           static_cast<double>(Threads.size()));
+  R.gauge("cmarks_pool_live_workers",
+          "Workers still serving (circuit breakers shut)", {},
+          static_cast<double>(T.LiveWorkers));
   R.gauge("cmarks_pool_queue_depth", "Jobs waiting in the queue right now",
           {}, static_cast<double>(T.QueueDepth));
   R.gauge("cmarks_pool_queue_capacity", "Bounded job-queue capacity", {},
@@ -332,6 +707,9 @@ MetricsRegistry EnginePool::buildMetrics() const {
           static_cast<double>(T.Stats.QueueHighWater));
   R.gauge("cmarks_pool_inflight_jobs", "Jobs evaluating right now", {},
           static_cast<double>(T.InFlight));
+  R.gauge("cmarks_pool_pressure_active",
+          "1 while graceful degradation is tightening default job limits",
+          {}, T.PressureActive ? 1.0 : 0.0);
 
   R.counter("cmarks_pool_jobs_submitted_total",
             "Jobs accepted into the queue", {}, T.Stats.JobsSubmitted);
@@ -351,6 +729,28 @@ MetricsRegistry EnginePool::buildMetrics() const {
             {{"outcome", "tripped-timeout"}}, T.TrippedTimeout);
   R.counter("cmarks_pool_jobs_total", JobsHelp,
             {{"outcome", "tripped-interrupt"}}, T.TrippedInterrupt);
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "expired"}},
+            T.JobsExpired);
+  R.counter("cmarks_pool_jobs_total", JobsHelp, {{"outcome", "shed"}},
+            T.JobsShed);
+
+  R.counter("cmarks_pool_jobs_expired_total",
+            "Jobs whose deadline passed while queued (never ran)", {},
+            T.JobsExpired);
+  R.counter("cmarks_pool_jobs_shed_total",
+            "Jobs refused by admission control at submit", {}, T.JobsShed);
+  R.counter("cmarks_pool_worker_restarts_total",
+            "Worker engines rebuilt after fatal (beyond-reserve) failures",
+            {}, T.WorkerRestarts);
+  R.counter("cmarks_pool_breaker_opens_total",
+            "Workers retired by their restart circuit breaker", {},
+            T.BreakerOpens);
+  R.counter("cmarks_pool_retries_total",
+            "Re-runs of transiently-failed jobs (RetryPolicy)", {},
+            T.RetriesAttempted);
+  R.counter("cmarks_pool_jobs_degraded_total",
+            "Default-limit jobs tightened by graceful degradation", {},
+            T.JobsDegraded);
 
   R.histogram("cmarks_pool_queue_wait_seconds",
               "Per-job submit-to-dequeue wait", {}, T.QueueWaitUs, 1e-6);
@@ -384,20 +784,25 @@ std::string EnginePool::metricsJson() const {
 }
 
 std::string EnginePool::traceJson() const {
-  std::vector<const TraceBuffer *> Buffers(Shards.size(), nullptr);
+  // Each engine incarnation retired its ring into its shard under the
+  // shard mutex; copy under the same mutex (the vector can grow while a
+  // supervised restart retires another incarnation concurrently).
+  std::deque<TraceBuffer> Copies;
+  std::vector<const TraceBuffer *> Buffers;
   std::vector<std::string> Names;
-  Names.reserve(Shards.size());
   for (size_t I = 0; I < Shards.size(); ++I) {
     const WorkerShard &S = *Shards[I];
-    char Name[32];
-    std::snprintf(Name, sizeof(Name), "worker-%zu", I);
-    Names.push_back(Name);
-    // TraceSnapValid is set exactly once, at worker exit, under S.Mu;
-    // after that the worker never writes the shard again, so the pointer
-    // stays valid outside the lock.
     std::lock_guard<std::mutex> L(S.Mu);
-    if (S.TraceSnapValid)
-      Buffers[I] = &S.TraceSnap;
+    for (size_t K = 0; K < S.TraceSnaps.size(); ++K) {
+      char Name[40];
+      if (K == 0)
+        std::snprintf(Name, sizeof(Name), "worker-%zu", I);
+      else
+        std::snprintf(Name, sizeof(Name), "worker-%zu/r%zu", I, K);
+      Names.push_back(Name);
+      Copies.push_back(S.TraceSnaps[K]);
+      Buffers.push_back(&Copies.back());
+    }
   }
   return mergedTraceJson(Buffers, Names);
 }

@@ -17,6 +17,44 @@
 /// timeout/heap/stack budget fails alone; the worker engine recovers
 /// and keeps serving (support/limits.h).
 ///
+/// Failure model (DESIGN.md §14): every job retires with exactly one
+/// typed JobOutcome. The resilience layer has four pillars:
+///
+///  - *Worker supervision.* A catchable limit trip is business as usual,
+///    but a failure that escalated past the PR 3 reserve
+///    (SchemeEngine::lastErrorFatal — the program burned through its own
+///    recovery slab) marks the engine wounded: the worker rebuilds its
+///    engine in place (counted in WorkerRestarts, traced as a
+///    "worker-restart" span in the replacement engine's ring). After
+///    PoolOptions::BreakerThreshold *consecutive* fatal jobs the
+///    worker's circuit breaker opens and it retires instead of
+///    rebuild-looping; when the last live worker retires this way, the
+///    pool stops accepting work and rejects what is queued, so no
+///    submitter can hang on a dead pool.
+///  - *Deadlines.* A job may carry an absolute deadline (relative
+///    DeadlineMs fixed at submit). A job whose deadline passes while it
+///    waits is shed from the queue without running (Outcome Expired);
+///    one that is dequeued in time has its remaining deadline folded
+///    into its EngineLimits timeout, so a job can never run past its
+///    deadline by more than one safe-point interval.
+///  - *Retry with backoff.* Opt-in (RetryPolicy) for idempotent jobs:
+///    failures classified transient — an interrupt eviction or an
+///    injected fault (VMStats::FaultsInjected delta) — are re-run up to
+///    MaxAttempts with capped exponential backoff. Jitter is
+///    deterministic per job id (retryBackoffMs is a pure function), so
+///    chaos runs replay exactly. Fatal failures and ordinary errors
+///    never retry; retries stop at the deadline and during a non-drain
+///    shutdown.
+///  - *Overload control.* With QueueWaitBudgetMs armed, the pool tracks
+///    a sliding window of recent queue waits; while the window's p99
+///    exceeds the budget, new submissions are shed at the door (Outcome
+///    Shed, future resolves immediately — CoDel-style: admission is
+///    controlled by experienced queueing delay, not queue length). The
+///    graceful-degradation knob (PressureLimits) tightens the *default*
+///    per-job budgets while the window p99 exceeds the pressure
+///    threshold, so accepted traffic gets cheaper before shedding has
+///    to start.
+///
 /// Serving telemetry (DESIGN.md §13): every job records its queue wait,
 /// run time, and outcome into log-bucketed histograms; metricsText()/
 /// metricsJson() export a Prometheus / `cmarks-metrics-v1` snapshot.
@@ -42,9 +80,11 @@
 ///   cmk::PoolOptions Opts;
 ///   Opts.Workers = 4;
 ///   Opts.DefaultJobLimits.TimeoutMs = 100;
+///   Opts.DefaultDeadlineMs = 500;       // queued past this -> Expired
+///   Opts.QueueWaitBudgetMs = 50;        // overload -> Shed at the door
 ///   cmk::EnginePool Pool(Opts);
 ///   auto F = Pool.submit("(+ 1 2)");
-///   cmk::JobResult R = F.get();   // R.Ok, R.Output == "3"
+///   cmk::JobResult R = F.get();   // R.Outcome == JobOutcome::Ok, "3"
 ///   std::string Prom = Pool.metricsText();   // scrape-style export
 /// \endcode
 ///
@@ -73,25 +113,111 @@
 
 namespace cmk {
 
+/// Typed disposition of one pool job. Every future the pool hands out
+/// resolves with exactly one of these; the pool's telemetry counts every
+/// job in exactly one matching counter, so hosts dispatch on the enum
+/// instead of string-matching error text.
+enum class JobOutcome : uint8_t {
+  Ok,               ///< Ran and returned a value.
+  Error,            ///< Ran and raised an ordinary Scheme/VM error.
+  TrippedHeap,      ///< Evicted: heap byte budget exhausted.
+  TrippedStack,     ///< Evicted: stack segment budget exhausted.
+  TrippedTimeout,   ///< Evicted: wall-clock budget (or deadline remainder).
+  TrippedInterrupt, ///< Evicted: interruptAll()/requestInterrupt.
+  Expired,          ///< Deadline passed while queued; never ran.
+  Shed,             ///< Admission control refused it at submit; never queued.
+  Rejected,         ///< Pool shut down before it could run.
+};
+
+/// Stable kebab-case name ("ok", "tripped-heap", "shed", ...), used for
+/// metric labels and log lines.
+const char *jobOutcomeName(JobOutcome O);
+
+/// The process exit code serving frontends map each outcome to (shared
+/// by examples/server.cpp, tools/chaos_pool.cpp, and the REPL's
+/// --deadline handling): 0 ok, 1 error, 3 resource trip, 4 shed,
+/// 5 expired, 6 rejected, 130 interrupt.
+int jobOutcomeExitCode(JobOutcome O);
+
+/// Maps a failed evaluation's ErrorKind to the matching outcome
+/// (Runtime -> Error, limit trips -> Tripped*).
+JobOutcome jobOutcomeOfErrorKind(ErrorKind K);
+
 /// Outcome of one pool job, delivered through its future. Always
 /// delivered: shutdown fulfills (rejects) queued jobs rather than
 /// breaking their promises.
 struct JobResult {
   bool Ok = false;
+  /// Typed disposition; the authoritative classification.
+  JobOutcome Outcome = JobOutcome::Error;
   /// write-style external representation of the result ("" on failure).
   std::string Output;
   /// Error message when !Ok ("engine pool is shut down" for rejections).
   std::string Error;
   /// Classification when !Ok: Runtime for ordinary errors, or the limit
-  /// trip kind (heap/stack/timeout/interrupt) for evicted jobs.
+  /// trip kind (heap/stack/timeout/interrupt) for evicted jobs. None for
+  /// jobs that never ran (Expired/Shed).
   ErrorKind Kind = ErrorKind::None;
+  /// Evaluation attempts actually made (0 for jobs that never ran,
+  /// >1 when a RetryPolicy re-ran a transient failure).
+  uint32_t Attempts = 0;
   /// Index of the worker that ran the job (0 for rejected jobs).
   uint32_t Worker = 0;
   /// Monotonic pool-wide job id (assigned at submit; 0 for jobs rejected
-  /// before entering the queue). The same id labels the job's "job-<id>"
-  /// trace span, so a slow request in a Perfetto timeline can be joined
-  /// back to its result.
+  /// or shed before entering the queue). The same id labels the job's
+  /// "job-<id>" trace span, so a slow request in a Perfetto timeline can
+  /// be joined back to its result.
   uint64_t Id = 0;
+};
+
+/// Opt-in retry policy for idempotent jobs. Only failures the pool
+/// classifies as *transient* retry: an interrupt eviction or a failure
+/// whose attempt recorded injected faults (support/faults.h). Ordinary
+/// errors, limit trips, and fatal (beyond-reserve) failures never
+/// retry — they are deterministic properties of the job.
+struct RetryPolicy {
+  uint32_t MaxAttempts = 1;  ///< Total attempts; <=1 disables retry.
+  uint64_t BaseBackoffMs = 1;///< Backoff before attempt 2; doubles per
+                             ///< attempt (capped at MaxBackoffMs).
+  uint64_t MaxBackoffMs = 100;
+  bool Jitter = true;        ///< Randomize each backoff in
+                             ///< [backoff/2, backoff], deterministically
+                             ///< seeded by (job id, attempt).
+};
+
+/// The backoff (ms) slept before re-running attempt \p Attempt + 1 of
+/// job \p JobId. Pure and deterministic: the same (policy, id, attempt)
+/// triple always yields the same delay, so fault-schedule replays and
+/// tests see identical retry timing.
+uint64_t retryBackoffMs(const RetryPolicy &P, uint64_t JobId,
+                        uint32_t Attempt);
+
+/// Per-submit knobs beyond the source text. Unset fields inherit the
+/// pool defaults (PoolOptions::DefaultJobLimits / DefaultDeadlineMs /
+/// DefaultRetry).
+struct SubmitOptions {
+  bool HasLimits = false; ///< Set via limits(); false = pool default.
+  EngineLimits Limits;
+  bool HasRetry = false; ///< Set via retry(); false = pool default.
+  RetryPolicy Retry;
+  /// Deadline relative to submit, in ms (fixed to an absolute instant at
+  /// submit). 0 = pool default (which may also be "none").
+  uint64_t DeadlineMs = 0;
+
+  SubmitOptions &limits(const EngineLimits &L) {
+    Limits = L;
+    HasLimits = true;
+    return *this;
+  }
+  SubmitOptions &retry(const RetryPolicy &R) {
+    Retry = R;
+    HasRetry = true;
+    return *this;
+  }
+  SubmitOptions &deadlineMs(uint64_t Ms) {
+    DeadlineMs = Ms;
+    return *this;
+  }
 };
 
 /// Pool construction parameters.
@@ -108,6 +234,35 @@ struct PoolOptions {
   /// zero default means ungoverned; serving deployments should at least
   /// arm TimeoutMs so a stuck request cannot retire a worker.
   EngineLimits DefaultJobLimits;
+  /// Deadline applied to jobs submitted without an explicit one, in ms
+  /// relative to submit. 0 = no default deadline.
+  uint64_t DefaultDeadlineMs = 0;
+  /// Retry policy for jobs submitted without an explicit one. The
+  /// default (MaxAttempts 1) disables retry: retrying is an idempotency
+  /// claim only the submitter can make.
+  RetryPolicy DefaultRetry;
+  /// Worker supervision: on the Nth *consecutive* fatal (beyond-reserve)
+  /// job failure the worker's circuit breaker opens and it retires
+  /// instead of rebuilding again (so a threshold of 3 absorbs two
+  /// supervised restarts first). Guards against a poisoned traffic mix
+  /// turning the pool into a rebuild loop. 0 disables the breaker.
+  uint32_t BreakerThreshold = 3;
+  /// Overload control: when nonzero, the pool sheds new submissions
+  /// (Outcome Shed) while the sliding queue-wait p99 exceeds this budget
+  /// (ms). 0 disables admission control.
+  uint64_t QueueWaitBudgetMs = 0;
+  /// Sliding-window size (recent dequeues) for the admission p99.
+  /// Clamped to [8, 1024]. Note: below 100 samples the p99 degenerates
+  /// to the window max — deliberately conservative under overload.
+  uint32_t AdmissionWindow = 64;
+  /// Graceful degradation: when armed (EnablePressureLimits), jobs that
+  /// would use DefaultJobLimits get these tighter budgets instead while
+  /// the admission window p99 exceeds PressureQueueWaitMs. Explicit
+  /// per-job limits are never overridden.
+  bool EnablePressureLimits = false;
+  EngineLimits PressureLimits;
+  /// Pressure threshold (ms). 0 derives QueueWaitBudgetMs / 2.
+  uint64_t PressureQueueWaitMs = 0;
   /// When nonzero, every worker engine records its trace ring (this many
   /// events) and jobs are bracketed by named "job-<id>" spans;
   /// traceJson() merges the per-worker rings into one Perfetto timeline
@@ -128,7 +283,13 @@ struct PoolStats {
   uint64_t JobsFailed = 0;    ///< Ran and raised an ordinary error.
   uint64_t JobsTripped = 0;   ///< Ran and hit a resource limit (subset of
                               ///< JobsFailed's complement: counted apart).
+  uint64_t JobsExpired = 0;   ///< Deadline passed in the queue; never ran.
+  uint64_t JobsShed = 0;      ///< Refused by admission control at submit.
   uint64_t JobsRejected = 0;  ///< Never ran (shutdown or trySubmit race).
+  uint64_t WorkerRestarts = 0; ///< Engines rebuilt after fatal failures.
+  uint64_t BreakerOpens = 0;  ///< Workers retired by their circuit breaker.
+  uint64_t RetriesAttempted = 0; ///< Re-runs of transient failures.
+  uint64_t JobsDegraded = 0;  ///< Default-limit jobs tightened under pressure.
   uint64_t QueueHighWater = 0; ///< Max queue depth observed.
   /// Aggregated runtime event counters (support/stats.h) across every
   /// worker engine, accumulated as jobs retire. In-flight jobs appear
@@ -141,14 +302,22 @@ struct PoolStats {
 /// meta-telemetry. Same consistency model as stats().
 struct PoolTelemetry {
   PoolStats Stats;
-  LogHistogram QueueWaitUs; ///< Per-job submit -> dequeue wait (µs).
-  LogHistogram RunUs;       ///< Per-job evaluation time (µs).
+  LogHistogram QueueWaitUs; ///< Per-dequeued-job submit -> dequeue wait
+                            ///< (µs); includes jobs that expired there.
+  LogHistogram RunUs;       ///< Per-run-job evaluation time (µs), summed
+                            ///< across retry attempts (backoff excluded).
   uint64_t JobsOk = 0;
   uint64_t JobsError = 0; ///< Ordinary runtime errors.
   uint64_t TrippedHeap = 0;
   uint64_t TrippedStack = 0;
   uint64_t TrippedTimeout = 0;
   uint64_t TrippedInterrupt = 0;
+  uint64_t JobsExpired = 0;
+  uint64_t JobsShed = 0;
+  uint64_t WorkerRestarts = 0;
+  uint64_t BreakerOpens = 0;
+  uint64_t RetriesAttempted = 0;
+  uint64_t JobsDegraded = 0;
   uint64_t TraceDropped = 0; ///< Trace-ring events lost to wraparound,
                              ///< summed across workers (detects truncated
                              ///< Perfetto exports).
@@ -156,6 +325,8 @@ struct PoolTelemetry {
   uint64_t ProfileDropped = 0; ///< Samples lost to ring wraparound.
   uint64_t QueueDepth = 0;     ///< Jobs waiting right now.
   uint64_t InFlight = 0;       ///< Jobs evaluating right now.
+  uint64_t LiveWorkers = 0;    ///< Workers still serving (breakers shut).
+  bool PressureActive = false; ///< Degradation threshold currently exceeded.
 };
 
 /// A fixed-size pool of worker threads with one private SchemeEngine
@@ -169,24 +340,31 @@ public:
   EnginePool(const EnginePool &) = delete;
   EnginePool &operator=(const EnginePool &) = delete;
 
-  /// Enqueues \p Source under the default job limits. Blocks while the
-  /// queue is full; returns an already-rejected future after shutdown.
+  /// Enqueues \p Source under the default job limits/deadline/retry.
+  /// Blocks while the queue is full; returns an already-rejected future
+  /// after shutdown, and an already-shed future under admission
+  /// pressure.
   std::future<JobResult> submit(std::string Source);
 
   /// Enqueues \p Source with job-specific budgets (overrides, not merges,
   /// the defaults).
   std::future<JobResult> submit(std::string Source, const EngineLimits &L);
 
-  /// Non-blocking submit: false (and no future) when the queue is full
-  /// or the pool is shutting down.
+  /// Enqueues \p Source with per-job limits, deadline, and retry policy.
+  std::future<JobResult> submit(std::string Source, const SubmitOptions &SO);
+
+  /// Non-blocking submit: false (and no future) when the queue is full,
+  /// the pool is shutting down, or admission control is shedding (the
+  /// shed is still counted in JobsShed).
   bool trySubmit(std::string Source, const EngineLimits &L,
                  std::future<JobResult> &Out);
 
   /// Stops the pool and joins the workers. Drain=true finishes queued
   /// jobs first; Drain=false rejects them (their futures resolve with
-  /// "engine pool is shut down"). Running jobs always finish — combine
-  /// with interruptAll() to evict them promptly. Idempotent; the first
-  /// call's Drain wins.
+  /// Outcome Rejected). Running jobs always finish — combine with
+  /// interruptAll() to evict them promptly. Submitters blocked on
+  /// backpressure are woken and rejected in both modes. Idempotent; the
+  /// first call's Drain wins.
   void shutdown(bool Drain = true);
 
   /// Asks every currently-running evaluation to stop at its next safe
@@ -198,6 +376,10 @@ public:
   unsigned workerCount() const {
     return static_cast<unsigned>(Threads.size());
   }
+
+  /// True while the graceful-degradation threshold is exceeded (always
+  /// false when EnablePressureLimits is off).
+  bool pressureActive() const;
 
   /// Thread-safe snapshot of the pool-wide counters and the aggregated
   /// per-engine runtime stats (see the consistency model above).
@@ -214,9 +396,10 @@ public:
   std::string metricsJson() const;
 
   /// Merged per-worker Perfetto timeline (PoolOptions::TraceCapacity).
-  /// Worker rings are snapshotted as workers exit, so the export is
-  /// complete only after shutdown(); called earlier it contains the
-  /// workers that have already exited.
+  /// Each engine incarnation's ring is snapshotted when the engine
+  /// retires (worker exit or supervised restart), so restarted-away
+  /// engines appear as soon as they die; the currently-serving engines'
+  /// rings appear after shutdown().
   std::string traceJson() const;
   bool dumpTrace(const std::string &Path) const;
 
@@ -230,8 +413,11 @@ private:
     uint64_t Id = 0;
     std::string Source;
     EngineLimits Limits;
+    RetryPolicy Retry;
     std::promise<JobResult> Promise;
     uint64_t EnqueueNs = 0;
+    uint64_t DeadlineNs = 0; ///< Absolute (nowNanos clock); 0 = none.
+    bool Degraded = false;   ///< Defaults tightened by pressure.
   };
 
   /// Per-worker telemetry shard. The worker retires every job under Mu
@@ -246,22 +432,49 @@ private:
     uint64_t TrippedStack = 0;
     uint64_t TrippedTimeout = 0;
     uint64_t TrippedInterrupt = 0;
+    uint64_t JobsExpired = 0;
+    uint64_t WorkerRestarts = 0;
+    uint64_t BreakerOpens = 0;
+    uint64_t RetriesAttempted = 0;
+    uint64_t JobsDegraded = 0;
     VMStats Engines;
+    /// Cumulative trace/profile meta-telemetry. The *Prior fields hold
+    /// the totals of retired engine incarnations; the headline fields
+    /// add the live engine's contribution on top.
     uint64_t TraceDropped = 0;
     uint64_t ProfileSamples = 0;
     uint64_t ProfileDropped = 0;
-    /// Snapshot of the worker's trace ring, copied before the engine
-    /// dies (TraceCapacity mode).
-    TraceBuffer TraceSnap;
-    bool TraceSnapValid = false;
-    /// Folded collapsed-stack counts (ProfileHz mode).
+    uint64_t TraceDroppedPrior = 0;
+    uint64_t ProfileSamplesPrior = 0;
+    uint64_t ProfileDroppedPrior = 0;
+    /// Ring snapshots of every retired engine incarnation, in order
+    /// (TraceCapacity mode). Entry 0 is the original engine.
+    std::vector<TraceBuffer> TraceSnaps;
+    /// Folded collapsed-stack counts (ProfileHz mode), merged across
+    /// incarnations.
     std::map<std::string, uint64_t> ProfileFold;
   };
 
   void workerMain(unsigned Idx);
-  void runJob(SchemeEngine &Engine, Job &J, unsigned Idx);
+  std::unique_ptr<SchemeEngine> buildWorkerEngine(unsigned Idx,
+                                                  uint32_t Incarnation);
+  void retireEngine(SchemeEngine &Engine, unsigned Idx);
+  /// Runs J (including its retry loop) on Engine; true when the failure
+  /// was fatal (beyond-reserve) and the caller must rebuild the engine.
+  bool runJob(SchemeEngine &Engine, Job &J, unsigned Idx, uint64_t WaitNs);
+  void expireJob(Job &J, unsigned Idx, uint64_t WaitNs);
   static void rejectJob(Job &J);
+  void shedJob(Job &J, uint64_t WindowP99Us);
+  /// Rejects everything queued (shutdown, or last worker retired).
+  void rejectQueuedJobs();
+  void noteQueueWait(uint64_t WaitUs);
+  /// Sliding-window queue-wait p99 in µs (0 until the window has at
+  /// least MinAdmissionSamples entries, or with admission control off).
+  uint64_t admissionP99Us() const;
+  uint64_t pressureThresholdUs() const;
   MetricsRegistry buildMetrics() const;
+
+  static constexpr size_t MinAdmissionSamples = 8;
 
   PoolOptions Opts;
   std::vector<std::thread> Threads;
@@ -276,6 +489,7 @@ private:
   bool DrainOnStop = true;  ///< Guarded by QueueMu.
   uint64_t HighWater = 0;   ///< Guarded by QueueMu.
   uint64_t NextJobId = 1;   ///< Guarded by QueueMu.
+  unsigned LiveWorkers = 0; ///< Guarded by QueueMu.
 
   // Shutdown join serialization (never held while touching QueueMu).
   std::mutex JoinMu;
@@ -290,6 +504,13 @@ private:
   mutable std::mutex StatsMu;
   uint64_t JobsSubmitted = 0; ///< Guarded by StatsMu.
   uint64_t JobsRejected = 0;  ///< Guarded by StatsMu.
+  uint64_t JobsShed = 0;      ///< Guarded by StatsMu.
+
+  // Admission-control sliding window of recent queue waits (µs).
+  mutable std::mutex AdmissionMu;
+  std::vector<uint32_t> AdmissionWaitsUs; ///< Ring; guarded by AdmissionMu.
+  size_t AdmissionNext = 0;               ///< Guarded by AdmissionMu.
+  size_t AdmissionCount = 0;              ///< Guarded by AdmissionMu.
 
   std::atomic<uint64_t> InFlight{0};
 };

@@ -39,6 +39,8 @@ static const TraceEventDesc Descs[] = {
     {"snapshot", "scheme", 'i', false},
     {"job", "job", 'B', false},
     {"job", "job", 'E', false},
+    {"worker-restart", "supervision", 'B', false},
+    {"worker-restart", "supervision", 'E', false},
     {"mark-frame-create", "marks-detail", 'i', true},
     {"mark-frame-extend", "marks-detail", 'i', true},
     {"mark-frame-rebind", "marks-detail", 'i', true},

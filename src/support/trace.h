@@ -85,6 +85,14 @@ enum class TraceEv : uint8_t {
   JobBegin,        ///< Pool job started on this engine (label "job-<id>",
                    ///< arg = job id; Begin).
   JobEnd,          ///< Pool job finished (End).
+  // --- Cheap tier: worker supervision (support/pool.h) ----------------------
+  WorkerRestartBegin, ///< Pool worker began rebuilding its engine after a
+                      ///< fatal (beyond-reserve) job failure (arg = worker
+                      ///< index; Begin). Recorded in the replacement
+                      ///< engine's ring, whose epoch starts at the rebuild.
+  WorkerRestartEnd,   ///< Replacement engine is serving again (arg = full
+                      ///< rebuild time in ns, including engine
+                      ///< construction; End).
   // --- Detail tier (CMARKS_TRACE-gated): marks layer (paper 7.5) -----------
   MarkFrameCreate, ///< "no attachment" -> one-mark frame.
   MarkFrameExtend, ///< N-entry frame -> (N+1)-entry frame.

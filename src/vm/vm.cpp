@@ -499,6 +499,7 @@ Value VM::applyProcedure(Value Fn, const Value *Args, uint32_t NArgs,
     releaseRunState();
     Failed = true;
     ErrKind = errorKindOf(Ex.Kind);
+    ErrFatal = true;
     ErrMsg = Ex.What;
     Ok = false;
     return Value::undefined();

@@ -95,10 +95,17 @@ public:
   const std::string &errorMessage() const { return ErrMsg; }
   /// Classification of the current error (limit trips vs. plain errors).
   ErrorKind errorKind() const { return ErrKind; }
+  /// True when the current error escalated past a reserve (the run ended
+  /// with a ResourceExhausted throw instead of a delivered, catchable
+  /// trip). Supervisors treat such an engine as wounded: the program
+  /// consumed through its own limit-trip handling, so the cheapest safe
+  /// recovery is rebuilding the engine (see support/pool.h).
+  bool errorFatal() const { return ErrFatal; }
   void clearError() {
     Failed = false;
     ErrMsg.clear();
     ErrKind = ErrorKind::None;
+    ErrFatal = false;
   }
 
   /// Signals a Scheme-level runtime error; unwinds to applyProcedure.
@@ -337,6 +344,7 @@ private:
   bool Failed = false;
   std::string ErrMsg;
   ErrorKind ErrKind = ErrorKind::None;
+  bool ErrFatal = false; ///< Current error came from ResourceExhausted.
   bool Running = false;
 
   // Resource governance state.

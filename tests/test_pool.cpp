@@ -173,9 +173,11 @@ TEST(PoolTest, ImmediateShutdownRejectsQueuedJobsButResolvesAllFutures) {
     JobResult R = F.get(); // Every future resolves: no broken promises.
     if (R.Ok) {
       ++Completed;
+      EXPECT_EQ(R.Outcome, JobOutcome::Ok);
       EXPECT_EQ(R.Output, "slow");
     } else {
       ++Rejected;
+      EXPECT_EQ(R.Outcome, JobOutcome::Rejected);
       EXPECT_NE(R.Error.find("shut down"), std::string::npos) << R.Error;
     }
   }
@@ -191,6 +193,7 @@ TEST(PoolTest, SubmitAfterShutdownIsRejected) {
   Pool.shutdown();
   JobResult R = Pool.submit("(+ 1 2)").get();
   EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Outcome, JobOutcome::Rejected);
   EXPECT_NE(R.Error.find("shut down"), std::string::npos);
 }
 
@@ -340,6 +343,17 @@ TEST(PoolTest, MetricsExportBothFormats) {
   EXPECT_NE(Prom.find("cmarks_pool_workers 2"), std::string::npos);
   EXPECT_NE(Prom.find("cmarks_pool_jobs_submitted_total 10"),
             std::string::npos);
+  // The resilience families export unconditionally (zero-valued here) so
+  // dashboards and metrics_report.py --require can count on them.
+  EXPECT_NE(Prom.find("cmarks_pool_worker_restarts_total 0"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_breaker_opens_total 0"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_jobs_shed_total 0"), std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_jobs_expired_total 0"),
+            std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_retries_total 0"), std::string::npos);
+  EXPECT_NE(Prom.find("cmarks_pool_live_workers"), std::string::npos);
 }
 
 TEST(PoolTest, JobSpansCarryIdsAcrossWorkersInMergedTrace) {
@@ -384,6 +398,334 @@ TEST(PoolTest, PoolProfilerAggregatesAcrossWorkers) {
   EXPECT_GT(T.ProfileSamples, 0u);
   std::string Collapsed = Pool.profileCollapsed();
   EXPECT_NE(Collapsed.find("spin"), std::string::npos) << Collapsed;
+}
+
+// --- Resilience: supervision, deadlines, retries, load shedding -----------
+
+/// A program that burns through the PR 3 recovery slab: everything it
+/// allocates stays live in a global (so no collection can rescue it),
+/// and the heap-limit handler keeps allocating after the catchable trip
+/// — the run escalates to the fatal (beyond-reserve) ResourceExhausted,
+/// the engine-poisoning signal the pool supervises on.
+const char *reserveBurner() {
+  return "(define sink '())"
+         "(with-handlers ([exn:heap-limit? (lambda (e)"
+         "                   (let loop ()"
+         "                     (set! sink (cons (make-vector 4096 0) sink))"
+         "                     (loop)))])"
+         "  (let loop ()"
+         "    (set! sink (cons (make-vector 4096 0) sink))"
+         "    (loop)))";
+}
+
+EngineLimits fatalLimits() {
+  EngineLimits L;
+  L.HeapBytes = 4u << 20;
+  L.HeapHeadroomBytes = 256u << 10;
+  return L;
+}
+
+TEST(PoolTest, FatalJobTriggersSupervisedWorkerRestart) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.TraceCapacity = 4096;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+
+  JobResult R = Pool.submit(reserveBurner(), fatalLimits()).get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Outcome, JobOutcome::TrippedHeap);
+  EXPECT_NE(R.Error.find("beyond reserved headroom"), std::string::npos)
+      << R.Error;
+
+  // The replacement engine serves correctly afterwards.
+  JobResult After = Pool.submit("(* 6 7)").get();
+  EXPECT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(After.Output, "42");
+
+  Pool.shutdown();
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_EQ(T.WorkerRestarts, 1u);
+  EXPECT_EQ(T.BreakerOpens, 0u);
+  EXPECT_EQ(T.TrippedHeap, 1u);
+  EXPECT_EQ(T.JobsOk, 2u);
+
+  // The restart is observable in the merged timeline too: a
+  // "worker-restart" span in the replacement incarnation's track.
+  std::string Trace = Pool.traceJson();
+  EXPECT_NE(Trace.find("\"name\":\"worker-restart\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"worker-0\""), std::string::npos);
+  EXPECT_NE(Trace.find("\"name\":\"worker-0/r1\""), std::string::npos);
+  EXPECT_NE(Pool.metricsText().find("cmarks_pool_worker_restarts_total 1"),
+            std::string::npos);
+}
+
+TEST(PoolTest, CircuitBreakerRetiresWorkerAfterConsecutiveFatalFailures) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.BreakerThreshold = 2;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+
+  JobResult R1 = Pool.submit(reserveBurner(), fatalLimits()).get();
+  JobResult R2 = Pool.submit(reserveBurner(), fatalLimits()).get();
+  EXPECT_EQ(R1.Outcome, JobOutcome::TrippedHeap);
+  EXPECT_EQ(R2.Outcome, JobOutcome::TrippedHeap);
+
+  // The second consecutive fatal opened the breaker: the lone worker
+  // retired and the pool turned itself off rather than rebuild-looping.
+  // Submits resolve as rejections, never hangs.
+  JobResult R3 = Pool.submit("'after-breaker").get();
+  EXPECT_EQ(R3.Outcome, JobOutcome::Rejected);
+
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_EQ(T.WorkerRestarts, 1u); // Fatal #1 rebuilt; #2 tripped the breaker.
+  EXPECT_EQ(T.BreakerOpens, 1u);
+  EXPECT_EQ(T.LiveWorkers, 0u);
+  Pool.shutdown(); // Still idempotent on a self-stopped pool.
+}
+
+TEST(PoolTest, DeadlineExpiresJobStuckInQueue) {
+  PoolOptions O;
+  O.Workers = 1;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  std::future<JobResult> Hog = Pool.submit("(begin (sleep-ms 150) 'hog)");
+  // FIFO: this job cannot be dequeued before the hog finishes, which is
+  // long past its 30ms deadline — it must be shed from the queue unrun.
+  std::future<JobResult> Doomed =
+      Pool.submit("'never", SubmitOptions().deadlineMs(30));
+  JobResult R = Doomed.get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Outcome, JobOutcome::Expired);
+  EXPECT_EQ(R.Attempts, 0u);
+  EXPECT_EQ(Hog.get().Output, "hog");
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_EQ(T.JobsExpired, 1u);
+  EXPECT_NE(Pool.metricsText().find("cmarks_pool_jobs_expired_total 1"),
+            std::string::npos);
+}
+
+TEST(PoolTest, DeadlineBoundsRunTimeViaTimeoutConversion) {
+  PoolOptions O;
+  O.Workers = 1;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  // No explicit TimeoutMs: the remaining deadline becomes the timeout at
+  // dequeue, so even an infinite loop retires near the deadline.
+  std::future<JobResult> F =
+      Pool.submit("(let loop () (loop))", SubmitOptions().deadlineMs(150));
+  JobResult R = F.get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Outcome, JobOutcome::TrippedTimeout);
+  EXPECT_EQ(R.Kind, ErrorKind::Timeout);
+}
+
+TEST(PoolTest, RetryBackoffIsDeterministicAndCapped) {
+  RetryPolicy P;
+  P.BaseBackoffMs = 4;
+  P.MaxBackoffMs = 32;
+  P.Jitter = true;
+  for (uint32_t A = 1; A <= 8; ++A) {
+    uint64_t B1 = retryBackoffMs(P, 42, A);
+    uint64_t B2 = retryBackoffMs(P, 42, A);
+    EXPECT_EQ(B1, B2) << "attempt " << A; // Pure: replays see the same sleeps.
+    uint64_t Raw = std::min<uint64_t>(32, 4ull << (A - 1));
+    EXPECT_GE(B1, Raw / 2) << "attempt " << A;
+    EXPECT_LE(B1, Raw) << "attempt " << A;
+  }
+  // Different job ids draw different jitter (de-synchronized thundering
+  // herds), still deterministically.
+  bool Differs = false;
+  for (uint64_t J = 0; J < 8 && !Differs; ++J)
+    Differs = retryBackoffMs(P, J, 3) != retryBackoffMs(P, J + 100, 3);
+  EXPECT_TRUE(Differs);
+  // Without jitter: pure capped exponential.
+  P.Jitter = false;
+  EXPECT_EQ(retryBackoffMs(P, 7, 1), 4u);
+  EXPECT_EQ(retryBackoffMs(P, 7, 2), 8u);
+  EXPECT_EQ(retryBackoffMs(P, 7, 4), 32u);
+  EXPECT_EQ(retryBackoffMs(P, 7, 9), 32u);
+}
+
+TEST(PoolTest, RetryPolicyReRunsInterruptedJobs) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.DefaultRetry.MaxAttempts = 3;
+  O.DefaultRetry.BaseBackoffMs = 1;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  // One interrupt fired mid-run evicts attempt 1 (transient); the retry
+  // runs clean and succeeds. The interrupt-vs-job-start race is real, so
+  // re-run the scenario until the interrupt actually lands mid-run.
+  bool SawRetry = false;
+  for (int Try = 0; Try < 40 && !SawRetry; ++Try) {
+    std::future<JobResult> F = Pool.submit(
+        "(let loop ((i 30000000)) (if (= i 0) 'done (loop (- i 1))))");
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    Pool.interruptAll();
+    JobResult R = F.get();
+    if (R.Ok && R.Attempts >= 2) {
+      EXPECT_EQ(R.Output, "done");
+      SawRetry = true;
+    } else if (!R.Ok) {
+      // Interrupts landed on every attempt: legal, try again.
+      EXPECT_EQ(R.Outcome, JobOutcome::TrippedInterrupt);
+    }
+  }
+  EXPECT_TRUE(SawRetry);
+  EXPECT_GE(Pool.stats().RetriesAttempted, 1u);
+}
+
+TEST(PoolTest, AdmissionControlShedsWhenQueueWaitExceedsBudget) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.QueueWaitBudgetMs = 10;
+  O.AdmissionWindow = 16;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  // Fill the admission window with long waits: job N queues behind N-1
+  // 25ms runs, so nearly every sample is far over the 10ms budget.
+  std::vector<std::future<JobResult>> Burst;
+  for (int I = 0; I < 10; ++I)
+    Burst.push_back(Pool.submit("(begin (sleep-ms 25) 'slow)"));
+  for (auto &F : Burst)
+    EXPECT_TRUE(F.get().Ok);
+  // The window p99 is now ~225ms >> 10ms: the door is closed.
+  JobResult R = Pool.submit("'too-late").get();
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Outcome, JobOutcome::Shed);
+  EXPECT_EQ(R.Id, 0u); // Never entered the queue.
+  EXPECT_NE(R.Error.find("admission control"), std::string::npos) << R.Error;
+  // trySubmit sheds at the same door.
+  std::future<JobResult> F2;
+  EXPECT_FALSE(Pool.trySubmit("'also-late", EngineLimits(), F2));
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_GE(T.JobsShed, 2u);
+  EXPECT_NE(Pool.metricsText().find("cmarks_pool_jobs_shed_total"),
+            std::string::npos);
+}
+
+TEST(PoolTest, PressureTightensDefaultLimitsBeforeShedding) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.QueueWaitBudgetMs = 100000; // Effectively never shed...
+  O.PressureQueueWaitMs = 10;   // ...but degrade early.
+  O.EnablePressureLimits = true;
+  O.PressureLimits.TimeoutMs = 40;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  std::vector<std::future<JobResult>> Burst;
+  for (int I = 0; I < 10; ++I)
+    Burst.push_back(Pool.submit("(begin (sleep-ms 25) 'slow)"));
+  for (auto &F : Burst)
+    EXPECT_TRUE(F.get().Ok);
+  EXPECT_TRUE(Pool.pressureActive());
+  // A default-limit job now inherits the tightened pressure budgets: the
+  // spinner is evicted by the 40ms pressure timeout it never asked for.
+  JobResult R = Pool.submit("(let loop () (loop))").get();
+  EXPECT_EQ(R.Outcome, JobOutcome::TrippedTimeout);
+  // Explicit per-job limits are never overridden.
+  EngineLimits Generous;
+  JobResult R2 = Pool.submit("'fine", Generous).get();
+  EXPECT_TRUE(R2.Ok) << R2.Error;
+  PoolTelemetry T = Pool.telemetry();
+  EXPECT_GE(T.JobsDegraded, 1u);
+  EXPECT_TRUE(T.PressureActive);
+}
+
+void expectBlockedSubmitterRejectedOnShutdown(bool Drain) {
+  PoolOptions O;
+  O.Workers = 1;
+  O.QueueCapacity = 1;
+  EnginePool Pool(O);
+  EXPECT_EQ(Pool.submit("'warm").get().Output, "warm");
+  std::future<JobResult> Hog = Pool.submit("(begin (sleep-ms 600) 'hog)");
+  // Wait for the worker to dequeue the hog, then occupy the lone slot.
+  std::future<JobResult> Queued;
+  bool Accepted = false;
+  for (int I = 0; I < 500 && !Accepted; ++I) {
+    Accepted = Pool.trySubmit("'queued", EngineLimits(), Queued);
+    if (!Accepted)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(Accepted);
+  // This submitter blocks on backpressure: queue full, hog asleep.
+  std::future<JobResult> BlockedF;
+  std::thread Submitter([&] { BlockedF = Pool.submit("'blocked"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // JobsSubmitted counts accepted jobs: 3 means 'blocked is still parked
+  // in submit() (warm + hog + queued). On a pathologically slow host the
+  // hog may already have finished and admitted it; then the scenario
+  // didn't arm and the rejection assertion doesn't apply.
+  bool WasBlocked = Pool.stats().JobsSubmitted == 3;
+  Pool.shutdown(Drain);
+  Submitter.join();
+  JobResult R = BlockedF.get(); // Must resolve either way: never a hang.
+  if (WasBlocked) {
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Outcome, JobOutcome::Rejected);
+  }
+  EXPECT_EQ(Hog.get().Output, "hog"); // The running job always finishes.
+  JobResult Q = Queued.get();
+  if (Drain) {
+    EXPECT_TRUE(Q.Ok) << Q.Error;
+    EXPECT_EQ(Q.Output, "queued");
+  } else {
+    EXPECT_EQ(Q.Outcome, JobOutcome::Rejected);
+  }
+}
+
+TEST(PoolTest, BlockedSubmitterIsWokenAndRejectedByDrainShutdown) {
+  expectBlockedSubmitterRejectedOnShutdown(/*Drain=*/true);
+}
+
+TEST(PoolTest, BlockedSubmitterIsWokenAndRejectedByImmediateShutdown) {
+  expectBlockedSubmitterRejectedOnShutdown(/*Drain=*/false);
+}
+
+TEST(PoolTest, InterruptAllRacingDrainShutdownResolvesEverything) {
+  PoolOptions O;
+  O.Workers = 2;
+  EnginePool Pool(O);
+  std::vector<std::future<JobResult>> Futures;
+  for (int I = 0; I < 4; ++I)
+    Futures.push_back(Pool.submit("(let loop () (loop))"));
+  for (int I = 0; I < 8; ++I)
+    Futures.push_back(Pool.submit("(+ 1 " + std::to_string(I) + ")"));
+  // Drain shutdown cannot finish while spinners hold the workers; keep
+  // firing interrupts at it until the drain completes. This is exactly
+  // the operator's "graceful stop of a wedged pool" sequence.
+  std::atomic<bool> Done{false};
+  std::thread Stopper([&] {
+    Pool.shutdown(/*Drain=*/true);
+    Done.store(true);
+  });
+  while (!Done.load()) {
+    Pool.interruptAll();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  Stopper.join();
+  unsigned Ok = 0, Interrupted = 0, Rejected = 0;
+  for (auto &F : Futures) {
+    JobResult R = F.get(); // Every future resolves.
+    switch (R.Outcome) {
+    case JobOutcome::Ok:
+      ++Ok;
+      break;
+    case JobOutcome::TrippedInterrupt:
+      ++Interrupted;
+      break;
+    case JobOutcome::Rejected:
+      ++Rejected;
+      break;
+    default:
+      ADD_FAILURE() << "unexpected outcome " << jobOutcomeName(R.Outcome)
+                    << ": " << R.Error;
+    }
+  }
+  EXPECT_EQ(Ok + Interrupted + Rejected, Futures.size());
+  EXPECT_GE(Interrupted, 2u); // The spinners only ever leave by eviction.
 }
 
 // --- Raw concurrent engines (the ThreadSanitizer smoke) -------------------

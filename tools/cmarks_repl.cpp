@@ -14,7 +14,10 @@
 #include "api/scheme.h"
 #include "reader/reader.h"
 #include "runtime/printer.h"
+#include "support/pool.h"
+#include "support/timing.h"
 
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -40,12 +43,16 @@ struct CliOptions {
   std::string ProfileFile;  ///< --profile=FILE: collapsed stacks on exit.
   uint32_t ProfileHz = 0;   ///< --profile-hz=N (0 = profiler default).
   EngineLimits Limits;      ///< --heap-limit / --stack-limit / --timeout.
+  uint64_t DeadlineMs = 0;  ///< --deadline: whole-run wall-clock budget.
   std::vector<std::string> Files;
   std::vector<std::string> Exprs;
 };
 
 /// Exit codes: 0 success, 1 ordinary error, 2 usage, 3 resource-limit
 /// trip, 130 interrupt (matching the shell convention for SIGINT).
+/// The serving outcomes reuse the pool's table (jobOutcomeExitCode):
+/// 5 = deadline expired before the work ran, 4 = shed by admission
+/// control (pool-only; reserved here so the two tables stay aligned).
 enum ExitCode {
   ExitOk = 0,
   ExitError = 1,
@@ -158,6 +165,10 @@ void printHelp() {
       "                     a catchable exn:stack-limit?\n"
       "  --timeout=MS       per-evaluation wall-clock budget; raises a\n"
       "                     catchable exn:timeout?\n"
+      "  --deadline=MS      wall-clock deadline for the whole batch run;\n"
+      "                     each file/-e gets at most the remaining time\n"
+      "                     (folded into --timeout), and work not started\n"
+      "                     by the deadline is shed with exit code 5\n"
       "  --fault-report     print fault-injection site summary on exit\n"
       "                     (sites armed via CMARKS_FAULT_SPEC; probes\n"
       "                     active in -DCMARKS_FAULTS=ON builds)\n"
@@ -165,7 +176,8 @@ void printHelp() {
       "With no files or -e options, starts an interactive REPL.\n"
       "Ctrl-C interrupts the running evaluation (catchable as\n"
       "exn:interrupt?). Exit codes: 0 ok, 1 error, 2 usage, 3 resource\n"
-      "limit, 130 interrupted.\n");
+      "limit, 4 shed (serving pool only), 5 deadline expired,\n"
+      "130 interrupted.\n");
 }
 
 /// Counts unclosed parens/brackets outside strings and comments, so the
@@ -263,6 +275,13 @@ int main(int Argc, char **Argv) {
       if (!parseCount(Arg.substr(10), Opts.Limits.TimeoutMs) ||
           Opts.Limits.TimeoutMs == 0) {
         std::fprintf(stderr, "bad --timeout (want milliseconds): %s\n",
+                     Arg.c_str());
+        return ExitUsage;
+      }
+    } else if (Arg.rfind("--deadline=", 0) == 0) {
+      if (!parseCount(Arg.substr(11), Opts.DeadlineMs) ||
+          Opts.DeadlineMs == 0) {
+        std::fprintf(stderr, "bad --deadline (want milliseconds): %s\n",
                      Arg.c_str());
         return ExitUsage;
       }
@@ -387,7 +406,36 @@ int main(int Argc, char **Argv) {
     return Ret;
   };
 
+  // Whole-run deadline (--deadline): the same policy the serving pool
+  // applies per job — work that has not started by the deadline is shed
+  // (typed Expired, exit 5), and work that does start gets at most the
+  // remaining time folded into its timeout, so an over-budget unit trips
+  // exn:timeout? (exit 3) instead of overshooting the deadline.
+  uint64_t DeadlineNs =
+      Opts.DeadlineMs ? nowNanos() + Opts.DeadlineMs * 1000000ull : 0;
+  auto DeadlineExpired = [&](const char *What) {
+    if (!DeadlineNs || nowNanos() < DeadlineNs)
+      return false;
+    std::fprintf(stderr,
+                 "deadline expired (%llu ms): %s shed without running\n",
+                 static_cast<unsigned long long>(Opts.DeadlineMs), What);
+    return true;
+  };
+  auto ApplyRemainingBudget = [&]() {
+    if (!DeadlineNs)
+      return;
+    uint64_t Now = nowNanos();
+    uint64_t RemainMs =
+        Now < DeadlineNs ? (DeadlineNs - Now + 999999) / 1000000 : 1;
+    Engine.limits().TimeoutMs =
+        Opts.Limits.TimeoutMs
+            ? std::min<uint64_t>(Opts.Limits.TimeoutMs, RemainMs)
+            : RemainMs;
+  };
+
   for (const std::string &File : Opts.Files) {
+    if (DeadlineExpired(File.c_str()))
+      return Epilogue(jobOutcomeExitCode(JobOutcome::Expired));
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "cannot open %s\n", File.c_str());
@@ -395,6 +443,7 @@ int main(int Argc, char **Argv) {
     }
     std::stringstream Buf;
     Buf << In.rdbuf();
+    ApplyRemainingBudget();
     Engine.eval(Buf.str());
     if (!Engine.ok()) {
       std::fprintf(stderr, "%s: %s\n", File.c_str(),
@@ -404,6 +453,9 @@ int main(int Argc, char **Argv) {
   }
 
   for (const std::string &Expr : Opts.Exprs) {
+    if (DeadlineExpired("expression"))
+      return Epilogue(jobOutcomeExitCode(JobOutcome::Expired));
+    ApplyRemainingBudget();
     Value V = Engine.eval(Expr);
     if (!Engine.ok()) {
       std::fprintf(stderr, "error: %s\n", Engine.lastError().c_str());

@@ -18,9 +18,18 @@ Output: a human-readable summary plus a JSON report (schema
 cmarks-fault-sweep-v1) suitable for CI artifacts. Exit status is 0 only
 if every scheduled run passed.
 
+With --pool the sweep drives tools/chaos_pool instead of ctest: each
+scheduled spec is injected into every worker engine of a serving pool
+while the chaos harness asserts its resilience invariants (full outcome
+accounting, goodput, supervised restarts). This is the "faults under
+concurrency" leg — the ctest sweep checks single-engine semantics, the
+pool sweep checks that injection plus supervision never wedges or
+miscounts a fleet.
+
 Usage:
   tools/fault_sweep.py --build-dir build-faults
   tools/fault_sweep.py --build-dir build-faults --smoke   # CI-sized
+  tools/fault_sweep.py --build-dir build-faults --smoke --pool
 """
 
 import argparse
@@ -77,6 +86,58 @@ def schedule(smoke, seeds):
             (f"overflow:p=1,seed={seed};nofuse:p=50,seed={seed}",
              NOFUSE_EXCLUDE))
     return runs
+
+
+def pool_schedule(smoke, seeds):
+    """Specs for the --pool sweep (no exclusion regexes: chaos_pool owns
+    its assertions).
+
+    The oom site appears here even though the ctest sweep excludes
+    limit-sensitive suites: an injected allocation failure surfaces as a
+    catchable heap trip, which is exactly the transient the pool's retry
+    policy exists for. Intervals are coarser than the ctest sweep's
+    because every worker engine runs the spec simultaneously.
+    """
+    runs = [("gc:every=997", ""), ("overflow:every=127", ""),
+            ("oom:every=5003", ""), ("nofuse:every=1", "")]
+    if smoke:
+        return runs
+    for every in (499, 2003):
+        runs.append((f"gc:every={every}", ""))
+    for every in (251, 509):
+        runs.append((f"overflow:every={every}", ""))
+    for seed in seeds:
+        runs.append((f"overflow:p=1,seed={seed};nofuse:p=50,seed={seed}", ""))
+    return runs
+
+
+def run_chaos_pool(build_dir, spec, jobs_unused, env_base):
+    binary = Path(build_dir) / "tools" / "chaos_pool"
+    if not binary.is_file():
+        return {"spec": spec, "mode": "pool", "returncode": 127,
+                "duration_s": 0.0}, f"{binary} not built"
+    report = Path(build_dir) / "chaos-sweep-report.json"
+    cmd = [str(binary), "--smoke", f"--fault-spec={spec}",
+           f"--report={report}"]
+    start = time.monotonic()
+    proc = subprocess.run(cmd, env=dict(env_base), capture_output=True,
+                          text=True)
+    duration = time.monotonic() - start
+    out = proc.stdout + proc.stderr
+    result = {
+        "spec": spec,
+        "mode": "pool",
+        "returncode": proc.returncode,
+        "duration_s": round(duration, 2),
+    }
+    try:
+        chaos = json.loads(report.read_text())
+        result["goodput_pct"] = chaos.get("goodput_pct")
+        result["worker_restarts"] = chaos.get("worker_restarts")
+        result["faults_injected"] = chaos.get("faults_injected")
+    except (OSError, json.JSONDecodeError):
+        pass
+    return result, out
 
 
 def faults_enabled(build_dir):
@@ -136,6 +197,9 @@ def main():
                     help="JSON report path (default: <build-dir>/fault-sweep.json)")
     ap.add_argument("--verbose", action="store_true",
                     help="print ctest output for failing runs")
+    ap.add_argument("--pool", action="store_true",
+                    help="sweep tools/chaos_pool (serving-pool resilience "
+                         "under injection) instead of the ctest suite")
     args = ap.parse_args()
 
     build_dir = Path(args.build_dir)
@@ -145,27 +209,41 @@ def main():
         return 2
 
     seeds = [int(s) for s in args.seeds.split(",") if s]
-    runs = schedule(args.smoke, seeds)
-    report_path = Path(args.report) if args.report else build_dir / "fault-sweep.json"
+    runs = (pool_schedule if args.pool else schedule)(args.smoke, seeds)
+    default_name = "fault-sweep-pool.json" if args.pool else "fault-sweep.json"
+    report_path = Path(args.report) if args.report else build_dir / default_name
 
     import os
     env_base = dict(os.environ)
     results = []
     ok = True
     for i, (spec, exclude) in enumerate(runs, 1):
-        print(f"[{i}/{len(runs)}] CMARKS_FAULT_SPEC={spec!r} ... ",
+        what = "chaos_pool" if args.pool else "ctest"
+        print(f"[{i}/{len(runs)}] {what} CMARKS_FAULT_SPEC={spec!r} ... ",
               end="", flush=True)
-        result, out = run_ctest(build_dir, spec, exclude, args.jobs, env_base)
+        if args.pool:
+            result, out = run_chaos_pool(build_dir, spec, args.jobs, env_base)
+        else:
+            result, out = run_ctest(build_dir, spec, exclude, args.jobs,
+                                    env_base)
         results.append(result)
         if result["returncode"] == 0:
-            print(f"ok ({result['passed']} tests, {result['duration_s']}s)",
-                  flush=True)
+            if args.pool:
+                print(f"ok (goodput {result.get('goodput_pct')}%, "
+                      f"{result.get('worker_restarts')} restarts, "
+                      f"{result['duration_s']}s)", flush=True)
+            else:
+                print(f"ok ({result['passed']} tests, "
+                      f"{result['duration_s']}s)", flush=True)
         else:
             ok = False
-            print(f"FAILED ({result['failed']} of "
-                  f"{result['passed'] + result['failed']} tests)")
-            for name in result["failed_tests"]:
-                print(f"    failed: {name}")
+            if args.pool:
+                print(f"FAILED (exit {result['returncode']})")
+            else:
+                print(f"FAILED ({result['failed']} of "
+                      f"{result['passed'] + result['failed']} tests)")
+                for name in result["failed_tests"]:
+                    print(f"    failed: {name}")
             if args.verbose:
                 print(out)
             sys.stdout.flush()
@@ -174,6 +252,7 @@ def main():
         "schema": SCHEMA,
         "build_dir": str(build_dir),
         "smoke": args.smoke,
+        "mode": "pool" if args.pool else "ctest",
         "ok": ok,
         "runs": results,
     }

@@ -8,6 +8,10 @@ bench_pool's CMARKS_BENCH_METRICS_JSON hook.
   metrics_report.py FILE            human summary (gauges, counters,
                                     histogram percentiles)
   metrics_report.py --check FILE    validate the schema; exit 0/1 (CI)
+  metrics_report.py --check --require NAME,NAME,.. FILE
+                                    additionally require the named metric
+                                    families to be present (values may be
+                                    zero; absence is the failure)
 
 Schema:
 
@@ -130,16 +134,43 @@ def report(doc, path):
                   f"p99 {e['p99']:g}  p999 {e['p999']:g}")
 
 
+def require(doc, path, families):
+    """Fails unless every named metric family appears in the document.
+
+    Presence is the contract — a freshly started pool exports its restart
+    and shed counters at zero, and a snapshot that silently dropped a
+    family is exactly the regression this guards against.
+    """
+    present = set()
+    for kind in ("counters", "gauges", "histograms"):
+        for e in doc.get(kind, []):
+            name = e.get("name")
+            if isinstance(name, str):
+                present.add(name)
+    missing = sorted(f for f in families if f not in present)
+    if missing:
+        fail(f"{path}: required metric families missing: {', '.join(missing)}")
+    print(f"{path}: all {len(families)} required families present")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", help="metrics JSON file")
     ap.add_argument("--check", action="store_true",
                     help="validate the schema instead of summarizing")
+    ap.add_argument("--require", default=None, metavar="NAME,NAME,...",
+                    help="fail unless every named metric family is present "
+                         "(implies validation-style exit codes)")
     args = ap.parse_args()
     doc = load(args.file)
     if args.check:
         check(doc, args.file)
-    else:
+    if args.require:
+        families = [f for f in args.require.split(",") if f]
+        if not families:
+            fail("--require needs at least one family name")
+        require(doc, args.file, families)
+    if not args.check and not args.require:
         report(doc, args.file)
 
 
