@@ -266,6 +266,10 @@ void cmk::applyCompositeCont(VM &M, Value KV, Value Arg, bool TailMode) {
     Clone->MarkHeight = static_cast<uint32_t>(M.MarkStack.size());
     Clone->Next = NewNext.get();
     Clone->setShot(ContShot::Full);
+    // The source records were promoted (and so pinned) at capture, but
+    // keep the invariant local: every full record pins its segment.
+    if (Clone->Seg.isKind(ObjKind::StackSeg))
+      asStackSeg(Clone->Seg)->H.Flags |= objflags::SegPinned;
     NewNext.set(CloneV);
   }
 

@@ -7,8 +7,25 @@
 #include "support/trace.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
+
+// Recycled segments are poisoned while pooled so a use-after-recycle trips
+// AddressSanitizer instead of silently reading stale frames.
+#if defined(__SANITIZE_ADDRESS__)
+#define CMK_HEAP_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define CMK_HEAP_ASAN 1
+#endif
+#endif
+#ifndef CMK_HEAP_ASAN
+#define CMK_HEAP_ASAN 0
+#endif
+#if CMK_HEAP_ASAN
+#include <sanitizer/asan_interface.h>
+#endif
 
 using namespace cmk;
 
@@ -20,6 +37,55 @@ constexpr size_t BlockSize = 1u << 20;      // 1 MiB bump blocks.
 constexpr size_t MaxSmallBytes = 1024;      // Larger allocations use malloc.
 constexpr uint64_t InitialGCThreshold = 16ull << 20;
 constexpr size_t NumSymBuckets = 4096;
+
+// Segment pool tuning: the pool holds at most this many bytes (beyond it,
+// dead segments fall back to the sweep's free path), and nursery blocks are
+// small enough that an all-dead rewind is the common case.
+constexpr uint64_t SegPoolByteCap = 16ull << 20;
+constexpr size_t NurseryBlockSize = 256u << 10;
+constexpr size_t MaxNurseryObjBytes = 512;
+constexpr size_t MaxSpareNurseryBlocks = 4;
+
+/// floor(log2(Bytes)); segment-pool class of a chunk's true size.
+size_t segClassOf(size_t Bytes) {
+  size_t C = 0;
+  while (Bytes > 1) {
+    Bytes >>= 1;
+    ++C;
+  }
+  return C;
+}
+
+/// The byte range of a pooled chunk that is dead while pooled: everything
+/// past Slots[0] (which holds the pool's intrusive next pointer).
+char *pooledDeadLo(StackSegObj *S) {
+  return reinterpret_cast<char *>(&S->Slots[1]);
+}
+char *pooledDeadHi(StackSegObj *S) {
+  return reinterpret_cast<char *>(S) + S->H.SizeBytes;
+}
+
+void poisonPooledSeg(StackSegObj *S) {
+  char *Lo = pooledDeadLo(S), *Hi = pooledDeadHi(S);
+  if (Hi <= Lo)
+    return;
+#ifndef NDEBUG
+  std::memset(Lo, 0xAB, Hi - Lo);
+#endif
+#if CMK_HEAP_ASAN
+  __asan_poison_memory_region(Lo, Hi - Lo);
+#endif
+}
+
+void unpoisonPooledSeg(StackSegObj *S) {
+#if CMK_HEAP_ASAN
+  char *Lo = pooledDeadLo(S), *Hi = pooledDeadHi(S);
+  if (Hi > Lo)
+    __asan_unpoison_memory_region(Lo, Hi - Lo);
+#else
+  (void)S;
+#endif
+}
 
 struct FreeChunk {
   ObjHeader H;
@@ -74,8 +140,21 @@ Heap::~Heap() {
     }
     std::free(B.Mem);
   }
+  for (Block &B : NurseryBlocks) {
+    char *P = B.Mem;
+    while (P < B.Mem + B.Used) {
+      ObjHeader *O = reinterpret_cast<ObjHeader *>(P);
+      if (static_cast<uint8_t>(O->Kind) != FreeChunkKind)
+        FinalizeObj(O);
+      P += O->SizeBytes;
+    }
+    std::free(B.Mem);
+  }
   for (ObjHeader *O : LargeObjs) {
-    FinalizeObj(O);
+    if (O->Kind == ObjKind::StackSeg && (O->Flags & objflags::SegPooled))
+      unpoisonPooledSeg(reinterpret_cast<StackSegObj *>(O));
+    else
+      FinalizeObj(O);
     std::free(O);
   }
 }
@@ -93,11 +172,14 @@ void Heap::removeRootSource(GCRootSource *Src) {
 
 void *Heap::checkedMalloc(size_t Bytes, const char *What) {
   void *Mem = std::malloc(Bytes);
-  if (!Mem && !GCPaused && !InGC) {
-    // Real OOM from the host: a collection may return free chunks to
-    // size-class lists and, more importantly, lets a retry reuse address
-    // space the allocator already holds.
-    collect();
+  if (!Mem) {
+    // Real OOM from the host: the segment pool is pure slack, give it back
+    // first; a collection may then return free chunks to size-class lists
+    // and, more importantly, lets a retry reuse address space the
+    // allocator already holds.
+    releasePooledSegments();
+    if (!GCPaused && !InGC)
+      collect();
     Mem = std::malloc(Bytes);
   }
   if (!Mem)
@@ -115,6 +197,16 @@ void Heap::checkHeapBudget(size_t Rounded) {
   uint64_t Budget = LimitsPtr->HeapBytes;
   if (BytesInUse + Rounded <= Budget)
     return;
+
+  // Pooled-but-free segments count against the budget (they are committed
+  // memory); before escalating to a collection or a headroom grant, give
+  // that slack back so a program cycling segments within its budget never
+  // trips just because the pool filled.
+  if (PooledSegCount != 0) {
+    releasePooledSegments();
+    if (BytesInUse + Rounded <= Budget)
+      return;
+  }
 
   if (!HeadroomActive) {
     // Over budget for the first time: collecting may shed garbage that
@@ -222,6 +314,49 @@ void *Heap::allocRaw(size_t Bytes, ObjKind Kind) {
   return Mem;
 }
 
+void *Heap::allocNursery(size_t Bytes, ObjKind Kind) {
+  size_t Rounded = (Bytes + 15) & ~size_t(15);
+  if (Rounded > MaxNurseryObjBytes)
+    return allocRaw(Bytes, Kind);
+  // Identical governance to allocRaw: the nursery changes where young
+  // objects land, not what an allocation is allowed to do.
+  if (CMK_FAULT(FaultsPtr, Gc) && !GCPaused && !InGC)
+    collect();
+  maybeCollect();
+  checkHeapBudget(Rounded);
+
+  if (NurseryBlocks.empty() ||
+      NurseryBlocks.back().Used + Rounded > NurseryBlocks.back().Size) {
+    // Prefer a spare rewound block over growing the nursery.
+    size_t Empty = SIZE_MAX;
+    for (size_t I = 0; I + 1 < NurseryBlocks.size(); ++I)
+      if (NurseryBlocks[I].Used == 0) {
+        Empty = I;
+        break;
+      }
+    if (Empty != SIZE_MAX) {
+      std::swap(NurseryBlocks[Empty], NurseryBlocks.back());
+    } else {
+      char *Mem = static_cast<char *>(
+          checkedMalloc(NurseryBlockSize, "out of memory (nursery block)"));
+      NurseryBlocks.push_back({Mem, 0, NurseryBlockSize});
+    }
+  }
+  Block &B = NurseryBlocks.back();
+  void *Mem = B.Mem + B.Used;
+  B.Used += Rounded;
+
+  std::memset(Mem, 0, Rounded);
+  ObjHeader *O = static_cast<ObjHeader *>(Mem);
+  O->Kind = Kind;
+  O->SizeBytes = static_cast<uint32_t>(Rounded);
+  BytesSinceGC += Rounded;
+  Stats.BytesAllocated += Rounded;
+  BytesInUse += Rounded;
+  CMK_STAT_DETAIL(VmStatsPtr, NurseryAllocs);
+  return Mem;
+}
+
 void Heap::maybeCollect() {
   if (BytesSinceGC >= GCThreshold && !GCPaused && !InGC)
     collect();
@@ -278,6 +413,10 @@ void Heap::traceObject(ObjHeader *O) {
     // area hold valid (possibly stale) values; tracing them conservatively
     // retains at most one dead frame's worth of garbage per segment.
     auto *S = reinterpret_cast<StackSegObj *>(O);
+    // A pooled segment's slots are dead (poisoned in sanitized builds);
+    // it can only be reached through a stale reference, never traced into.
+    if (S->H.Flags & objflags::SegPooled)
+      break;
     for (uint32_t I = 0; I < S->Capacity; ++I)
       traceValue(S->Slots[I]);
     break;
@@ -291,6 +430,11 @@ void Heap::traceObject(ObjHeader *O) {
       K->setShot(ContShot::Full);
       ++Stats.OneShotPromotions;
     }
+    // A full record restores by copying from its segment at an arbitrary
+    // later time, so the segment must never be recycled out from under it:
+    // pin it (sticky; sweep still reclaims it once unreachable).
+    if (K->Seg.isKind(ObjKind::StackSeg))
+      K->Seg.obj()->Flags |= objflags::SegPinned;
     traceValue(K->Seg);
     traceValue(K->RetCode);
     traceValue(K->Marks);
@@ -398,12 +542,29 @@ void Heap::sweep() {
     }
   }
 
+  sweepNursery(LiveBytes);
+
   std::vector<ObjHeader *> SurvivingLarge;
   SurvivingLarge.reserve(LargeObjs.size());
   for (ObjHeader *O : LargeObjs) {
+    // Pooled segments first: a stale reference (e.g. a consumed record
+    // still reachable from a captured chain) may have marked one, but it
+    // is free memory, not a live object — keep it pooled either way.
+    if (O->Kind == ObjKind::StackSeg && (O->Flags & objflags::SegPooled)) {
+      O->Flags &= ~objflags::GCMark;
+      SurvivingLarge.push_back(O);
+      continue;
+    }
     if ((O->Flags & objflags::GCMark) || (O->Flags & objflags::Immortal)) {
       O->Flags &= ~objflags::GCMark;
       LiveBytes += O->SizeBytes;
+      SurvivingLarge.push_back(O);
+    } else if (O->Kind == ObjKind::StackSeg &&
+               pushPooledSeg(reinterpret_cast<StackSegObj *>(O))) {
+      // Dead segment routed into the recycling pool: it stays in LargeObjs
+      // and in BytesInUse, but is no longer a live segment.
+      if (LiveSegments > 0)
+        --LiveSegments;
       SurvivingLarge.push_back(O);
     } else {
       if (O->Kind == ObjKind::Port && O->Aux == 1)
@@ -417,6 +578,64 @@ void Heap::sweep() {
   }
   LargeObjs.swap(SurvivingLarge);
   Stats.LiveBytesAfterLastGC = LiveBytes;
+}
+
+void Heap::sweepNursery(uint64_t &LiveBytes) {
+  std::vector<Block> Kept;
+  size_t EmptyKept = 0;
+  for (Block &B : NurseryBlocks) {
+    bool AnyLive = false;
+    for (char *P = B.Mem; P < B.Mem + B.Used;) {
+      ObjHeader *O = reinterpret_cast<ObjHeader *>(P);
+      if (static_cast<uint8_t>(O->Kind) != FreeChunkKind &&
+          (O->Flags & (objflags::GCMark | objflags::Immortal))) {
+        AnyLive = true;
+        break;
+      }
+      P += O->SizeBytes;
+    }
+    if (!AnyLive) {
+      // Everything in the block died young: rewind it wholesale. Keep a
+      // few empty blocks hot for the next mutator burst, free the rest.
+      BytesInUse -= B.Used;
+      if (B.Used != 0 && VmStatsPtr)
+        ++VmStatsPtr->NurseryResets;
+      B.Used = 0;
+      if (EmptyKept < MaxSpareNurseryBlocks) {
+        Kept.push_back(B);
+        ++EmptyKept;
+      } else {
+        std::free(B.Mem);
+      }
+      continue;
+    }
+    // Survivors: tenure the whole block into the mark-sweep block set,
+    // threading its dead objects onto the size-class free lists exactly as
+    // the tenured sweep would.
+    for (char *P = B.Mem; P < B.Mem + B.Used;) {
+      ObjHeader *O = reinterpret_cast<ObjHeader *>(P);
+      uint32_t Size = O->SizeBytes;
+      if (static_cast<uint8_t>(O->Kind) != FreeChunkKind &&
+          (O->Flags & (objflags::GCMark | objflags::Immortal))) {
+        O->Flags &= ~objflags::GCMark;
+        LiveBytes += Size;
+      } else if (static_cast<uint8_t>(O->Kind) != FreeChunkKind) {
+        if (O->Kind == ObjKind::Port && O->Aux == 1)
+          delete static_cast<std::string *>(
+              reinterpret_cast<PortObj *>(O)->Stream);
+        BytesInUse -= Size;
+        O->Kind = static_cast<ObjKind>(FreeChunkKind);
+        auto *F = reinterpret_cast<FreeChunk *>(O);
+        F->Next = FreeLists[sizeClassOf(Size)];
+        FreeLists[sizeClassOf(Size)] = F;
+      }
+      P += Size;
+    }
+    Blocks.push_back(B);
+    if (VmStatsPtr)
+      ++VmStatsPtr->NurseryPromotions;
+  }
+  NurseryBlocks.swap(Kept);
 }
 
 void Heap::collect() {
@@ -457,7 +676,7 @@ void Heap::collect() {
 
 Value Heap::makePair(Value Car, Value Cdr) {
   GCRoot R1(*this, Car), R2(*this, Cdr);
-  auto *P = static_cast<Pair *>(allocRaw(sizeof(Pair), ObjKind::Pair));
+  auto *P = static_cast<Pair *>(allocNursery(sizeof(Pair), ObjKind::Pair));
   P->Car = R1.get();
   P->Cdr = R2.get();
   return Value::fromObj(&P->H);
@@ -572,8 +791,37 @@ Value Heap::makeStackSeg(uint32_t CapacitySlots) {
                               "stack segment limit exceeded beyond reserve"};
     }
   }
-  auto *S = static_cast<StackSegObj *>(allocRaw(
-      sizeof(StackSegObj) + sizeof(Value) * CapacitySlots, ObjKind::StackSeg));
+  size_t Bytes = sizeof(StackSegObj) + sizeof(Value) * CapacitySlots;
+  size_t Rounded = (Bytes + 15) & ~size_t(15);
+
+  // Pool first: a recycled chunk reuses memory that is already committed
+  // and counted, so it bypasses the allocation governance entirely.
+  if (StackSegObj *S = popPooledSeg(Rounded, CapacitySlots)) {
+    ++LiveSegments;
+    if (VmStatsPtr)
+      ++VmStatsPtr->SegmentRecycles;
+    CMK_TRACE_EV_P(TraceBufPtr, SegmentRecycle, CapacitySlots);
+    return Value::fromObj(&S->H);
+  }
+
+  // Fresh allocation. Segments always take the individually-malloc'd
+  // LargeObjs path (never the small bump blocks) so every chunk can later
+  // be pooled and handed back independently of its neighbours. Same
+  // governance order as allocRaw: fault site, collection, budget — all
+  // before any memory or accounting changes.
+  if (CMK_FAULT(FaultsPtr, Gc) && !GCPaused && !InGC)
+    collect();
+  maybeCollect();
+  checkHeapBudget(Rounded);
+  void *Mem = checkedMalloc(Rounded, "out of memory (stack segment)");
+  LargeObjs.push_back(static_cast<ObjHeader *>(Mem));
+  std::memset(Mem, 0, Rounded);
+  auto *S = static_cast<StackSegObj *>(Mem);
+  S->H.Kind = ObjKind::StackSeg;
+  S->H.SizeBytes = static_cast<uint32_t>(Rounded);
+  BytesSinceGC += Rounded;
+  Stats.BytesAllocated += Rounded;
+  BytesInUse += Rounded;
   S->Capacity = CapacitySlots;
   ++LiveSegments;
   if (VmStatsPtr) {
@@ -582,6 +830,104 @@ Value Heap::makeStackSeg(uint32_t CapacitySlots) {
   }
   CMK_TRACE_EV_P(TraceBufPtr, SegmentAlloc, CapacitySlots);
   return Value::fromObj(&S->H);
+}
+
+bool Heap::pushPooledSeg(StackSegObj *S) {
+  if (!RecyclingEnabled)
+    return false;
+  if (PooledSegBytes + S->H.SizeBytes > SegPoolByteCap)
+    return false;
+  size_t Class = segClassOf(S->H.SizeBytes);
+  if (Class >= NumSegClasses)
+    return false;
+  S->H.Flags = objflags::SegPooled; // Clears mark/pin too.
+  S->RecordRefs = 0;
+  S->Slots[0] = Value::fromRaw(reinterpret_cast<uint64_t>(SegPool[Class]));
+  SegPool[Class] = S;
+  PooledSegBytes += S->H.SizeBytes;
+  ++PooledSegCount;
+  poisonPooledSeg(S);
+  return true;
+}
+
+StackSegObj *Heap::popPooledSeg(size_t Rounded, uint32_t CapacitySlots) {
+  if (PooledSegCount == 0)
+    return nullptr;
+  // Chunks in class K have true size in [2^K, 2^(K+1)), so the request's
+  // own floor class holds both fitting and too-small chunks: a short
+  // first-fit scan catches the steady-state case where the segment vacated
+  // a moment ago is re-requested at the same (non-power-of-two) size.
+  // Every chunk in the classes above fits; the class cap bounds internal
+  // waste at ~16x. The header, Capacity/RecordRefs, and the intrusive
+  // next pointer in Slots[0] stay unpoisoned while pooled, so the scan
+  // never reads poisoned memory.
+  size_t First = segClassOf(Rounded);
+  size_t Last = std::min(First + 3, NumSegClasses - 1);
+  for (size_t Class = First; Class <= Last; ++Class) {
+    StackSegObj *Prev = nullptr;
+    auto *S = static_cast<StackSegObj *>(SegPool[Class]);
+    for (int Scan = 0; S && Scan < 8; ++Scan) {
+      auto *Next = reinterpret_cast<StackSegObj *>(S->Slots[0].raw());
+      if (S->H.SizeBytes >= Rounded) {
+        if (Prev)
+          Prev->Slots[0] = Value::fromRaw(reinterpret_cast<uint64_t>(Next));
+        else
+          SegPool[Class] = Next;
+        PooledSegBytes -= S->H.SizeBytes;
+        --PooledSegCount;
+        unpoisonPooledSeg(S);
+        // SizeBytes keeps the chunk's true size (sweep accounting and the
+        // pool classes depend on it); Capacity shrinks to the request.
+        S->H.Flags = 0;
+        S->RecordRefs = 0;
+        S->Capacity = CapacitySlots;
+        std::memset(S->Slots, 0, sizeof(Value) * CapacitySlots);
+        return S;
+      }
+      Prev = S;
+      S = Next;
+    }
+  }
+  return nullptr;
+}
+
+void Heap::recycleStackSeg(Value SegV) {
+  if (!RecyclingEnabled || InGC)
+    return;
+  StackSegObj *S = asStackSeg(SegV);
+  if (S->H.Flags & (objflags::SegPinned | objflags::SegPooled))
+    return;
+  if (S->RecordRefs != 0)
+    return;
+  if (pushPooledSeg(S) && LiveSegments > 0)
+    --LiveSegments;
+}
+
+void Heap::releasePooledSegments() {
+  if (PooledSegCount == 0)
+    return;
+  for (size_t I = 0; I < NumSegClasses; ++I)
+    SegPool[I] = nullptr;
+  std::vector<ObjHeader *> Kept;
+  Kept.reserve(LargeObjs.size());
+  for (ObjHeader *O : LargeObjs) {
+    if (O->Kind == ObjKind::StackSeg && (O->Flags & objflags::SegPooled)) {
+      unpoisonPooledSeg(reinterpret_cast<StackSegObj *>(O));
+      BytesInUse -= O->SizeBytes;
+      std::free(O);
+    } else {
+      Kept.push_back(O);
+    }
+  }
+  LargeObjs.swap(Kept);
+  PooledSegBytes = 0;
+  PooledSegCount = 0;
+}
+
+void Heap::setSegmentRecycling(bool On) {
+  if (!On)
+    releasePooledSegments();
+  RecyclingEnabled = On;
 }
 
 Value Heap::makeCont() {
@@ -620,7 +966,7 @@ Value Heap::makeRecord(Value TypeTag, uint32_t NumFields, Value Fill) {
 }
 
 Value Heap::makeMarkFrame(uint32_t NumEntries) {
-  auto *M = static_cast<MarkFrameObj *>(allocRaw(
+  auto *M = static_cast<MarkFrameObj *>(allocNursery(
       sizeof(MarkFrameObj) + sizeof(Value) * 2 * NumEntries,
       ObjKind::MarkFrame));
   M->NumEntries = NumEntries;

@@ -164,6 +164,32 @@ public:
   /// Total bytes allocated since the last collection (test hook).
   uint64_t bytesSinceGC() const { return BytesSinceGC; }
 
+  // --- Segment recycling (paper 5) ------------------------------------------
+
+  /// Enables/disables the size-classed segment pool. Disabling releases any
+  /// pooled segments immediately, so `segment-recycles` stays zero and no
+  /// pooled memory lingers — the fuzzer's no-recycle leg relies on both.
+  void setSegmentRecycling(bool On);
+  bool segmentRecycling() const { return RecyclingEnabled; }
+
+  /// Hands a vacated stack segment back to the pool without waiting for a
+  /// collection. The caller (the VM's underflow/overflow paths) must have
+  /// checked that no underflow record references the segment; this
+  /// re-checks the pin/ref state and silently declines when unsure, when
+  /// recycling is off, or when the pool is at its byte cap (the segment
+  /// then simply dies to the next sweep).
+  void recycleStackSeg(Value SegV);
+
+  /// Frees every pooled segment back to the host allocator. Pooled bytes
+  /// stay counted in bytesInUse() (the budget governs committed memory,
+  /// held-for-reuse included), so the budget path calls this before
+  /// resorting to a collection or a headroom grant.
+  void releasePooledSegments();
+
+  /// Bytes currently held by the segment pool (test/metrics gauge).
+  uint64_t pooledSegmentBytes() const { return PooledSegBytes; }
+  uint32_t pooledSegmentCount() const { return PooledSegCount; }
+
   // --- Resource governance (support/limits.h) ------------------------------
 
   /// Routes resource budgets into allocation. The pointed-to limits are
@@ -220,9 +246,16 @@ private:
   };
 
   void *allocRaw(size_t Bytes, ObjKind Kind);
+  /// Bump allocation from the nursery for short-lived small objects (pairs
+  /// and mark frames). Runs the same governance as allocRaw; falls back to
+  /// allocRaw for oversized requests. At each collection an all-dead
+  /// nursery block is rewound wholesale; a block with survivors is
+  /// promoted into the tenured block set.
+  void *allocNursery(size_t Bytes, ObjKind Kind);
   /// The one malloc wrapper (satellite fix for the unchecked calls): on
-  /// failure collects and retries, then reports exhaustion by throwing
-  /// ResourceExhausted instead of dereferencing null or aborting.
+  /// failure releases the segment pool, collects, and retries, then
+  /// reports exhaustion by throwing ResourceExhausted instead of
+  /// dereferencing null or aborting.
   void *checkedMalloc(size_t Bytes, const char *What);
   /// Enforces the heap byte budget for an allocation of \p Rounded bytes;
   /// may collect, grant headroom + set a pending trip, or throw.
@@ -234,11 +267,28 @@ private:
   void markFromWorklist();
   void traceObject(ObjHeader *O);
   void sweep();
+  void sweepNursery(uint64_t &LiveBytes);
+  /// Inserts a dead/vacated segment into the pool; false when recycling is
+  /// off or the pool byte cap is reached (caller leaves it for the sweep).
+  bool pushPooledSeg(StackSegObj *S);
+  /// Pops a pooled chunk large enough for \p Rounded bytes, reinitialized
+  /// to \p CapacitySlots; null on a pool miss.
+  StackSegObj *popPooledSeg(size_t Rounded, uint32_t CapacitySlots);
 
   std::vector<Block> Blocks;
+  std::vector<Block> NurseryBlocks; ///< Bump blocks for allocNursery.
   std::vector<ObjHeader *> LargeObjs;
   static constexpr size_t NumSizeClasses = 64;
   void *FreeLists[NumSizeClasses] = {};
+
+  /// Segment pool: power-of-two size classes indexed by floor(log2
+  /// (chunk bytes)); the intrusive next pointer lives in Slots[0]. Pooled
+  /// chunks remain in LargeObjs (the sweep skips them) and in BytesInUse.
+  static constexpr size_t NumSegClasses = 33;
+  void *SegPool[NumSegClasses] = {};
+  uint64_t PooledSegBytes = 0;
+  uint32_t PooledSegCount = 0;
+  bool RecyclingEnabled = true;
 
   std::vector<ObjHeader *> MarkWorklist;
   std::vector<GCRootSource *> RootSources;

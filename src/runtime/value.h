@@ -64,6 +64,13 @@ static_assert(sizeof(ObjHeader) == 8, "header must stay one word");
 namespace objflags {
 inline constexpr uint8_t GCMark = 1 << 0;
 inline constexpr uint8_t Immortal = 1 << 1; ///< Never swept (symbols).
+/// StackSeg only: some full/promoted continuation record references this
+/// segment, so the VM must never hand it back to the segment pool eagerly
+/// (sweep still recycles it once it is unreachable).
+inline constexpr uint8_t SegPinned = 1 << 2;
+/// StackSeg only: the segment sits on the heap's recycling free list. Its
+/// slots are dead (poisoned in sanitized builds) and must not be traced.
+inline constexpr uint8_t SegPooled = 1 << 3;
 } // namespace objflags
 
 /// Immediate sub-kinds (Value tag 010).
@@ -282,8 +289,13 @@ inline constexpr uint32_t FrameHeaderSlots = 4;
 /// adapted): [saved-fp, ret-code, ret-pc, closure, args..., locals/temps...]
 struct StackSegObj {
   ObjHeader H;
-  uint32_t Capacity; ///< In value slots.
-  uint32_t Pad;
+  uint32_t Capacity; ///< In value slots (may be < the chunk's true size
+                     ///< when a recycled segment is reused smaller).
+  /// Number of opportunistic underflow records whose [Lo,Hi) slice lives in
+  /// this segment. Maintained by the VM's reify/underflow paths; a segment
+  /// with zero refs and no SegPinned flag can be recycled the moment the
+  /// VM vacates it, without waiting for a collection.
+  uint32_t RecordRefs;
   Value Slots[];
 };
 

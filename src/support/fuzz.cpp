@@ -501,6 +501,12 @@ FuzzLeg makeLeg(const std::string &Name) {
     L.Opts = EngineOptions::forVariant(EngineVariant::MarkStack);
     return L;
   }
+  if (Name == "no-recycle") {
+    // Differential leg for the segment pool: identical semantics with the
+    // recycling allocator disabled (every segment freshly allocated).
+    L.Opts.VmCfg.EnableSegmentRecycling = false;
+    return L;
+  }
   L.Name.clear();
   return L;
 }
@@ -515,7 +521,7 @@ bool cmk::fuzz::legByName(const std::string &Name, FuzzLeg &Out) {
 std::vector<FuzzLeg> cmk::fuzz::defaultLegs(bool IncludeOracle) {
   std::vector<FuzzLeg> Legs;
   for (const char *N : {"fused", "unfused", "no-opt", "no-1cc", "heap-frames",
-                        "copy-on-capture"})
+                        "copy-on-capture", "no-recycle"})
     Legs.push_back(makeLeg(N));
   if (IncludeOracle)
     Legs.push_back(makeLeg("oracle"));
@@ -531,6 +537,8 @@ std::string cmk::fuzz::checkStatsInvariants(const VMStats &S,
     return Fail("cache hits + misses exceed mark-first lookups");
   if (S.SegmentAllocs > 0 && S.SegmentSlotsAllocated < S.SegmentAllocs)
     return Fail("segments allocated with fewer total slots than segments");
+  if (!Opts.VmCfg.EnableSegmentRecycling && S.SegmentRecycles != 0)
+    return Fail("segments recycled with recycling disabled");
   if (S.LimitHeapTrips != 0 || S.LimitStackTrips != 0)
     return Fail("heap/stack limit trips fired with no such budget armed");
   if (S.FaultsInjected != 0)

@@ -23,6 +23,9 @@ const StatsCounterDesc Counters[] = {
     {"segment-overflows", &VMStats::SegmentOverflows, false},
     {"segment-allocs", &VMStats::SegmentAllocs, false},
     {"segment-slots-allocated", &VMStats::SegmentSlotsAllocated, false},
+    {"segment-recycles", &VMStats::SegmentRecycles, false},
+    {"nursery-resets", &VMStats::NurseryResets, false},
+    {"nursery-promotions", &VMStats::NurseryPromotions, false},
     {"safe-point-polls", &VMStats::SafePointPolls, false},
     {"limit-heap-trips", &VMStats::LimitHeapTrips, false},
     {"limit-stack-trips", &VMStats::LimitStackTrips, false},
@@ -39,6 +42,7 @@ const StatsCounterDesc Counters[] = {
     {"mark-first-cache-installs", &VMStats::MarkFirstCacheInstalls, true},
     {"mark-first-cells-walked", &VMStats::MarkFirstCellsWalked, true},
     {"mark-set-captures", &VMStats::MarkSetCaptures, true},
+    {"nursery-allocs", &VMStats::NurseryAllocs, true},
 };
 
 } // namespace

@@ -79,8 +79,17 @@ struct VMStats {
   uint64_t ContinuationCaptures = 0;
   uint64_t ContinuationApplies = 0;
   uint64_t SegmentOverflows = 0; ///< Stack splits forced by segment limits.
-  uint64_t SegmentAllocs = 0;    ///< Stack segments allocated.
+  uint64_t SegmentAllocs = 0;    ///< Stack segments allocated fresh.
   uint64_t SegmentSlotsAllocated = 0; ///< Total slots across those segments.
+  /// Segment requests satisfied from the recycling pool instead of a fresh
+  /// allocation (paper 5: Chez recycles segments so overflow/underflow
+  /// never pays malloc on the steady state).
+  uint64_t SegmentRecycles = 0;
+
+  // --- Cheap tier: nursery (mark-frame/pair bump allocator) -----------------
+
+  uint64_t NurseryResets = 0;     ///< All-dead nursery blocks rewound at GC.
+  uint64_t NurseryPromotions = 0; ///< Nursery blocks tenured (had survivors).
 
   // --- Cheap tier: resource governance (support/limits.h) -------------------
 
@@ -110,6 +119,7 @@ struct VMStats {
   uint64_t MarkFirstCacheInstalls = 0; ///< N/2 path-compression installs.
   uint64_t MarkFirstCellsWalked = 0;   ///< Cumulative list cells visited.
   uint64_t MarkSetCaptures = 0;        ///< current-continuation-marks et al.
+  uint64_t NurseryAllocs = 0;          ///< Objects placed in the nursery.
 
   /// Zeroes every counter.
   void reset() { *this = VMStats(); }

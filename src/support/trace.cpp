@@ -41,6 +41,7 @@ static const TraceEventDesc Descs[] = {
     {"job", "job", 'E', false},
     {"worker-restart", "supervision", 'B', false},
     {"worker-restart", "supervision", 'E', false},
+    {"segment-recycle", "segment", 'i', false},
     {"mark-frame-create", "marks-detail", 'i', true},
     {"mark-frame-extend", "marks-detail", 'i', true},
     {"mark-frame-rebind", "marks-detail", 'i', true},

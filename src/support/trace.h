@@ -93,6 +93,9 @@ enum class TraceEv : uint8_t {
   WorkerRestartEnd,   ///< Replacement engine is serving again (arg = full
                       ///< rebuild time in ns, including engine
                       ///< construction; End).
+  // --- Cheap tier: segment recycling (paper 5) -------------------------------
+  SegmentRecycle,  ///< Segment request served from the recycling pool
+                   ///< instead of malloc (arg: capacity in slots).
   // --- Detail tier (CMARKS_TRACE-gated): marks layer (paper 7.5) -----------
   MarkFrameCreate, ///< "no attachment" -> one-mark frame.
   MarkFrameExtend, ///< N-entry frame -> (N+1)-entry frame.

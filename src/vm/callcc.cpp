@@ -26,6 +26,10 @@ void promoteOneShots(VM &M, Value K) {
     CMK_TRACE_EV(M.trace(), OneShotPromote);
     asCont(K)->setShot(ContShot::Full);
     asCont(K)->H.Aux &= ~uint16_t(0x300); // Clear one-shot + used bits.
+    // A full record restores from its segment at an arbitrary later time;
+    // the segment must never be eagerly recycled (sticky pin).
+    if (asCont(K)->Seg.isKind(ObjKind::StackSeg))
+      asStackSeg(asCont(K)->Seg)->H.Flags |= objflags::SegPinned;
     K = asCont(K)->Next;
   }
 }
@@ -64,6 +68,7 @@ Value copyChainEagerly(VM &M, Value KV) {
     NewK->PromptTag = K->PromptTag;
     NewK->MarkStackCopy = K->MarkStackCopy;
     NewK->setShot(ContShot::Full);
+    asStackSeg(NewK->Seg)->H.Flags |= objflags::SegPinned;
     // Rewrite the frame chain to slice-relative indices.
     if (Len > 0) {
       StackSegObj *S = asStackSeg(NewK->Seg);

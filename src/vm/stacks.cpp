@@ -15,6 +15,56 @@
 
 using namespace cmk;
 
+namespace {
+
+/// Segment-recycling bookkeeping for a freshly minted record: an
+/// opportunistic record holds a counted reference to its segment (released
+/// when the record is consumed at underflow); a full record pins the
+/// segment for good, since it may restore from it arbitrarily later.
+void noteRecordRef(ContObj *K) {
+  if (!K->Seg.isKind(ObjKind::StackSeg))
+    return;
+  StackSegObj *S = asStackSeg(K->Seg);
+  if (K->shot() == ContShot::Full)
+    S->H.Flags |= objflags::SegPinned;
+  else
+    ++S->RecordRefs;
+}
+
+/// The underflow handler consumed \p K: drop its counted segment
+/// reference. Full/promoted records keep their pin instead (the guarded
+/// decrement makes a promotion after minting harmless either way).
+void consumeRecordRef(ContObj *K) {
+  if (K->shot() != ContShot::Opportunistic ||
+      !K->Seg.isKind(ObjKind::StackSeg))
+    return;
+  StackSegObj *S = asStackSeg(K->Seg);
+  if (S->RecordRefs > 0)
+    --S->RecordRefs;
+}
+
+/// A record is being made restorable-at-any-time (call/cc promotion,
+/// explicit application, composable capture): its segment must never be
+/// recycled under it.
+void pinRecordSegment(ContObj *K) {
+  if (K->Seg.isKind(ObjKind::StackSeg))
+    asStackSeg(K->Seg)->H.Flags |= objflags::SegPinned;
+}
+
+} // namespace
+
+void VM::maybeRecycleSegment(Value SegV) {
+  if (!Cfg.EnableSegmentRecycling || Cfg.MarkStackMode)
+    return;
+  if (!SegV.isKind(ObjKind::StackSeg) || SegV == Regs.Seg)
+    return;
+  StackSegObj *S = asStackSeg(SegV);
+  if (S->RecordRefs != 0 ||
+      (S->H.Flags & (objflags::SegPinned | objflags::SegPooled)))
+    return;
+  H.recycleStackSeg(SegV);
+}
+
 void VM::reifyCurrentFrame() {
   StackSegObj *S = asStackSeg(Regs.Seg);
   if (S->Slots[Regs.Fp + 1].isUnderflowSentinel())
@@ -44,6 +94,7 @@ void VM::reifyCurrentFrame() {
   K->Next = Regs.NextK;
   K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
   K->setShot(Cfg.EnableOneShots ? ContShot::Opportunistic : ContShot::Full);
+  noteRecordRef(K);
 
   S->Slots[Regs.Fp + 1] = Value::underflowSentinel();
   S->Slots[Regs.Fp + 2] = Value::fixnum(0);
@@ -78,6 +129,7 @@ Value VM::reifyAtSp(ContShot Shot) {
   K->Next = Regs.NextK;
   K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
   K->setShot(Cfg.EnableOneShots ? Shot : ContShot::Full);
+  noteRecordRef(K);
 
   Regs.Base = Regs.Sp;
   Regs.NextK = KV;
@@ -98,11 +150,13 @@ static void restoreByCopy(VM &M, ContObj *K) {
   uint32_t Cap = Len + 128;
   Value NewSegV = M.heap().makeStackSeg(Cap); // K stays reachable via Regs.
   StackSegObj *NewSeg = asStackSeg(NewSegV);
-  StackSegObj *OldSeg = asStackSeg(K->Seg);
-  std::memcpy(NewSeg->Slots, OldSeg->Slots + K->Lo, sizeof(Value) * Len);
-
-  // Rewrite the saved-fp chain to the new segment's indices.
+  // Empty slices (e.g. the base halt record, whose Seg is nil) have
+  // nothing to copy and no frame chain to rewrite.
   if (Len > 0) {
+    StackSegObj *OldSeg = asStackSeg(K->Seg);
+    std::memcpy(NewSeg->Slots, OldSeg->Slots + K->Lo, sizeof(Value) * Len);
+
+    // Rewrite the saved-fp chain to the new segment's indices.
     uint32_t F = K->RetFp - K->Lo;
     while (F > 0) {
       uint32_t OldSaved =
@@ -114,10 +168,14 @@ static void restoreByCopy(VM &M, ContObj *K) {
     }
   }
 
+  Value VacatedSegV = M.Regs.Seg;
   M.Regs.Seg = NewSegV;
   M.Regs.Base = 0;
   M.Regs.Fp = K->RetFp - K->Lo;
   M.Regs.Sp = Len;
+  // The segment just abandoned is finished with unless some record still
+  // holds a slice of it (checked inside).
+  M.maybeRecycleSegment(VacatedSegV);
 }
 
 bool VM::underflow(Value Result) {
@@ -153,13 +211,19 @@ bool VM::underflow(Value Result) {
     // one; fuse them back without copying.
     ++Stats.UnderflowFusions;
     CMK_TRACE_EV(Trace, UnderflowFuse);
+    consumeRecordRef(K);
     Regs.Base = K->Lo;
     Regs.Fp = K->RetFp;
     Regs.Sp = K->Hi;
   } else {
     ++Stats.UnderflowCopies;
     CMK_TRACE_EV(Trace, UnderflowCopy);
+    // Returning through the record consumes it: its reference is released
+    // before the copy so both the vacated segment (inside restoreByCopy)
+    // and the record's own source segment can rejoin the pool.
+    consumeRecordRef(K);
     restoreByCopy(*this, K);
+    maybeRecycleSegment(K->Seg);
   }
 
   Regs.CurCode = K->RetCode;
@@ -201,6 +265,7 @@ void VM::applyContinuation(Value KV, Value Result) {
   // Explicit application must never fuse: the record may be applied again.
   if (K->shot() == ContShot::Opportunistic)
     K->setShot(ContShot::Full);
+  pinRecordSegment(K);
 
   restoreByCopy(*this, K);
   K = asCont(KRoot.get());
@@ -234,6 +299,7 @@ void VM::jumpToContinuation(Value KV) {
   ContObj *K = asCont(KV);
   if (K->shot() == ContShot::Opportunistic)
     K->setShot(ContShot::Full);
+  pinRecordSegment(K);
   restoreByCopy(*this, K);
   K = asCont(KRoot.get());
   Regs.CurCode = K->RetCode;
@@ -270,6 +336,7 @@ Value VM::makePassThroughRecord() {
   K->Next = Regs.NextK;
   K->MarkHeight = static_cast<uint32_t>(MarkStack.size());
   K->setShot(ContShot::Full);
+  noteRecordRef(K); // Full: pins its own little segment.
   return KV;
 }
 
@@ -288,9 +355,13 @@ void VM::ensureStackSpace(uint32_t Needed) {
   CMK_TRACE_EV(Trace, SegmentOverflow, Needed);
   reifyAtSp(ContShot::Opportunistic);
   uint32_t Cap = std::max(Cfg.SegmentSlots, Needed + 1024);
+  Value OldSegV = Regs.Seg;
   Value NewSegV = H.makeStackSeg(Cap);
   Regs.Seg = NewSegV;
   Regs.Base = 0;
   Regs.Fp = 0;
   Regs.Sp = 0;
+  // Only recyclable when reifyAtSp collapsed to the existing record chain
+  // (nothing above the base); otherwise the new record holds a reference.
+  maybeRecycleSegment(OldSegV);
 }

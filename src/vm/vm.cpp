@@ -36,6 +36,7 @@ VM::VM(const VMConfig &Config) : Cfg(Config) {
   H.attachLimits(&Cfg.Limits);
   H.attachFaults(&Faults);
   H.attachFuel(&FuelLeft);
+  H.setSegmentRecycling(Cfg.EnableSegmentRecycling);
   Faults.attachVMStats(&Stats);
   H.addRootSource(this);
   GlobalTable = H.makeHashTable(/*EqualBased=*/false);
@@ -205,6 +206,9 @@ void overflowMovePending(VM &M, uint32_t &Hdr, uint32_t CalleeNeed,
   M.Regs.Fp = 0;
   M.Regs.Sp = PendingLen;
   Hdr = 0;
+  // Usually the reified record above keeps the old segment referenced, but
+  // when reifyAtSp collapsed to the existing chain the segment is vacated.
+  M.maybeRecycleSegment(OldSegV);
 }
 
 /// Collects surplus arguments into a rest list. Args live in stack slots
@@ -288,7 +292,10 @@ void VM::installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs) {
   // behaves uniformly.
   Value HaltK = H.makeCont();
   ContObj *K = asCont(HaltK);
-  K->Seg = Regs.Seg;
+  // The halt record covers no slots, so it references no segment: a real
+  // Seg here would pin the base segment against recycling for the whole
+  // run (restoreByCopy handles empty nil-Seg slices).
+  K->Seg = Value::nil();
   K->Lo = K->Hi = 0;
   K->RetFp = 0;
   K->RetCode = HaltCode;
@@ -319,6 +326,13 @@ void VM::releaseRunState() {
   Regs.Base = Regs.Fp = Regs.Sp = 0;
   Regs.Pc = 0;
   MarkStack.clear();
+  // A pending call abandoned by the failure is dead too; traceRoots
+  // traces PendingFn/PendingArgs unconditionally, so leaving them set
+  // would strand the closure (and anything it closes over) until the
+  // next scheduled call overwrites them.
+  PendingCall = false;
+  PendingFn = Value::undefined();
+  PendingArgs.clear();
 }
 
 bool VM::pollingGoverned() const {
@@ -1536,6 +1550,7 @@ static uint32_t buildPendingFrame(VM &M) {
     ++M.stats().SegmentOverflows;
     if (Hdr != M.Regs.Base)
       M.reifyAtSp(ContShot::Opportunistic);
+    Value OldSegV = M.Regs.Seg;
     Value NewSegV = M.heap().makeStackSeg(
         std::max(M.config().SegmentSlots, NArgs + 1024));
     M.Regs.Seg = NewSegV;
@@ -1543,6 +1558,7 @@ static uint32_t buildPendingFrame(VM &M) {
     M.Regs.Fp = 0;
     M.Regs.Sp = 0;
     Hdr = 0;
+    M.maybeRecycleSegment(OldSegV);
   }
   Value *Slots = asStackSeg(M.Regs.Seg)->Slots;
   if (Hdr == M.Regs.Base) {
@@ -1617,6 +1633,10 @@ VM::Dispatch VM::dispatchSlowCall(uint32_t Hdr, uint32_t NArgs) {
           Regs.Base = 0;
           Regs.Sp = Len;
           Hdr = 0;
+          // The pending frame was the vacated segment's only content (it
+          // sat at the stack base); without this, heap-frame mode pays a
+          // second segment allocation per call on the return path.
+          maybeRecycleSegment(OldSegV);
         } else {
           overflowMovePending(*this, Hdr, Code->FrameSize, Regs.Marks);
         }
@@ -1732,6 +1752,7 @@ VM::Dispatch VM::dispatchSlowTail(uint32_t NArgs) {
         Regs.Base = 0;
         Regs.Fp = Fp = 0;
         Slots = asStackSeg(Regs.Seg)->Slots;
+        maybeRecycleSegment(OldSegV);
       }
       for (uint32_t I = Code->NumArgs; I < Code->NumLocals; ++I)
         Slots[Fp + FrameHeaderSlots + I] = Value::undefined();

@@ -59,6 +59,11 @@ struct VMConfig {
   /// a side stack synchronized with frames; every return pays a check and
   /// continuation capture copies the whole mark stack.
   bool MarkStackMode = false;
+  /// Paper section 5: recycle vacated stack segments through the heap's
+  /// size-classed pool (and let the sweep route dead segments there)
+  /// instead of paying malloc on every overflow/underflow. Off = every
+  /// segment comes fresh from the allocator, for differential testing.
+  bool EnableSegmentRecycling = true;
   /// Resource budgets (support/limits.h); zero fields disable. Mutable
   /// between runs through VM::config() / SchemeEngine::limits().
   EngineLimits Limits;
@@ -203,6 +208,14 @@ public:
   /// metadata to a tail-position continuation without mutating records
   /// that may be shared with captured continuations.
   Value makePassThroughRecord();
+
+  /// Hands a just-vacated segment back to the heap's recycling pool when
+  /// it is provably finished with: no underflow record references it
+  /// (RecordRefs == 0), it was never referenced by a full record
+  /// (SegPinned), and it is not the current segment. Called by the
+  /// underflow-copy and overflow-move paths; a no-op when recycling is
+  /// disabled or in MarkStackMode (mark-stack entries alias segments).
+  void maybeRecycleSegment(Value SegV);
 
   // --- Registers --------------------------------------------------------------
 

@@ -460,6 +460,33 @@ TEST(PoolTest, FatalJobTriggersSupervisedWorkerRestart) {
             std::string::npos);
 }
 
+TEST(PoolTest, WorkerRestartDropsEngineSegmentPool) {
+  // A worker engine that has parked recycled segments in its pool is
+  // replaced after a fatal job: teardown must free the pooled chunks with
+  // the engine (the ASan CI leg turns any strand into a leak report), and
+  // the replacement starts with an empty pool yet recycles on its own.
+  PoolOptions O;
+  O.Workers = 1;
+  EnginePool Pool(O);
+  // Seed the worker's pool: deep non-tail recursion churns segments.
+  JobResult Churn = Pool.submit(
+      "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 20000)")
+      .get();
+  EXPECT_TRUE(Churn.Ok) << Churn.Error;
+
+  JobResult Fatal = Pool.submit(reserveBurner(), fatalLimits()).get();
+  EXPECT_FALSE(Fatal.Ok);
+
+  // The replacement engine churns and serves correctly.
+  JobResult After = Pool.submit(
+      "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 20000)")
+      .get();
+  EXPECT_TRUE(After.Ok) << After.Error;
+  EXPECT_EQ(After.Output, "20000");
+  Pool.shutdown();
+  EXPECT_EQ(Pool.telemetry().WorkerRestarts, 1u);
+}
+
 TEST(PoolTest, CircuitBreakerRetiresWorkerAfterConsecutiveFatalFailures) {
   PoolOptions O;
   O.Workers = 1;

@@ -44,7 +44,7 @@ TRACKED_COUNTERS = ("reifications", "underflow-fusions", "underflow-copies",
 # a pinned scale (allocation sites and poll sites, never timers), so they
 # can be gated hard rather than warned about.
 GATEABLE_COUNTERS = ("segment-allocs", "segment-slots-allocated",
-                     "safe-point-polls")
+                     "segment-recycles", "safe-point-polls")
 
 
 def load(path):
