@@ -1,0 +1,123 @@
+//===- bench/bench_fibers.cpp - Fiber primitive costs ---------------------===//
+///
+/// \file
+/// Microbenchmarks for the cooperative fiber runtime (vm/fibers.h,
+/// DESIGN.md section 16). Every suspension point runs through the
+/// paper's one-shot capture/apply machinery, so these cells measure the
+/// continuation paths under scheduler-shaped load:
+///
+///   spawn-join        spawn a trivial fiber and join it, in a loop: one
+///                     boot, one halt-return, one joiner park per round.
+///   yield-pingpong    two fibers alternating via (yield): capture +
+///                     switch + resume per hop, no timers.
+///   channel-stream    a producer fiber streams N values through a
+///                     capacity-1 bounded channel to the consuming root:
+///                     two parks/unparks per element in steady state.
+///   spawn-tree        a binary tree of nested spawns (depth 9): deep
+///                     join dependencies and many simultaneously-live
+///                     one-shot captures.
+///
+/// Results land in BENCH_fibers.json (schema cmarks-bench-v1);
+/// tools/bench_record.sh includes the blob in the repo-root trajectory
+/// and check_bench.py gates the fiber-spawns / fiber-parks counters
+/// against bench/baselines/ (site-driven, exactly reproducible at a
+/// pinned scale).
+///
+//===----------------------------------------------------------------------===//
+
+#include "bench_harness.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cmkbench;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  std::string Setup;
+  std::string CheckExpr; ///< Small instance with a known value.
+  std::string CheckWant;
+  std::string RunExpr; ///< The timed expression.
+};
+
+} // namespace
+
+int main() {
+  long SpawnN = scaled(20000);
+  long HopN = scaled(20000);
+  long StreamN = scaled(15000);
+  long TreeRounds = scaled(12);
+
+  Workload Workloads[] = {
+      {"spawn-join",
+       "(define (spawn-join n)"
+       "  (let loop ((i n) (acc 0))"
+       "    (if (zero? i) acc"
+       "        (loop (- i 1)"
+       "              (+ acc (fiber-join (spawn (lambda () 1))))))))",
+       "(spawn-join 10)", "10",
+       "(spawn-join " + std::to_string(SpawnN) + ")"},
+      {"yield-pingpong",
+       "(define (hopper m)"
+       "  (lambda ()"
+       "    (let loop ((i m)) (if (zero? i) i (begin (yield) (loop (- i 1)))))))"
+       "(define (pingpong m)"
+       "  (let ((a (spawn (hopper m))) (b (spawn (hopper m))))"
+       "    (+ (fiber-join a) (fiber-join b) m)))",
+       "(pingpong 10)", "10",
+       "(pingpong " + std::to_string(HopN) + ")"},
+      {"channel-stream",
+       "(define (chan-stream n)"
+       "  (let ((ch (make-channel 1)))"
+       "    (spawn (lambda ()"
+       "      (let loop ((i 0))"
+       "        (if (< i n)"
+       "            (begin (channel-put ch i) (loop (+ i 1)))"
+       "            (channel-put ch 'done)))))"
+       "    (let loop ((acc 0))"
+       "      (let ((v (channel-get ch)))"
+       "        (if (eq? v 'done) acc (loop (+ acc v)))))))",
+       "(chan-stream 5)", "10",
+       "(chan-stream " + std::to_string(StreamN) + ")"},
+      {"spawn-tree",
+       "(define (tree d)"
+       "  (if (zero? d) 1"
+       "      (let ((a (spawn (lambda () (tree (- d 1)))))"
+       "            (b (spawn (lambda () (tree (- d 1))))))"
+       "        (+ (fiber-join a) (fiber-join b)))))"
+       "(define (tree-rounds r)"
+       "  (let loop ((i r) (acc 0))"
+       "    (if (zero? i) acc (loop (- i 1) (+ acc (tree 9))))))",
+       "(tree 3)", "8",
+       "(tree-rounds " + std::to_string(TreeRounds) + ")"},
+  };
+
+  printTitle("Fiber primitive costs (spawn/yield/channel/join)");
+  JsonReport Report("fibers");
+
+  for (const Workload &W : Workloads) {
+    cmk::SchemeEngine E;
+    E.evalOrDie(W.Setup);
+    std::string Got = E.evalToString(W.CheckExpr);
+    if (!E.ok() || Got != W.CheckWant) {
+      std::fprintf(stderr,
+                   "bench_fibers: %s sanity check failed: got %s, want %s\n",
+                   W.Name, E.ok() ? Got.c_str() : E.lastError().c_str(),
+                   W.CheckWant.c_str());
+      return 1;
+    }
+    E.resetStats();
+    Measurement M = measureExpr(E, W.RunExpr);
+    std::printf("  %-16s %9.2f ms  +/-%-6.2f  %10llu spawns %10llu parks\n",
+                W.Name, M.T.AvgMs, M.T.StdevMs,
+                static_cast<unsigned long long>(M.Counters.FiberSpawns),
+                static_cast<unsigned long long>(M.Counters.FiberParks));
+    Report.add(W.Name, "builtin", M);
+  }
+
+  printNote("parks count every suspension (yield requeue, channel wait, "
+            "join wait)");
+  return 0;
+}

@@ -87,7 +87,8 @@ const char *CtakPrelude =
 /// aggregated engine counters, and per-job latency percentiles
 /// (job_p50_ms / job_p99_ms / queue_wait_p50_ms / queue_wait_p99_ms)
 /// from the pool's telemetry histograms.
-Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
+Measurement runBatch(const Mix &M, unsigned W, long Jobs,
+                     bool Fibers = false) {
   RunStats Wall;
   VMStats Counters;
   PoolTelemetry Telemetry;
@@ -98,6 +99,11 @@ Measurement runBatch(const Mix &M, unsigned W, long Jobs) {
     PoolOptions Opts;
     Opts.Workers = W;
     Opts.QueueCapacity = static_cast<size_t>(Jobs) + 8;
+    // Fiber mode (DESIGN.md section 16): jobs multiplex cooperatively
+    // over the workers; a request's simulated backend wait parks its
+    // fiber instead of pinning the worker thread.
+    Opts.EnableFibers = Fibers;
+    Opts.MaxFibersPerWorker = 256;
     EnginePool Pool(Opts);
     // Warm-up barrier: engines are constructed lazily on their worker
     // threads (prelude load included), which must not be billed to the
@@ -308,6 +314,10 @@ int main() {
   printNote("so it scales with worker overlap even on a single core; the");
   printNote("-cpu mixes scale only with physical cores");
 
+  // Blocking marks-heavy cells, kept per worker count for the fiber
+  // comparison below (equal workers, same mix, same batch).
+  double BlockingHeavyMs[9] = {0};
+
   for (const Mix &M : Mixes) {
     long Jobs = scaled(M.Jobs);
     std::printf("\n  %s (%ld jobs/batch)\n", M.Name, Jobs);
@@ -316,12 +326,39 @@ int main() {
       Measurement R = runBatch(M, W, Jobs);
       if (W == 1)
         OneWorkerMs = R.T.AvgMs;
+      if (std::string(M.Name) == "marks-heavy")
+        BlockingHeavyMs[W] = R.T.AvgMs;
       double JobsPerSec =
           R.T.AvgMs > 0 ? 1000.0 * static_cast<double>(Jobs) / R.T.AvgMs : 0;
       double Speedup = R.T.AvgMs > 0 ? OneWorkerMs / R.T.AvgMs : 0;
       std::printf("    workers=%u %9.1f ms  +/-%-6.1f %9.0f jobs/s  x%.2f\n",
                   W, R.T.AvgMs, R.T.StdevMs, JobsPerSec, Speedup);
       Json.add(M.Name, "workers-" + std::to_string(W), R);
+    }
+  }
+
+  {
+    // Fiber-mode marks-heavy: the tentpole comparison. At equal workers
+    // the cooperative pool overlaps every request's backend wait, so
+    // jobs/sec should exceed the blocking pool by the ratio of wait time
+    // to CPU time per request (>= 5x with the 3ms wait in this mix).
+    const Mix &M = Mixes[2];
+    long Jobs = scaled(M.Jobs);
+    std::printf("\n  marks-heavy-fibers (%ld jobs/batch; cooperative pool, "
+                "same mix)\n",
+                Jobs);
+    for (unsigned W : WorkerCounts) {
+      Measurement R = runBatch(M, W, Jobs, /*Fibers=*/true);
+      double JobsPerSec =
+          R.T.AvgMs > 0 ? 1000.0 * static_cast<double>(Jobs) / R.T.AvgMs : 0;
+      double VsBlocking = R.T.AvgMs > 0 && W < 9 && BlockingHeavyMs[W] > 0
+                              ? BlockingHeavyMs[W] / R.T.AvgMs
+                              : 0;
+      R.Extras.push_back({"vs_blocking_speedup", VsBlocking});
+      std::printf("    workers=%u %9.1f ms  +/-%-6.1f %9.0f jobs/s  "
+                  "x%.2f vs blocking\n",
+                  W, R.T.AvgMs, R.T.StdevMs, JobsPerSec, VsBlocking);
+      Json.add("marks-heavy-fibers", "workers-" + std::to_string(W), R);
     }
   }
   {

@@ -192,6 +192,116 @@ std::string SchemeEngine::metricsJson() const {
   return R.json("engine");
 }
 
+uint64_t SchemeEngine::spawnFiberJob(const std::string &Source,
+                                     uint64_t BudgetNs, uint64_t DeadlineNs,
+                                     uint64_t DelayNs,
+                                     std::string *CompileErr) {
+  Heap &H = Machine.heap();
+  FaultPause Pause(Machine.faults());
+  std::string ReadError;
+  RootedValues Forms(H);
+  {
+    std::vector<Value> Raw = readAllFromString(H, Source, &ReadError);
+    if (!ReadError.empty()) {
+      if (CompileErr)
+        *CompileErr = "read error: " + ReadError;
+      return 0;
+    }
+    for (Value V : Raw)
+      Forms.push(V);
+  }
+  // Compile every toplevel form up front to a closure; the fiber runs the
+  // list through the prelude's #%run-thunks when it is first scheduled.
+  RootedValues Thunks(H);
+  for (size_t I = 0; I < Forms.size(); ++I) {
+    std::string CompileError;
+    Value Code = Comp.compileToplevel(Forms[I], &CompileError);
+    if (!CompileError.empty()) {
+      if (CompileErr)
+        *CompileErr = "compile error: " + CompileError;
+      return 0;
+    }
+    GCRoot CodeRoot(H, Code);
+    Thunks.push(H.makeClosure(CodeRoot.get(), 0));
+  }
+  GCRoot ThunkList(H, Value::nil());
+  for (size_t I = Thunks.size(); I > 0; --I)
+    ThunkList.set(H.makePair(Thunks[I - 1], ThunkList.get()));
+  Value Runner = Machine.getGlobal("#%run-thunks");
+  if (!Runner.isClosure()) {
+    if (CompileErr)
+      *CompileErr = "#%run-thunks is not defined (prelude not loaded)";
+    return 0;
+  }
+  GCRoot ArgsList(H, H.makePair(ThunkList.get(), Value::nil()));
+  Value FV = Machine.Fibers.spawnJob(Machine, Runner, ArgsList.get(),
+                                     BudgetNs, DeadlineNs, DelayNs);
+  return asFiber(FV)->Id;
+}
+
+Value SchemeEngine::runFiberSlice() {
+  LastError.clear();
+  LastErrKind = ErrorKind::None;
+  LastErrFatal = false;
+  Value Slice = Machine.getGlobal("#%fiber-slice");
+  if (!Slice.isClosure()) {
+    LastError = "#%fiber-slice is not defined (prelude not loaded)";
+    LastErrKind = ErrorKind::Runtime;
+    return Value::undefined();
+  }
+  bool Ok = false;
+  Value V;
+  try {
+    V = Machine.applyProcedure(Slice, nullptr, 0, Ok);
+  } catch (const ResourceExhausted &Ex) {
+    LastError = Ex.What;
+    LastErrKind = errorKindOf(Ex.Kind);
+    LastErrFatal = true;
+    Machine.clearError();
+    return Value::undefined();
+  }
+  if (!Ok) {
+    LastError = Machine.errorMessage();
+    LastErrKind = Machine.errorKind();
+    LastErrFatal = Machine.errorFatal();
+    Machine.clearError();
+    return Value::undefined();
+  }
+  return V;
+}
+
+std::vector<FiberJobInfo> SchemeEngine::takeFinishedFiberJobs() {
+  std::vector<FiberJobInfo> Out;
+  Value ExnSym = Machine.heap().intern("#%exn");
+  for (Value FV : Machine.Fibers.takeDoneJobs()) {
+    FiberObj *F = asFiber(FV);
+    FiberJobInfo Info;
+    Info.Id = F->Id;
+    Info.Ok = !F->erred();
+    Info.RunNs = F->RunNs;
+    if (F->erred()) {
+      // Thrown exn records carry their message at slot 1; anything else
+      // thrown is reported by its written form.
+      Value R = F->Result;
+      if (R.isVector() && asVector(R)->Len > 1 &&
+          asVector(R)->Elems[0] == ExnSym)
+        Info.Output = displayToString(asVector(R)->Elems[1]);
+      else if (R.isString())
+        Info.Output = displayToString(R);
+      else
+        Info.Output = writeToString(R);
+      if (F->ErrKindSym.isSymbol())
+        Info.Kind = displayToString(F->ErrKindSym);
+      else
+        Info.Kind = "error";
+    } else {
+      Info.Output = writeToString(F->Result);
+    }
+    Out.push_back(std::move(Info));
+  }
+  return Out;
+}
+
 Value SchemeEngine::apply(Value Fn, const std::vector<Value> &Args) {
   LastError.clear();
   LastErrKind = ErrorKind::None;

@@ -50,6 +50,16 @@ struct EngineOptions {
   static EngineOptions forVariant(EngineVariant V);
 };
 
+/// A finished cooperative job collected from the fiber scheduler
+/// (see vm/fibers.h and takeFinishedFiberJobs()).
+struct FiberJobInfo {
+  uint64_t Id = 0;
+  bool Ok = false;
+  std::string Output; ///< Written result, or the error message when !Ok.
+  std::string Kind;   ///< Error kind symbol name ("" when Ok).
+  uint64_t RunNs = 0; ///< On-CPU nanoseconds; parked time is excluded.
+};
+
 class SchemeEngine {
 public:
   explicit SchemeEngine(const EngineOptions &Opts = EngineOptions());
@@ -153,6 +163,53 @@ public:
   /// superset of the same schema.
   std::string metricsText() const;
   std::string metricsJson() const;
+
+  /// --- Cooperative fiber jobs (vm/fibers.h, DESIGN.md section 16) ------
+  ///
+  /// In fiber-pool mode a worker multiplexes many jobs over one engine:
+  /// spawnFiberJob() admits a job as a fiber, runFiberSlice() runs fibers
+  /// until everything is parked or a job finishes, and
+  /// takeFinishedFiberJobs() collects results. Parked jobs hold no engine
+  /// and burn no budget.
+
+  /// Switches the scheduler to cooperative pool mode: slices retire to the
+  /// host instead of blocking in idleWait, and governance preserves
+  /// pending interrupts across slice boundaries.
+  void enableFiberPool() { Machine.Fibers.CoopPool = true; }
+
+  /// Compiles \p Source and spawns it as a job fiber (thunk list run by
+  /// the prelude's #%run-thunks). Returns the fiber id, or 0 on a
+  /// compile/read error (reported via \p CompileErr). \p DelayNs > 0
+  /// schedules the first run after a backoff (retry support).
+  uint64_t spawnFiberJob(const std::string &Source, uint64_t BudgetNs,
+                         uint64_t DeadlineNs, uint64_t DelayNs,
+                         std::string *CompileErr);
+
+  /// Runs one scheduler slice: fibers execute until all are parked or a
+  /// job retires. Returns the slice status symbol ('idle when nothing was
+  /// runnable, 'retire after a job finished); on a fatal engine error
+  /// returns undefined with ok() false.
+  Value runFiberSlice();
+
+  /// Collects jobs finished since the last call.
+  std::vector<FiberJobInfo> takeFinishedFiberJobs();
+
+  bool fiberHasRunnable() const { return Machine.Fibers.hasRunnable(); }
+  uint64_t fiberLiveCount() const { return Machine.Fibers.liveFibers(); }
+  /// Nanoseconds until the earliest parked deadline (0 when no timers).
+  uint64_t fiberNextTimerDelayNs() const {
+    return Machine.Fibers.nextTimerDelayNs();
+  }
+  /// Forces the earliest timed sleeper due now (interrupt wake-up path).
+  void fiberWakeEarliest() { Machine.Fibers.kickEarliestTimer(); }
+  /// True when a host interrupt is pending but not yet consumed; fiber
+  /// workers use this to wake a parked fiber so the trip is delivered at
+  /// its first safe point instead of waiting out the park.
+  bool fiberInterruptPending() const {
+    return (Machine.AsyncSignals.load(std::memory_order_relaxed) &
+            VM::SigInterrupt) != 0;
+  }
+  FiberScheduler &fibers() { return Machine.Fibers; }
 
   /// Protects a value from collection for the engine's lifetime.
   void protect(Value V) { Machine.addPermanentRoot(V); }

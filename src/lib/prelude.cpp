@@ -466,6 +466,138 @@ const char *preludeSource() {
 (define-syntax-rule (profiled name expr)
   (with-stack-frame name (call-with-profiling (lambda () expr))))
 
+;; ---------------------------------------------------------------- fibers ----
+;; Cooperative green threads over one-shot continuations (vm/fibers.cpp,
+;; DESIGN.md section 16). A fiber's marks, winders, and parameterizations
+;; live in its captured continuation, so interleaved fibers are isolated
+;; automatically. Raw fiber switches do NOT run dynamic-wind thunks (like
+;; Racket thread swaps): winders fire when control flows in or out of an
+;; extent, not when the scheduler multiplexes.
+
+;; Classifies a caught value the way the pool's telemetry buckets errors.
+(define (#%exn-kind e)
+  (cond [(exn:heap-limit? e) 'heap-limit]
+        [(exn:stack-limit? e) 'stack-limit]
+        [(exn:timeout? e) 'timeout]
+        [(exn:interrupt? e) 'interrupt]
+        [else 'error]))
+
+;; Every fresh fiber boots here on an empty continuation (no marks, no
+;; winders, no handlers). The whole thrown value is kept as the result so
+;; fiber-join can rethrow it intact; #%fiber-finish switches to the next
+;; runnable fiber (or retires the pool slice) and never returns.
+(define (#%fiber-boot f)
+  (catch
+   (lambda (e) (#%fiber-finish f #f e (#%exn-kind e)))
+   (#%fiber-finish f #t (apply (#%fiber-thunk f) (#%fiber-args f)) #f)))
+
+;; (spawn thunk arg ...): create a runnable fiber; it first runs when the
+;; current fiber yields, parks, joins, or finishes (cooperative order is
+;; deterministic FIFO).
+(define (spawn thunk . args) (#%fiber-spawn thunk args))
+
+;; (yield): let every other runnable fiber run once before resuming.
+(define (yield) (#%fiber-yield))
+
+;; (fiber-join f): wait for f, return its result; rethrow its error (limit
+;; exns keep their kind). Parks until f finishes.
+(define (fiber-join f)
+  (if (#%fiber-done? f)
+      (if (#%fiber-error? f)
+          (throw (#%fiber-result f))
+          (#%fiber-result f))
+      (begin (#%fiber-join-park! f) (fiber-join f))))
+
+;; Cooperative sleep: park on a timer, re-parking across spurious early
+;; wakes (a forced wake for signal delivery trips at the first safe point
+;; of this very loop). sleep-ms tail-calls here when scheduling is active.
+(define (#%fiber-sleep ms)
+  (let ([end (+ (current-inexact-milliseconds) ms)])
+    (let loop ()
+      (let ([left (- end (current-inexact-milliseconds))])
+        (if (> left 0)
+            (begin (#%fiber-park-timed! left) (loop))
+            (void))))))
+
+;; ---------------------------------------------------------------- channels --
+;; Bounded FIFO channels that park instead of blocking. Single-threaded
+;; cooperative scheduling makes plain vector mutation safe: nothing runs
+;; between a test and its update unless we park. Representation:
+;;   #('#%channel cap items getters putters)
+;; where getters is a FIFO of parked fibers and putters a FIFO of
+;; (fiber . value) pairs. Capacity 0 gives rendezvous semantics.
+
+(define (make-channel . cap)
+  (vector '#%channel (if (pair? cap) (car cap) 0) '() '() '()))
+
+(define (channel? v)
+  (if (vector? v)
+      (if (= (vector-length v) 5) (eq? (vector-ref v 0) '#%channel) #f)
+      #f))
+
+;; Drops waiters whose fiber died while parked (e.g. a pool job that hit
+;; its deadline): #%fiber-unpark! returns #f for anything not parked.
+(define (#%channel-pump-putter ch)
+  (let ([putters (vector-ref ch 4)])
+    (if (pair? putters)
+        (begin
+          (vector-set! ch 4 (cdr putters))
+          (if (#%fiber-unpark! (car (car putters)) #t)
+              (vector-set! ch 2 (append (vector-ref ch 2)
+                                        (list (cdr (car putters)))))
+              (#%channel-pump-putter ch)))
+        (void))))
+
+(define (channel-put ch v)
+  (let ([getters (vector-ref ch 3)])
+    (if (pair? getters)
+        (begin
+          (vector-set! ch 3 (cdr getters))
+          (if (#%fiber-unpark! (car getters) v)
+              (void)
+              (channel-put ch v)))
+        (if (< (length (vector-ref ch 2)) (vector-ref ch 1))
+            (vector-set! ch 2 (append (vector-ref ch 2) (list v)))
+            (begin
+              (vector-set! ch 4 (append (vector-ref ch 4)
+                                        (list (cons (#%current-fiber) v))))
+              (#%fiber-park!)
+              (void))))))
+
+(define (channel-get ch)
+  (let ([items (vector-ref ch 2)])
+    (if (pair? items)
+        (begin
+          (vector-set! ch 2 (cdr items))
+          (#%channel-pump-putter ch)
+          (car items))
+        (let ([putters (vector-ref ch 4)])
+          (if (pair? putters)
+              (begin
+                (vector-set! ch 4 (cdr putters))
+                (if (#%fiber-unpark! (car (car putters)) #t)
+                    (cdr (car putters))
+                    (channel-get ch)))
+              (begin
+                (vector-set! ch 3 (append (vector-ref ch 3)
+                                          (list (#%current-fiber))))
+                (#%fiber-park!)))))))
+
+;; ------------------------------------------------------------- fiber pool ---
+;; Glue for the EnginePool's cooperative mode (support/pool.cpp). A job is
+;; compiled to a list of toplevel thunks; #%run-thunks runs them in order
+;; and the last value is the job's result.
+(define (#%run-thunks thunks)
+  (if (null? thunks)
+      (void)
+      (if (null? (cdr thunks))
+          ((car thunks))
+          (begin ((car thunks)) (#%run-thunks (cdr thunks))))))
+
+;; One scheduler slice: runs fibers until a job finishes or everything is
+;; parked; returns 'retire or 'idle to the host worker.
+(define (#%fiber-slice) (#%fiber-schedule!))
+
 )PRELUDE";
 }
 

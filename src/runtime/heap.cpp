@@ -497,6 +497,17 @@ void Heap::traceObject(ObjHeader *O) {
     traceValue(P->Name);
     break;
   }
+  case ObjKind::Fiber: {
+    auto *F = reinterpret_cast<FiberObj *>(O);
+    traceValue(F->Thunk);
+    traceValue(F->ArgsList);
+    traceValue(F->Cont);
+    traceValue(F->ResumeVal);
+    traceValue(F->Result);
+    traceValue(F->ErrKindSym);
+    traceValue(F->Joiners);
+    break;
+  }
   }
 }
 
@@ -941,6 +952,26 @@ Value Heap::makeCont() {
   K->PromptTag = Value::False();
   K->MarkStackCopy = Value::False();
   return Value::fromObj(&K->H);
+}
+
+Value Heap::makeFiber(Value Thunk, Value ArgsList, uint64_t Id) {
+  GCRoot R1(*this, Thunk), R2(*this, ArgsList);
+  auto *F =
+      static_cast<FiberObj *>(allocRaw(sizeof(FiberObj), ObjKind::Fiber));
+  F->Id = Id;
+  F->DueNs = 0;
+  F->RunNs = 0;
+  F->BudgetNs = 0;
+  F->JobDeadlineNs = 0;
+  F->Thunk = R1.get();
+  F->ArgsList = R2.get();
+  F->Cont = Value::undefined();
+  F->ResumeVal = Value::voidValue();
+  F->Result = Value::voidValue();
+  F->ErrKindSym = Value::False();
+  F->Joiners = Value::nil();
+  F->setState(FiberState::Fresh);
+  return Value::fromObj(&F->H);
 }
 
 Value Heap::makeHashTable(bool EqualBased) {

@@ -121,6 +121,7 @@ public:
   Value makeStringPort(Value Name);
   Value makeCompositeCont(uint32_t NumRecords);
   Value makeParameter(Value Key, Value Default, Value Guard, Value Name);
+  Value makeFiber(Value Thunk, Value ArgsList, uint64_t Id);
 
   /// Interns a symbol; symbols are immortal and pointer-comparable.
   Value intern(const char *Name, uint32_t Len);

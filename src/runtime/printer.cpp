@@ -204,6 +204,12 @@ static void printRec(std::string &Out, Value V, bool Display, int Depth) {
     Out += '>';
     return;
   }
+  case ObjKind::Fiber: {
+    Out += "#<fiber:";
+    Out += std::to_string(asFiber(V)->Id);
+    Out += '>';
+    return;
+  }
   }
   CMK_UNREACHABLE("unhandled object kind in printer");
 }

@@ -48,6 +48,8 @@ enum class ObjKind : uint8_t {
   Port,      ///< Output port (stdio stream or in-memory string).
   CompositeCont, ///< Composable (delimited) continuation slice list.
   Parameter, ///< Dynamic-binding parameter object (library layer).
+  Fiber,     ///< Green thread: captured one-shot continuation + scheduler
+             ///< state (DESIGN.md 16).
 };
 
 /// Common header of every heap object. The GC relies on SizeBytes to walk
@@ -152,6 +154,7 @@ public:
   bool isPort() const { return isKind(ObjKind::Port); }
   bool isCompositeCont() const { return isKind(ObjKind::CompositeCont); }
   bool isParameter() const { return isKind(ObjKind::Parameter); }
+  bool isFiber() const { return isKind(ObjKind::Fiber); }
   bool isNumber() const { return isFixnum() || isFlonum(); }
   /// True for every value that can be applied as a procedure.
   bool isProcedure() const {
@@ -412,6 +415,54 @@ struct ParameterObj {
   Value Name;
 };
 
+/// Scheduler states of a fiber (vm/fibers.h). A fiber is born Fresh,
+/// becomes Runnable when enqueued, Running while it owns the engine,
+/// Parked while suspended on a wait (its continuation captured in Cont),
+/// and Done exactly once.
+enum class FiberState : uint16_t {
+  Fresh = 0,
+  Runnable = 1,
+  Running = 2,
+  Parked = 3,
+  Done = 4,
+};
+
+/// A green thread: a captured one-shot continuation plus the scheduler
+/// bookkeeping to suspend and resume it. The mark and winder context of
+/// the fiber rides inside the captured record chain, so switching fibers
+/// isolates marks/winders for free (the registers are restored from the
+/// record on resume, and a fresh fiber boots on an empty halt record).
+struct FiberObj {
+  ObjHeader H; ///< Aux bits 0-2: FiberState; bit 3: finished with an error.
+  uint64_t Id;
+  uint64_t DueNs;    ///< Absolute steady-clock wake time while timed-parked
+                     ///< (0 = untimed).
+  uint64_t RunNs;    ///< Accumulated on-CPU time; excludes parked time.
+  uint64_t BudgetNs; ///< Remaining run-time budget (0 = unlimited). Armed
+                     ///< as the VM deadline at each switch-in, so a parked
+                     ///< fiber never burns its timeout budget.
+  uint64_t JobDeadlineNs; ///< Absolute wall-clock pool-job deadline (0=none).
+  Value Thunk;      ///< Entry procedure (only meaningful while Fresh).
+  Value ArgsList;   ///< Argument list for Thunk.
+  Value Cont;       ///< Captured continuation while Parked/Runnable-resumed.
+  Value ResumeVal;  ///< Value the parked capture receives on resume.
+  Value Result;     ///< Final value, or the error payload when erred.
+  Value ErrKindSym; ///< 'timeout | 'interrupt | 'heap-limit | 'stack-limit
+                    ///< | 'error when erred, else #f.
+  Value Joiners;    ///< List of fibers parked in (fiber-join this).
+
+  FiberState state() const { return static_cast<FiberState>(H.Aux & 7); }
+  void setState(FiberState S) {
+    H.Aux = (H.Aux & ~uint16_t(7)) | static_cast<uint16_t>(S);
+  }
+  bool erred() const { return (H.Aux & 8) != 0; }
+  void setErred() { H.Aux |= 8; }
+  /// Pool-job fibers retire the slice when they finish and are queued for
+  /// collection by the pool worker (support/pool.cpp).
+  bool isJob() const { return (H.Aux & 16) != 0; }
+  void setJob() { H.Aux |= 16; }
+};
+
 // --- Casting helpers -------------------------------------------------------
 
 template <typename T> T *objCast(Value V, ObjKind K) {
@@ -462,6 +513,9 @@ inline CompositeContObj *asCompositeCont(Value V) {
 }
 inline ParameterObj *asParameter(Value V) {
   return objCast<ParameterObj>(V, ObjKind::Parameter);
+}
+inline FiberObj *asFiber(Value V) {
+  return objCast<FiberObj>(V, ObjKind::Fiber);
 }
 
 // --- Convenience accessors --------------------------------------------------

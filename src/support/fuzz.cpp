@@ -310,6 +310,48 @@ void renderNode(const GenNode &N, std::string &O) {
         ") (" + G + ")))");
     break;
   }
+  case Prod::FiberJoin:
+    Lit("(fiber-join (spawn (lambda () ");
+    Kid(0);
+    Lit(")))");
+    break;
+  case Prod::FiberPair: {
+    // Deterministic interleave: FIFO run queue, spawn order fixed, one
+    // yield each. The note trail lands in (log-out), so scheduling-order
+    // differences between legs show up as a divergence.
+    std::string FA = id("fa", N.Id), FB = id("fb", N.Id);
+    std::string Id = std::to_string(N.Id);
+    Lit("(let ([" + FA + " (spawn (lambda () (note 'a" + Id +
+        ") (yield) ");
+    Kid(0);
+    Lit("))] [" + FB + " (spawn (lambda () (note 'b" + Id + ") (yield) ");
+    Kid(1);
+    Lit("))]) (list (fiber-join " + FA + ") (fiber-join " + FB + ")))");
+    break;
+  }
+  case Prod::FiberChannel: {
+    // Capacity 0 (rendezvous) or 1: the consumer (the root fiber) parks
+    // as a getter, the producer fiber runs, puts, and hands the value
+    // over; the producer's trailing note runs before it retires.
+    std::string Ch = id("ch", N.Id);
+    Lit("(let ([" + Ch + " (make-channel " + std::to_string(N.B % 2) +
+        ")]) (spawn (lambda () (channel-put " + Ch + " ");
+    Kid(0);
+    Lit(") (note 'put" + std::to_string(N.Id) + "))) (channel-get " + Ch +
+        "))");
+    break;
+  }
+  case Prod::FiberMarks: {
+    // The spawner's mark must be invisible inside the fiber, and the
+    // fiber's own mark must survive a park/resume cycle (the yield).
+    Lit("(with-continuation-mark " + K + " " + A +
+        " (fiber-join (spawn (lambda () (with-continuation-mark " + K + " " +
+        B + " (car (list (begin (yield) (list (fst " + K + ") (obs " + K +
+        ") ");
+    Kid(0);
+    Lit(")))))))))");
+    break;
+  }
   }
 }
 
@@ -334,6 +376,13 @@ const Prod FullExtraPool[] = {
     Prod::CatchThrow, Prod::CatchThrow,     Prod::Param,
     Prod::Generator};
 
+/// Fiber productions (this PR's focus) get their own pool so a leg set
+/// that cannot run fibers (mark-stack) can exclude them wholesale.
+const Prod FiberPool[] = {Prod::FiberJoin, Prod::FiberJoin, Prod::FiberPair,
+                          Prod::FiberPair, Prod::FiberChannel,
+                          Prod::FiberChannel, Prod::FiberMarks,
+                          Prod::FiberMarks};
+
 int kidCount(Prod P) {
   switch (P) {
   case Prod::Num:
@@ -348,6 +397,7 @@ int kidCount(Prod P) {
   case Prod::OneShot:
   case Prod::AbortToPrompt:
   case Prod::CatchThrow:
+  case Prod::FiberPair:
     return 2;
   default:
     return 1;
@@ -415,9 +465,14 @@ std::unique_ptr<GenNode> ProgramGen::gen(Rng &R, int Depth, bool OracleSafe) {
 
   size_t NOracle = sizeof(OraclePool) / sizeof(OraclePool[0]);
   size_t NExtra = sizeof(FullExtraPool) / sizeof(FullExtraPool[0]);
-  size_t PoolSize = OracleSafe ? NOracle : NOracle + NExtra;
+  size_t NFiber =
+      (OracleSafe || !Opts.EnableFibers) ? 0
+                                         : sizeof(FiberPool) / sizeof(Prod);
+  size_t PoolSize = OracleSafe ? NOracle : NOracle + NExtra + NFiber;
   size_t Pick = R.nextBelow(PoolSize);
-  Prod P = Pick < NOracle ? OraclePool[Pick] : FullExtraPool[Pick - NOracle];
+  Prod P = Pick < NOracle            ? OraclePool[Pick]
+           : Pick < NOracle + NExtra ? FullExtraPool[Pick - NOracle]
+                                     : FiberPool[Pick - NOracle - NExtra];
 
   auto N = std::make_unique<GenNode>();
   N->P = P;

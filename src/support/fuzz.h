@@ -87,7 +87,11 @@ enum class Prod : uint8_t {
   NumEdgeFlo,   ///< [full] inexact division by zero, NaN comparisons.
   CatchThrow,   ///< [full] catch with a conditional throw.
   Param,        ///< [full] parameterize over a preamble parameter.
-  Generator     ///< [full] bounded prompt-based generator.
+  Generator,    ///< [full] bounded prompt-based generator.
+  FiberJoin,    ///< [full] (fiber-join (spawn (lambda () <e>))).
+  FiberPair,    ///< [full] Two yielding fibers, interleave logged, both joined.
+  FiberChannel, ///< [full] Bounded-channel producer fiber + consumer get.
+  FiberMarks    ///< [full] wcm isolation across a spawn + yield boundary.
 };
 
 /// One node of a generated program. Rendering is a pure function of the
@@ -120,6 +124,10 @@ struct FuzzProgram {
 struct GenOptions {
   int Depth = 5;                   ///< Expression nesting budget.
   unsigned OracleSafePercent = 50; ///< Share of oracle-checkable programs.
+  /// Include the fiber productions (spawn/yield/channel programs) in the
+  /// full pool. Off when a selected leg cannot run fibers at all (the
+  /// mark-stack comparator rejects spawn).
+  bool EnableFibers = true;
 };
 
 /// Seeded program generator.

@@ -23,6 +23,39 @@ void accumulateStats(VMStats &Agg, const VMStats &Delta) {
     Agg.*(Table[I].Field) += Delta.*(Table[I].Field);
 }
 
+/// Maps a finished fiber job's error-kind name (the prelude's #%exn-kind
+/// symbols) back to the typed classification the pool's futures carry.
+ErrorKind errorKindOfFiberKind(const std::string &Kind) {
+  if (Kind == "heap-limit")
+    return ErrorKind::HeapLimit;
+  if (Kind == "stack-limit")
+    return ErrorKind::StackLimit;
+  if (Kind == "timeout")
+    return ErrorKind::Timeout;
+  if (Kind == "interrupt")
+    return ErrorKind::Interrupt;
+  return ErrorKind::Runtime;
+}
+
+/// The kind name used when the pool must classify a failed slice itself
+/// (inverse of errorKindOfFiberKind, matching tripKindName's spellings).
+const char *fiberKindOfErrorKind(ErrorKind K) {
+  switch (K) {
+  case ErrorKind::HeapLimit:
+    return "heap-limit";
+  case ErrorKind::StackLimit:
+    return "stack-limit";
+  case ErrorKind::Timeout:
+    return "timeout";
+  case ErrorKind::Interrupt:
+    return "interrupt";
+  case ErrorKind::None:
+  case ErrorKind::Runtime:
+    break;
+  }
+  return "error";
+}
+
 } // namespace
 
 const char *cmk::jobOutcomeName(JobOutcome O) {
@@ -176,6 +209,10 @@ void EnginePool::retireEngine(SchemeEngine &Engine, unsigned Idx) {
 }
 
 void EnginePool::workerMain(unsigned Idx) {
+  if (Opts.EnableFibers) {
+    workerFiberMain(Idx);
+    return;
+  }
   uint32_t Incarnation = 0;
   std::unique_ptr<SchemeEngine> Engine = buildWorkerEngine(Idx, Incarnation);
   uint32_t ConsecutiveFatal = 0;
@@ -255,6 +292,333 @@ void EnginePool::workerMain(unsigned Idx) {
     // The last live worker retiring through its breaker turns the pool
     // off: nothing is left to serve, so queued jobs and blocked
     // submitters must be rejected, not stranded.
+    if (BreakerOpened && LiveWorkers == 0 && !Stopping) {
+      Stopping = true;
+      DrainOnStop = false;
+      LastOut = true;
+    }
+  }
+  if (LastOut) {
+    NotEmpty.notify_all();
+    NotFull.notify_all();
+    rejectQueuedJobs();
+  }
+}
+
+void EnginePool::workerFiberMain(unsigned Idx) {
+  uint32_t Incarnation = 0;
+  std::unique_ptr<SchemeEngine> Engine = buildWorkerEngine(Idx, Incarnation);
+  auto ArmFiberMode = [&](SchemeEngine &E) {
+    E.enableFiberPool();
+    // Per-fiber budgets govern run time; heap/stack stay engine-wide
+    // (the heap is shared by every admitted fiber).
+    EngineLimits L = Opts.DefaultJobLimits;
+    L.TimeoutMs = 0;
+    E.limits() = L;
+  };
+  ArmFiberMode(*Engine);
+  uint32_t Cap = Opts.MaxFibersPerWorker ? Opts.MaxFibersPerWorker : 64;
+
+  /// One admitted job, keyed by its current fiber id (retries respawn
+  /// under a fresh id).
+  struct ActiveJob {
+    Job J;
+    uint64_t WaitNs = 0;
+    uint32_t Attempt = 1;
+    uint64_t RunNs = 0; ///< On-CPU ns summed across attempts.
+  };
+  std::map<uint64_t, ActiveJob> Active;
+  VMStats StatsMark = Engine->stats();
+  uint32_t ConsecutiveFatal = 0;
+  bool BreakerOpened = false;
+
+  // The run histogram records *on-CPU* time: parked time is exactly what
+  // this mode exists to not charge for.
+  auto Retire = [&](ActiveJob &A, JobResult R) {
+    WorkerShard &S = *Shards[Idx];
+    {
+      std::lock_guard<std::mutex> L(S.Mu);
+      S.QueueWaitUs.record(A.WaitNs / 1000);
+      S.RunUs.record(A.RunNs / 1000);
+      switch (R.Outcome) {
+      case JobOutcome::Ok:
+        ++S.JobsOk;
+        break;
+      case JobOutcome::TrippedHeap:
+        ++S.TrippedHeap;
+        break;
+      case JobOutcome::TrippedStack:
+        ++S.TrippedStack;
+        break;
+      case JobOutcome::TrippedTimeout:
+        ++S.TrippedTimeout;
+        break;
+      case JobOutcome::TrippedInterrupt:
+        ++S.TrippedInterrupt;
+        break;
+      default:
+        ++S.JobsError;
+      }
+      if (A.J.Degraded)
+        ++S.JobsDegraded;
+    }
+    InFlight.fetch_sub(1, std::memory_order_relaxed);
+    A.J.Promise.set_value(std::move(R));
+  };
+  auto FailAllActive = [&](JobOutcome O, const std::string &Err,
+                           ErrorKind K) {
+    for (auto &E : Active) {
+      JobResult R;
+      R.Ok = false;
+      R.Outcome = O;
+      R.Error = Err;
+      R.Kind = K;
+      R.Attempts = E.second.Attempt;
+      R.Worker = Idx;
+      R.Id = E.second.J.Id;
+      Retire(E.second, std::move(R));
+    }
+    Active.clear();
+  };
+  auto FoldStatsDelta = [&] {
+    VMStats Now = Engine->stats();
+    VMStats Delta = Now.delta(StatsMark);
+    StatsMark = Now;
+    WorkerShard &S = *Shards[Idx];
+    std::lock_guard<std::mutex> L(S.Mu);
+    accumulateStats(S.Engines, Delta);
+    S.TraceDropped = S.TraceDroppedPrior + Engine->trace().dropped();
+    S.ProfileSamples =
+        S.ProfileSamplesPrior + Engine->vm().profiler().total();
+    S.ProfileDropped =
+        S.ProfileDroppedPrior + Engine->vm().profiler().dropped();
+  };
+
+  for (;;) {
+    bool AbortNow;
+    {
+      std::lock_guard<std::mutex> L(QueueMu);
+      AbortNow = Stopping && !DrainOnStop;
+    }
+    if (AbortNow)
+      break;
+
+    // Admit queued jobs into free fiber slots.
+    while (Active.size() < Cap) {
+      Job J;
+      {
+        std::lock_guard<std::mutex> L(QueueMu);
+        if (Queue.empty())
+          break;
+        J = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      NotFull.notify_one();
+      uint64_t DequeueNs = nowNanos();
+      uint64_t WaitNs = DequeueNs > J.EnqueueNs ? DequeueNs - J.EnqueueNs : 0;
+      if (Opts.QueueWaitBudgetMs)
+        noteQueueWait(WaitNs / 1000);
+      if (J.DeadlineNs && DequeueNs >= J.DeadlineNs) {
+        expireJob(J, Idx, WaitNs);
+        continue;
+      }
+      InFlight.fetch_add(1, std::memory_order_relaxed);
+      std::string SpawnErr;
+      uint64_t BudgetNs = J.Limits.TimeoutMs * 1000000ull;
+      uint64_t FiberId = Engine->spawnFiberJob(J.Source, BudgetNs,
+                                               J.DeadlineNs, 0, &SpawnErr);
+      if (!FiberId) {
+        ActiveJob A;
+        A.J = std::move(J);
+        A.WaitNs = WaitNs;
+        JobResult R;
+        R.Ok = false;
+        R.Outcome = JobOutcome::Error;
+        R.Error = SpawnErr;
+        R.Kind = ErrorKind::Runtime;
+        R.Attempts = 1;
+        R.Worker = Idx;
+        R.Id = A.J.Id;
+        Retire(A, std::move(R));
+        continue;
+      }
+      ActiveJob A;
+      A.J = std::move(J);
+      A.WaitNs = WaitNs;
+      Active.emplace(FiberId, std::move(A));
+    }
+
+    if (Active.empty()) {
+      std::unique_lock<std::mutex> L(QueueMu);
+      if (Stopping && Queue.empty())
+        break;
+      if (Queue.empty())
+        NotEmpty.wait(L, [&] { return Stopping || !Queue.empty(); });
+      continue;
+    }
+
+    // One scheduler slice: fibers run until a job retires or everything
+    // is parked.
+    Value Status = Engine->runFiberSlice();
+    bool SliceFailed = !Engine->ok();
+    bool Fatal = SliceFailed && Engine->lastErrorFatal();
+    if (SliceFailed && !Fatal) {
+      // A hard (uncatchable) VM error failed the slice while some fiber
+      // was current; the scheduler state and every other fiber are
+      // intact. Classify the failure onto that fiber and keep serving.
+      ErrorKind K = Engine->lastErrorKind();
+      Value KindSym = Engine->heap().intern(fiberKindOfErrorKind(K));
+      Engine->fibers().failCurrent(Engine->vm(), Engine->lastError(),
+                                   KindSym);
+    }
+    if (!SliceFailed)
+      ConsecutiveFatal = 0;
+
+    for (FiberJobInfo &Info : Engine->takeFinishedFiberJobs()) {
+      auto It = Active.find(Info.Id);
+      if (It == Active.end())
+        continue; // A plain (non-job) fiber, or already failed over.
+      ActiveJob &A = It->second;
+      A.RunNs += Info.RunNs;
+      // Retry: like the blocking pool, only interrupt evictions are
+      // transient. Re-spawn under a fresh fiber id after the backoff
+      // (the scheduler's timer wheel serves as the backoff sleep).
+      if (!Info.Ok && Info.Kind == "interrupt") {
+        uint32_t MaxAttempts =
+            A.J.Retry.MaxAttempts ? A.J.Retry.MaxAttempts : 1;
+        bool Abort;
+        {
+          std::lock_guard<std::mutex> Lk(QueueMu);
+          Abort = Stopping && !DrainOnStop;
+        }
+        if (A.Attempt < MaxAttempts && !Abort) {
+          uint64_t BackoffMs = retryBackoffMs(A.J.Retry, A.J.Id, A.Attempt);
+          uint64_t Now = nowNanos();
+          if (!(A.J.DeadlineNs &&
+                Now + BackoffMs * 1000000 >= A.J.DeadlineNs)) {
+            std::string SpawnErr;
+            uint64_t BudgetNs = A.J.Limits.TimeoutMs * 1000000ull;
+            uint64_t NewId = Engine->spawnFiberJob(
+                A.J.Source, BudgetNs, A.J.DeadlineNs,
+                BackoffMs * 1000000, &SpawnErr);
+            if (NewId) {
+              ActiveJob Moved = std::move(A);
+              Active.erase(It);
+              ++Moved.Attempt;
+              {
+                WorkerShard &S = *Shards[Idx];
+                std::lock_guard<std::mutex> L(S.Mu);
+                ++S.RetriesAttempted;
+              }
+              Active.emplace(NewId, std::move(Moved));
+              continue;
+            }
+          }
+        }
+      }
+      JobResult R;
+      R.Worker = Idx;
+      R.Id = A.J.Id;
+      R.Attempts = A.Attempt;
+      if (Info.Ok) {
+        R.Ok = true;
+        R.Outcome = JobOutcome::Ok;
+        R.Output = std::move(Info.Output);
+      } else {
+        R.Ok = false;
+        R.Error = std::move(Info.Output);
+        R.Kind = errorKindOfFiberKind(Info.Kind);
+        R.Outcome = jobOutcomeOfErrorKind(R.Kind);
+      }
+      Retire(A, std::move(R));
+      Active.erase(It);
+    }
+    FoldStatsDelta();
+
+    if (Fatal) {
+      // Beyond-reserve failure: every admitted fiber lived in the dying
+      // engine's heap, so they all fail with it. Supervise like the
+      // blocking pool: rebuild in place, or open the breaker.
+      FailAllActive(jobOutcomeOfErrorKind(Engine->lastErrorKind()),
+                    Engine->lastError(), Engine->lastErrorKind());
+      ++ConsecutiveFatal;
+      WorkerShard &S = *Shards[Idx];
+      if (Opts.BreakerThreshold &&
+          ConsecutiveFatal >= Opts.BreakerThreshold) {
+        std::lock_guard<std::mutex> L(S.Mu);
+        ++S.BreakerOpens;
+        BreakerOpened = true;
+        break;
+      }
+      uint64_t T0 = nowNanos();
+      {
+        std::lock_guard<std::mutex> L(EnginesMu);
+        Engines[Idx] = nullptr;
+      }
+      retireEngine(*Engine, Idx);
+      Engine.reset();
+      ++Incarnation;
+      Engine = buildWorkerEngine(Idx, Incarnation);
+      ArmFiberMode(*Engine);
+      StatsMark = Engine->stats();
+      TraceBuffer &TB = Engine->vm().trace();
+      if (TB.Enabled) {
+        TB.record(TraceEv::WorkerRestartBegin, Idx);
+        TB.record(TraceEv::WorkerRestartEnd, nowNanos() - T0);
+      }
+      {
+        std::lock_guard<std::mutex> L(S.Mu);
+        ++S.WorkerRestarts;
+      }
+      continue;
+    }
+
+    // Everything parked: sleep until the earliest fiber deadline or new
+    // work, in <=10ms chunks so interrupts stay responsive.
+    if (!Engine->fiberHasRunnable() &&
+        Status == Engine->heap().intern("idle")) {
+      uint64_t TimerNs = Engine->fiberNextTimerDelayNs();
+      if (Engine->fiberInterruptPending() && TimerNs != 0) {
+        // interruptAll() with everything parked: force the earliest
+        // sleeper due now; its first safe point delivers the trip.
+        Engine->fiberWakeEarliest();
+        continue;
+      }
+      bool Draining;
+      {
+        std::lock_guard<std::mutex> L(QueueMu);
+        Draining = Stopping && Queue.empty();
+      }
+      if (Draining && TimerNs == 0) {
+        // Drain shutdown with only untimed parks left: no new job can
+        // ever unpark them, so they can never finish.
+        FailAllActive(JobOutcome::Rejected, "engine pool is shut down",
+                      ErrorKind::Runtime);
+        break;
+      }
+      uint64_t WaitNs = TimerNs;
+      if (WaitNs == 0 || WaitNs > 10000000)
+        WaitNs = 10000000;
+      std::unique_lock<std::mutex> L(QueueMu);
+      if (!Stopping && Queue.empty())
+        NotEmpty.wait_for(L, std::chrono::nanoseconds(WaitNs),
+                          [&] { return Stopping || !Queue.empty(); });
+    }
+  }
+
+  // Non-drain shutdown (or breaker): resolve whatever is still admitted.
+  FailAllActive(JobOutcome::Rejected, "engine pool is shut down",
+                ErrorKind::Runtime);
+  {
+    std::lock_guard<std::mutex> L(EnginesMu);
+    Engines[Idx] = nullptr;
+  }
+  retireEngine(*Engine, Idx);
+  Engine.reset();
+  bool LastOut = false;
+  {
+    std::lock_guard<std::mutex> L(QueueMu);
+    --LiveWorkers;
     if (BreakerOpened && LiveWorkers == 0 && !Stopping) {
       Stopping = true;
       DrainOnStop = false;

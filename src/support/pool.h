@@ -274,6 +274,18 @@ struct PoolOptions {
   uint32_t ProfileHz = 0;
   /// Per-worker profile sample ring (0 = SamplingProfiler::DefaultCapacity).
   uint32_t ProfileCapacity = 0;
+  /// Cooperative fiber multiplexing (DESIGN.md §16): each worker admits
+  /// up to MaxFibersPerWorker jobs as fibers over its one engine. A job
+  /// that parks (sleep-ms, channel wait) releases the worker to run other
+  /// admitted jobs instead of blocking the thread, so M >> N jobs with
+  /// backend-style waits multiplex over N workers. Per-job TimeoutMs
+  /// governs *on-CPU* time (parked time is excluded); deadlines stay
+  /// wall-clock. Heap/stack budgets are engine-wide in this mode, and
+  /// retry classifies only interrupt evictions as transient (per-fiber
+  /// fault attribution is not possible on a shared engine).
+  bool EnableFibers = false;
+  /// Max jobs admitted as fibers per worker (0 = 64).
+  uint32_t MaxFibersPerWorker = 64;
 };
 
 /// Pool-wide statistics snapshot (stats()).
@@ -456,6 +468,9 @@ private:
   };
 
   void workerMain(unsigned Idx);
+  /// Cooperative worker loop (PoolOptions::EnableFibers): admits queued
+  /// jobs as fibers, slices the scheduler, and retires finished jobs.
+  void workerFiberMain(unsigned Idx);
   std::unique_ptr<SchemeEngine> buildWorkerEngine(unsigned Idx,
                                                   uint32_t Incarnation);
   void retireEngine(SchemeEngine &Engine, unsigned Idx);

@@ -20,6 +20,8 @@ const StatsCounterDesc Counters[] = {
     {"one-shot-promotions", &VMStats::OneShotPromotions, false},
     {"continuation-captures", &VMStats::ContinuationCaptures, false},
     {"continuation-applies", &VMStats::ContinuationApplies, false},
+    {"fiber-spawns", &VMStats::FiberSpawns, false},
+    {"fiber-parks", &VMStats::FiberParks, false},
     {"segment-overflows", &VMStats::SegmentOverflows, false},
     {"segment-allocs", &VMStats::SegmentAllocs, false},
     {"segment-slots-allocated", &VMStats::SegmentSlotsAllocated, false},

@@ -78,6 +78,12 @@ struct VMStats {
 
   uint64_t ContinuationCaptures = 0;
   uint64_t ContinuationApplies = 0;
+  /// Fibers created by (spawn thunk) (vm/fibers.cpp). Site-driven, so the
+  /// bench pipeline gates it like the segment counters.
+  uint64_t FiberSpawns = 0;
+  /// Fiber suspensions: every park (sleep, channel wait, join wait) and
+  /// every yield that actually captured and switched away.
+  uint64_t FiberParks = 0;
   uint64_t SegmentOverflows = 0; ///< Stack splits forced by segment limits.
   uint64_t SegmentAllocs = 0;    ///< Stack segments allocated fresh.
   uint64_t SegmentSlotsAllocated = 0; ///< Total slots across those segments.

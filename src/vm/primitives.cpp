@@ -657,20 +657,47 @@ Value nativeCurrentMillis(VM &M, Value *, uint32_t) {
       1000.0);
 }
 
-/// (sleep-ms n) blocks the calling engine's thread for n milliseconds
-/// (clamped to [0, 60000]). Models a request handler waiting on a
-/// backend; in an EnginePool only the one worker blocks, so sibling
-/// workers keep serving (see bench/bench_pool.cpp's service mix).
+/// (sleep-ms n) waits n milliseconds (clamped to [0, 60000]; NaN waits
+/// not at all — the old cast of NaN*1000 to int64_t was undefined).
+/// Models a request handler waiting on a backend.
+///
+/// With fiber scheduling active the wait is cooperative: the call tail-
+/// calls the prelude's #%fiber-sleep, which parks the calling fiber on a
+/// timer so sibling fibers (and, in a fiber pool, other jobs on this
+/// worker) run during the wait.
+///
+/// Otherwise the engine's thread blocks — but in <=10ms chunks that poll
+/// for pending interrupts, budget trips, and passed deadlines between
+/// chunks, so `(sleep-ms 60000)` no longer pins a requestInterrupt() (or
+/// a timeout) for the full minute: delivery lands within one chunk.
 Value nativeSleepMs(VM &M, Value *Args, uint32_t) {
   if (!Args[0].isNumber())
     return typeError(M, "sleep-ms", "number", Args[0]);
   double Ms = toDouble(Args[0]);
-  if (Ms < 0)
+  if (!(Ms > 0)) // Negative, zero, and NaN all mean "no wait".
     Ms = 0;
   if (Ms > 60000)
     Ms = 60000;
-  std::this_thread::sleep_for(
-      std::chrono::microseconds(static_cast<int64_t>(Ms * 1000.0)));
+  if (M.Fibers.schedulingActive() && !M.config().MarkStackMode) {
+    Value Sleep = M.getGlobal("#%fiber-sleep");
+    if (Sleep.isClosure()) {
+      Value A[1] = {M.heap().makeFlonum(Ms)};
+      M.scheduleTailCall(Sleep, A, 1);
+      return Value::voidValue();
+    }
+  }
+  int64_t LeftUs = static_cast<int64_t>(Ms * 1000.0);
+  while (LeftUs > 0) {
+    if (M.deliverTripFromNative())
+      return Value::voidValue();
+    int64_t ChunkUs = LeftUs < 10000 ? LeftUs : 10000;
+    std::this_thread::sleep_for(std::chrono::microseconds(ChunkUs));
+    LeftUs -= ChunkUs;
+  }
+  // A signal that lands during the final chunk is still delivered here
+  // rather than waiting for the next safe point (there may be none — a
+  // toplevel sleep returns straight into Halt).
+  M.deliverTripFromNative();
   return Value::voidValue();
 }
 

@@ -55,6 +55,7 @@ VM::VM(const VMConfig &Config) : Cfg(Config) {
   installPromptPrimitives(*this);
   installMarkPrimitives(*this);
   installParameterPrimitives(*this);
+  installFiberPrimitives(*this);
 }
 
 VM::~VM() {
@@ -83,6 +84,9 @@ void VM::traceRoots(Heap &Heap) {
     Heap.traceValue(E.Key);
     Heap.traceValue(E.Val);
   }
+  // Parked fibers hold their captured continuations (and the segments
+  // those pin) only through the scheduler's queues.
+  Fibers.traceRoots(Heap);
 }
 
 Value VM::globalCell(Value Sym) {
@@ -336,8 +340,11 @@ void VM::releaseRunState() {
 }
 
 bool VM::pollingGoverned() const {
+  // A cooperative-pool engine is always governed: per-fiber budgets arm
+  // the deadline at every switch-in, and those deadlines are only noticed
+  // by fuel-exhaustion polls.
   return Cfg.Limits.HeapBytes != 0 || Cfg.Limits.MaxLiveSegments != 0 ||
-         Cfg.Limits.TimeoutMs != 0 ||
+         Cfg.Limits.TimeoutMs != 0 || Fibers.CoopPool ||
          Cfg.Limits.FuelInterval != EngineLimits().FuelInterval;
 }
 
@@ -359,8 +366,14 @@ void VM::resetGovernance() {
   // Interrupts aimed at an idle engine are dropped by design (pool
   // semantics: interruptAll targets running jobs); stale sample pokes
   // from between runs are dropped with them so idle time never shows up
-  // in a profile.
-  AsyncSignals.store(0, std::memory_order_relaxed);
+  // in a profile. Exception: a fiber-pool worker's jobs stay live
+  // (parked) across the idle gaps between slices, so an interrupt that
+  // lands between slices must survive into the next one.
+  if (Fibers.preserveInterruptAcrossRuns())
+    AsyncSignals.fetch_and(SigInterrupt, std::memory_order_relaxed);
+  else
+    AsyncSignals.store(0, std::memory_order_relaxed);
+  Fibers.noteRunBoundary(*this);
   FuelLeft = refillFuel();
   DeadlineArmed = Cfg.Limits.TimeoutMs > 0;
   if (DeadlineArmed)
@@ -373,9 +386,13 @@ TripKind VM::pollSafePoint() {
   FuelLeft = refillFuel();
   ++Stats.SafePointPolls;
   // Consume only the interrupt bit: a concurrent sample poke stays
-  // pending for the next safe-point site.
-  if (AsyncSignals.fetch_and(~SigInterrupt, std::memory_order_relaxed) &
-      SigInterrupt) {
+  // pending for the next safe-point site. In cooperative-pool mode the
+  // bit is additionally left armed unless a fiber is switched in —
+  // consuming it inside scheduler glue would fail the slice with no job
+  // to attribute the trip to, silently discarding the interrupt.
+  if ((AsyncSignals.load(std::memory_order_relaxed) & SigInterrupt) &&
+      (!Fibers.CoopPool || Fibers.interruptDeliverable())) {
+    AsyncSignals.fetch_and(~SigInterrupt, std::memory_order_relaxed);
     ++Stats.LimitInterrupts;
     return TripKind::Interrupt;
   }
@@ -1594,6 +1611,31 @@ bool VM::injectLimitRaise(TripKind Trip) {
   uint32_t Hdr = buildPendingFrame(*this);
   // A closure call only sets up registers; it cannot halt the run here.
   dispatchSlowCall(Hdr, static_cast<uint32_t>(PendingArgs.size()));
+  return true;
+}
+
+bool VM::deliverTripFromNative() {
+  // Cheap pre-check so an innocent poll does not disturb the fuel
+  // schedule or the SafePointPolls counter (both CI-gated): only consume
+  // a poll when something is actually pending.
+  bool Pending =
+      (AsyncSignals.load(std::memory_order_relaxed) & SigInterrupt) != 0 ||
+      H.hasPendingTrip() ||
+      (DeadlineArmed && std::chrono::steady_clock::now() >= Deadline);
+  if (!Pending)
+    return false;
+  TripKind Trip = pollSafePoint();
+  if (Trip == TripKind::None)
+    return false;
+  Value Fn = getGlobal("#%limit-raise");
+  if (Fn.isClosure()) {
+    // The symbol is immortal (interned), so makeString cannot lose it.
+    Value A[2] = {H.intern(tripKindName(Trip)), Value::undefined()};
+    A[1] = H.makeString(tripMessage(Trip));
+    scheduleTailCall(Fn, A, 2);
+  } else {
+    raiseErrorKind(errorKindOf(Trip), tripMessage(Trip));
+  }
   return true;
 }
 

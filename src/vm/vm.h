@@ -31,6 +31,7 @@
 #include "support/profiler.h"
 #include "support/stats.h"
 #include "support/trace.h"
+#include "vm/fibers.h"
 
 #include <atomic>
 #include <chrono>
@@ -158,6 +159,21 @@ public:
   /// The prelude registers its snapshot mark key here (via
   /// #%set-snapshot-key!) so raiseError can attach a stack snapshot.
   Value SnapshotKey = Value::undefined();
+
+  // --- Fibers (vm/fibers.h) --------------------------------------------------
+
+  /// Cooperative green threads multiplexed over this VM's continuation
+  /// machinery; drives (spawn ...)/(yield) and the pool's fiber mode.
+  FiberScheduler Fibers;
+
+  /// Native-side trip delivery for blocking primitives (chunked sleep,
+  /// idle waits): when an interrupt, budget trip, or passed deadline is
+  /// pending, consumes it and schedules a tail call to the prelude's
+  /// #%limit-raise (falling back to raiseErrorKind), exactly as the
+  /// dispatch loop's safe point would. Returns true when a trip was
+  /// delivered — the native must return immediately without scheduling
+  /// anything else. Registers must be synced (native context).
+  bool deliverTripFromNative();
 
   // --- Globals ---------------------------------------------------------------
 
@@ -307,6 +323,7 @@ public:
 
 private:
   friend class SchemeEngine;
+  friend class FiberScheduler;
 
   void installBaseFrame(Value Fn, const Value *Args, uint32_t NArgs);
 
@@ -392,6 +409,7 @@ void installPromptPrimitives(VM &M);  ///< control/prompts.cpp.
 void applyCompositeCont(VM &M, Value K, Value Arg, bool TailMode);
 void installMarkPrimitives(VM &M);    ///< marks/: mark frames and sets.
 void installParameterPrimitives(VM &M);
+// installFiberPrimitives lives in vm/fibers.h with the scheduler.
 
 // Helpers shared by native implementations.
 

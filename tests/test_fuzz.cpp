@@ -129,7 +129,11 @@ TEST(FuzzHarness, CatchesInjectedBugAndShrinks) {
   HO.CheckDeterminism = false; // Two-leg toy matrix; keep the test fast.
   FuzzHarness H = buggyHarness(HO);
 
-  ProgramGen G(5, ProgramGen::Options());
+  // Legacy grammar: these tests exercise the harness mechanics on a
+  // pinned seed whose program must keep the injected (list ...) live.
+  ProgramGen::Options GO;
+  GO.EnableFibers = false;
+  ProgramGen G(5, GO);
   FuzzProgram P = G.next();
   Divergence D;
   ASSERT_FALSE(H.checkProgram(P, &D));
@@ -150,7 +154,9 @@ TEST(FuzzHarness, ShrinkBudgetZeroKeepsOriginal) {
   HO.CheckDeterminism = false;
   HO.ShrinkBudget = 0;
   FuzzHarness H = buggyHarness(HO);
-  ProgramGen G(5, ProgramGen::Options());
+  ProgramGen::Options GO;
+  GO.EnableFibers = false;
+  ProgramGen G(5, GO);
   FuzzProgram P = G.next();
   Divergence D;
   ASSERT_FALSE(H.checkProgram(P, &D));

@@ -101,6 +101,18 @@ TEST_F(NumbersTest, NanComparesFalseUnderEveryOperator) {
              "good");
 }
 
+TEST_F(NumbersTest, NonPositiveAndNanSleepDurationsReturnImmediately) {
+  // (sleep-ms +nan.0) used to reach static_cast<int64_t>(NaN * 1000.0) —
+  // undefined behavior. NaN, negatives, and zero all mean "no wait";
+  // non-numbers stay a type error.
+  expectEval(E, "(begin (sleep-ms +nan.0) 'ok)", "ok");
+  expectEval(E, "(begin (sleep-ms -5) 'ok)", "ok");
+  expectEval(E, "(begin (sleep-ms -inf.0) 'ok)", "ok");
+  expectEval(E, "(begin (sleep-ms 0) 'ok)", "ok");
+  expectEval(E, "(begin (sleep-ms 0.0) 'ok)", "ok");
+  expectError(E, "(sleep-ms 'soon)", "number");
+}
+
 TEST_F(NumbersTest, IntegerDivisionByZeroErrorsMentionZero) {
   // quotient/remainder/modulo reject every zero divisor (they have no
   // useful IEEE answer), with the division message for both exactness

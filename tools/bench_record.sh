@@ -1,7 +1,7 @@
 #!/bin/sh
 # Record a full bench trajectory snapshot: runs bench_ctak, bench_marks,
-# bench_attachments, bench_pool, and bench_effects from a build directory
-# and writes their
+# bench_attachments, bench_pool, bench_effects, and bench_fibers from a
+# build directory and writes their
 # BENCH_*.json (schema cmarks-bench-v1) to a chosen directory -- by
 # default the repository root, which is the PR-over-PR perf trajectory
 # that CI archives and check_bench.py compares against bench/baselines/.
@@ -29,7 +29,7 @@ OUT_DIR=$(cd "$OUT_DIR" && pwd)
 export CMARKS_BENCH_RUNS CMARKS_BENCH_SCALE
 export CMARKS_BENCH_JSON_DIR="$OUT_DIR"
 
-for B in bench_ctak bench_marks bench_attachments bench_pool bench_effects; do
+for B in bench_ctak bench_marks bench_attachments bench_pool bench_effects bench_fibers; do
   BIN="$BUILD_DIR/bench/$B"
   if [ ! -x "$BIN" ]; then
     echo "bench_record: $BIN not built (cmake --build $BUILD_DIR)" >&2
@@ -39,4 +39,4 @@ for B in bench_ctak bench_marks bench_attachments bench_pool bench_effects; do
   (cd "$BUILD_DIR/bench" && "$BIN")
 done
 
-echo "recorded: $OUT_DIR/BENCH_ctak.json $OUT_DIR/BENCH_marks.json $OUT_DIR/BENCH_attachments.json $OUT_DIR/BENCH_pool.json $OUT_DIR/BENCH_effects.json"
+echo "recorded: $OUT_DIR/BENCH_ctak.json $OUT_DIR/BENCH_marks.json $OUT_DIR/BENCH_attachments.json $OUT_DIR/BENCH_pool.json $OUT_DIR/BENCH_effects.json $OUT_DIR/BENCH_fibers.json"

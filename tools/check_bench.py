@@ -44,7 +44,8 @@ TRACKED_COUNTERS = ("reifications", "underflow-fusions", "underflow-copies",
 # a pinned scale (allocation sites and poll sites, never timers), so they
 # can be gated hard rather than warned about.
 GATEABLE_COUNTERS = ("segment-allocs", "segment-slots-allocated",
-                     "segment-recycles", "safe-point-polls")
+                     "segment-recycles", "safe-point-polls",
+                     "fiber-spawns", "fiber-parks")
 
 
 def load(path):

@@ -24,6 +24,10 @@
 ///   --oracle-percent=P  share of oracle-checkable programs (default 50)
 ///   --legs=a,b,c        comma list of legs (default: the full matrix)
 ///   --no-oracle         drop the heap-model oracle leg
+///   --no-fibers         drop the fiber productions (spawn/yield/channel)
+///                       from the grammar; implied by a mark-stack leg,
+///                       which rejects spawn outright
+///   --fibers            force fiber productions on despite a mark-stack leg
 ///   --faults=SPEC       add a fused-leg clone armed with a preserving
 ///                       fault schedule (repeatable; needs CMARKS_FAULTS)
 ///   --failing-faults=SPEC  same, for failing schedules (oom/reify-oom):
@@ -102,6 +106,7 @@ int main(int argc, char **argv) {
   std::vector<std::string> PreservingFaults, FailingFaults;
   bool IncludeOracle = true, StopOnFirst = false, Quiet = false,
        Shrink = true;
+  int FiberChoice = -1; // -1 auto: on unless a mark-stack leg is selected.
 
   for (int I = 1; I < argc; ++I) {
     std::string V;
@@ -119,6 +124,10 @@ int main(int argc, char **argv) {
       LegsSpec = V;
     else if (std::strcmp(argv[I], "--no-oracle") == 0)
       IncludeOracle = false;
+    else if (std::strcmp(argv[I], "--no-fibers") == 0)
+      FiberChoice = 0;
+    else if (std::strcmp(argv[I], "--fibers") == 0)
+      FiberChoice = 1;
     else if (argValue(argv[I], "--faults", V))
       PreservingFaults.push_back(V);
     else if (argValue(argv[I], "--failing-faults", V))
@@ -188,6 +197,16 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "cmarks_fuzz: warning: built without CMARKS_FAULTS; "
                          "fault schedules are accepted but never fire\n");
 #endif
+
+  // The mark-stack comparator rejects spawn, so fiber programs would
+  // diverge on that leg by construction; drop them unless forced.
+  bool HaveMarkStack = false;
+  for (const FuzzLeg &L : Legs)
+    HaveMarkStack |= L.Name == "mark-stack";
+  GenOpts.EnableFibers = FiberChoice == -1 ? !HaveMarkStack : FiberChoice == 1;
+  if (HaveMarkStack && FiberChoice == -1)
+    std::fprintf(stderr, "cmarks_fuzz: note: mark-stack leg selected; fiber "
+                         "productions disabled (override with --fibers)\n");
 
   FuzzHarness Harness(std::move(Legs), HOpts);
 
